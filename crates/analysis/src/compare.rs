@@ -1,0 +1,116 @@
+//! Statistically valid aggregation comparisons (§3.4.1).
+//!
+//! A comparison of two aggregations is *valid* only when both sides have
+//! at least 30 samples and the confidence interval of the difference of
+//! medians is tight (< 10 ms for MinRTT_P50, < 0.1 for HDratio_P50).
+//! Events (degradation / opportunity) are declared on the *lower bound*
+//! of the CI exceeding the threshold, so noise cannot manufacture events.
+
+use crate::config::AnalysisConfig;
+use edgeperf_stats::median_ci::diff_of_medians_ci_sorted;
+
+/// Result of comparing two aggregations on one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompareOutcome {
+    /// Not enough samples or CI too wide — the window is excluded.
+    Invalid,
+    /// Valid comparison.
+    Valid {
+        /// Point difference of the medians (a − b).
+        diff: f64,
+        /// Lower CI bound of the difference.
+        lo: f64,
+        /// Upper CI bound of the difference.
+        hi: f64,
+    },
+}
+
+impl CompareOutcome {
+    /// Is the difference confidently above `threshold`?
+    /// (Lower-bound rule; `Invalid` is never an event.)
+    pub fn event_at(&self, threshold: f64) -> bool {
+        matches!(self, CompareOutcome::Valid { lo, .. } if *lo > threshold)
+    }
+
+    /// The point estimate, if valid.
+    pub fn diff(&self) -> Option<f64> {
+        match self {
+            CompareOutcome::Valid { diff, .. } => Some(*diff),
+            CompareOutcome::Invalid => None,
+        }
+    }
+}
+
+/// Compare medians of two **sorted** sample sets `a − b` under the
+/// validity rules. `max_ci_width` selects the metric's tightness rule.
+pub fn compare_medians(
+    cfg: &AnalysisConfig,
+    a_sorted: &[f64],
+    b_sorted: &[f64],
+    max_ci_width: f64,
+) -> CompareOutcome {
+    if a_sorted.len() < cfg.min_samples || b_sorted.len() < cfg.min_samples {
+        return CompareOutcome::Invalid;
+    }
+    let ci = diff_of_medians_ci_sorted(a_sorted, b_sorted, cfg.confidence);
+    if ci.width() >= max_ci_width {
+        return CompareOutcome::Invalid;
+    }
+    CompareOutcome::Valid { diff: ci.diff, lo: ci.lo, hi: ci.hi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(center: f64, spread: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| center + spread * (i as f64 / (n - 1) as f64 - 0.5)).collect()
+    }
+
+    #[test]
+    fn too_few_samples_is_invalid() {
+        let cfg = AnalysisConfig::default();
+        let a = samples(50.0, 5.0, 10);
+        let b = samples(40.0, 5.0, 100);
+        assert_eq!(compare_medians(&cfg, &a, &b, 10.0), CompareOutcome::Invalid);
+    }
+
+    #[test]
+    fn wide_ci_is_invalid() {
+        let cfg = AnalysisConfig::default();
+        // Very high variance, few samples → CI wider than 10 ms.
+        let a = samples(50.0, 500.0, 30);
+        let b = samples(40.0, 500.0, 30);
+        assert_eq!(compare_medians(&cfg, &a, &b, 10.0), CompareOutcome::Invalid);
+    }
+
+    #[test]
+    fn clear_difference_is_event() {
+        let cfg = AnalysisConfig::default();
+        let a = samples(60.0, 4.0, 200);
+        let b = samples(40.0, 4.0, 200);
+        let o = compare_medians(&cfg, &a, &b, 10.0);
+        assert!(o.event_at(5.0), "{o:?}");
+        assert!(!o.event_at(25.0));
+        assert!((o.diff().unwrap() - 20.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn marginal_difference_is_not_event() {
+        let cfg = AnalysisConfig::default();
+        // True diff 6 ms but noisy: the lower bound should not clear 5 ms.
+        let a = samples(46.0, 30.0, 40);
+        let b = samples(40.0, 30.0, 40);
+        let o = compare_medians(&cfg, &a, &b, 10.0);
+        if let CompareOutcome::Valid { lo, .. } = o {
+            assert!(lo < 5.0, "lo = {lo}");
+        }
+        assert!(!o.event_at(5.0));
+    }
+
+    #[test]
+    fn invalid_never_events() {
+        assert!(!CompareOutcome::Invalid.event_at(-100.0));
+        assert_eq!(CompareOutcome::Invalid.diff(), None);
+    }
+}

@@ -1,0 +1,53 @@
+//! Analysis parameters (§3.4 defaults).
+
+/// Tunables for the comparison pipeline. Defaults are the paper's.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisConfig {
+    /// Confidence level for difference-of-medians CIs (α = 0.95).
+    pub confidence: f64,
+    /// Minimum samples per aggregation side.
+    pub min_samples: usize,
+    /// Max CI width for a valid MinRTT_P50 comparison (ms).
+    pub max_ci_width_minrtt_ms: f64,
+    /// Max CI width for a valid HDratio_P50 comparison.
+    pub max_ci_width_hdratio: f64,
+    /// 15-minute windows per day (96).
+    pub windows_per_day: u32,
+    /// A group must have traffic in at least this fraction of windows to
+    /// be classified (§3.4.2).
+    pub min_coverage: f64,
+    /// Eventful-fraction threshold for the continuous class.
+    pub continuous_fraction: f64,
+    /// Days a fixed slot must be eventful for the diurnal class.
+    pub diurnal_days: u32,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            confidence: 0.95,
+            min_samples: 30,
+            max_ci_width_minrtt_ms: 10.0,
+            max_ci_width_hdratio: 0.1,
+            windows_per_day: 96,
+            min_coverage: 0.6,
+            continuous_fraction: 0.75,
+            diurnal_days: 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AnalysisConfig::default();
+        assert_eq!(c.min_samples, 30);
+        assert_eq!(c.windows_per_day, 96);
+        assert!((c.max_ci_width_minrtt_ms - 10.0).abs() < f64::EPSILON);
+        assert!((c.max_ci_width_hdratio - 0.1).abs() < f64::EPSILON);
+        assert!((c.min_coverage - 0.6).abs() < f64::EPSILON);
+    }
+}

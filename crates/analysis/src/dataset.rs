@@ -1,0 +1,229 @@
+//! Dataset assembly: records → per-(group, window, route-rank)
+//! aggregations (§3.3).
+
+use crate::record::{GroupKey, SessionRecord};
+use edgeperf_routing::Relationship;
+use std::collections::HashMap;
+
+/// Measurements for one (group, window, route-rank) cell.
+#[derive(Debug, Clone)]
+pub struct Aggregation {
+    /// Session MinRTTs in milliseconds, sorted ascending.
+    pub min_rtt_ms: Vec<f64>,
+    /// Session HDratios (only sessions that tested), sorted ascending.
+    pub hdratio: Vec<f64>,
+    /// Total response bytes (traffic weight of the cell).
+    pub bytes: u64,
+    /// Relationship of the route measured by this cell.
+    pub relationship: Relationship,
+    /// This route's AS path is longer than the preferred route's.
+    pub longer_path: bool,
+    /// This route is prepended more than the preferred route.
+    pub more_prepended: bool,
+}
+
+impl Aggregation {
+    fn new(relationship: Relationship) -> Self {
+        Aggregation {
+            min_rtt_ms: Vec::new(),
+            hdratio: Vec::new(),
+            bytes: 0,
+            relationship,
+            longer_path: false,
+            more_prepended: false,
+        }
+    }
+
+    /// Median MinRTT of the aggregation (requires non-empty).
+    pub fn min_rtt_p50(&self) -> f64 {
+        edgeperf_stats::quantile::median_sorted(&self.min_rtt_ms)
+    }
+
+    /// Median HDratio, if any session tested.
+    pub fn hdratio_p50(&self) -> Option<f64> {
+        if self.hdratio.is_empty() {
+            None
+        } else {
+            Some(edgeperf_stats::quantile::median_sorted(&self.hdratio))
+        }
+    }
+
+    /// Number of MinRTT samples.
+    pub fn n(&self) -> usize {
+        self.min_rtt_ms.len()
+    }
+}
+
+/// All aggregations of one user group: `ranks[r].windows[w]`.
+#[derive(Debug, Clone, Default)]
+pub struct GroupData {
+    /// Per route rank (0 = preferred), per window.
+    pub ranks: Vec<Vec<Option<Aggregation>>>,
+    /// Total traffic bytes across every cell (the group weight).
+    pub total_bytes: u64,
+}
+
+impl GroupData {
+    /// Aggregation for (rank, window) if present.
+    pub fn cell(&self, rank: usize, window: usize) -> Option<&Aggregation> {
+        self.ranks.get(rank)?.get(window)?.as_ref()
+    }
+
+    /// Windows where the preferred route has any traffic.
+    pub fn covered_windows(&self) -> usize {
+        self.ranks
+            .first()
+            .map(|ws| ws.iter().filter(|c| c.is_some()).count())
+            .unwrap_or(0)
+    }
+}
+
+/// # Example
+///
+/// ```
+/// use edgeperf_analysis::{Dataset, GroupKey, SessionRecord};
+/// use edgeperf_routing::{PopId, Prefix, Relationship};
+/// let group = GroupKey { pop: PopId(0), prefix: Prefix::new(0x0A000000, 16),
+///     country: 0, continent: 2 };
+/// let records: Vec<SessionRecord> = (0..40).map(|i| SessionRecord {
+///     group, window: 0, route_rank: 0, relationship: Relationship::PrivatePeer,
+///     longer_path: false, more_prepended: false,
+///     min_rtt_ms: 30.0 + i as f64 * 0.1, hdratio: Some(1.0), bytes: 1_000,
+/// }).collect();
+/// let ds = Dataset::from_records(&records, 1);
+/// let cell = ds.groups[&group].cell(0, 0).unwrap();
+/// assert_eq!(cell.n(), 40);
+/// assert!((cell.min_rtt_p50() - 31.95).abs() < 0.1);
+/// ```
+/// The study dataset: all groups over a fixed number of windows.
+#[derive(Debug, Default)]
+pub struct Dataset {
+    /// Number of 15-minute windows in the study.
+    pub n_windows: usize,
+    /// Per-group data.
+    pub groups: HashMap<GroupKey, GroupData>,
+}
+
+impl Dataset {
+    /// Assemble from raw records. Records beyond `n_windows` or with
+    /// rank ≥ 8 are rejected (defensive: they indicate runner bugs).
+    pub fn from_records(records: &[SessionRecord], n_windows: usize) -> Self {
+        let mut groups: HashMap<GroupKey, GroupData> = HashMap::new();
+        for r in records {
+            assert!((r.window as usize) < n_windows, "window {} out of range", r.window);
+            assert!(r.route_rank < 8, "suspicious route rank {}", r.route_rank);
+            let g = groups.entry(r.group).or_default();
+            let rank = r.route_rank as usize;
+            while g.ranks.len() <= rank {
+                g.ranks.push(vec![None; n_windows]);
+            }
+            let cell = g.ranks[rank][r.window as usize]
+                .get_or_insert_with(|| Aggregation::new(r.relationship));
+            cell.min_rtt_ms.push(r.min_rtt_ms);
+            if let Some(h) = r.hdratio {
+                cell.hdratio.push(h);
+            }
+            cell.bytes += r.bytes;
+            cell.longer_path |= r.longer_path;
+            cell.more_prepended |= r.more_prepended;
+            g.total_bytes += r.bytes;
+        }
+        // Sort sample vectors once.
+        for g in groups.values_mut() {
+            for ws in &mut g.ranks {
+                for cell in ws.iter_mut().flatten() {
+                    cell.min_rtt_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    cell.hdratio.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                }
+            }
+        }
+        Dataset { n_windows, groups }
+    }
+
+    /// Total traffic across the dataset.
+    pub fn total_bytes(&self) -> u64 {
+        self.groups.values().map(|g| g.total_bytes).sum()
+    }
+
+    /// Traffic carried on preferred routes only (rank 0) — the natural
+    /// denominator for "fraction of traffic" statements, since rank > 0
+    /// records exist purely to measure alternates.
+    pub fn preferred_bytes(&self) -> u64 {
+        self.groups
+            .values()
+            .flat_map(|g| g.ranks.first())
+            .flat_map(|ws| ws.iter().flatten())
+            .map(|c| c.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgeperf_routing::{PopId, Prefix};
+
+    fn rec(window: u32, rank: u8, rtt: f64, hdr: Option<f64>, bytes: u64) -> SessionRecord {
+        SessionRecord {
+            group: GroupKey {
+                pop: PopId(1),
+                prefix: Prefix::new(0x0A000000, 16),
+                country: 1,
+                continent: 3,
+            },
+            window,
+            route_rank: rank,
+            relationship: Relationship::PrivatePeer,
+            longer_path: rank > 0,
+            more_prepended: false,
+            min_rtt_ms: rtt,
+            hdratio: hdr,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn builds_cells_and_medians() {
+        let records = vec![
+            rec(0, 0, 30.0, Some(1.0), 100),
+            rec(0, 0, 40.0, Some(0.5), 100),
+            rec(0, 0, 50.0, None, 100),
+            rec(1, 0, 90.0, Some(0.0), 50),
+            rec(0, 1, 35.0, Some(1.0), 10),
+        ];
+        let ds = Dataset::from_records(&records, 4);
+        assert_eq!(ds.groups.len(), 1);
+        let g = ds.groups.values().next().unwrap();
+        let c = g.cell(0, 0).unwrap();
+        assert_eq!(c.n(), 3);
+        assert_eq!(c.min_rtt_p50(), 40.0);
+        assert_eq!(c.hdratio_p50(), Some(0.75));
+        assert_eq!(c.bytes, 300);
+        assert!(g.cell(1, 0).unwrap().longer_path);
+        assert!(g.cell(0, 2).is_none());
+        assert_eq!(g.covered_windows(), 2);
+        assert_eq!(ds.total_bytes(), 360);
+    }
+
+    #[test]
+    fn hdratio_p50_none_when_no_tested_sessions() {
+        let ds = Dataset::from_records(&[rec(0, 0, 20.0, None, 1)], 1);
+        let g = ds.groups.values().next().unwrap();
+        assert_eq!(g.cell(0, 0).unwrap().hdratio_p50(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn window_out_of_range_panics() {
+        Dataset::from_records(&[rec(5, 0, 20.0, None, 1)], 4);
+    }
+
+    #[test]
+    fn samples_are_sorted() {
+        let records =
+            vec![rec(0, 0, 50.0, None, 1), rec(0, 0, 10.0, None, 1), rec(0, 0, 30.0, None, 1)];
+        let ds = Dataset::from_records(&records, 1);
+        let g = ds.groups.values().next().unwrap();
+        assert_eq!(g.cell(0, 0).unwrap().min_rtt_ms, vec![10.0, 30.0, 50.0]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Per-window performance degradation vs a per-group baseline (§§3.4, 5).
+//!
+//! The baseline of a user group is the 10th percentile of its preferred
+//! route's MinRTT_P50 across all windows (90th percentile for
+//! HDratio_P50) — "how good does this group get". Each window is then
+//! compared against the baseline *aggregation* (the window that attains
+//! the baseline), and degradation is declared only when the CI lower
+//! bound of the difference clears the threshold.
+
+use crate::compare::{compare_medians, CompareOutcome};
+use crate::config::AnalysisConfig;
+use crate::dataset::GroupData;
+use edgeperf_stats::quantile::quantile_unsorted;
+
+/// Which metric a degradation/opportunity analysis runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationMetric {
+    /// Median of session MinRTTs (ms); degradation = increase.
+    MinRtt,
+    /// Median of session HDratios; degradation = decrease.
+    HdRatio,
+}
+
+/// Status of one window in a degradation or opportunity series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowStatus {
+    /// The group had no traffic in the window.
+    NoTraffic,
+    /// Traffic, but the comparison failed the validity rules.
+    Invalid,
+    /// Valid comparison, no event at the threshold.
+    Quiet,
+    /// Valid comparison, confident event at the threshold.
+    Event,
+}
+
+/// Assessment of one window.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowAssessment {
+    /// The window's status.
+    pub status: WindowStatus,
+    /// (diff, lo, hi) of the comparison when valid; the sign convention
+    /// makes positive = worse (degradation) / better-on-alternate
+    /// (opportunity).
+    pub diff: Option<(f64, f64, f64)>,
+    /// Traffic bytes in the window (preferred route).
+    pub bytes: u64,
+}
+
+/// Assess every window of a group for degradation of `metric` at
+/// `threshold` (ms for MinRTT, ratio units for HDratio).
+///
+/// Returns one assessment per window. Groups whose preferred route never
+/// has a valid aggregation yield all-`Invalid`/`NoTraffic`.
+pub fn degradation_events(
+    cfg: &AnalysisConfig,
+    group: &GroupData,
+    metric: DegradationMetric,
+    threshold: f64,
+) -> Vec<WindowAssessment> {
+    let n_windows = group.ranks.first().map(|w| w.len()).unwrap_or(0);
+    let empty = |status| WindowAssessment { status, diff: None, bytes: 0 };
+
+    // Candidate baseline: valid preferred-route windows and their p50s.
+    let mut p50s: Vec<(usize, f64)> = Vec::new();
+    for w in 0..n_windows {
+        if let Some(cell) = group.cell(0, w) {
+            if cell.n() >= cfg.min_samples {
+                let v = match metric {
+                    DegradationMetric::MinRtt => Some(cell.min_rtt_p50()),
+                    DegradationMetric::HdRatio => cell.hdratio_p50(),
+                };
+                if let Some(v) = v {
+                    p50s.push((w, v));
+                }
+            }
+        }
+    }
+    if p50s.is_empty() {
+        return (0..n_windows)
+            .map(|w| {
+                empty(if group.cell(0, w).is_some() {
+                    WindowStatus::Invalid
+                } else {
+                    WindowStatus::NoTraffic
+                })
+            })
+            .collect();
+    }
+
+    // Baseline value and the window attaining it.
+    let values: Vec<f64> = p50s.iter().map(|&(_, v)| v).collect();
+    let target = match metric {
+        DegradationMetric::MinRtt => quantile_unsorted(&values, 0.10),
+        DegradationMetric::HdRatio => quantile_unsorted(&values, 0.90),
+    };
+    let (baseline_w, _) = p50s
+        .iter()
+        .copied()
+        .min_by(|a, b| (a.1 - target).abs().partial_cmp(&(b.1 - target).abs()).unwrap())
+        .unwrap();
+    let baseline = group.cell(0, baseline_w).expect("baseline cell");
+
+    (0..n_windows)
+        .map(|w| {
+            let cell = match group.cell(0, w) {
+                None => return empty(WindowStatus::NoTraffic),
+                Some(c) => c,
+            };
+            let outcome = match metric {
+                // Degradation in latency: current − baseline.
+                DegradationMetric::MinRtt => compare_medians(
+                    cfg,
+                    &cell.min_rtt_ms,
+                    &baseline.min_rtt_ms,
+                    cfg.max_ci_width_minrtt_ms,
+                ),
+                // Degradation in goodput: baseline − current.
+                DegradationMetric::HdRatio => compare_medians(
+                    cfg,
+                    &baseline.hdratio,
+                    &cell.hdratio,
+                    cfg.max_ci_width_hdratio,
+                ),
+            };
+            match outcome {
+                CompareOutcome::Invalid => WindowAssessment {
+                    status: WindowStatus::Invalid,
+                    diff: None,
+                    bytes: cell.bytes,
+                },
+                CompareOutcome::Valid { diff, lo, hi } => WindowAssessment {
+                    status: if lo > threshold { WindowStatus::Event } else { WindowStatus::Quiet },
+                    diff: Some((diff, lo, hi)),
+                    bytes: cell.bytes,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::record::{GroupKey, SessionRecord};
+    use edgeperf_routing::{PopId, Prefix, Relationship};
+
+    fn records_with_rtts(per_window: &[f64]) -> Vec<SessionRecord> {
+        let group = GroupKey {
+            pop: PopId(0),
+            prefix: Prefix::new(0x0A000000, 16),
+            country: 0,
+            continent: 0,
+        };
+        let mut out = Vec::new();
+        for (w, &center) in per_window.iter().enumerate() {
+            for i in 0..60 {
+                out.push(SessionRecord {
+                    group,
+                    window: w as u32,
+                    route_rank: 0,
+                    relationship: Relationship::PrivatePeer,
+                    longer_path: false,
+                    more_prepended: false,
+                    min_rtt_ms: center + (i as f64 - 30.0) * 0.05, // ±1.5 ms spread
+                    hdratio: Some(1.0),
+                    bytes: 1000,
+                });
+            }
+        }
+        out
+    }
+
+    fn group_of(ds: &Dataset) -> &GroupData {
+        ds.groups.values().next().unwrap()
+    }
+
+    #[test]
+    fn stable_group_has_no_degradation() {
+        let recs = records_with_rtts(&[40.0; 10]);
+        let ds = Dataset::from_records(&recs, 10);
+        let cfg = AnalysisConfig::default();
+        let a = degradation_events(&cfg, group_of(&ds), DegradationMetric::MinRtt, 5.0);
+        assert!(a.iter().all(|x| x.status == WindowStatus::Quiet), "{a:?}");
+    }
+
+    #[test]
+    fn spike_is_detected() {
+        let mut rtts = vec![40.0; 10];
+        rtts[6] = 70.0;
+        let ds = Dataset::from_records(&records_with_rtts(&rtts), 10);
+        let cfg = AnalysisConfig::default();
+        let a = degradation_events(&cfg, group_of(&ds), DegradationMetric::MinRtt, 5.0);
+        assert_eq!(a[6].status, WindowStatus::Event);
+        assert_eq!(a[5].status, WindowStatus::Quiet);
+        let (diff, lo, hi) = a[6].diff.unwrap();
+        assert!((diff - 30.0).abs() < 2.0, "diff = {diff}");
+        assert!(lo > 5.0 && hi > diff);
+    }
+
+    #[test]
+    fn spike_below_threshold_is_quiet() {
+        let mut rtts = vec![40.0; 10];
+        rtts[3] = 43.0;
+        let ds = Dataset::from_records(&records_with_rtts(&rtts), 10);
+        let cfg = AnalysisConfig::default();
+        let a = degradation_events(&cfg, group_of(&ds), DegradationMetric::MinRtt, 5.0);
+        assert_eq!(a[3].status, WindowStatus::Quiet);
+    }
+
+    #[test]
+    fn missing_windows_are_no_traffic() {
+        let mut recs = records_with_rtts(&[40.0; 4]);
+        // Remove window 2 entirely.
+        recs.retain(|r| r.window != 2);
+        let ds = Dataset::from_records(&recs, 4);
+        let cfg = AnalysisConfig::default();
+        let a = degradation_events(&cfg, group_of(&ds), DegradationMetric::MinRtt, 5.0);
+        assert_eq!(a[2].status, WindowStatus::NoTraffic);
+    }
+
+    #[test]
+    fn hdratio_degradation_detected() {
+        let group = GroupKey {
+            pop: PopId(0),
+            prefix: Prefix::new(0x0A000000, 16),
+            country: 0,
+            continent: 0,
+        };
+        let mut recs = Vec::new();
+        for w in 0..6u32 {
+            let center: f64 = if w == 4 { 0.3 } else { 0.95 };
+            for i in 0..60 {
+                recs.push(SessionRecord {
+                    group,
+                    window: w,
+                    route_rank: 0,
+                    relationship: Relationship::PrivatePeer,
+                    longer_path: false,
+                    more_prepended: false,
+                    min_rtt_ms: 40.0,
+                    hdratio: Some((center + (i as f64 - 30.0) * 0.001).clamp(0.0, 1.0)),
+                    bytes: 500,
+                });
+            }
+        }
+        let ds = Dataset::from_records(&recs, 6);
+        let cfg = AnalysisConfig::default();
+        let a = degradation_events(&cfg, group_of(&ds), DegradationMetric::HdRatio, 0.05);
+        assert_eq!(a[4].status, WindowStatus::Event, "{:?}", a[4]);
+        assert_eq!(a[1].status, WindowStatus::Quiet);
+    }
+
+    #[test]
+    fn sparse_samples_are_invalid() {
+        let group = GroupKey {
+            pop: PopId(0),
+            prefix: Prefix::new(0x0A000000, 16),
+            country: 0,
+            continent: 0,
+        };
+        let mut recs = records_with_rtts(&[40.0; 3]);
+        // Window 3 exists but with only 5 samples.
+        for i in 0..5 {
+            recs.push(SessionRecord {
+                group,
+                window: 3,
+                route_rank: 0,
+                relationship: Relationship::PrivatePeer,
+                longer_path: false,
+                more_prepended: false,
+                min_rtt_ms: 40.0 + i as f64,
+                hdratio: None,
+                bytes: 10,
+            });
+        }
+        let ds = Dataset::from_records(&recs, 4);
+        let cfg = AnalysisConfig::default();
+        let a = degradation_events(&cfg, group_of(&ds), DegradationMetric::MinRtt, 5.0);
+        assert_eq!(a[3].status, WindowStatus::Invalid);
+    }
+}

@@ -1,0 +1,330 @@
+//! Figure-series builders: the distributions behind the paper's Figures
+//! 6–10 as queryable weighted CDFs.
+
+use crate::config::AnalysisConfig;
+use crate::dataset::Dataset;
+use crate::degradation::{degradation_events, DegradationMetric};
+use crate::opportunity::{opportunity_events, OpportunityMetric};
+use crate::record::SessionRecord;
+use edgeperf_routing::Relationship;
+use edgeperf_stats::cdf::{CdfBuilder, WeightedCdf};
+use std::collections::BTreeMap;
+
+/// Per-session MinRTT CDFs: overall and per continent (Figure 6a/6b).
+/// Only preferred-route sessions contribute (the §4 view).
+pub fn fig6_minrtt(records: &[SessionRecord]) -> (WeightedCdf, BTreeMap<u8, WeightedCdf>) {
+    per_continent_cdf(records, |r| Some(r.min_rtt_ms))
+}
+
+/// Per-session HDratio CDFs: overall and per continent (Figure 6a/6c).
+pub fn fig6_hdratio(records: &[SessionRecord]) -> (WeightedCdf, BTreeMap<u8, WeightedCdf>) {
+    per_continent_cdf(records, |r| r.hdratio)
+}
+
+fn per_continent_cdf(
+    records: &[SessionRecord],
+    metric: impl Fn(&SessionRecord) -> Option<f64>,
+) -> (WeightedCdf, BTreeMap<u8, WeightedCdf>) {
+    let mut overall = CdfBuilder::new();
+    let mut per: BTreeMap<u8, CdfBuilder> = BTreeMap::new();
+    for r in records.iter().filter(|r| r.route_rank == 0) {
+        if let Some(v) = metric(r) {
+            overall.push(v);
+            per.entry(r.group.continent).or_default().push(v);
+        }
+    }
+    (
+        overall.build(),
+        per.into_iter().filter(|(_, b)| !b.is_empty()).map(|(k, b)| (k, b.build())).collect(),
+    )
+}
+
+/// HDratio CDFs per MinRTT bucket (Figure 7). Buckets follow the paper:
+/// 0–30, 31–50, 51–80, 81+ ms.
+pub fn fig7_hdratio_by_minrtt(records: &[SessionRecord]) -> Vec<(&'static str, WeightedCdf)> {
+    let buckets: [(&str, f64, f64); 4] = [
+        ("0-30", 0.0, 30.0),
+        ("31-50", 30.0, 50.0),
+        ("51-80", 50.0, 80.0),
+        ("81+", 80.0, f64::INFINITY),
+    ];
+    buckets
+        .iter()
+        .filter_map(|&(label, lo, hi)| {
+            let mut b = CdfBuilder::new();
+            for r in records.iter().filter(|r| r.route_rank == 0) {
+                if r.min_rtt_ms > lo && r.min_rtt_ms <= hi {
+                    if let Some(h) = r.hdratio {
+                        b.push(h);
+                    }
+                }
+            }
+            if b.is_empty() {
+                None
+            } else {
+                Some((label, b.build()))
+            }
+        })
+        .collect()
+}
+
+/// Traffic-weighted CDFs of a comparison series: point estimate plus the
+/// lower/upper CI-bound distributions (the shaded bands of Figs 8 and 9).
+#[derive(Debug, Clone)]
+pub struct DiffCdfs {
+    /// CDF of the point differences.
+    pub diff: WeightedCdf,
+    /// CDF of the CI lower bounds.
+    pub lo: WeightedCdf,
+    /// CDF of the CI upper bounds.
+    pub hi: WeightedCdf,
+    /// Fraction of dataset traffic contributing valid comparisons.
+    pub traffic_covered: f64,
+}
+
+fn build_diff_cdfs(
+    points: Vec<(f64, f64, f64, u64)>,
+    covered_bytes: u64,
+    total_bytes: u64,
+) -> Option<DiffCdfs> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut d = CdfBuilder::new();
+    let mut l = CdfBuilder::new();
+    let mut h = CdfBuilder::new();
+    for (diff, lo, hi, bytes) in points {
+        let w = bytes as f64;
+        d.push_weighted(diff, w);
+        l.push_weighted(lo, w);
+        h.push_weighted(hi, w);
+    }
+    Some(DiffCdfs {
+        diff: d.build(),
+        lo: l.build(),
+        hi: h.build(),
+        traffic_covered: covered_bytes as f64 / total_bytes.max(1) as f64,
+    })
+}
+
+/// Figure 8: degradation of each valid window vs the group baseline,
+/// weighted by window traffic.
+pub fn fig8_degradation(
+    cfg: &AnalysisConfig,
+    ds: &Dataset,
+    metric: DegradationMetric,
+) -> Option<DiffCdfs> {
+    let mut points = Vec::new();
+    let mut covered = 0u64;
+    for g in ds.groups.values() {
+        for a in degradation_events(cfg, g, metric, f64::INFINITY) {
+            if let Some((diff, lo, hi)) = a.diff {
+                points.push((diff, lo, hi, a.bytes));
+                covered += a.bytes;
+            }
+        }
+    }
+    build_diff_cdfs(points, covered, ds.preferred_bytes())
+}
+
+/// Figure 9: preferred vs best alternate difference per valid window,
+/// weighted by traffic. Positive = alternate better.
+pub fn fig9_opportunity(
+    cfg: &AnalysisConfig,
+    ds: &Dataset,
+    metric: OpportunityMetric,
+) -> Option<DiffCdfs> {
+    let mut points = Vec::new();
+    let mut covered = 0u64;
+    for g in ds.groups.values() {
+        for a in opportunity_events(cfg, g, metric, f64::INFINITY) {
+            if let Some((diff, lo, hi)) = a.diff {
+                points.push((diff, lo, hi, a.bytes));
+                covered += a.bytes;
+            }
+        }
+    }
+    build_diff_cdfs(points, covered, ds.preferred_bytes())
+}
+
+/// The relationship pairs Figure 10 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelPair {
+    /// Preferred is a peer (private or public), alternate is a transit.
+    PeeringVsTransit,
+    /// Preferred and alternate are both transits.
+    TransitVsTransit,
+    /// Preferred is a private peer, alternate a public peer.
+    PrivateVsPublic,
+}
+
+impl RelPair {
+    fn matches(&self, pref: Relationship, alt: Relationship) -> bool {
+        match self {
+            RelPair::PeeringVsTransit => pref.is_peer() && alt == Relationship::Transit,
+            RelPair::TransitVsTransit => {
+                pref == Relationship::Transit && alt == Relationship::Transit
+            }
+            RelPair::PrivateVsPublic => {
+                pref == Relationship::PrivatePeer && alt == Relationship::PublicPeer
+            }
+        }
+    }
+
+    /// Label used in figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RelPair::PeeringVsTransit => "Peering vs Transit",
+            RelPair::TransitVsTransit => "Transit vs Transit",
+            RelPair::PrivateVsPublic => "Private vs Public",
+        }
+    }
+}
+
+/// Figure 10: MinRTT_P50 difference (preferred − alternate) by
+/// relationship pair, weighted by traffic. Positive = alternate better.
+/// Unlike Fig 9 this compares against the most *policy-preferred*
+/// alternate of the pair's type, not the best performer.
+pub fn fig10_by_relationship(
+    cfg: &AnalysisConfig,
+    ds: &Dataset,
+    pair: RelPair,
+) -> Option<DiffCdfs> {
+    let mut points = Vec::new();
+    let mut covered = 0u64;
+    for g in ds.groups.values() {
+        let n_windows = g.ranks.first().map(|w| w.len()).unwrap_or(0);
+        for w in 0..n_windows {
+            let pref = match g.cell(0, w) {
+                Some(c) if c.n() >= cfg.min_samples => c,
+                _ => continue,
+            };
+            // First (most preferred) alternate with the matching type.
+            let alt = (1..g.ranks.len())
+                .filter_map(|r| g.cell(r, w))
+                .find(|c| c.n() >= cfg.min_samples && pair.matches(pref.relationship, c.relationship));
+            let alt = match alt {
+                None => continue,
+                Some(a) => a,
+            };
+            match crate::compare::compare_medians(
+                cfg,
+                &pref.min_rtt_ms,
+                &alt.min_rtt_ms,
+                cfg.max_ci_width_minrtt_ms,
+            ) {
+                crate::compare::CompareOutcome::Valid { diff, lo, hi } => {
+                    points.push((diff, lo, hi, pref.bytes));
+                    covered += pref.bytes;
+                }
+                crate::compare::CompareOutcome::Invalid => {}
+            }
+        }
+    }
+    build_diff_cdfs(points, covered, ds.preferred_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::GroupKey;
+    use edgeperf_routing::{PopId, Prefix};
+
+    fn rec(continent: u8, rank: u8, rtt: f64, hdr: Option<f64>) -> SessionRecord {
+        SessionRecord {
+            group: GroupKey {
+                pop: PopId(0),
+                prefix: Prefix::new((continent as u32) << 24, 16),
+                country: continent as u16,
+                continent,
+            },
+            window: 0,
+            route_rank: rank,
+            relationship: if rank == 0 {
+                Relationship::PrivatePeer
+            } else {
+                Relationship::Transit
+            },
+            longer_path: false,
+            more_prepended: false,
+            min_rtt_ms: rtt,
+            hdratio: hdr,
+            bytes: 100,
+        }
+    }
+
+    #[test]
+    fn fig6_splits_by_continent() {
+        let records = vec![
+            rec(0, 0, 20.0, Some(1.0)),
+            rec(0, 0, 30.0, Some(1.0)),
+            rec(1, 0, 80.0, Some(0.2)),
+            rec(1, 0, 90.0, None),
+            rec(1, 1, 10.0, Some(1.0)), // alternate: excluded from fig6
+        ];
+        let (overall, per) = fig6_minrtt(&records);
+        assert_eq!(overall.total_weight(), 4.0);
+        assert_eq!(per.len(), 2);
+        assert!(per[&0].quantile(0.5) < per[&1].quantile(0.5));
+        let (hdr_overall, hdr_per) = fig6_hdratio(&records);
+        assert_eq!(hdr_overall.total_weight(), 3.0);
+        assert_eq!(hdr_per[&1].total_weight(), 1.0);
+    }
+
+    #[test]
+    fn fig7_buckets_split_on_minrtt() {
+        let records = vec![
+            rec(0, 0, 10.0, Some(1.0)),
+            rec(0, 0, 40.0, Some(0.8)),
+            rec(0, 0, 70.0, Some(0.5)),
+            rec(0, 0, 120.0, Some(0.1)),
+        ];
+        let buckets = fig7_hdratio_by_minrtt(&records);
+        assert_eq!(buckets.len(), 4);
+        // Lower-latency buckets have higher HDratio.
+        assert!(buckets[0].1.quantile(0.5) > buckets[3].1.quantile(0.5));
+    }
+
+    #[test]
+    fn fig8_and_fig9_produce_cdfs_on_synthetic_data() {
+        // Two routes, alternate clearly better in every window.
+        let mut records = Vec::new();
+        for w in 0..3u32 {
+            for rank in 0..2u8 {
+                for i in 0..40 {
+                    let mut r = rec(0, rank, 0.0, Some(0.9));
+                    r.window = w;
+                    r.min_rtt_ms =
+                        if rank == 0 { 55.0 } else { 40.0 } + (i as f64 - 20.0) * 0.05;
+                    records.push(r);
+                }
+            }
+        }
+        let ds = Dataset::from_records(&records, 3);
+        let cfg = AnalysisConfig::default();
+        let deg = fig8_degradation(&cfg, &ds, DegradationMetric::MinRtt).unwrap();
+        // Stable series: degradation concentrated at ~0.
+        assert!(deg.diff.quantile(0.9) < 2.0);
+        let opp = fig9_opportunity(&cfg, &ds, OpportunityMetric::MinRtt).unwrap();
+        assert!((opp.diff.quantile(0.5) - 15.0).abs() < 2.0);
+        assert!(opp.traffic_covered > 0.0);
+    }
+
+    #[test]
+    fn fig10_filters_by_pair() {
+        let mut records = Vec::new();
+        for rank in 0..2u8 {
+            for i in 0..40 {
+                let mut r = rec(0, rank, 0.0, Some(0.9));
+                r.min_rtt_ms = if rank == 0 { 50.0 } else { 48.0 } + (i as f64 - 20.0) * 0.05;
+                records.push(r);
+            }
+        }
+        let ds = Dataset::from_records(&records, 1);
+        let cfg = AnalysisConfig::default();
+        assert!(fig10_by_relationship(&cfg, &ds, RelPair::PeeringVsTransit).is_some());
+        // No transit-preferred groups in this dataset.
+        assert!(fig10_by_relationship(&cfg, &ds, RelPair::TransitVsTransit).is_none());
+        assert!(fig10_by_relationship(&cfg, &ds, RelPair::PrivateVsPublic).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! Aggregation and comparison pipeline (paper §§3.3–3.4, 5 and 6).
+//!
+//! Consumes per-session measurement records (from the production-style
+//! instrumentation over simulated or real traffic) and produces the
+//! paper's analyses:
+//!
+//! - [`record`]/[`dataset`]: user groups (PoP × BGP prefix × country),
+//!   15-minute windows, per-route aggregations with MinRTT_P50 and
+//!   HDratio_P50.
+//! - [`compare`]: statistically sound aggregation comparisons — the
+//!   ≥30-sample rule and the "tight confidence interval" validity rule
+//!   built on the Price–Bonett distribution-free CI for the difference of
+//!   medians.
+//! - [`degradation`]: per-window degradation vs a per-group baseline
+//!   (p10 of MinRTT_P50 / p90 of HDratio_P50 across windows).
+//! - [`opportunity`]: preferred route vs best alternate, with HDratio
+//!   given priority over MinRTT.
+//! - [`classify`]: temporal behaviour classes — uneventful, continuous,
+//!   diurnal, episodic.
+//! - [`figures`]/[`tables`]: traffic-weighted rollups reproducing the
+//!   paper's Figures 6–10 and Tables 1–2.
+
+pub mod classify;
+pub mod compare;
+pub mod config;
+pub mod dataset;
+pub mod degradation;
+pub mod figures;
+pub mod opportunity;
+pub mod record;
+pub mod streaming;
+pub mod tables;
+
+pub use classify::{classify_group, TemporalClass};
+pub use compare::{compare_medians, CompareOutcome};
+pub use config::AnalysisConfig;
+pub use dataset::{Aggregation, Dataset, GroupData};
+pub use degradation::{degradation_events, DegradationMetric};
+pub use opportunity::{opportunity_events, OpportunityMetric};
+pub use record::{GroupKey, SessionRecord};
+pub use streaming::StreamingAggregation;

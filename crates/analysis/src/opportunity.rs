@@ -1,0 +1,309 @@
+//! Opportunity for performance-aware routing (§6.2): within each window,
+//! compare the preferred route against the best-performing alternate.
+//!
+//! Sign convention: positive difference = the alternate is better
+//! (opportunity). HDratio takes priority: a MinRTT opportunity only
+//! counts if the alternate's HDratio_P50 is statistically equal to or
+//! better than the preferred route's (§3.4).
+
+use crate::compare::{compare_medians, CompareOutcome};
+use crate::config::AnalysisConfig;
+use crate::dataset::{Aggregation, GroupData};
+use crate::degradation::{DegradationMetric, WindowStatus};
+use edgeperf_routing::Relationship;
+
+/// Metric for opportunity analysis (alias of the degradation metric).
+pub type OpportunityMetric = DegradationMetric;
+
+/// Assessment of one window's routing opportunity.
+#[derive(Debug, Clone, Copy)]
+pub struct OpportunityAssessment {
+    /// Status of the comparison.
+    pub status: WindowStatus,
+    /// (diff, lo, hi); positive = alternate better.
+    pub diff: Option<(f64, f64, f64)>,
+    /// Rank of the compared alternate route.
+    pub alt_rank: Option<u8>,
+    /// Relationship of the alternate route.
+    pub alt_relationship: Option<Relationship>,
+    /// Relationship of the preferred route.
+    pub pref_relationship: Option<Relationship>,
+    /// The alternate's AS path was longer than the preferred route's.
+    pub alt_longer: bool,
+    /// The alternate was prepended more than the preferred route.
+    pub alt_prepended: bool,
+    /// Traffic bytes on the preferred route in this window.
+    pub bytes: u64,
+}
+
+impl OpportunityAssessment {
+    fn no_traffic() -> Self {
+        OpportunityAssessment {
+            status: WindowStatus::NoTraffic,
+            diff: None,
+            alt_rank: None,
+            alt_relationship: None,
+            pref_relationship: None,
+            alt_longer: false,
+            alt_prepended: false,
+            bytes: 0,
+        }
+    }
+}
+
+/// Select the best alternate cell for this window by the metric's point
+/// estimate (lowest MinRTT_P50 / highest HDratio_P50) among alternates
+/// with enough samples.
+fn best_alternate<'a>(
+    cfg: &AnalysisConfig,
+    group: &'a GroupData,
+    window: usize,
+    metric: OpportunityMetric,
+) -> Option<(u8, &'a Aggregation)> {
+    let mut best: Option<(u8, &Aggregation, f64)> = None;
+    for rank in 1..group.ranks.len() {
+        let cell = match group.cell(rank, window) {
+            Some(c) if c.n() >= cfg.min_samples => c,
+            _ => continue,
+        };
+        let score = match metric {
+            OpportunityMetric::MinRtt => -cell.min_rtt_p50(),
+            OpportunityMetric::HdRatio => match cell.hdratio_p50() {
+                Some(h) => h,
+                None => continue,
+            },
+        };
+        if best.map_or(true, |(_, _, s)| score > s) {
+            best = Some((rank as u8, cell, score));
+        }
+    }
+    best.map(|(r, c, _)| (r, c))
+}
+
+/// Assess every window of a group for routing opportunity on `metric` at
+/// `threshold`.
+pub fn opportunity_events(
+    cfg: &AnalysisConfig,
+    group: &GroupData,
+    metric: OpportunityMetric,
+    threshold: f64,
+) -> Vec<OpportunityAssessment> {
+    let n_windows = group.ranks.first().map(|w| w.len()).unwrap_or(0);
+    (0..n_windows)
+        .map(|w| {
+            let pref = match group.cell(0, w) {
+                None => return OpportunityAssessment::no_traffic(),
+                Some(c) => c,
+            };
+            let invalid = |bytes| OpportunityAssessment {
+                status: WindowStatus::Invalid,
+                diff: None,
+                alt_rank: None,
+                alt_relationship: None,
+                pref_relationship: Some(pref.relationship),
+                alt_longer: false,
+                alt_prepended: false,
+                bytes,
+            };
+            let (alt_rank, alt) = match best_alternate(cfg, group, w, metric) {
+                None => return invalid(pref.bytes),
+                Some(x) => x,
+            };
+            let outcome = match metric {
+                // Positive = alternate has lower latency.
+                OpportunityMetric::MinRtt => compare_medians(
+                    cfg,
+                    &pref.min_rtt_ms,
+                    &alt.min_rtt_ms,
+                    cfg.max_ci_width_minrtt_ms,
+                ),
+                // Positive = alternate has higher HDratio.
+                OpportunityMetric::HdRatio => {
+                    compare_medians(cfg, &alt.hdratio, &pref.hdratio, cfg.max_ci_width_hdratio)
+                }
+            };
+            let (diff, lo, hi) = match outcome {
+                CompareOutcome::Invalid => return invalid(pref.bytes),
+                CompareOutcome::Valid { diff, lo, hi } => (diff, lo, hi),
+            };
+
+            let mut event = lo > threshold;
+            if event && metric == OpportunityMetric::MinRtt {
+                // HDratio priority: the alternate must not be
+                // statistically worse on HDratio.
+                match compare_medians(cfg, &alt.hdratio, &pref.hdratio, cfg.max_ci_width_hdratio)
+                {
+                    CompareOutcome::Valid { hi: h_hi, .. } if h_hi < 0.0 => event = false,
+                    _ => {}
+                }
+            }
+
+            OpportunityAssessment {
+                status: if event { WindowStatus::Event } else { WindowStatus::Quiet },
+                diff: Some((diff, lo, hi)),
+                alt_rank: Some(alt_rank),
+                alt_relationship: Some(alt.relationship),
+                pref_relationship: Some(pref.relationship),
+                alt_longer: alt.longer_path,
+                alt_prepended: alt.more_prepended,
+                bytes: pref.bytes,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::record::{GroupKey, SessionRecord};
+    use edgeperf_routing::{PopId, Prefix};
+
+    /// Build a group where rank 0 has `pref_rtt` and rank 1 `alt_rtt`.
+    fn two_route_records(pref_rtt: f64, alt_rtt: f64, windows: u32) -> Vec<SessionRecord> {
+        let group = GroupKey {
+            pop: PopId(0),
+            prefix: Prefix::new(0x0A000000, 16),
+            country: 0,
+            continent: 0,
+        };
+        let mut out = Vec::new();
+        for w in 0..windows {
+            for (rank, center, rel) in [
+                (0u8, pref_rtt, Relationship::PrivatePeer),
+                (1u8, alt_rtt, Relationship::Transit),
+            ] {
+                for i in 0..60 {
+                    out.push(SessionRecord {
+                        group,
+                        window: w,
+                        route_rank: rank,
+                        relationship: rel,
+                        longer_path: rank == 1,
+                        more_prepended: false,
+                        min_rtt_ms: center + (i as f64 - 30.0) * 0.05,
+                        hdratio: Some(0.9 + (i % 10) as f64 * 0.01),
+                        bytes: 800,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    #[test]
+    fn better_alternate_is_opportunity() {
+        let ds = Dataset::from_records(&two_route_records(60.0, 45.0, 3), 3);
+        let g = ds.groups.values().next().unwrap();
+        let a = opportunity_events(&cfg(), g, OpportunityMetric::MinRtt, 5.0);
+        for w in &a {
+            assert_eq!(w.status, WindowStatus::Event, "{w:?}");
+            assert_eq!(w.alt_rank, Some(1));
+            assert_eq!(w.alt_relationship, Some(Relationship::Transit));
+            assert_eq!(w.pref_relationship, Some(Relationship::PrivatePeer));
+            assert!(w.alt_longer);
+            let (diff, _, _) = w.diff.unwrap();
+            assert!((diff - 15.0).abs() < 2.0);
+        }
+    }
+
+    #[test]
+    fn equal_routes_are_quiet() {
+        let ds = Dataset::from_records(&two_route_records(50.0, 50.0, 3), 3);
+        let g = ds.groups.values().next().unwrap();
+        let a = opportunity_events(&cfg(), g, OpportunityMetric::MinRtt, 5.0);
+        assert!(a.iter().all(|w| w.status == WindowStatus::Quiet));
+    }
+
+    #[test]
+    fn worse_alternate_is_quiet_with_negative_diff() {
+        let ds = Dataset::from_records(&two_route_records(40.0, 55.0, 2), 2);
+        let g = ds.groups.values().next().unwrap();
+        let a = opportunity_events(&cfg(), g, OpportunityMetric::MinRtt, 5.0);
+        for w in &a {
+            assert_eq!(w.status, WindowStatus::Quiet);
+            assert!(w.diff.unwrap().0 < -10.0);
+        }
+    }
+
+    #[test]
+    fn no_alternate_measurements_is_invalid() {
+        let mut recs = two_route_records(50.0, 45.0, 2);
+        recs.retain(|r| r.route_rank == 0);
+        let ds = Dataset::from_records(&recs, 2);
+        let g = ds.groups.values().next().unwrap();
+        let a = opportunity_events(&cfg(), g, OpportunityMetric::MinRtt, 5.0);
+        assert!(a.iter().all(|w| w.status == WindowStatus::Invalid));
+    }
+
+    #[test]
+    fn minrtt_opportunity_vetoed_by_bad_alt_hdratio() {
+        let group = GroupKey {
+            pop: PopId(0),
+            prefix: Prefix::new(0x0A000000, 16),
+            country: 0,
+            continent: 0,
+        };
+        let mut recs = Vec::new();
+        for (rank, rtt, hdr, rel) in [
+            (0u8, 60.0, 0.95, Relationship::PrivatePeer),
+            (1u8, 45.0, 0.30, Relationship::Transit), // faster but can't sustain HD
+        ] {
+            for i in 0..60 {
+                recs.push(SessionRecord {
+                    group,
+                    window: 0,
+                    route_rank: rank,
+                    relationship: rel,
+                    longer_path: false,
+                    more_prepended: false,
+                    min_rtt_ms: rtt + (i as f64 - 30.0) * 0.05,
+                    hdratio: Some((hdr + (i % 10) as f64 * 0.005).clamp(0.0, 1.0)),
+                    bytes: 100,
+                });
+            }
+        }
+        let ds = Dataset::from_records(&recs, 1);
+        let g = ds.groups.values().next().unwrap();
+        let a = opportunity_events(&cfg(), g, OpportunityMetric::MinRtt, 5.0);
+        assert_eq!(a[0].status, WindowStatus::Quiet, "HDratio veto must apply: {:?}", a[0]);
+    }
+
+    #[test]
+    fn hdratio_opportunity_detected() {
+        let group = GroupKey {
+            pop: PopId(0),
+            prefix: Prefix::new(0x0A000000, 16),
+            country: 0,
+            continent: 0,
+        };
+        let mut recs = Vec::new();
+        for (rank, hdr, rel) in
+            [(0u8, 0.4, Relationship::PublicPeer), (1u8, 0.9, Relationship::Transit)]
+        {
+            for i in 0..60 {
+                recs.push(SessionRecord {
+                    group,
+                    window: 0,
+                    route_rank: rank,
+                    relationship: rel,
+                    longer_path: false,
+                    more_prepended: true,
+                    min_rtt_ms: 50.0,
+                    hdratio: Some((hdr + (i % 10) as f64 * 0.005).clamp(0.0, 1.0)),
+                    bytes: 100,
+                });
+            }
+        }
+        let ds = Dataset::from_records(&recs, 1);
+        let g = ds.groups.values().next().unwrap();
+        let a = opportunity_events(&cfg(), g, OpportunityMetric::HdRatio, 0.05);
+        assert_eq!(a[0].status, WindowStatus::Event);
+        assert!(a[0].alt_prepended);
+        assert!(a[0].diff.unwrap().0 > 0.4);
+    }
+}

@@ -1,0 +1,58 @@
+//! Measurement records: the interface between data collection and
+//! analysis.
+
+use edgeperf_routing::{PopId, Prefix, Relationship};
+
+/// A user group: clients likely to share fate — same serving PoP, same
+/// BGP prefix (hence same route options), same country (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupKey {
+    /// Serving PoP.
+    pub pop: PopId,
+    /// Client BGP prefix.
+    pub prefix: Prefix,
+    /// Client country (opaque id; the world model provides names).
+    pub country: u16,
+    /// Client continent (opaque id; 0..6 in the world model).
+    pub continent: u8,
+}
+
+/// One sampled HTTP session's measurements, annotated with its routing.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionRecord {
+    /// The user group the session belongs to.
+    pub group: GroupKey,
+    /// 15-minute window index since the start of the study.
+    pub window: u32,
+    /// Rank of the pinned egress route (0 = policy-preferred).
+    pub route_rank: u8,
+    /// Relationship type of the pinned route.
+    pub relationship: Relationship,
+    /// The pinned route's AS path is longer than the preferred route's.
+    pub longer_path: bool,
+    /// The pinned route is prepended more than the preferred route.
+    pub more_prepended: bool,
+    /// Session MinRTT in milliseconds.
+    pub min_rtt_ms: f64,
+    /// Session HDratio, if any transaction could test for HD goodput.
+    pub hdratio: Option<f64>,
+    /// Response bytes carried (the session's traffic weight).
+    pub bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_key_equality_and_hash() {
+        use std::collections::HashSet;
+        let k1 = GroupKey { pop: PopId(1), prefix: Prefix::new(0x0A000000, 16), country: 3, continent: 2 };
+        let k2 = GroupKey { pop: PopId(1), prefix: Prefix::new(0x0A000000, 16), country: 3, continent: 2 };
+        let k3 = GroupKey { pop: PopId(2), ..k1 };
+        let mut set = HashSet::new();
+        set.insert(k1);
+        assert!(set.contains(&k2));
+        assert!(!set.contains(&k3));
+    }
+}

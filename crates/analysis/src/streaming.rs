@@ -1,0 +1,244 @@
+//! Production-style streaming aggregation (paper §3.4.1, footnote 11).
+//!
+//! Traffic-engineering systems must compare route performance in near
+//! real time; they cannot buffer every session. The paper points at
+//! t-digests for exactly this. This module provides a bounded-memory
+//! [`StreamingAggregation`] that mirrors the exact [`crate::dataset::Aggregation`]:
+//! medians come from the digest, and the Price–Bonett order statistics are
+//! approximated by digest quantiles at the same ranks, giving an on-line
+//! approximation of the difference-of-medians CI.
+//!
+//! Tests quantify the approximation against the exact pipeline.
+
+use crate::config::AnalysisConfig;
+use edgeperf_stats::dist::{binom_half_cdf, norm_inv_cdf};
+use edgeperf_stats::TDigest;
+
+/// Bounded-memory aggregation of one (group, window, route) cell.
+#[derive(Debug, Clone)]
+pub struct StreamingAggregation {
+    minrtt: TDigest,
+    hdratio: TDigest,
+    bytes: u64,
+}
+
+impl Default for StreamingAggregation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingAggregation {
+    /// Empty aggregation (t-digest compression 100, a few kB of state).
+    pub fn new() -> Self {
+        StreamingAggregation {
+            minrtt: TDigest::new(100.0),
+            hdratio: TDigest::new(100.0),
+            bytes: 0,
+        }
+    }
+
+    /// Record one session's measurements.
+    pub fn push(&mut self, min_rtt_ms: f64, hdratio: Option<f64>, bytes: u64) {
+        self.minrtt.insert(min_rtt_ms);
+        if let Some(h) = hdratio {
+            self.hdratio.insert(h);
+        }
+        self.bytes += bytes;
+    }
+
+    /// Sessions recorded.
+    pub fn n(&self) -> usize {
+        self.minrtt.count() as usize
+    }
+
+    /// Sessions with an HDratio.
+    pub fn n_tested(&self) -> usize {
+        self.hdratio.count() as usize
+    }
+
+    /// Traffic weight.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Median MinRTT (ms).
+    pub fn min_rtt_p50(&mut self) -> f64 {
+        self.minrtt.quantile(0.5)
+    }
+
+    /// Median HDratio, if any session tested.
+    pub fn hdratio_p50(&mut self) -> Option<f64> {
+        if self.hdratio.is_empty() {
+            None
+        } else {
+            Some(self.hdratio.quantile(0.5))
+        }
+    }
+
+    /// Approximate Price–Bonett variance of the MinRTT median: the exact
+    /// method reads order statistics `y_c` and `y_{n−c+1}`; here they are
+    /// approximated by digest quantiles at ranks `c/n` and `(n−c+1)/n`.
+    pub fn min_rtt_median_variance(&mut self) -> Option<f64> {
+        median_variance(&mut self.minrtt)
+    }
+
+    /// Approximate variance of the HDratio median.
+    pub fn hdratio_median_variance(&mut self) -> Option<f64> {
+        median_variance(&mut self.hdratio)
+    }
+}
+
+fn median_variance(d: &mut TDigest) -> Option<f64> {
+    let n = d.count() as usize;
+    if n < 5 {
+        return None;
+    }
+    let c = (((n as f64 + 1.0) / 2.0 - (n as f64).sqrt()).round() as i64).max(1) as usize;
+    let y_lo = d.quantile((c as f64 - 0.5) / n as f64);
+    let y_hi = d.quantile((n as f64 - c as f64 + 0.5) / n as f64);
+    let alpha_half = binom_half_cdf(n as u64, (c - 1) as u64).clamp(1e-12, 0.4999);
+    let z = norm_inv_cdf(1.0 - alpha_half);
+    Some(((y_hi - y_lo) / (2.0 * z)).powi(2))
+}
+
+/// Streaming analogue of [`crate::compare::compare_medians`] for MinRTT:
+/// difference of digest medians with the approximate CI, under the same
+/// validity rules.
+pub fn compare_minrtt_streaming(
+    cfg: &AnalysisConfig,
+    a: &mut StreamingAggregation,
+    b: &mut StreamingAggregation,
+) -> crate::compare::CompareOutcome {
+    use crate::compare::CompareOutcome;
+    if a.n() < cfg.min_samples || b.n() < cfg.min_samples {
+        return CompareOutcome::Invalid;
+    }
+    let (Some(va), Some(vb)) = (a.min_rtt_median_variance(), b.min_rtt_median_variance()) else {
+        return CompareOutcome::Invalid;
+    };
+    let diff = a.min_rtt_p50() - b.min_rtt_p50();
+    let z = norm_inv_cdf(0.5 + cfg.confidence / 2.0);
+    let half = z * (va + vb).sqrt();
+    if 2.0 * half >= cfg.max_ci_width_minrtt_ms {
+        return CompareOutcome::Invalid;
+    }
+    CompareOutcome::Valid { diff, lo: diff - half, hi: diff + half }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::{compare_medians, CompareOutcome};
+
+    fn samples(center: f64, spread: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let u = (i as f64 * 0.618_033_988_749).fract() - 0.5;
+                center + spread * u
+            })
+            .collect()
+    }
+
+    fn stream_of(v: &[f64]) -> StreamingAggregation {
+        let mut s = StreamingAggregation::new();
+        for &x in v {
+            s.push(x, Some((x / 100.0).clamp(0.0, 1.0)), 100);
+        }
+        s
+    }
+
+    #[test]
+    fn medians_match_exact_pipeline() {
+        let v = samples(42.0, 12.0, 5_000);
+        let mut s = stream_of(&v);
+        let mut sorted = v.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = edgeperf_stats::quantile::median_sorted(&sorted);
+        assert!((s.min_rtt_p50() - exact).abs() < 0.2, "{} vs {exact}", s.min_rtt_p50());
+        assert_eq!(s.n(), 5_000);
+        assert_eq!(s.n_tested(), 5_000);
+        assert_eq!(s.bytes(), 500_000);
+    }
+
+    #[test]
+    fn streaming_ci_tracks_exact_ci() {
+        let a = samples(50.0, 8.0, 400);
+        let b = samples(44.0, 8.0, 400);
+        let cfg = AnalysisConfig::default();
+        let exact = compare_medians(
+            &cfg,
+            &{
+                let mut v = a.clone();
+                v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                v
+            },
+            &{
+                let mut v = b.clone();
+                v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                v
+            },
+            cfg.max_ci_width_minrtt_ms,
+        );
+        let stream = compare_minrtt_streaming(&cfg, &mut stream_of(&a), &mut stream_of(&b));
+        match (exact, stream) {
+            (
+                CompareOutcome::Valid { diff: d1, lo: l1, hi: h1 },
+                CompareOutcome::Valid { diff: d2, lo: l2, hi: h2 },
+            ) => {
+                assert!((d1 - d2).abs() < 0.5, "diff {d1} vs {d2}");
+                assert!((l1 - l2).abs() < 1.5, "lo {l1} vs {l2}");
+                assert!((h1 - h2).abs() < 1.5, "hi {h1} vs {h2}");
+            }
+            other => panic!("expected both valid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_decisions_agree_with_exact() {
+        // Across a range of true differences, the streaming comparison
+        // should reach the same event verdict as the exact one.
+        let cfg = AnalysisConfig::default();
+        let mut agreements = 0;
+        let mut total = 0;
+        for shift in [0.0, 1.0, 3.0, 6.0, 12.0, 25.0] {
+            let a = samples(40.0 + shift, 6.0, 300);
+            let b = samples(40.0, 6.0, 300);
+            let mut sa = a.clone();
+            sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            let mut sb = b.clone();
+            sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            let exact = compare_medians(&cfg, &sa, &sb, cfg.max_ci_width_minrtt_ms);
+            let stream = compare_minrtt_streaming(&cfg, &mut stream_of(&a), &mut stream_of(&b));
+            total += 1;
+            if exact.event_at(5.0) == stream.event_at(5.0) {
+                agreements += 1;
+            }
+        }
+        assert!(agreements >= total - 1, "only {agreements}/{total} verdicts agree");
+    }
+
+    #[test]
+    fn small_samples_are_invalid() {
+        let cfg = AnalysisConfig::default();
+        let a = samples(50.0, 5.0, 10);
+        let b = samples(40.0, 5.0, 100);
+        assert_eq!(
+            compare_minrtt_streaming(&cfg, &mut stream_of(&a), &mut stream_of(&b)),
+            CompareOutcome::Invalid
+        );
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        // A million samples must not grow the aggregation unboundedly.
+        let mut s = StreamingAggregation::new();
+        for i in 0..1_000_000u64 {
+            s.push(30.0 + (i % 37) as f64, Some(1.0), 1);
+        }
+        assert_eq!(s.n(), 1_000_000);
+        // The digest holds bounded centroids; just verify quantiles work.
+        let p50 = s.min_rtt_p50();
+        assert!(p50 > 30.0 && p50 < 67.0);
+    }
+}

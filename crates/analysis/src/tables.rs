@@ -1,0 +1,276 @@
+//! Table builders: the paper's Table 1 (temporal behaviour classes ×
+//! thresholds × continents) and Table 2 (opportunity by relationship
+//! type of preferred and alternate routes).
+
+use crate::classify::{classify_group, TemporalClass};
+use crate::config::AnalysisConfig;
+use crate::dataset::Dataset;
+use crate::degradation::{degradation_events, DegradationMetric, WindowStatus};
+use crate::opportunity::opportunity_events;
+use edgeperf_routing::Relationship;
+use std::collections::BTreeMap;
+
+/// Which analysis a Table-1 column describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisKind {
+    /// Degradation vs baseline (§5).
+    Degradation,
+    /// Opportunity vs best alternate (§6).
+    Opportunity,
+}
+
+/// One Table-1 cell: traffic shares for a (class, continent) bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Share {
+    /// Fraction of traffic on groups assigned to this class
+    /// (the paper's blue column).
+    pub group_share: f64,
+    /// Fraction of traffic sent *during* eventful windows
+    /// (the orange column).
+    pub event_share: f64,
+}
+
+/// Table 1 for one metric/threshold: shares per class, overall and per
+/// continent.
+#[derive(Debug, Clone, Default)]
+pub struct Table1 {
+    /// Overall shares per class (normalized by total traffic).
+    pub overall: BTreeMap<TemporalClass, Share>,
+    /// Per-continent shares (normalized by the continent's traffic).
+    pub per_continent: BTreeMap<(TemporalClass, u8), Share>,
+}
+
+/// Compute Table 1 for a metric at a threshold.
+pub fn table1(
+    cfg: &AnalysisConfig,
+    ds: &Dataset,
+    kind: AnalysisKind,
+    metric: DegradationMetric,
+    threshold: f64,
+) -> Table1 {
+    let mut class_bytes: BTreeMap<TemporalClass, u64> = BTreeMap::new();
+    let mut event_bytes: BTreeMap<TemporalClass, u64> = BTreeMap::new();
+    let mut cont_bytes: BTreeMap<(TemporalClass, u8), u64> = BTreeMap::new();
+    let mut cont_event: BTreeMap<(TemporalClass, u8), u64> = BTreeMap::new();
+    let mut cont_total: BTreeMap<u8, u64> = BTreeMap::new();
+    let mut total = 0u64;
+
+    for (key, g) in &ds.groups {
+        let (statuses, bytes_per_window): (Vec<WindowStatus>, Vec<u64>) = match kind {
+            AnalysisKind::Degradation => {
+                let a = degradation_events(cfg, g, metric, threshold);
+                (a.iter().map(|x| x.status).collect(), a.iter().map(|x| x.bytes).collect())
+            }
+            AnalysisKind::Opportunity => {
+                let a = opportunity_events(cfg, g, metric, threshold);
+                (a.iter().map(|x| x.status).collect(), a.iter().map(|x| x.bytes).collect())
+            }
+        };
+        let class = classify_group(cfg, &statuses);
+        let gbytes = g.total_bytes;
+        let ebytes: u64 = statuses
+            .iter()
+            .zip(&bytes_per_window)
+            .filter(|(s, _)| **s == WindowStatus::Event)
+            .map(|(_, b)| *b)
+            .sum();
+
+        total += gbytes;
+        *class_bytes.entry(class).or_default() += gbytes;
+        *event_bytes.entry(class).or_default() += ebytes;
+        *cont_bytes.entry((class, key.continent)).or_default() += gbytes;
+        *cont_event.entry((class, key.continent)).or_default() += ebytes;
+        *cont_total.entry(key.continent).or_default() += gbytes;
+    }
+
+    let mut t = Table1::default();
+    for (class, b) in &class_bytes {
+        t.overall.insert(
+            *class,
+            Share {
+                group_share: *b as f64 / total.max(1) as f64,
+                event_share: event_bytes[class] as f64 / total.max(1) as f64,
+            },
+        );
+    }
+    for ((class, cont), b) in &cont_bytes {
+        let ct = cont_total[cont].max(1) as f64;
+        t.per_continent.insert(
+            (*class, *cont),
+            Share {
+                group_share: *b as f64 / ct,
+                event_share: cont_event[&(*class, *cont)] as f64 / ct,
+            },
+        );
+    }
+    t
+}
+
+/// One Table-2 row: opportunity traffic for a (preferred, alternate)
+/// relationship pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Table2Row {
+    /// Fraction of total traffic with opportunity on this pair.
+    pub absolute: f64,
+    /// Fraction of all opportunity on this pair (sums to 1).
+    pub relative: f64,
+    /// Of this pair's opportunity, fraction where the alternate's AS
+    /// path was longer than the preferred route's.
+    pub longer: f64,
+    /// Of this pair's opportunity, fraction where the alternate was
+    /// prepended more.
+    pub prepended: f64,
+}
+
+/// Table 2: opportunity broken down by relationship pair.
+pub fn table2(
+    cfg: &AnalysisConfig,
+    ds: &Dataset,
+    metric: DegradationMetric,
+    threshold: f64,
+) -> BTreeMap<(Relationship, Relationship), Table2Row> {
+    let mut opp_bytes: BTreeMap<(Relationship, Relationship), u64> = BTreeMap::new();
+    let mut longer_bytes: BTreeMap<(Relationship, Relationship), u64> = BTreeMap::new();
+    let mut prepended_bytes: BTreeMap<(Relationship, Relationship), u64> = BTreeMap::new();
+    let mut total = 0u64;
+    let mut total_opp = 0u64;
+
+    for g in ds.groups.values() {
+        total += g.total_bytes;
+        for a in opportunity_events(cfg, g, metric, threshold) {
+            if a.status != WindowStatus::Event {
+                continue;
+            }
+            let key = (a.pref_relationship.unwrap(), a.alt_relationship.unwrap());
+            *opp_bytes.entry(key).or_default() += a.bytes;
+            if a.alt_longer {
+                *longer_bytes.entry(key).or_default() += a.bytes;
+            }
+            if a.alt_prepended {
+                *prepended_bytes.entry(key).or_default() += a.bytes;
+            }
+            total_opp += a.bytes;
+        }
+    }
+
+    opp_bytes
+        .iter()
+        .map(|(&key, &b)| {
+            (
+                key,
+                Table2Row {
+                    absolute: b as f64 / total.max(1) as f64,
+                    relative: b as f64 / total_opp.max(1) as f64,
+                    longer: longer_bytes.get(&key).copied().unwrap_or(0) as f64 / b.max(1) as f64,
+                    prepended: prepended_bytes.get(&key).copied().unwrap_or(0) as f64
+                        / b.max(1) as f64,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{GroupKey, SessionRecord};
+    use edgeperf_routing::{PopId, Prefix};
+
+    /// One group with a persistent 20 ms opportunity, another stable.
+    fn dataset() -> Dataset {
+        let mut records = Vec::new();
+        for (gidx, alt_rtt) in [(0u32, 40.0f64), (1, 60.0)] {
+            let group = GroupKey {
+                pop: PopId(0),
+                prefix: Prefix::new(gidx << 24, 16),
+                country: gidx as u16,
+                continent: gidx as u8,
+            };
+            for w in 0..10u32 {
+                for (rank, rtt, rel) in [
+                    (0u8, 60.0, Relationship::PublicPeer),
+                    (1u8, alt_rtt, Relationship::Transit),
+                ] {
+                    for i in 0..40 {
+                        records.push(SessionRecord {
+                            group,
+                            window: w,
+                            route_rank: rank,
+                            relationship: rel,
+                            longer_path: rank == 1,
+                            more_prepended: rank == 1 && gidx == 0,
+                            min_rtt_ms: rtt + (i as f64 - 20.0) * 0.05,
+                            hdratio: Some(0.9),
+                            bytes: 100,
+                        });
+                    }
+                }
+            }
+        }
+        Dataset::from_records(&records, 10)
+    }
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig { windows_per_day: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn table1_splits_classes_by_continent() {
+        let ds = dataset();
+        let t = table1(&cfg(), &ds, AnalysisKind::Opportunity, DegradationMetric::MinRtt, 5.0);
+        // Group 0 (continent 0) has continuous opportunity; group 1 none.
+        let cont = t.per_continent.get(&(TemporalClass::Continuous, 0)).unwrap();
+        assert!((cont.group_share - 1.0).abs() < 1e-9);
+        let unev = t.per_continent.get(&(TemporalClass::Uneventful, 1)).unwrap();
+        assert!((unev.group_share - 1.0).abs() < 1e-9);
+        // Overall: both groups have equal traffic.
+        assert!((t.overall[&TemporalClass::Continuous].group_share - 0.5).abs() < 1e-9);
+        // Events cover only rank-0 bytes of group 0 (half its traffic).
+        assert!(t.overall[&TemporalClass::Continuous].event_share > 0.2);
+    }
+
+    #[test]
+    fn table1_degradation_on_stable_data_is_uneventful() {
+        let ds = dataset();
+        let t = table1(&cfg(), &ds, AnalysisKind::Degradation, DegradationMetric::MinRtt, 5.0);
+        assert!((t.overall[&TemporalClass::Uneventful].group_share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_attributes_opportunity_to_pair() {
+        let ds = dataset();
+        let t = table2(&cfg(), &ds, DegradationMetric::MinRtt, 5.0);
+        assert_eq!(t.len(), 1);
+        let row = t[&(Relationship::PublicPeer, Relationship::Transit)];
+        assert!(row.absolute > 0.0 && row.absolute < 0.5);
+        assert!((row.relative - 1.0).abs() < 1e-9);
+        assert!((row.longer - 1.0).abs() < 1e-9);
+        assert!((row.prepended - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_empty_when_no_opportunity() {
+        let mut records = Vec::new();
+        let group =
+            GroupKey { pop: PopId(0), prefix: Prefix::new(0, 16), country: 0, continent: 0 };
+        for w in 0..4u32 {
+            for rank in 0..2u8 {
+                for i in 0..40 {
+                    records.push(SessionRecord {
+                        group,
+                        window: w,
+                        route_rank: rank,
+                        relationship: Relationship::Transit,
+                        longer_path: false,
+                        more_prepended: false,
+                        min_rtt_ms: 50.0 + (i as f64 - 20.0) * 0.05,
+                        hdratio: Some(0.9),
+                        bytes: 100,
+                    });
+                }
+            }
+        }
+        let ds = Dataset::from_records(&records, 4);
+        assert!(table2(&cfg(), &ds, DegradationMetric::MinRtt, 5.0).is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Performance of the estimation hot path: these functions run once per
+//! transaction on every sampled session in production, so they must be
+//! cheap. Includes the model-vs-naive ablation cost comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use edgeperf_core::gtestable::{gtestable_bps, next_wstart};
+use edgeperf_core::hdratio::session_hdratio_with_rule;
+use edgeperf_core::instrument::assemble_transactions;
+use edgeperf_core::tmodel::{achieved, delivery_rate, t_model};
+use edgeperf_core::{AchievedRule, HttpVersion, ResponseObs, SessionObs, HD_GOODPUT_BPS, MILLISECOND, SECOND};
+
+fn bench_gtestable(c: &mut Criterion) {
+    c.bench_function("gtestable_bps 100kB", |b| {
+        b.iter(|| gtestable_bps(black_box(100_000), black_box(14_600), black_box(60 * MILLISECOND)))
+    });
+    c.bench_function("next_wstart", |b| {
+        b.iter(|| next_wstart(black_box(14_600), black_box(100_000), black_box(29_200)))
+    });
+}
+
+fn bench_tmodel(c: &mut Criterion) {
+    c.bench_function("t_model 1MB", |b| {
+        b.iter(|| t_model(black_box(1_000_000), black_box(14_600), black_box(60 * MILLISECOND), black_box(2.5e6)))
+    });
+    c.bench_function("achieved (HD test)", |b| {
+        b.iter(|| {
+            achieved(
+                black_box(100_000),
+                black_box(14_600),
+                black_box(60 * MILLISECOND),
+                black_box(200 * MILLISECOND),
+                black_box(HD_GOODPUT_BPS),
+            )
+        })
+    });
+    c.bench_function("delivery_rate bisection", |b| {
+        b.iter(|| {
+            delivery_rate(
+                black_box(100_000),
+                black_box(14_600),
+                black_box(60 * MILLISECOND),
+                black_box(400 * MILLISECOND),
+            )
+        })
+    });
+}
+
+fn session(n_txns: usize) -> SessionObs {
+    let responses: Vec<ResponseObs> = (0..n_txns)
+        .map(|i| {
+            let t0 = i as u64 * SECOND;
+            ResponseObs {
+                bytes: 50_000,
+                issued_at: t0,
+                first_tx: Some((t0, 14_600)),
+                t_second_last_ack: Some(t0 + 180 * MILLISECOND),
+                t_full_ack: Some(t0 + 190 * MILLISECOND),
+                last_packet_bytes: Some(400),
+                bytes_in_flight_at_write: 0,
+                prev_unsent_at_write: false,
+            }
+        })
+        .collect();
+    SessionObs { responses, min_rtt: Some(60 * MILLISECOND), http: HttpVersion::H2, duration: 60 * SECOND }
+}
+
+fn bench_session(c: &mut Criterion) {
+    let s10 = session(10);
+    let s100 = session(100);
+    c.bench_function("assemble_transactions 10", |b| {
+        b.iter(|| assemble_transactions(black_box(&s10.responses)))
+    });
+    c.bench_function("session_hdratio model 10 txns", |b| {
+        b.iter(|| session_hdratio_with_rule(black_box(&s10), HD_GOODPUT_BPS, AchievedRule::Model))
+    });
+    c.bench_function("session_hdratio model 100 txns", |b| {
+        b.iter(|| session_hdratio_with_rule(black_box(&s100), HD_GOODPUT_BPS, AchievedRule::Model))
+    });
+    c.bench_function("session_hdratio naive 100 txns (ablation)", |b| {
+        b.iter(|| session_hdratio_with_rule(black_box(&s100), HD_GOODPUT_BPS, AchievedRule::Naive))
+    });
+}
+
+criterion_group!(benches, bench_gtestable, bench_tmodel, bench_session);
+criterion_main!(benches);

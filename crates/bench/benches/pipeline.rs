@@ -1,0 +1,72 @@
+//! End-to-end pipeline cost: dataset assembly and the Table-1 analysis
+//! over a synthetic record set, plus a whole miniature study run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use edgeperf_analysis::tables::{table1, AnalysisKind};
+use edgeperf_analysis::{AnalysisConfig, Dataset, DegradationMetric, GroupKey, SessionRecord};
+use edgeperf_routing::{PopId, Prefix, Relationship};
+use edgeperf_world::{run_study, StudyConfig, World, WorldConfig};
+
+fn synthetic_records(groups: usize, windows: u32, per_cell: usize) -> Vec<SessionRecord> {
+    let mut out = Vec::new();
+    for g in 0..groups {
+        let key = GroupKey {
+            pop: PopId((g % 8) as u16),
+            prefix: Prefix::new((g as u32) << 16, 16),
+            country: g as u16,
+            continent: (g % 6) as u8,
+        };
+        for w in 0..windows {
+            for rank in 0..2u8 {
+                for i in 0..per_cell {
+                    out.push(SessionRecord {
+                        group: key,
+                        window: w,
+                        route_rank: rank,
+                        relationship: if rank == 0 {
+                            Relationship::PrivatePeer
+                        } else {
+                            Relationship::Transit
+                        },
+                        longer_path: rank > 0,
+                        more_prepended: false,
+                        min_rtt_ms: 40.0 + rank as f64 * 3.0 + (i % 13) as f64 * 0.3,
+                        hdratio: Some(((i % 11) as f64 / 10.0).min(1.0)),
+                        bytes: 5_000,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn bench_dataset(c: &mut Criterion) {
+    let records = synthetic_records(20, 96, 40);
+    c.bench_function("Dataset::from_records 150k", |b| {
+        b.iter(|| Dataset::from_records(black_box(&records), 96))
+    });
+    let ds = Dataset::from_records(&records, 96);
+    let cfg = AnalysisConfig::default();
+    c.bench_function("table1 degradation MinRTT", |b| {
+        b.iter(|| table1(&cfg, black_box(&ds), AnalysisKind::Degradation, DegradationMetric::MinRtt, 5.0))
+    });
+    c.bench_function("table1 opportunity MinRTT", |b| {
+        b.iter(|| table1(&cfg, black_box(&ds), AnalysisKind::Opportunity, DegradationMetric::MinRtt, 5.0))
+    });
+}
+
+fn bench_study(c: &mut Criterion) {
+    let world = World::generate(WorldConfig { country_fraction: 0.15, ..Default::default() });
+    let cfg = StudyConfig { days: 1, sessions_per_group_window: 5, ..Default::default() };
+    c.bench_function("run_study mini world (1 day, 5/grp/win)", |b| {
+        b.iter(|| run_study(black_box(&world), black_box(&cfg)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dataset, bench_study
+}
+criterion_main!(benches);

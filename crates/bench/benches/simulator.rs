@@ -1,0 +1,69 @@
+//! Simulator cost: packet-level vs round-based. The two-fidelity design
+//! in DESIGN.md is justified by this gap (fastsim must be orders of
+//! magnitude cheaper for fleet-scale studies).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use edgeperf_netsim::{FastFlow, FlowSim, PathConfig, PathState};
+use edgeperf_tcp::{TcpConfig, MILLISECOND, SECOND};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn bench_packet_level(c: &mut Criterion) {
+    c.bench_function("FlowSim 100kB ideal 5Mbps/60ms", |b| {
+        b.iter(|| {
+            let mut sim = FlowSim::new(
+                TcpConfig::ns3_validation(10),
+                PathConfig::ideal(5_000_000, 60 * MILLISECOND),
+                1,
+            );
+            sim.schedule_write(0, black_box(100_000));
+            sim.run(60 * SECOND)
+        })
+    });
+    c.bench_function("FlowSim 100kB lossy", |b| {
+        b.iter(|| {
+            let mut cfg = PathConfig::ideal(5_000_000, 60 * MILLISECOND);
+            cfg.loss = edgeperf_netsim::LossModel::bernoulli(0.01);
+            let mut sim = FlowSim::new(TcpConfig::ns3_validation(10), cfg, 1);
+            sim.schedule_write(0, black_box(100_000));
+            sim.run(120 * SECOND)
+        })
+    });
+}
+
+fn bench_fastsim(c: &mut Criterion) {
+    let state = PathState {
+        base_rtt: 60 * MILLISECOND,
+        standing_queue: 0,
+        jitter_max: 0,
+        bottleneck_bps: 5_000_000,
+        loss: 0.0,
+    };
+    c.bench_function("FastFlow 100kB clean", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        b.iter(|| {
+            let mut f = FastFlow::new(TcpConfig::default());
+            f.transfer(black_box(100_000), &state, &mut rng)
+        })
+    });
+    let lossy = PathState { loss: 0.01, ..state };
+    c.bench_function("FastFlow 100kB lossy", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        b.iter(|| {
+            let mut f = FastFlow::new(TcpConfig::default());
+            f.transfer(black_box(100_000), &lossy, &mut rng)
+        })
+    });
+    c.bench_function("FastFlow whole session (20 txns)", |b| {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        b.iter(|| {
+            let mut f = FastFlow::new(TcpConfig::default());
+            for _ in 0..20 {
+                f.transfer(black_box(30_000), &state, &mut rng);
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_packet_level, bench_fastsim);
+criterion_main!(benches);

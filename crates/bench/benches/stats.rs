@@ -1,0 +1,57 @@
+//! Cost of the statistical primitives used per aggregation comparison —
+//! the paper's footnote 11 motivates t-digests precisely because these
+//! comparisons must run in near real time in production.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use edgeperf_stats::median_ci::diff_of_medians_ci_sorted;
+use edgeperf_stats::TDigest;
+
+fn samples(n: usize, offset: f64) -> Vec<f64> {
+    (0..n).map(|i| offset + (i as f64 * 0.618_033_988_749).fract() * 20.0).collect()
+}
+
+fn bench_tdigest(c: &mut Criterion) {
+    c.bench_function("tdigest insert 10k", |b| {
+        b.iter(|| {
+            let mut d = TDigest::new(100.0);
+            for i in 0..10_000 {
+                d.insert(black_box((i as f64 * 0.618_033_988_749).fract()));
+            }
+            d
+        })
+    });
+    c.bench_function("tdigest quantile (compressed)", |b| {
+        let mut d = TDigest::new(100.0);
+        for i in 0..100_000 {
+            d.insert((i as f64 * 0.618_033_988_749).fract());
+        }
+        d.quantile(0.5); // force compression once
+        b.iter(|| black_box(&mut d).quantile(black_box(0.5)))
+    });
+    c.bench_function("tdigest merge two 10k digests", |b| {
+        let mut a = TDigest::new(100.0);
+        let mut d2 = TDigest::new(100.0);
+        for i in 0..10_000 {
+            a.insert((i as f64 * 0.618_033_988_749).fract());
+            d2.insert((i as f64 * 0.414_213_562_373).fract());
+        }
+        b.iter(|| {
+            let mut m = a.clone();
+            m.merge(black_box(&d2));
+            m
+        })
+    });
+}
+
+fn bench_median_ci(c: &mut Criterion) {
+    let mut a = samples(200, 40.0);
+    let mut b2 = samples(200, 42.0);
+    a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    b2.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    c.bench_function("diff_of_medians_ci n=200", |bch| {
+        bch.iter(|| diff_of_medians_ci_sorted(black_box(&a), black_box(&b2), 0.95))
+    });
+}
+
+criterion_group!(benches, bench_tdigest, bench_median_ci);
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! repro <experiment> [--seed N] [--days N] [--sessions N] [--scale F] [--json PATH]
+//!
+//! experiments:
+//!   fig1 fig2 fig3      traffic characterization (Figures 1–3)
+//!   fig4                worked example (Figure 4)
+//!   validation          §3.2.3 NS3-style sweep (15,840 configs at scale 1)
+//!   fig5                client-mix MinRTT shift (Figure 5)
+//!   fig6 fig7           global performance (Figures 6–7)
+//!   fig8 table1         degradation over time (Figure 8, Table 1)
+//!   fig9 fig10 table2   routing opportunity (Figures 9–10, Table 2)
+//!   naive               naive-vs-model achieved-rule ablation (§4)
+//!   all                 everything (one shared study run)
+//! ```
+//!
+//! `--scale` (or `EDGEPERF_SCALE`) trades fidelity for speed: it thins the
+//! validation grid and shrinks the study (countries and sessions).
+//! Scale 1.0 reproduces the full configuration; CI uses ~0.1.
+
+use edgeperf_bench::{ablations, cc_compare, detector, env_scale, fig4, fig5, naive, study, validation, workload_figs};
+use std::fmt::Write as _;
+
+struct Args {
+    experiment: String,
+    seed: u64,
+    days: u32,
+    sessions: u32,
+    scale: f64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: String::new(),
+        seed: 20190521,
+        days: 0, // 0 = per-experiment default
+        sessions: 0,
+        scale: env_scale(1.0),
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => args.seed = it.next().expect("--seed N").parse().expect("seed"),
+            "--days" => args.days = it.next().expect("--days N").parse().expect("days"),
+            "--sessions" => {
+                args.sessions = it.next().expect("--sessions N").parse().expect("sessions")
+            }
+            "--scale" => args.scale = it.next().expect("--scale F").parse().expect("scale"),
+            "--json" => args.json = Some(it.next().expect("--json PATH")),
+            "--help" | "-h" => {
+                eprintln!("repro <experiment> [--seed N] [--days N] [--sessions N] [--scale F] [--json PATH]");
+                eprintln!("experiments: fig1..fig10, table1, table2, fig4, validation, naive, ablations, all");
+                std::process::exit(0);
+            }
+            exp if args.experiment.is_empty() && !exp.starts_with('-') => {
+                args.experiment = exp.to_string()
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.experiment.is_empty() {
+        args.experiment = "all".to_string();
+    }
+    args
+}
+
+fn write_json(path: &Option<String>, name: &str, value: serde_json::Value) {
+    if let Some(dir) = path {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let file = format!("{dir}/{name}.json");
+        std::fs::write(&file, serde_json::to_string_pretty(&value).unwrap())
+            .unwrap_or_else(|e| panic!("write {file}: {e}"));
+        eprintln!("wrote {file}");
+    }
+}
+
+fn study_params(a: &Args) -> study::StudyParams {
+    study::StudyParams {
+        seed: a.seed,
+        days: if a.days > 0 { a.days } else { ((3.0 * a.scale).ceil() as u32).clamp(1, 10) },
+        sessions_per_group_window: if a.sessions > 0 {
+            a.sessions
+        } else {
+            ((240.0 * a.scale) as u32).clamp(8, 240)
+        },
+        country_fraction: a.scale.clamp(0.15, 1.0),
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    let exp = a.experiment.as_str();
+    let mut printed = String::new();
+
+    let needs_study = matches!(
+        exp,
+        "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "table1" | "table2" | "all"
+    );
+    let data = needs_study.then(|| {
+        let p = study_params(&a);
+        eprintln!(
+            "running study: days={} sessions/group/window={} country_fraction={:.2}",
+            p.days, p.sessions_per_group_window, p.country_fraction
+        );
+        let t0 = std::time::Instant::now();
+        let d = study::run(&p);
+        eprintln!("study: {} session records in {:.1?}", d.records.len(), t0.elapsed());
+        d
+    });
+
+    let workload_n = ((30_000.0 * a.scale) as usize).max(2_000);
+    if matches!(exp, "fig1" | "fig2" | "fig3" | "all") {
+        let out = workload_figs::run(a.seed, workload_n);
+        let _ = writeln!(printed, "{out}");
+        write_json(&a.json, "fig1-3", serde_json::to_value(&out).unwrap());
+    }
+    if matches!(exp, "fig4" | "all") {
+        let rows = fig4::run();
+        let _ = writeln!(printed, "{}", fig4::render(&rows));
+        write_json(&a.json, "fig4", serde_json::to_value(&rows).unwrap());
+    }
+    if matches!(exp, "validation" | "all") {
+        let res = validation::run(a.scale);
+        let _ = writeln!(printed, "{res}");
+        write_json(&a.json, "validation", serde_json::to_value(&res).unwrap());
+    }
+    if matches!(exp, "fig5" | "grouping" | "all") {
+        let days = if a.days > 0 { a.days } else { 3 };
+        let pts = fig5::run(a.seed, days, ((400.0 * a.scale) as usize).max(100));
+        if matches!(exp, "fig5" | "all") {
+            let _ = writeln!(printed, "{}", fig5::render(&pts));
+            write_json(&a.json, "fig5", serde_json::to_value(&pts).unwrap());
+        }
+        let g = fig5::grouping_comparison(&pts);
+        let _ = writeln!(printed, "{}", fig5::render_grouping(&g));
+        write_json(&a.json, "grouping", serde_json::to_value(&g).unwrap());
+    }
+    if let Some(data) = &data {
+        if matches!(exp, "fig6" | "all") {
+            let s = study::fig6(data);
+            let _ = writeln!(printed, "{}", study::render_fig6(&s));
+            write_json(&a.json, "fig6", serde_json::to_value(&s).unwrap());
+        }
+        if matches!(exp, "fig7" | "all") {
+            let rows = study::fig7(data);
+            let _ = writeln!(printed, "{}", study::render_fig7(&rows));
+            write_json(&a.json, "fig7", serde_json::to_value(&rows).unwrap());
+        }
+        if matches!(exp, "fig8" | "all") {
+            let d = study::fig8(data);
+            let _ =
+                writeln!(printed, "{}", study::render_diffs("Figure 8: degradation vs baseline", &d));
+            write_json(&a.json, "fig8", serde_json::to_value(&d).unwrap());
+        }
+        if matches!(exp, "table1" | "all") {
+            let t = study::table1_blocks(data);
+            let _ = writeln!(printed, "{}", study::render_table1(&t));
+            write_json(&a.json, "table1", serde_json::to_value(&t).unwrap());
+        }
+        if matches!(exp, "fig9" | "all") {
+            let d = study::fig9(data);
+            let _ = writeln!(
+                printed,
+                "{}",
+                study::render_diffs("Figure 9: opportunity vs best alternate", &d)
+            );
+            write_json(&a.json, "fig9", serde_json::to_value(&d).unwrap());
+        }
+        if matches!(exp, "fig10" | "all") {
+            let d = study::fig10(data);
+            let _ = writeln!(
+                printed,
+                "{}",
+                study::render_diffs("Figure 10: MinRTT by relationship pair", &d)
+            );
+            write_json(&a.json, "fig10", serde_json::to_value(&d).unwrap());
+        }
+        if matches!(exp, "table2" | "all") {
+            let t = study::table2_outputs(data);
+            let _ = writeln!(printed, "{}", study::render_table2(&t));
+            write_json(&a.json, "table2", serde_json::to_value(&t).unwrap());
+        }
+    }
+    if matches!(exp, "cc" | "all") {
+        let rows = cc_compare::run(a.seed, ((1_500.0 * a.scale) as usize).max(200));
+        let _ = writeln!(printed, "{}", cc_compare::render(&rows));
+        write_json(&a.json, "cc", serde_json::to_value(&rows).unwrap());
+    }
+    if matches!(exp, "detector" | "all") {
+        let days = if a.days > 0 { a.days.min(3) } else { 1 };
+        let s = detector::run(a.seed, days, ((160.0 * a.scale) as u32).max(40), 10.0);
+        let _ = writeln!(printed, "{s}");
+        write_json(&a.json, "detector", serde_json::to_value(&s).unwrap());
+    }
+    if matches!(exp, "ablations" | "all") {
+        let rows = ablations::run(a.seed, ((12.0 * a.scale) as usize).max(3));
+        let _ = writeln!(printed, "{}", ablations::render(&rows));
+        write_json(&a.json, "ablations", serde_json::to_value(&rows).unwrap());
+    }
+    if matches!(exp, "naive" | "all") {
+        let r = naive::run(a.seed, ((2_000.0 * a.scale) as usize).max(300));
+        let _ = writeln!(printed, "{r}");
+        write_json(&a.json, "naive", serde_json::to_value(&r).unwrap());
+    }
+
+    if printed.is_empty() {
+        eprintln!("unknown experiment '{exp}'; try --help");
+        std::process::exit(2);
+    }
+    print!("{printed}");
+}

@@ -1,0 +1,112 @@
+//! Congestion-control comparison at the HDratio level: the same lossy
+//! user population measured under Reno, CUBIC, and BBR-lite senders.
+//!
+//! The paper notes (§3.2) that goodput depends on the congestion-control
+//! algorithm and cites BBR; this experiment quantifies how much the
+//! *measured* HD capability of identical users shifts when the server's
+//! sender changes — an infrastructure knob the content provider controls,
+//! unlike the users' access networks.
+
+use edgeperf_core::{session_hdratio, HD_GOODPUT_BPS, MILLISECOND};
+use edgeperf_netsim::PathState;
+use edgeperf_tcp::{CcAlgorithm, TcpConfig};
+use edgeperf_world::runner::simulate_session_with;
+use edgeperf_workload::WorkloadConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::Serialize;
+
+/// One congestion-control algorithm's scorecard.
+#[derive(Debug, Clone, Serialize)]
+pub struct CcRow {
+    /// Algorithm label.
+    pub cc: String,
+    /// Sessions that tested for HD goodput.
+    pub tested: usize,
+    /// Fraction of tested sessions with HDratio = 1.
+    pub hd_full: f64,
+    /// Mean HDratio across tested sessions.
+    pub hd_mean: f64,
+}
+
+/// Run the comparison over `n` sessions per algorithm on a population of
+/// marginal, lossy paths (where CC behaviour decides the outcome).
+pub fn run(seed: u64, n: usize) -> Vec<CcRow> {
+    [CcAlgorithm::Reno, CcAlgorithm::Cubic, CcAlgorithm::BbrLite]
+        .into_iter()
+        .map(|cc| {
+            // Identical population per algorithm: same seed stream.
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            let workload = WorkloadConfig::default();
+            let mut tested = 0usize;
+            let mut full = 0usize;
+            let mut sum = 0.0;
+            while tested < n {
+                let rtt_ms = rng.gen_range(25.0..110.0);
+                let bw = rng.gen_range(3.0e6..15.0e6);
+                let loss = rng.gen_range(0.002..0.025);
+                let state = PathState {
+                    base_rtt: (rtt_ms * MILLISECOND as f64) as u64,
+                    standing_queue: 0,
+                    jitter_max: 3 * MILLISECOND,
+                    bottleneck_bps: bw as u64,
+                    loss,
+                };
+                let plan = workload.generate(&mut rng);
+                let tcp = TcpConfig { cc, ..Default::default() };
+                let obs = simulate_session_with(&plan, &state, tcp, &mut rng);
+                if let Some(h) = session_hdratio(&obs, HD_GOODPUT_BPS).and_then(|v| v.hdratio())
+                {
+                    tested += 1;
+                    sum += h;
+                    full += usize::from(h >= 1.0);
+                }
+            }
+            CcRow {
+                cc: format!("{cc:?}"),
+                tested,
+                hd_full: full as f64 / tested as f64,
+                hd_mean: sum / tested as f64,
+            }
+        })
+        .collect()
+}
+
+/// Render the table.
+pub fn render(rows: &[CcRow]) -> String {
+    let mut s =
+        String::from("== Congestion control vs measured HD capability (lossy marginal paths) ==\n");
+    s.push_str(&format!("{:<10} {:>8} {:>9} {:>9}\n", "sender", "tested", "HD=1", "mean"));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<10} {:>8} {:>9.2} {:>9.2}\n",
+            r.cc, r.tested, r.hd_full, r.hd_mean
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bbr_measures_more_hd_capability_under_loss() {
+        let rows = run(9, 400);
+        let get = |name: &str| rows.iter().find(|r| r.cc == name).unwrap();
+        let reno = get("Reno");
+        let cubic = get("Cubic");
+        let bbr = get("BbrLite");
+        assert!(
+            bbr.hd_mean > reno.hd_mean,
+            "BBR {} vs Reno {}",
+            bbr.hd_mean,
+            reno.hd_mean
+        );
+        assert!(cubic.hd_mean >= reno.hd_mean - 0.02, "CUBIC {} vs Reno {}", cubic.hd_mean, reno.hd_mean);
+        // Sanity: all in (0, 1].
+        for r in &rows {
+            assert!(r.hd_mean > 0.2 && r.hd_mean <= 1.0, "{r:?}");
+        }
+    }
+}

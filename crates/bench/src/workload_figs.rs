@@ -1,0 +1,247 @@
+//! Figures 1–3: traffic characterization (session durations, busy time,
+//! bytes per session/response, transactions per session).
+
+use edgeperf_core::{HttpVersion, SECOND};
+use edgeperf_netsim::{FastFlow, PathState};
+use edgeperf_stats::cdf::{CdfBuilder, WeightedCdf};
+use edgeperf_tcp::{TcpConfig, MILLISECOND};
+use edgeperf_workload::{EndpointKind, WorkloadConfig};
+use rand_chacha::ChaCha12Rng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// A rendered CDF series plus its headline quantiles.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, cumulative fraction) points.
+    pub points: Vec<(f64, f64)>,
+    /// (q, value) quantiles.
+    pub quantiles: Vec<(f64, f64)>,
+}
+
+impl Series {
+    fn from_cdf(label: &str, cdf: &WeightedCdf, n_points: usize) -> Series {
+        Series {
+            label: label.to_string(),
+            points: cdf.series(n_points),
+            quantiles: cdf.quantiles(&[0.1, 0.25, 0.5, 0.75, 0.9, 0.99]),
+        }
+    }
+}
+
+/// Output of the Figure 1–3 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadFigures {
+    /// Fig 1a: session duration CDFs (seconds) for All/H1/H2.
+    pub fig1a_duration: Vec<Series>,
+    /// Fig 1b: percent of session time busy, CDFs for All/H1/H2.
+    pub fig1b_busy: Vec<Series>,
+    /// Fig 2: bytes CDFs for sessions / all responses / media responses.
+    pub fig2_bytes: Vec<Series>,
+    /// Fig 3: transactions-per-session CDFs for All/H1/H2.
+    pub fig3_txns: Vec<Series>,
+    /// Headline statistics compared against the paper's §2.3 numbers.
+    pub headlines: Headlines,
+}
+
+/// Scalar shape statistics the paper quotes in §2.3.
+#[derive(Debug, Clone, Serialize)]
+pub struct Headlines {
+    /// Fraction of sessions shorter than 1 s (paper: 0.074).
+    pub sessions_under_1s: f64,
+    /// Fraction shorter than 60 s (paper: 0.33).
+    pub sessions_under_60s: f64,
+    /// Fraction longer than 180 s (paper: 0.20).
+    pub sessions_over_180s: f64,
+    /// Fraction of HTTP/1.1 sessions under 60 s (paper: 0.44).
+    pub h1_under_60s: f64,
+    /// Fraction of HTTP/2 sessions under 60 s (paper: 0.26).
+    pub h2_under_60s: f64,
+    /// Fraction of sessions busy less than 10% of their life (paper: ~0.75–0.80).
+    pub busy_under_10pct: f64,
+    /// Fraction of sessions transferring < 10 kB (paper: 0.58).
+    pub sessions_under_10kb: f64,
+    /// Median response size, bytes (paper: < 6 kB).
+    pub median_response_bytes: f64,
+    /// Median media response size, bytes (paper: ≈19 kB).
+    pub median_media_response_bytes: f64,
+    /// Fraction of sessions with < 5 transactions (paper: > 0.8).
+    pub sessions_under_5_txns: f64,
+    /// Byte share of sessions with ≥ 50 transactions (paper: > 0.5).
+    pub heavy_session_byte_share: f64,
+}
+
+/// Generate `n_sessions` and characterize them (Figures 1a, 1b, 2, 3).
+///
+/// Busy time is measured by replaying each session against a reference
+/// clean path (20 Mbps, 40 ms) with the fast TCP model — matching the
+/// paper's definition (time with data outstanding / session lifetime).
+pub fn run(seed: u64, n_sessions: usize) -> WorkloadFigures {
+    let cfg = WorkloadConfig::default();
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let state = PathState {
+        base_rtt: 40 * MILLISECOND,
+        standing_queue: 0,
+        jitter_max: 2 * MILLISECOND,
+        bottleneck_bps: 20_000_000,
+        loss: 0.0,
+    };
+
+    let mut dur = [CdfBuilder::new(), CdfBuilder::new(), CdfBuilder::new()]; // all, h1, h2
+    let mut busy = [CdfBuilder::new(), CdfBuilder::new(), CdfBuilder::new()];
+    let mut txns = [CdfBuilder::new(), CdfBuilder::new(), CdfBuilder::new()];
+    let mut bytes_sessions = CdfBuilder::new();
+    let mut bytes_responses = CdfBuilder::new();
+    let mut bytes_media = CdfBuilder::new();
+
+    let (mut under_1s, mut under_60s, mut over_180s) = (0usize, 0usize, 0usize);
+    let (mut h1_under_60, mut h1_n, mut h2_under_60, mut h2_n) = (0usize, 0usize, 0usize, 0usize);
+    let mut busy_under_10 = 0usize;
+    let mut under_10kb = 0usize;
+    let mut under_5_txn = 0usize;
+    let (mut heavy_bytes, mut total_bytes) = (0u64, 0u64);
+
+    for _ in 0..n_sessions {
+        let plan = cfg.generate(&mut rng);
+        let secs = plan.duration as f64 / SECOND as f64;
+        let vi = match plan.http {
+            HttpVersion::H1 => 1,
+            HttpVersion::H2 => 2,
+        };
+
+        // Busy time: replay transfers on the reference path.
+        let mut flow = FastFlow::new(TcpConfig::default());
+        let mut busy_ns = 0u64;
+        for t in &plan.transactions {
+            busy_ns += flow.transfer(t.bytes, &state, &mut rng).ttotal;
+        }
+        let busy_pct = 100.0 * (busy_ns as f64 / plan.duration.max(1) as f64).min(1.0);
+
+        for idx in [0, vi] {
+            dur[idx].push(secs.min(300.0));
+            busy[idx].push(busy_pct);
+            txns[idx].push(plan.transactions.len() as f64);
+        }
+        let total = plan.total_bytes();
+        bytes_sessions.push(total as f64);
+        for t in &plan.transactions {
+            bytes_responses.push(t.bytes as f64);
+            if plan.endpoint != EndpointKind::Api {
+                bytes_media.push(t.bytes as f64);
+            }
+        }
+
+        under_1s += usize::from(secs < 1.0);
+        under_60s += usize::from(secs < 60.0);
+        over_180s += usize::from(secs > 180.0);
+        match plan.http {
+            HttpVersion::H1 => {
+                h1_n += 1;
+                h1_under_60 += usize::from(secs < 60.0);
+            }
+            HttpVersion::H2 => {
+                h2_n += 1;
+                h2_under_60 += usize::from(secs < 60.0);
+            }
+        }
+        busy_under_10 += usize::from(busy_pct < 10.0);
+        under_10kb += usize::from(total < 10_000);
+        under_5_txn += usize::from(plan.transactions.len() < 5);
+        total_bytes += total;
+        if plan.transactions.len() >= 50 {
+            heavy_bytes += total;
+        }
+    }
+
+    let n = n_sessions as f64;
+    let frac = |x: usize| x as f64 / n;
+    let resp_cdf = bytes_responses.build();
+    let media_cdf = bytes_media.build();
+    let labels = ["All", "HTTP/1.1", "HTTP/2"];
+    let build3 = |builders: [CdfBuilder; 3]| -> Vec<Series> {
+        builders
+            .into_iter()
+            .zip(labels)
+            .map(|(b, l)| Series::from_cdf(l, &b.build(), 60))
+            .collect()
+    };
+
+    WorkloadFigures {
+        headlines: Headlines {
+            sessions_under_1s: frac(under_1s),
+            sessions_under_60s: frac(under_60s),
+            sessions_over_180s: frac(over_180s),
+            h1_under_60s: h1_under_60 as f64 / h1_n.max(1) as f64,
+            h2_under_60s: h2_under_60 as f64 / h2_n.max(1) as f64,
+            busy_under_10pct: frac(busy_under_10),
+            sessions_under_10kb: frac(under_10kb),
+            median_response_bytes: resp_cdf.quantile(0.5),
+            median_media_response_bytes: media_cdf.quantile(0.5),
+            sessions_under_5_txns: frac(under_5_txn),
+            heavy_session_byte_share: heavy_bytes as f64 / total_bytes.max(1) as f64,
+        },
+        fig1a_duration: build3(dur),
+        fig1b_busy: build3(busy),
+        fig2_bytes: vec![
+            Series::from_cdf("Sessions", &bytes_sessions.build(), 60),
+            Series::from_cdf("All Responses", &resp_cdf, 60),
+            Series::from_cdf("Media Responses", &media_cdf, 60),
+        ],
+        fig3_txns: build3(txns),
+    }
+}
+
+impl std::fmt::Display for WorkloadFigures {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let h = &self.headlines;
+        writeln!(f, "== Figures 1-3: traffic characterization ==")?;
+        writeln!(f, "{:<44} {:>9} {:>9}", "statistic", "measured", "paper")?;
+        let rows: Vec<(&str, f64, &str)> = vec![
+            ("sessions < 1 s", h.sessions_under_1s, "0.074"),
+            ("sessions < 60 s", h.sessions_under_60s, "0.33"),
+            ("sessions > 180 s", h.sessions_over_180s, "0.20"),
+            ("HTTP/1.1 sessions < 60 s", h.h1_under_60s, "0.44"),
+            ("HTTP/2 sessions < 60 s", h.h2_under_60s, "0.26"),
+            ("sessions busy < 10% of lifetime", h.busy_under_10pct, "~0.75+"),
+            ("sessions transferring < 10 kB", h.sessions_under_10kb, "0.58"),
+            ("median response bytes", h.median_response_bytes, "< 6000"),
+            ("median media response bytes", h.median_media_response_bytes, "~19000"),
+            ("sessions with < 5 transactions", h.sessions_under_5_txns, "> 0.8"),
+            ("byte share of >= 50-txn sessions", h.heavy_session_byte_share, "> 0.5"),
+        ];
+        for (label, v, paper) in rows {
+            writeln!(f, "{label:<44} {v:>9.3} {paper:>9}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_have_shape_close_to_paper() {
+        let out = run(11, 4_000);
+        let h = &out.headlines;
+        assert!(h.sessions_under_1s > 0.01 && h.sessions_under_1s < 0.3);
+        assert!(h.h1_under_60s > h.h2_under_60s, "H1 sessions end sooner");
+        assert!(h.busy_under_10pct > 0.5, "sessions are idle-dominated: {}", h.busy_under_10pct);
+        assert!(h.median_response_bytes < 12_000.0);
+        assert!(h.median_media_response_bytes > 8_000.0);
+        assert!(h.heavy_session_byte_share > 0.35);
+        assert!(h.sessions_under_5_txns > 0.5);
+        assert_eq!(out.fig1a_duration.len(), 3);
+        assert_eq!(out.fig2_bytes.len(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(1, 500);
+        let b = run(1, 500);
+        assert_eq!(a.headlines.median_response_bytes, b.headlines.median_response_bytes);
+        assert_eq!(a.fig3_txns[0].points, b.fig3_txns[0].points);
+    }
+}

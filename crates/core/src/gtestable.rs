@@ -1,0 +1,215 @@
+//! `Gtestable` — the maximum goodput a transaction can test for
+//! (paper §3.2.2, equations 1–3).
+//!
+//! Under ideal conditions (no loss, fixed RTT, exponential slow-start
+//! growth whenever cwnd-limited) a response of `Btotal` bytes starting
+//! with window `Wstart` transfers in
+//!
+//! > m = ⌈log₂(Btotal/Wstart + 1)⌉                         (eq. 1)
+//!
+//! round trips, with the window at the start of round n being
+//!
+//! > WSS(n) = 2^(n−1) · Wstart                              (eq. 2)
+//!
+//! The most bytes the transfer moves in any single round trip — and hence
+//! the highest goodput it can demonstrate — is the larger of the
+//! penultimate round's window and the final round's remaining bytes:
+//!
+//! > Gtestable = max(WSS(m−1), Btotal − Σᵢ₌₁^(m−1) WSS(i)) / MinRTT  (eq. 3)
+//!
+//! `Wstart` intentionally models *ideal* growth across a session's
+//! transactions (never the possibly-collapsed real window): a transaction
+//! that would have had a big window under good conditions but measured
+//! slow is exactly the evidence of poor performance we must keep (§3.2.2).
+
+use crate::types::{Nanos, SECOND};
+
+/// Number of round trips `m` to transfer `btotal` bytes starting from a
+/// window of `wstart` bytes under ideal slow-start doubling (eq. 1).
+///
+/// Computed in integer arithmetic: the smallest `m` with
+/// `(2^m − 1)·wstart ≥ btotal`.
+///
+/// # Panics
+/// Panics if `wstart` or `btotal` is zero.
+pub fn rounds(btotal: u64, wstart: u64) -> u32 {
+    assert!(wstart > 0, "wstart must be positive");
+    assert!(btotal > 0, "btotal must be positive");
+    let mut m = 1u32;
+    let mut capacity = wstart; // (2^m - 1) * wstart
+    let mut window = wstart; // 2^(m-1) * wstart (bytes sent in round m)
+    while capacity < btotal {
+        window = window.saturating_mul(2);
+        capacity = capacity.saturating_add(window);
+        m += 1;
+    }
+    m
+}
+
+/// Window at the start of round `n` (1-based) under ideal doubling
+/// (eq. 2): `2^(n−1) · wstart`.
+pub fn wss(n: u32, wstart: u64) -> u64 {
+    assert!(n >= 1, "rounds are 1-based");
+    wstart.saturating_mul(1u64.checked_shl(n - 1).unwrap_or(u64::MAX))
+}
+
+/// Total bytes sent in rounds 1..=k: `(2^k − 1) · wstart`.
+pub fn sum_wss(k: u32, wstart: u64) -> u64 {
+    if k == 0 {
+        return 0;
+    }
+    let factor = 1u64.checked_shl(k).map_or(u64::MAX, |v| v - 1);
+    wstart.saturating_mul(factor)
+}
+
+/// Maximum testable goodput in bits/second (eq. 3).
+///
+/// For single-round transfers (`m == 1`) this is simply
+/// `btotal / MinRTT`; otherwise the max of the last round's bytes and the
+/// penultimate round's window, over one MinRTT.
+/// # Example (the paper's Figure-4 transaction 2)
+///
+/// ```
+/// use edgeperf_core::gtestable::gtestable_bps;
+/// use edgeperf_core::MILLISECOND;
+/// // 24 packets of 1500 B with a 10-packet window at 60 ms.
+/// let g = gtestable_bps(24 * 1500, 10 * 1500, 60 * MILLISECOND);
+/// assert!((g - 2_800_000.0).abs() < 1.0); // 2.8 Mbps
+/// ```
+pub fn gtestable_bps(btotal: u64, wstart: u64, min_rtt: Nanos) -> f64 {
+    assert!(min_rtt > 0, "MinRTT must be positive");
+    let m = rounds(btotal, wstart);
+    let best_round_bytes = if m == 1 {
+        btotal
+    } else {
+        let last = btotal - sum_wss(m - 1, wstart);
+        let penultimate = wss(m - 1, wstart);
+        last.max(penultimate)
+    };
+    best_round_bytes as f64 * 8.0 * SECOND as f64 / min_rtt as f64
+}
+
+/// `Wstart` for the transaction *after* one that transferred
+/// `prev_btotal` bytes from a window of `prev_wstart`: the larger of the
+/// new transaction's measured `Wnic` and the ideal window at the end of
+/// the previous transaction, `WSS(m_prev)` (§3.2.2, footnote 4).
+pub fn next_wstart(prev_wstart: u64, prev_btotal: u64, wnic: u64) -> u64 {
+    let m_prev = rounds(prev_btotal, prev_wstart);
+    wss(m_prev, prev_wstart).max(wnic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MILLISECOND;
+
+    const MSS: u64 = 1500; // the paper's Figure-4 example uses 1500 B packets
+    const RTT: Nanos = 60 * MILLISECOND;
+
+    /// Paper Figure 4, transaction 1: 2 packets, Wstart = 10 packets.
+    #[test]
+    fn figure4_txn1() {
+        let b = 2 * MSS;
+        let w = 10 * MSS;
+        assert_eq!(rounds(b, w), 1);
+        let g = gtestable_bps(b, w, RTT);
+        assert!((g - 400_000.0).abs() < 1.0, "g = {g}"); // 0.4 Mbps
+    }
+
+    /// Paper Figure 4, transaction 2: 24 packets, Wstart = 10 packets.
+    /// m = 2, WSS(2) = 20, Gtestable = 14 packets / 60 ms = 2.8 Mbps.
+    #[test]
+    fn figure4_txn2() {
+        let b = 24 * MSS;
+        let w = 10 * MSS;
+        assert_eq!(rounds(b, w), 2);
+        assert_eq!(wss(2, w), 20 * MSS);
+        let g = gtestable_bps(b, w, RTT);
+        assert!((g - 2_800_000.0).abs() < 1.0, "g = {g}");
+    }
+
+    /// Paper Figure 4, transaction 3: 14 packets, Wstart = max(Wnic,
+    /// WSS(m₂)) = 20 packets → one round, 2.8 Mbps.
+    #[test]
+    fn figure4_txn3() {
+        let w3 = next_wstart(10 * MSS, 24 * MSS, 10 * MSS);
+        assert_eq!(w3, 20 * MSS);
+        let b = 14 * MSS;
+        assert_eq!(rounds(b, w3), 1);
+        let g = gtestable_bps(b, w3, RTT);
+        assert!((g - 2_800_000.0).abs() < 1.0, "g = {g}");
+    }
+
+    #[test]
+    fn rounds_matches_log_formula() {
+        // m = ceil(log2(B/W + 1)) on a spread of values.
+        for &(b, w) in &[(1u64, 10u64), (10, 10), (11, 10), (30, 10), (31, 10), (1_000_000, 14_600)]
+        {
+            let expect = ((b as f64 / w as f64 + 1.0).log2()).ceil().max(1.0) as u32;
+            assert_eq!(rounds(b, w), expect, "b={b} w={w}");
+        }
+    }
+
+    #[test]
+    fn exact_boundary_rounds() {
+        // B = (2^m - 1) W lands exactly on m rounds.
+        let w = 1000;
+        assert_eq!(rounds(w, w), 1);
+        assert_eq!(rounds(3 * w, w), 2);
+        assert_eq!(rounds(3 * w + 1, w), 3);
+        assert_eq!(rounds(7 * w, w), 3);
+    }
+
+    #[test]
+    fn sum_wss_is_geometric() {
+        assert_eq!(sum_wss(0, 100), 0);
+        assert_eq!(sum_wss(1, 100), 100);
+        assert_eq!(sum_wss(3, 100), 700);
+        assert_eq!(wss(1, 100) + wss(2, 100) + wss(3, 100), sum_wss(3, 100));
+    }
+
+    #[test]
+    fn gtestable_single_round_is_b_over_rtt() {
+        let g = gtestable_bps(3_000, 15_000, 100 * MILLISECOND);
+        assert!((g - 240_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn gtestable_monotone_in_wstart() {
+        // A bigger starting window can only raise (or keep) testability.
+        let b = 50_000;
+        let mut prev = 0.0;
+        for w in [1_500u64, 3_000, 6_000, 15_000, 30_000, 60_000] {
+            let g = gtestable_bps(b, w, RTT);
+            assert!(g >= prev, "w={w}: {g} < {prev}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn next_wstart_prefers_larger_wnic() {
+        // If the measured Wnic exceeds the modeled ideal, use it.
+        assert_eq!(next_wstart(15_000, 36_000, 50_000), 50_000);
+    }
+
+    #[test]
+    fn saturating_behaviour_on_huge_inputs() {
+        // Must not overflow/panic even for absurd sizes.
+        let m = rounds(u64::MAX / 2, 1);
+        assert!(m >= 60);
+        let _ = gtestable_bps(u64::MAX / 2, 1, 1);
+        let _ = sum_wss(200, u64::MAX / 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_wstart_panics() {
+        rounds(100, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_minrtt_panics() {
+        gtestable_bps(100, 100, 0);
+    }
+}

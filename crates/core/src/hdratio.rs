@@ -1,0 +1,173 @@
+//! Session-level HDratio (paper §3.2.4).
+//!
+//! HDratio = (transactions that achieved HD goodput) /
+//! (transactions that could test for HD goodput), per HTTP session.
+//! Computed per session rather than per transaction so paths carrying
+//! many-transaction sessions aren't overrepresented.
+
+use crate::estimator::{AchievedRule, Estimator};
+
+use crate::types::{Nanos, SessionObs};
+
+/// HDratio verdict for one session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionVerdict {
+    /// Transactions that could test the target rate.
+    pub tested: u32,
+    /// Of those, transactions that achieved it.
+    pub achieved: u32,
+    /// The session MinRTT used (from the kernel tracker).
+    pub min_rtt: Nanos,
+}
+
+impl SessionVerdict {
+    /// HDratio ∈ [0, 1], or `None` if nothing tested.
+    pub fn hdratio(&self) -> Option<f64> {
+        if self.tested == 0 {
+            None
+        } else {
+            Some(self.achieved as f64 / self.tested as f64)
+        }
+    }
+}
+
+/// Compute a session's HDratio at `target_bps` with the model rule.
+///
+/// Returns `None` when the session has no MinRTT sample (no ACKed data)
+/// — such sessions carry no goodput signal at all.
+pub fn session_hdratio(session: &SessionObs, target_bps: f64) -> Option<SessionVerdict> {
+    session_hdratio_with_rule(session, target_bps, AchievedRule::Model)
+}
+
+/// As [`session_hdratio`] with an explicit achieved rule (naive ablation).
+pub fn session_hdratio_with_rule(
+    session: &SessionObs,
+    target_bps: f64,
+    rule: AchievedRule,
+) -> Option<SessionVerdict> {
+    session_hdratio_with_options(
+        session,
+        target_bps,
+        crate::estimator::EstimatorOptions { rule, ..Default::default() },
+        crate::instrument::InstrumentOptions::default(),
+    )
+}
+
+/// Full-control variant for the methodology ablations: every §3.2
+/// correction can be toggled independently.
+pub fn session_hdratio_with_options(
+    session: &SessionObs,
+    target_bps: f64,
+    est_opts: crate::estimator::EstimatorOptions,
+    ins_opts: crate::instrument::InstrumentOptions,
+) -> Option<SessionVerdict> {
+    let min_rtt = session.min_rtt?;
+    if min_rtt == 0 {
+        return None;
+    }
+    let mut est = Estimator::with_options(target_bps, est_opts);
+    let mut tested = 0u32;
+    let mut achieved = 0u32;
+    for txn in crate::instrument::assemble_transactions_opts(&session.responses, ins_opts) {
+        let o = est.evaluate(&txn, min_rtt);
+        if o.testable {
+            tested += 1;
+            if o.achieved {
+                achieved += 1;
+            }
+        }
+    }
+    Some(SessionVerdict { tested, achieved, min_rtt })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{HttpVersion, ResponseObs, HD_GOODPUT_BPS, MILLISECOND, SECOND};
+
+    fn resp(bytes: u64, t0_ms: u64, t2_ms: u64, wnic: u32) -> ResponseObs {
+        ResponseObs {
+            bytes,
+            issued_at: t0_ms * MILLISECOND,
+            first_tx: Some((t0_ms * MILLISECOND, wnic)),
+            t_second_last_ack: Some(t2_ms * MILLISECOND),
+            t_full_ack: Some((t2_ms + 1) * MILLISECOND),
+            last_packet_bytes: Some(((bytes - 1) % 1460 + 1) as u32),
+            bytes_in_flight_at_write: 0,
+            prev_unsent_at_write: false,
+        }
+    }
+
+    fn session(responses: Vec<ResponseObs>, min_rtt_ms: u64) -> SessionObs {
+        SessionObs {
+            responses,
+            min_rtt: Some(min_rtt_ms * MILLISECOND),
+            http: HttpVersion::H2,
+            duration: 60 * SECOND,
+        }
+    }
+
+    #[test]
+    fn all_fast_transactions_give_ratio_one() {
+        let s = session(
+            vec![resp(100_000, 0, 190, 14_600), resp(100_000, 1_000, 1_150, 14_600)],
+            60,
+        );
+        let v = session_hdratio(&s, HD_GOODPUT_BPS).unwrap();
+        assert_eq!(v.tested, 2);
+        assert_eq!(v.achieved, 2);
+        assert_eq!(v.hdratio(), Some(1.0));
+    }
+
+    #[test]
+    fn mixed_outcomes_give_fractional_ratio() {
+        let s = session(
+            vec![
+                resp(100_000, 0, 190, 14_600),      // fast
+                resp(100_000, 1_000, 3_000, 14_600), // slow
+            ],
+            60,
+        );
+        let v = session_hdratio(&s, HD_GOODPUT_BPS).unwrap();
+        assert_eq!(v.tested, 2);
+        assert_eq!(v.achieved, 1);
+        assert_eq!(v.hdratio(), Some(0.5));
+    }
+
+    #[test]
+    fn tiny_transactions_test_nothing() {
+        let s = session(vec![resp(3_000, 0, 65, 14_600); 5], 60);
+        let v = session_hdratio(&s, HD_GOODPUT_BPS).unwrap();
+        assert_eq!(v.tested, 0);
+        assert_eq!(v.hdratio(), None);
+    }
+
+    #[test]
+    fn session_without_min_rtt_is_skipped() {
+        let mut s = session(vec![resp(100_000, 0, 190, 14_600)], 60);
+        s.min_rtt = None;
+        assert!(session_hdratio(&s, HD_GOODPUT_BPS).is_none());
+    }
+
+    #[test]
+    fn naive_rule_yields_lower_or_equal_ratio() {
+        // Borderline transfers: model credits cwnd growth time, naive
+        // does not.
+        let s = session(
+            vec![resp(36_000, 0, 150, 15_000), resp(36_000, 1_000, 1_150, 15_000)],
+            60,
+        );
+        let model = session_hdratio(&s, HD_GOODPUT_BPS).unwrap();
+        let naive =
+            session_hdratio_with_rule(&s, HD_GOODPUT_BPS, AchievedRule::Naive).unwrap();
+        assert!(naive.achieved <= model.achieved);
+        assert!(model.hdratio().unwrap() > naive.hdratio().unwrap_or(0.0));
+    }
+
+    #[test]
+    fn empty_session_tests_nothing() {
+        let s = session(vec![], 40);
+        let v = session_hdratio(&s, HD_GOODPUT_BPS).unwrap();
+        assert_eq!(v.tested, 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Windowed MinRTT tracking (paper §3.1).
+//!
+//! The Linux kernel maintains the minimum RTT over a configurable window
+//! (5 minutes in the paper's deployment); recording it at session
+//! termination captures the session-lifetime minimum for the vast
+//! majority of sessions, which end within the window. Implemented as the
+//! classic monotone-deque sliding-window minimum: O(1) amortized.
+
+use crate::types::Nanos;
+use std::collections::VecDeque;
+
+/// Sliding-window minimum over RTT samples.
+#[derive(Debug, Clone)]
+pub struct MinRttTracker {
+    window: Nanos,
+    /// (sample time, rtt); rtts strictly increasing front→back.
+    deque: VecDeque<(Nanos, Nanos)>,
+}
+
+impl MinRttTracker {
+    /// Tracker with the given window length (the paper uses 5 minutes).
+    pub fn new(window: Nanos) -> Self {
+        assert!(window > 0);
+        MinRttTracker { window, deque: VecDeque::new() }
+    }
+
+    /// Record an RTT sample observed at `now`. Times must be monotone.
+    pub fn on_sample(&mut self, now: Nanos, rtt: Nanos) {
+        if let Some(&(t, _)) = self.deque.back() {
+            assert!(now >= t, "samples must be time-ordered");
+        }
+        // Evict samples that can never be the minimum again.
+        while matches!(self.deque.back(), Some(&(_, r)) if r >= rtt) {
+            self.deque.pop_back();
+        }
+        self.deque.push_back((now, rtt));
+        self.expire(now);
+    }
+
+    /// Minimum RTT over the window ending at `now`.
+    pub fn current(&mut self, now: Nanos) -> Option<Nanos> {
+        self.expire(now);
+        self.deque.front().map(|&(_, r)| r)
+    }
+
+    fn expire(&mut self, now: Nanos) {
+        let cutoff = now.saturating_sub(self.window);
+        while matches!(self.deque.front(), Some(&(t, _)) if t < cutoff) {
+            self.deque.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{MILLISECOND, SECOND};
+
+    const WIN: Nanos = 300 * SECOND; // 5 minutes
+
+    #[test]
+    fn tracks_simple_minimum() {
+        let mut t = MinRttTracker::new(WIN);
+        t.on_sample(0, 50 * MILLISECOND);
+        t.on_sample(SECOND, 40 * MILLISECOND);
+        t.on_sample(2 * SECOND, 60 * MILLISECOND);
+        assert_eq!(t.current(3 * SECOND), Some(40 * MILLISECOND));
+    }
+
+    #[test]
+    fn old_minimum_expires() {
+        let mut t = MinRttTracker::new(WIN);
+        t.on_sample(0, 20 * MILLISECOND); // will expire
+        t.on_sample(100 * SECOND, 50 * MILLISECOND);
+        assert_eq!(t.current(100 * SECOND), Some(20 * MILLISECOND));
+        // 6 minutes later the 20 ms sample has left the window.
+        assert_eq!(t.current(360 * SECOND), Some(50 * MILLISECOND));
+    }
+
+    #[test]
+    fn empty_tracker_has_no_minimum() {
+        let mut t = MinRttTracker::new(WIN);
+        assert_eq!(t.current(SECOND), None);
+    }
+
+    #[test]
+    fn all_samples_expired_yields_none() {
+        let mut t = MinRttTracker::new(SECOND);
+        t.on_sample(0, 30 * MILLISECOND);
+        assert_eq!(t.current(10 * SECOND), None);
+    }
+
+    #[test]
+    fn equal_rtts_keep_latest() {
+        // Keeping the most recent of equal samples extends lifetime.
+        let mut t = MinRttTracker::new(10 * SECOND);
+        t.on_sample(0, 30 * MILLISECOND);
+        t.on_sample(8 * SECOND, 30 * MILLISECOND);
+        assert_eq!(t.current(15 * SECOND), Some(30 * MILLISECOND));
+    }
+
+    #[test]
+    fn deque_stays_small_on_monotone_decreasing() {
+        let mut t = MinRttTracker::new(WIN);
+        for i in 0..1000u64 {
+            t.on_sample(i * MILLISECOND, (2000 - i) * MILLISECOND);
+        }
+        // Every new sample evicts the rest: single element.
+        assert_eq!(t.deque.len(), 1);
+        assert_eq!(t.current(SECOND), Some(1001 * MILLISECOND));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_samples_panic() {
+        let mut t = MinRttTracker::new(WIN);
+        t.on_sample(SECOND, 10 * MILLISECOND);
+        t.on_sample(0, 10 * MILLISECOND);
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared types for the estimation pipeline.
+
+/// Virtual or wall-clock time in nanoseconds.
+pub type Nanos = u64;
+
+/// One millisecond in [`Nanos`].
+pub const MILLISECOND: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+
+/// The paper's target goodput: 2.5 Mbps, the minimum bitrate for HD video.
+pub const HD_GOODPUT_BPS: f64 = 2_500_000.0;
+
+/// HTTP protocol version of a session (affects traffic shape, not the
+/// estimator itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HttpVersion {
+    /// HTTP/1.1: browsers open several connections, few transactions each.
+    H1,
+    /// HTTP/2: one multiplexed connection, more transactions.
+    H2,
+}
+
+/// Raw instrumentation record for one HTTP response, as captured at the
+/// load balancer: socket/NIC timestamps plus TCP state snapshots.
+///
+/// In production these fields come from `TCP_INFO`, socket timestamping,
+/// and the proxy's own bookkeeping; in this workspace they come from
+/// `edgeperf-netsim`'s `WriteRecord` (structurally identical, converted by
+/// the caller to keep this crate dependency-free).
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseObs {
+    /// Response size in bytes.
+    pub bytes: u64,
+    /// When the application wrote the response to the socket.
+    pub issued_at: Nanos,
+    /// When the first byte was written to the NIC, and the congestion
+    /// window (bytes) at that instant (`Wnic`). `None` if the response
+    /// never left the host (session died first).
+    pub first_tx: Option<(Nanos, u32)>,
+    /// Arrival of the first ACK covering the second-to-last packet
+    /// (the delayed-ACK-immune endpoint, §3.2.5).
+    pub t_second_last_ack: Option<Nanos>,
+    /// Arrival of the ACK covering the entire response.
+    pub t_full_ack: Option<Nanos>,
+    /// Size of the response's final packet in bytes.
+    pub last_packet_bytes: Option<u32>,
+    /// Bytes still in flight when the response was written.
+    pub bytes_in_flight_at_write: u64,
+    /// True if a previous response still had unsent bytes when this one
+    /// was written (back-to-back / multiplexed / preempted — triggers
+    /// coalescing).
+    pub prev_unsent_at_write: bool,
+}
+
+/// Everything the instrumentation captured about one sampled HTTP session.
+#[derive(Debug, Clone)]
+pub struct SessionObs {
+    /// Per-response records in write order.
+    pub responses: Vec<ResponseObs>,
+    /// Kernel MinRTT at session close (5-minute windowed minimum).
+    pub min_rtt: Option<Nanos>,
+    /// Protocol version.
+    pub http: HttpVersion,
+    /// Session duration (establishment to close).
+    pub duration: Nanos,
+}
+
+impl SessionObs {
+    /// Total response bytes carried by the session.
+    pub fn total_bytes(&self) -> u64 {
+        self.responses.iter().map(|r| r.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_bytes_sums_responses() {
+        let r = ResponseObs {
+            bytes: 100,
+            issued_at: 0,
+            first_tx: None,
+            t_second_last_ack: None,
+            t_full_ack: None,
+            last_packet_bytes: None,
+            bytes_in_flight_at_write: 0,
+            prev_unsent_at_write: false,
+        };
+        let s = SessionObs {
+            responses: vec![r, ResponseObs { bytes: 250, ..r }],
+            min_rtt: None,
+            http: HttpVersion::H2,
+            duration: SECOND,
+        };
+        assert_eq!(s.total_bytes(), 350);
+    }
+}

@@ -1,0 +1,208 @@
+//! Fault injection: packet-loss processes.
+//!
+//! Two models cover the study's needs: independent (Bernoulli) loss for the
+//! NS3-style validation sweeps, and Gilbert–Elliott two-state bursts for
+//! realistic congestion-episode loss (losses on the Internet cluster).
+
+use rand::Rng;
+
+/// A packet-loss process. Stateful: call [`LossModel::is_lost`] once per
+/// packet in transmission order.
+#[derive(Debug, Clone)]
+pub enum LossModel {
+    /// No loss ever.
+    None,
+    /// Each packet lost independently with probability `p`.
+    Bernoulli {
+        /// Loss probability in [0, 1].
+        p: f64,
+    },
+    /// Gilbert–Elliott: a hidden good/bad channel state; packets are lost
+    /// with probability `loss_bad` while in the bad state.
+    GilbertElliott {
+        /// P(good → bad) per packet.
+        p_enter_bad: f64,
+        /// P(bad → good) per packet.
+        p_exit_bad: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+        /// Current state (true = bad).
+        in_bad: bool,
+    },
+}
+
+impl LossModel {
+    /// Independent loss with probability `p`.
+    pub fn bernoulli(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p}");
+        if p == 0.0 {
+            LossModel::None
+        } else {
+            LossModel::Bernoulli { p }
+        }
+    }
+
+    /// Bursty loss. With defaults `p_enter_bad` small and `p_exit_bad`
+    /// moderate, average loss ≈ `loss_bad · p_enter/(p_enter+p_exit)`.
+    pub fn gilbert_elliott(p_enter_bad: f64, p_exit_bad: f64, loss_bad: f64) -> Self {
+        for p in [p_enter_bad, p_exit_bad, loss_bad] {
+            assert!((0.0..=1.0).contains(&p), "probability {p}");
+        }
+        LossModel::GilbertElliott { p_enter_bad, p_exit_bad, loss_bad, in_bad: false }
+    }
+
+    /// Decide the fate of the next packet.
+    pub fn is_lost<R: Rng>(&mut self, rng: &mut R) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => rng.gen::<f64>() < *p,
+            LossModel::GilbertElliott { p_enter_bad, p_exit_bad, loss_bad, in_bad } => {
+                if *in_bad {
+                    if rng.gen::<f64>() < *p_exit_bad {
+                        *in_bad = false;
+                    }
+                } else if rng.gen::<f64>() < *p_enter_bad {
+                    *in_bad = true;
+                }
+                *in_bad && rng.gen::<f64>() < *loss_bad
+            }
+        }
+    }
+
+    /// Long-run expected loss rate of the process.
+    pub fn expected_rate(&self) -> f64 {
+        match self {
+            LossModel::None => 0.0,
+            LossModel::Bernoulli { p } => *p,
+            LossModel::GilbertElliott { p_enter_bad, p_exit_bad, loss_bad, .. } => {
+                if *p_enter_bad + *p_exit_bad == 0.0 {
+                    0.0
+                } else {
+                    loss_bad * p_enter_bad / (p_enter_bad + p_exit_bad)
+                }
+            }
+        }
+    }
+}
+
+/// Token-bucket policer: packets that arrive with an empty bucket are
+/// dropped (hard policing, not shaping). Rates in bits/second, burst in
+/// bytes. The paper identifies policing as a key reason high-RTT clients
+/// fail to sustain goodput.
+#[derive(Debug, Clone)]
+pub struct Policer {
+    rate_bps: u64,
+    burst_bytes: u64,
+    tokens: f64,
+    last_refill: edgeperf_tcp::Nanos,
+}
+
+impl Policer {
+    /// New policer with a full bucket.
+    pub fn new(rate_bps: u64, burst_bytes: u64) -> Self {
+        assert!(rate_bps > 0 && burst_bytes > 0);
+        Policer { rate_bps, burst_bytes, tokens: burst_bytes as f64, last_refill: 0 }
+    }
+
+    /// Offer a packet of `bytes` at time `now`; true = pass, false = drop.
+    pub fn admit(&mut self, now: edgeperf_tcp::Nanos, bytes: u32) -> bool {
+        let elapsed = now.saturating_sub(self.last_refill);
+        self.last_refill = now;
+        self.tokens = (self.tokens
+            + elapsed as f64 * self.rate_bps as f64 / 8.0 / edgeperf_tcp::SECOND as f64)
+            .min(self.burst_bytes as f64);
+        if self.tokens >= bytes as f64 {
+            self.tokens -= bytes as f64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgeperf_tcp::{MILLISECOND, SECOND};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng as SmallRng;
+
+    #[test]
+    fn none_never_loses() {
+        let mut m = LossModel::None;
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!((0..1000).all(|_| !m.is_lost(&mut rng)));
+    }
+
+    #[test]
+    fn bernoulli_rate_is_approximately_p() {
+        let mut m = LossModel::bernoulli(0.1);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let lost = (0..100_000).filter(|_| m.is_lost(&mut rng)).count();
+        let rate = lost as f64 / 100_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn bernoulli_zero_collapses_to_none() {
+        assert!(matches!(LossModel::bernoulli(0.0), LossModel::None));
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_rate() {
+        let mut m = LossModel::gilbert_elliott(0.01, 0.2, 0.5);
+        let expect = m.expected_rate();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let lost = (0..400_000).filter(|_| m.is_lost(&mut rng)).count();
+        let rate = lost as f64 / 400_000.0;
+        assert!((rate - expect).abs() < 0.005, "rate = {rate}, expect = {expect}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Compare the number of loss "runs" with Bernoulli at equal rate:
+        // bursty loss has fewer, longer runs.
+        let mut ge = LossModel::gilbert_elliott(0.01, 0.2, 0.9);
+        let rate = ge.expected_rate();
+        let mut be = LossModel::bernoulli(rate);
+        let mut rng1 = SmallRng::seed_from_u64(3);
+        let mut rng2 = SmallRng::seed_from_u64(3);
+        let runs = |seq: Vec<bool>| {
+            seq.windows(2).filter(|w| !w[0] && w[1]).count()
+        };
+        let ge_seq: Vec<bool> = (0..200_000).map(|_| ge.is_lost(&mut rng1)).collect();
+        let be_seq: Vec<bool> = (0..200_000).map(|_| be.is_lost(&mut rng2)).collect();
+        let (ge_losses, be_losses) =
+            (ge_seq.iter().filter(|&&l| l).count(), be_seq.iter().filter(|&&l| l).count());
+        // Rates should be in the same ballpark…
+        assert!((ge_losses as f64 / be_losses as f64 - 1.0).abs() < 0.25);
+        // …but GE loss events cluster into fewer runs.
+        assert!(runs(ge_seq) < runs(be_seq) / 2);
+    }
+
+    #[test]
+    fn policer_admits_within_rate() {
+        // 1 Mbps, 10 kB burst. Initial burst passes, sustained overload drops.
+        let mut p = Policer::new(1_000_000, 10_000);
+        assert!(p.admit(0, 5_000));
+        assert!(p.admit(0, 5_000));
+        assert!(!p.admit(0, 1_500)); // bucket empty
+        // After 100 ms, 12.5 kB accrued (capped at 10 kB burst).
+        assert!(p.admit(100 * MILLISECOND, 10_000));
+        assert!(!p.admit(100 * MILLISECOND, 1));
+    }
+
+    #[test]
+    fn policer_steady_state_rate() {
+        let mut p = Policer::new(8_000_000, 2_000); // 1 MB/s
+        let mut admitted = 0u64;
+        for i in 0..10_000 {
+            let t = i * (SECOND / 1000); // one packet per ms for 10 s
+            if p.admit(t, 1_500) {
+                admitted += 1_500;
+            }
+        }
+        let rate = admitted as f64 / 10.0; // bytes/sec
+        assert!((rate - 1_000_000.0).abs() < 50_000.0, "rate = {rate}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests over the simulators' public API.
+
+use edgeperf_netsim::{FastFlow, FlowSim, PathConfig, PathState};
+use edgeperf_tcp::{TcpConfig, MILLISECOND, SECOND};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Packet-level flows deliver every byte on loss-free paths, and the
+    /// transfer time is bounded below by both serialization and one RTT.
+    #[test]
+    fn clean_flow_conserves_bytes_and_respects_floors(
+        bytes in 1_000u64..300_000,
+        bw_mbps in 1u64..50,
+        rtt_ms in 5u64..150,
+        iw in 2u32..20,
+    ) {
+        let bw = bw_mbps * 1_000_000;
+        let mut sim = FlowSim::new(
+            TcpConfig::ns3_validation(iw),
+            PathConfig::ideal(bw, rtt_ms * MILLISECOND),
+            1,
+        );
+        sim.schedule_write(0, bytes);
+        let res = sim.run(3_600 * SECOND);
+        prop_assert_eq!(res.info.bytes_acked, bytes);
+        let t = res.writes[0].t_full_ack.unwrap();
+        prop_assert!(t >= rtt_ms * MILLISECOND);
+        // Serialization floor (payload only; headers make it strictly larger).
+        let ser_floor = bytes * 8 * SECOND / bw;
+        prop_assert!(t + MILLISECOND >= ser_floor, "t={t} ser_floor={ser_floor}");
+    }
+
+    /// Fast-model transfer time is monotone in transfer size on clean
+    /// paths, and Wnic equals the pre-transfer window.
+    #[test]
+    fn fastsim_monotone_in_bytes(
+        b1 in 1_000u64..500_000,
+        extra in 1u64..500_000,
+        bw_mbps in 1u64..50,
+        rtt_ms in 5u64..150,
+    ) {
+        let st = PathState {
+            base_rtt: rtt_ms * MILLISECOND,
+            standing_queue: 0,
+            jitter_max: 0,
+            bottleneck_bps: bw_mbps * 1_000_000,
+            loss: 0.0,
+        };
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut f1 = FastFlow::new(TcpConfig::default());
+        let w = f1.cwnd();
+        let t1 = f1.transfer(b1, &st, &mut rng);
+        prop_assert_eq!(t1.wnic, w);
+        let mut f2 = FastFlow::new(TcpConfig::default());
+        let t2 = f2.transfer(b1 + extra, &st, &mut rng);
+        prop_assert!(t2.ttotal >= t1.ttotal, "{} vs {}", t2.ttotal, t1.ttotal);
+    }
+
+    /// The fast model's MinRTT sample never dips below the path floor.
+    #[test]
+    fn fastsim_min_rtt_at_least_floor(
+        bytes in 1_000u64..200_000,
+        rtt_ms in 5u64..150,
+        queue_ms in 0u64..40,
+        jitter_ms in 0u64..20,
+    ) {
+        let st = PathState {
+            base_rtt: rtt_ms * MILLISECOND,
+            standing_queue: queue_ms * MILLISECOND,
+            jitter_max: jitter_ms * MILLISECOND,
+            bottleneck_bps: 10_000_000,
+            loss: 0.0,
+        };
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut f = FastFlow::new(TcpConfig::default());
+        let tr = f.transfer(bytes, &st, &mut rng);
+        prop_assert!(tr.min_rtt_sample >= st.rtt_floor());
+        prop_assert!(tr.min_rtt_sample <= st.rtt_floor() + jitter_ms * MILLISECOND);
+    }
+}

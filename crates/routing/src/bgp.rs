@@ -1,0 +1,198 @@
+//! BGP update processing: announcements and withdrawals driving best-path
+//! changes.
+//!
+//! The paper's §6 analysis assumes each PoP holds a ranked set of routes
+//! per prefix that changes as peers announce and withdraw ("opportunities
+//! to improve MinRTT may arise due to temporary path changes, e.g., when
+//! the normal path is unavailable", §6.2.1). This module is that moving
+//! part: apply updates to a [`Rib`] and observe best-path transitions —
+//! the events a measurement-driven egress controller must react to.
+
+use crate::rib::Rib;
+use crate::types::{Prefix, Route, RouteId};
+
+/// A BGP update from a neighbor.
+#[derive(Debug, Clone)]
+pub enum Update {
+    /// A route announcement (replaces any prior announcement with the
+    /// same route id).
+    Announce(Route),
+    /// Withdrawal of a previously announced route.
+    Withdraw {
+        /// Prefix the withdrawal applies to.
+        prefix: Prefix,
+        /// Which announcement is withdrawn.
+        id: RouteId,
+    },
+}
+
+/// What happened to the best path as a result of an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BestPathChange {
+    /// The prefix gained its first route.
+    NewBest(RouteId),
+    /// The best route changed.
+    Changed {
+        /// Previous best.
+        from: RouteId,
+        /// New best.
+        to: RouteId,
+    },
+    /// The prefix lost its last route.
+    Lost,
+    /// Best path unchanged.
+    Unchanged,
+}
+
+/// A RIB plus update bookkeeping: best-path transitions and churn counts.
+#[derive(Debug, Default, Clone)]
+pub struct BgpProcessor {
+    rib: Rib,
+    /// Total updates applied.
+    pub updates_applied: u64,
+    /// Updates that changed a best path.
+    pub best_path_changes: u64,
+}
+
+impl BgpProcessor {
+    /// Empty processor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying RIB (for lookups and ranked route sets).
+    pub fn rib(&self) -> &Rib {
+        &self.rib
+    }
+
+    /// Current best route for a prefix.
+    pub fn best(&self, prefix: &Prefix) -> Option<RouteId> {
+        self.rib.ranked(prefix).first().map(|r| r.id)
+    }
+
+    /// Apply one update, returning the best-path transition it caused.
+    pub fn apply(&mut self, update: Update) -> BestPathChange {
+        self.updates_applied += 1;
+        let prefix = match &update {
+            Update::Announce(r) => r.prefix,
+            Update::Withdraw { prefix, .. } => *prefix,
+        };
+        let before = self.best(&prefix);
+        match update {
+            Update::Announce(route) => {
+                // Implicit replace of a prior announcement with this id.
+                self.rib.remove(&prefix, route.id);
+                self.rib.insert(route);
+            }
+            Update::Withdraw { prefix, id } => {
+                self.rib.remove(&prefix, id);
+            }
+        }
+        let after = self.best(&prefix);
+        let change = match (before, after) {
+            (None, Some(id)) => BestPathChange::NewBest(id),
+            (Some(_), None) => BestPathChange::Lost,
+            (Some(a), Some(b)) if a != b => BestPathChange::Changed { from: a, to: b },
+            _ => BestPathChange::Unchanged,
+        };
+        if change != BestPathChange::Unchanged {
+            self.best_path_changes += 1;
+        }
+        change
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{AsPath, Asn, Relationship};
+
+    fn route(id: u32, rel: Relationship, path: &[u32]) -> Route {
+        Route {
+            id: RouteId(id),
+            prefix: Prefix::new(0x0A000000, 16),
+            as_path: AsPath(path.iter().map(|&a| Asn(a)).collect()),
+            relationship: rel,
+            capacity_bps: 10_000_000_000,
+        }
+    }
+
+    fn prefix() -> Prefix {
+        Prefix::new(0x0A000000, 16)
+    }
+
+    #[test]
+    fn first_announcement_is_new_best() {
+        let mut p = BgpProcessor::new();
+        let c = p.apply(Update::Announce(route(1, Relationship::Transit, &[3356, 7018])));
+        assert_eq!(c, BestPathChange::NewBest(RouteId(1)));
+        assert_eq!(p.best(&prefix()), Some(RouteId(1)));
+    }
+
+    #[test]
+    fn better_announcement_takes_over() {
+        let mut p = BgpProcessor::new();
+        p.apply(Update::Announce(route(1, Relationship::Transit, &[3356, 7018])));
+        let c = p.apply(Update::Announce(route(2, Relationship::PrivatePeer, &[7018])));
+        assert_eq!(c, BestPathChange::Changed { from: RouteId(1), to: RouteId(2) });
+    }
+
+    #[test]
+    fn worse_announcement_leaves_best_unchanged() {
+        let mut p = BgpProcessor::new();
+        p.apply(Update::Announce(route(1, Relationship::PrivatePeer, &[7018])));
+        let c = p.apply(Update::Announce(route(2, Relationship::Transit, &[1299, 64500, 7018])));
+        assert_eq!(c, BestPathChange::Unchanged);
+        assert_eq!(p.rib().ranked(&prefix()).len(), 2);
+    }
+
+    #[test]
+    fn withdrawing_best_promotes_alternate() {
+        let mut p = BgpProcessor::new();
+        p.apply(Update::Announce(route(1, Relationship::PrivatePeer, &[7018])));
+        p.apply(Update::Announce(route(2, Relationship::Transit, &[3356, 7018])));
+        let c = p.apply(Update::Withdraw { prefix: prefix(), id: RouteId(1) });
+        assert_eq!(c, BestPathChange::Changed { from: RouteId(1), to: RouteId(2) });
+    }
+
+    #[test]
+    fn withdrawing_last_route_loses_prefix() {
+        let mut p = BgpProcessor::new();
+        p.apply(Update::Announce(route(1, Relationship::Transit, &[7018])));
+        let c = p.apply(Update::Withdraw { prefix: prefix(), id: RouteId(1) });
+        assert_eq!(c, BestPathChange::Lost);
+        assert_eq!(p.best(&prefix()), None);
+    }
+
+    #[test]
+    fn withdraw_of_unknown_route_is_noop() {
+        let mut p = BgpProcessor::new();
+        p.apply(Update::Announce(route(1, Relationship::Transit, &[7018])));
+        let c = p.apply(Update::Withdraw { prefix: prefix(), id: RouteId(9) });
+        assert_eq!(c, BestPathChange::Unchanged);
+    }
+
+    #[test]
+    fn implicit_replace_updates_attributes() {
+        let mut p = BgpProcessor::new();
+        p.apply(Update::Announce(route(1, Relationship::PrivatePeer, &[7018])));
+        p.apply(Update::Announce(route(2, Relationship::PublicPeer, &[7018])));
+        // Re-announce id 1 with a prepended path: it should now lose.
+        let c = p.apply(Update::Announce(route(1, Relationship::PrivatePeer, &[7018, 7018, 7018])));
+        // Peer class beats… both are peers; id1 now longer → id2 best.
+        assert_eq!(c, BestPathChange::Changed { from: RouteId(1), to: RouteId(2) });
+        assert_eq!(p.rib().ranked(&prefix()).len(), 2, "replace must not duplicate");
+    }
+
+    #[test]
+    fn churn_counters_track_changes() {
+        let mut p = BgpProcessor::new();
+        p.apply(Update::Announce(route(1, Relationship::Transit, &[3356, 7018])));
+        p.apply(Update::Announce(route(2, Relationship::Transit, &[1299, 64500, 7018])));
+        p.apply(Update::Withdraw { prefix: prefix(), id: RouteId(1) });
+        p.apply(Update::Withdraw { prefix: prefix(), id: RouteId(2) });
+        assert_eq!(p.updates_applied, 4);
+        // NewBest, Unchanged, Changed, Lost → 3 best-path changes.
+        assert_eq!(p.best_path_changes, 3);
+    }
+}

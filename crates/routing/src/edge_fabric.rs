@@ -1,0 +1,203 @@
+//! Edge-Fabric-style egress control (paper §2.2.3, [55]).
+//!
+//! Two responsibilities:
+//!
+//! 1. **Ordinary traffic**: when the preferred route's interconnect
+//!    approaches capacity, detour the overflow onto the next-best route,
+//!    preventing self-inflicted congestion at the edge.
+//! 2. **Sampled sessions**: pin routes deterministically so the
+//!    measurement dataset continuously covers the preferred route *and*
+//!    the best alternates, immune to the controller's shifts. The paper
+//!    routes ≈47% of sampled sessions via the best path and splits the
+//!    rest across (by default two) alternates.
+
+use crate::rib::Rib;
+use crate::types::{Prefix, Route};
+
+/// Where a session was placed and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteChoice {
+    /// Index into the policy-ranked route list (0 = preferred).
+    pub rank: usize,
+    /// True when the placement was a measurement pin (sampled session)
+    /// rather than a capacity detour.
+    pub pinned: bool,
+}
+
+/// Egress controller state for one PoP.
+#[derive(Debug, Clone)]
+pub struct EdgeFabric {
+    /// Fraction of sampled sessions pinned to the preferred route.
+    pub preferred_fraction: f64,
+    /// Number of alternate routes to measure (the paper uses 2).
+    pub alternates: usize,
+    /// Utilization (0–1) above which ordinary traffic detours.
+    pub detour_threshold: f64,
+}
+
+impl Default for EdgeFabric {
+    fn default() -> Self {
+        EdgeFabric { preferred_fraction: 0.47, alternates: 2, detour_threshold: 0.95 }
+    }
+}
+
+impl EdgeFabric {
+    /// Pin a *sampled* session to a route rank. Deterministic in the
+    /// session id: ≈`preferred_fraction` of sessions go to rank 0, the
+    /// rest split evenly across ranks 1..=alternates (clamped to the
+    /// routes actually available).
+    pub fn pin_sampled(&self, session_id: u64, available_routes: usize) -> RouteChoice {
+        assert!(available_routes > 0, "no routes");
+        let h = splitmix64(session_id);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let rank = if u < self.preferred_fraction || available_routes == 1 {
+            0
+        } else {
+            let alts = self.alternates.min(available_routes - 1).max(1);
+            let slot = ((u - self.preferred_fraction) / (1.0 - self.preferred_fraction)
+                * alts as f64) as usize;
+            1 + slot.min(alts - 1)
+        };
+        RouteChoice { rank, pinned: true }
+    }
+
+    /// Place ordinary (unsampled) traffic given current interface
+    /// utilizations (same order as `routes`): use the preferred route
+    /// unless it is above the detour threshold, else the first route
+    /// below threshold (falling back to the least-utilized).
+    pub fn place_ordinary(&self, routes: &[&Route], utilization: &[f64]) -> RouteChoice {
+        assert!(!routes.is_empty());
+        assert_eq!(routes.len(), utilization.len());
+        for (rank, &u) in utilization.iter().enumerate() {
+            if u < self.detour_threshold {
+                return RouteChoice { rank, pinned: false };
+            }
+        }
+        // All hot: pick the least loaded.
+        let rank = utilization
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        RouteChoice { rank, pinned: false }
+    }
+
+    /// Convenience: ranked routes for a prefix from a RIB, limited to the
+    /// preferred route plus the configured number of alternates.
+    pub fn measured_routes<'a>(&self, rib: &'a Rib, prefix: &Prefix) -> Vec<&'a Route> {
+        let mut rs = rib.ranked(prefix);
+        rs.truncate(1 + self.alternates);
+        rs
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{AsPath, Asn, Relationship, RouteId};
+
+    fn mk_route(id: u32) -> Route {
+        Route {
+            id: RouteId(id),
+            prefix: Prefix::new(0x0A000000, 16),
+            as_path: AsPath(vec![Asn(7018)]),
+            relationship: Relationship::PrivatePeer,
+            capacity_bps: 1_000_000_000,
+        }
+    }
+
+    #[test]
+    fn pinning_splits_as_configured() {
+        let ef = EdgeFabric::default();
+        let n = 100_000u64;
+        let mut counts = [0usize; 3];
+        for id in 0..n {
+            let c = ef.pin_sampled(id, 3);
+            counts[c.rank] += 1;
+            assert!(c.pinned);
+        }
+        let f0 = counts[0] as f64 / n as f64;
+        assert!((f0 - 0.47).abs() < 0.01, "preferred fraction {f0}");
+        // Alternates split the rest roughly evenly.
+        let f1 = counts[1] as f64 / n as f64;
+        let f2 = counts[2] as f64 / n as f64;
+        assert!((f1 - 0.265).abs() < 0.01, "{f1}");
+        assert!((f2 - 0.265).abs() < 0.01, "{f2}");
+    }
+
+    #[test]
+    fn pinning_is_deterministic() {
+        let ef = EdgeFabric::default();
+        assert_eq!(ef.pin_sampled(777, 3), ef.pin_sampled(777, 3));
+    }
+
+    #[test]
+    fn single_route_always_rank_zero() {
+        let ef = EdgeFabric::default();
+        for id in 0..100 {
+            assert_eq!(ef.pin_sampled(id, 1).rank, 0);
+        }
+    }
+
+    #[test]
+    fn two_routes_use_one_alternate() {
+        let ef = EdgeFabric::default();
+        for id in 0..1000 {
+            let r = ef.pin_sampled(id, 2).rank;
+            assert!(r <= 1);
+        }
+    }
+
+    #[test]
+    fn ordinary_traffic_prefers_rank_zero_when_cool() {
+        let ef = EdgeFabric::default();
+        let r0 = mk_route(0);
+        let r1 = mk_route(1);
+        let routes = vec![&r0, &r1];
+        let c = ef.place_ordinary(&routes, &[0.5, 0.1]);
+        assert_eq!(c.rank, 0);
+        assert!(!c.pinned);
+    }
+
+    #[test]
+    fn ordinary_traffic_detours_when_hot() {
+        let ef = EdgeFabric::default();
+        let r0 = mk_route(0);
+        let r1 = mk_route(1);
+        let routes = vec![&r0, &r1];
+        let c = ef.place_ordinary(&routes, &[0.99, 0.3]);
+        assert_eq!(c.rank, 1);
+    }
+
+    #[test]
+    fn all_hot_picks_least_loaded() {
+        let ef = EdgeFabric::default();
+        let r0 = mk_route(0);
+        let r1 = mk_route(1);
+        let r2 = mk_route(2);
+        let routes = vec![&r0, &r1, &r2];
+        let c = ef.place_ordinary(&routes, &[0.99, 0.96, 0.98]);
+        assert_eq!(c.rank, 1);
+    }
+
+    #[test]
+    fn measured_routes_truncates_to_three() {
+        let mut rib = Rib::new();
+        let pre = Prefix::new(0x0A000000, 16);
+        for i in 0..5 {
+            let mut r = mk_route(i);
+            r.relationship = Relationship::Transit;
+            rib.insert(r);
+        }
+        let ef = EdgeFabric::default();
+        assert_eq!(ef.measured_routes(&rib, &pre).len(), 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! BGP-style egress routing substrate (paper §§2.1, 2.2.3 and 6.1).
+//!
+//! Models the routing machinery the paper's opportunity analysis sits on:
+//!
+//! - [`types`]: prefixes, AS paths, peering relationship types.
+//! - [`rib`]: a per-PoP routing table with longest-prefix match and the
+//!   paper's four-tiebreaker preference order: (1) longest matching
+//!   prefix, (2) prefer peer routes, (3) prefer shorter AS paths,
+//!   (4) prefer private interconnects (PNI) over public exchanges.
+//! - [`prepend`]: AS-path prepending detection (§6.2.2 — prepended
+//!   alternates signal ingress traffic engineering and are deprioritized).
+//! - [`edge_fabric`]: the egress controller — capacity-aware overflow
+//!   detouring for ordinary traffic plus deterministic route *pinning*
+//!   for sampled sessions, so measurements continuously cover the
+//!   preferred route and the best alternates regardless of the
+//!   controller's shifts (§2.2.3).
+
+pub mod bgp;
+pub mod edge_fabric;
+pub mod prepend;
+pub mod rib;
+pub mod types;
+
+pub use bgp::{BestPathChange, BgpProcessor, Update};
+pub use edge_fabric::{EdgeFabric, RouteChoice};
+pub use prepend::{is_prepended, prepended_more, stripped_len};
+pub use rib::Rib;
+pub use types::{AsPath, Asn, PopId, Prefix, Relationship, Route, RouteId};

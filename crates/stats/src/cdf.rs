@@ -1,0 +1,191 @@
+//! Traffic-weighted empirical CDFs.
+//!
+//! Every distribution figure in the paper ("Cumulative Fraction of
+//! Sessions", "Cum. Fraction of Traffic") is a weighted empirical CDF; this
+//! module builds them and renders evenly spaced series suitable for
+//! plotting or table output.
+
+/// A finalized weighted empirical CDF.
+#[derive(Debug, Clone)]
+pub struct WeightedCdf {
+    /// (value, cumulative weight through this value), sorted by value.
+    points: Vec<(f64, f64)>,
+    total: f64,
+}
+
+/// Builder: accumulate (value, weight) pairs, then [`CdfBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct CdfBuilder {
+    items: Vec<(f64, f64)>,
+}
+
+impl CdfBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sample with weight 1.
+    pub fn push(&mut self, value: f64) {
+        self.push_weighted(value, 1.0);
+    }
+
+    /// Add a sample with a traffic weight.
+    pub fn push_weighted(&mut self, value: f64, weight: f64) {
+        assert!(value.is_finite() && weight >= 0.0, "bad cdf point ({value}, {weight})");
+        if weight > 0.0 {
+            self.items.push((value, weight));
+        }
+    }
+
+    /// Number of samples added so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no samples were added.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sort and accumulate into a queryable CDF.
+    ///
+    /// # Panics
+    /// Panics if no samples were added.
+    pub fn build(mut self) -> WeightedCdf {
+        assert!(!self.items.is_empty(), "CDF of no samples");
+        self.items.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut points = Vec::with_capacity(self.items.len());
+        let mut acc = 0.0;
+        for (v, w) in self.items {
+            acc += w;
+            // Collapse duplicate values to the last cumulative weight.
+            match points.last_mut() {
+                Some((pv, pw)) if *pv == v => *pw = acc,
+                _ => points.push((v, acc)),
+            }
+        }
+        WeightedCdf { total: acc, points }
+    }
+}
+
+impl WeightedCdf {
+    /// Fraction of weight at values ≤ `x`.
+    pub fn fraction_leq(&self, x: f64) -> f64 {
+        match self.points.binary_search_by(|p| p.0.partial_cmp(&x).unwrap()) {
+            Ok(i) => self.points[i].1 / self.total,
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1 / self.total,
+        }
+    }
+
+    /// Smallest value whose cumulative fraction reaches `q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let target = q * self.total;
+        let idx = self.points.partition_point(|p| p.1 < target);
+        self.points[idx.min(self.points.len() - 1)].0
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Render `n` evenly spaced (value, fraction) pairs across the value
+    /// range — the series a figure plots.
+    pub fn series(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2);
+        let lo = self.points.first().unwrap().0;
+        let hi = self.points.last().unwrap().0;
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.fraction_leq(x))
+            })
+            .collect()
+    }
+
+    /// Render (quantile value) pairs at the given cumulative fractions —
+    /// useful for "p50/p80/p99" style table rows.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<(f64, f64)> {
+        qs.iter().map(|&q| (q, self.quantile(q))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> WeightedCdf {
+        let mut b = CdfBuilder::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            b.push(v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fraction_leq_basic() {
+        let c = simple();
+        assert_eq!(c.fraction_leq(0.5), 0.0);
+        assert_eq!(c.fraction_leq(1.0), 0.25);
+        assert_eq!(c.fraction_leq(2.5), 0.5);
+        assert_eq!(c.fraction_leq(4.0), 1.0);
+        assert_eq!(c.fraction_leq(99.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_is_left_continuous_inverse() {
+        let c = simple();
+        assert_eq!(c.quantile(0.25), 1.0);
+        assert_eq!(c.quantile(0.26), 2.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn weights_shift_mass() {
+        let mut b = CdfBuilder::new();
+        b.push_weighted(1.0, 99.0);
+        b.push_weighted(100.0, 1.0);
+        let c = b.build();
+        assert_eq!(c.quantile(0.5), 1.0);
+        assert!((c.fraction_leq(1.0) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_values_collapse() {
+        let mut b = CdfBuilder::new();
+        for _ in 0..10 {
+            b.push(5.0);
+        }
+        b.push(6.0);
+        let c = b.build();
+        assert!((c.fraction_leq(5.0) - 10.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let mut b = CdfBuilder::new();
+        for i in 0..100 {
+            b.push((i as f64 * 0.37).sin() * 10.0);
+        }
+        let s = b.build().series(50);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(s.first().unwrap().1, s[0].1);
+        assert!((s.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_points_are_dropped() {
+        let mut b = CdfBuilder::new();
+        b.push_weighted(1.0, 0.0);
+        b.push(2.0);
+        let c = b.build();
+        assert_eq!(c.total_weight(), 1.0);
+        assert_eq!(c.fraction_leq(1.5), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Statistical substrate for edgeperf.
+//!
+//! Implements the statistical machinery §3.3–3.4 of the paper relies on:
+//!
+//! - [`TDigest`]: the streaming quantile sketch the paper cites (Dunning &
+//!   Ertl) for production use in near-real-time comparisons.
+//! - [`median_ci`]: distribution-free confidence intervals for a median and
+//!   for the *difference* of two medians (Price & Bonett 2002), used to
+//!   separate measurement noise from statistically significant degradation
+//!   or routing opportunity.
+//! - [`quantile`]: exact and weighted quantiles on finite samples.
+//! - [`cdf`]: traffic-weighted empirical CDFs used to render the paper's
+//!   figures.
+//! - [`dist`]: the normal/binomial helper functions the above need.
+
+pub mod cdf;
+pub mod dist;
+pub mod median_ci;
+pub mod quantile;
+pub mod summary;
+pub mod tdigest;
+
+pub use cdf::WeightedCdf;
+pub use median_ci::{diff_of_medians_ci, median_ci, DiffCi, MedianCi};
+pub use quantile::{quantile_sorted, quantile_unsorted, weighted_quantile};
+pub use summary::Summary;
+pub use tdigest::TDigest;

@@ -1,0 +1,125 @@
+//! Exact and weighted quantiles on finite samples.
+//!
+//! The analysis pipeline aggregates at most a few thousand sessions per
+//! (user group, window) aggregation, so exact order statistics are cheap;
+//! t-digests are reserved for the global, streaming figures.
+
+/// Linear-interpolated quantile of an already **sorted** slice.
+///
+/// Uses the common "type 7" (R default) definition: the quantile at rank
+/// `q * (n - 1)` with linear interpolation between neighbours.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `q` is outside [0, 1].
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1], got {q}");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Quantile of an unsorted slice (copies and sorts internally).
+pub fn quantile_unsorted(values: &[f64], q: f64) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&v, q)
+}
+
+/// Median convenience wrapper.
+pub fn median_sorted(sorted: &[f64]) -> f64 {
+    quantile_sorted(sorted, 0.5)
+}
+
+/// Weighted quantile: the smallest value v such that the cumulative weight
+/// of samples ≤ v reaches `q` of the total weight.
+///
+/// `items` need not be sorted; weights must be non-negative with a positive
+/// sum. This is the primitive behind "X% of *traffic*" statements, where a
+/// sample's weight is its traffic volume.
+pub fn weighted_quantile(items: &[(f64, f64)], q: f64) -> f64 {
+    assert!(!items.is_empty(), "weighted quantile of empty input");
+    assert!((0.0..=1.0).contains(&q));
+    let mut v: Vec<(f64, f64)> = items
+        .iter()
+        .copied()
+        .inspect(|&(x, w)| {
+            assert!(w >= 0.0 && x.is_finite(), "bad item ({x}, {w})");
+        })
+        .collect();
+    v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let total: f64 = v.iter().map(|&(_, w)| w).sum();
+    assert!(total > 0.0, "weighted quantile needs positive total weight");
+    let target = q * total;
+    let mut acc = 0.0;
+    for &(x, w) in &v {
+        acc += w;
+        if acc >= target {
+            return x;
+        }
+    }
+    v.last().unwrap().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile_sorted(&[42.0], 0.0), 42.0);
+        assert_eq!(quantile_sorted(&[42.0], 0.5), 42.0);
+        assert_eq!(quantile_sorted(&[42.0], 1.0), 42.0);
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile_sorted(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&v, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 4.0);
+    }
+
+    #[test]
+    fn median_odd_is_middle() {
+        assert_eq!(median_sorted(&[1.0, 5.0, 9.0]), 5.0);
+    }
+
+    #[test]
+    fn unsorted_matches_sorted() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(quantile_unsorted(&v, 0.5), 2.0);
+    }
+
+    #[test]
+    fn weighted_quantile_respects_weights() {
+        // 1.0 carries 90% of weight: every quantile up to 0.9 is 1.0.
+        let items = [(1.0, 9.0), (100.0, 1.0)];
+        assert_eq!(weighted_quantile(&items, 0.5), 1.0);
+        assert_eq!(weighted_quantile(&items, 0.89), 1.0);
+        assert_eq!(weighted_quantile(&items, 0.95), 100.0);
+    }
+
+    #[test]
+    fn weighted_quantile_uniform_weights_match_unweighted_rank() {
+        let items: Vec<(f64, f64)> = (1..=100).map(|i| (i as f64, 1.0)).collect();
+        assert_eq!(weighted_quantile(&items, 0.5), 50.0);
+        assert_eq!(weighted_quantile(&items, 0.9), 90.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_input_panics() {
+        quantile_sorted(&[], 0.5);
+    }
+}

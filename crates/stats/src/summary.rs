@@ -1,0 +1,153 @@
+//! Streaming scalar summaries (count / mean / min / max / variance).
+//!
+//! Used for dataset characterization and for sanity assertions in tests and
+//! experiment harnesses. Variance uses Welford's online algorithm.
+
+/// Online summary of a stream of f64 samples.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite sample {x}");
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest sample; +inf for an empty summary.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample; -inf for an empty summary.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Unbiased sample variance; 0 when fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merge another summary into this one (parallel-friendly).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.mean = (self.mean * n1 + other.mean * n2) / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i < 37 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::new();
+        s.push(1.0);
+        s.push(2.0);
+        let before = s.clone();
+        s.merge(&Summary::new());
+        assert_eq!(s.count(), before.count());
+        assert_eq!(s.mean(), before.mean());
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Summary::new();
+        s.push(3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.mean(), 3.5);
+    }
+}

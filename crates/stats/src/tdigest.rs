@@ -1,0 +1,323 @@
+//! A merging t-digest (Dunning & Ertl, "Computing Extremely Accurate
+//! Quantiles Using t-Digests") — the streaming sketch the paper's §3.4.1
+//! footnote recommends for production traffic-engineering systems that must
+//! compare route performance in near real time.
+//!
+//! This implementation uses the `k1` scale function
+//! `k(q) = δ/(2π)·asin(2q−1)`, buffered inserts, and merge-based
+//! compression. It is deterministic: the same insertion order always yields
+//! the same digest.
+
+/// A single centroid: a weighted point approximating nearby samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Centroid {
+    /// Mean of the samples merged into this centroid.
+    pub mean: f64,
+    /// Number of samples (or total weight) merged.
+    pub weight: f64,
+}
+
+/// # Example
+///
+/// ```
+/// use edgeperf_stats::TDigest;
+/// let mut d = TDigest::new(100.0);
+/// for i in 0..10_000 {
+///     d.insert(i as f64);
+/// }
+/// let p99 = d.quantile(0.99);
+/// assert!((p99 - 9_900.0).abs() < 100.0);
+/// ```
+/// Streaming quantile sketch with bounded memory.
+#[derive(Debug, Clone)]
+pub struct TDigest {
+    compression: f64,
+    centroids: Vec<Centroid>,
+    buffer: Vec<Centroid>,
+    total_weight: f64,
+    min: f64,
+    max: f64,
+}
+
+impl TDigest {
+    /// Create a digest with the given compression δ (typical: 100).
+    /// Larger δ means more centroids and better accuracy.
+    pub fn new(compression: f64) -> Self {
+        assert!(compression >= 10.0, "compression too small: {compression}");
+        TDigest {
+            compression,
+            centroids: Vec::new(),
+            buffer: Vec::with_capacity(512),
+            total_weight: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Number of samples inserted (total weight).
+    pub fn count(&self) -> f64 {
+        self.total_weight + self.buffer.iter().map(|c| c.weight).sum::<f64>()
+    }
+
+    /// True if no samples have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0.0
+    }
+
+    /// Insert a sample with weight 1.
+    pub fn insert(&mut self, value: f64) {
+        self.insert_weighted(value, 1.0);
+    }
+
+    /// Insert a sample with an arbitrary positive weight.
+    pub fn insert_weighted(&mut self, value: f64, weight: f64) {
+        assert!(value.is_finite(), "non-finite sample {value}");
+        assert!(weight > 0.0, "non-positive weight {weight}");
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buffer.push(Centroid { mean: value, weight });
+        if self.buffer.len() >= 512 {
+            self.compress();
+        }
+    }
+
+    /// Merge another digest into this one.
+    pub fn merge(&mut self, other: &TDigest) {
+        for c in other.centroids.iter().chain(other.buffer.iter()) {
+            self.min = self.min.min(c.mean);
+            self.max = self.max.max(c.mean);
+            self.buffer.push(*c);
+            if self.buffer.len() >= 512 {
+                self.compress();
+            }
+        }
+    }
+
+    /// Scale function k1.
+    fn k(&self, q: f64) -> f64 {
+        self.compression / (2.0 * std::f64::consts::PI) * (2.0 * q - 1.0).asin()
+    }
+
+    fn compress(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut all = std::mem::take(&mut self.centroids);
+        all.append(&mut self.buffer);
+        all.sort_by(|a, b| a.mean.partial_cmp(&b.mean).unwrap());
+        let total: f64 = all.iter().map(|c| c.weight).sum();
+
+        let mut merged: Vec<Centroid> = Vec::with_capacity(all.len() / 2 + 1);
+        let mut acc = all[0];
+        let mut w_before = 0.0; // weight strictly before `acc`
+        for c in all.into_iter().skip(1) {
+            let q_lo = w_before / total;
+            let q_hi = (w_before + acc.weight + c.weight) / total;
+            if self.k(q_hi.min(1.0)) - self.k(q_lo) <= 1.0 {
+                // Merge c into acc.
+                let w = acc.weight + c.weight;
+                acc.mean += (c.mean - acc.mean) * c.weight / w;
+                acc.weight = w;
+            } else {
+                w_before += acc.weight;
+                merged.push(acc);
+                acc = c;
+            }
+        }
+        merged.push(acc);
+        self.centroids = merged;
+        self.total_weight = total;
+    }
+
+    /// Estimate the quantile `q` ∈ [0, 1].
+    ///
+    /// # Panics
+    /// Panics if the digest is empty or q outside [0, 1].
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "q out of range: {q}");
+        self.compress();
+        assert!(!self.centroids.is_empty(), "quantile of empty digest");
+        if self.centroids.len() == 1 {
+            return self.centroids[0].mean;
+        }
+        let total = self.total_weight;
+        let target = q * total;
+
+        // Walk centroids accumulating weight; interpolate between centroid
+        // midpoints, honoring exact min/max at the extremes.
+        let mut cum = 0.0;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let mid = cum + c.weight / 2.0;
+            if target < mid {
+                if i == 0 {
+                    // Between min and first centroid mean.
+                    let frac = (target / c.weight * 2.0).clamp(0.0, 1.0);
+                    return self.min + (c.mean - self.min) * frac;
+                }
+                let prev = &self.centroids[i - 1];
+                let prev_mid = cum - prev.weight / 2.0;
+                let span = mid - prev_mid;
+                let frac = if span > 0.0 { (target - prev_mid) / span } else { 0.5 };
+                return prev.mean + (c.mean - prev.mean) * frac;
+            }
+            cum += c.weight;
+        }
+        self.max
+    }
+
+    /// Estimate the fraction of samples ≤ `x` (the empirical CDF).
+    pub fn cdf(&mut self, x: f64) -> f64 {
+        self.compress();
+        assert!(!self.centroids.is_empty(), "cdf of empty digest");
+        if x < self.min {
+            return 0.0;
+        }
+        if x >= self.max {
+            return 1.0;
+        }
+        let total = self.total_weight;
+        let mut cum = 0.0;
+        for (i, c) in self.centroids.iter().enumerate() {
+            if x < c.mean {
+                if i == 0 {
+                    let span = c.mean - self.min;
+                    let frac = if span > 0.0 { (x - self.min) / span } else { 0.0 };
+                    return (c.weight / 2.0) * frac / total;
+                }
+                let prev = &self.centroids[i - 1];
+                let span = c.mean - prev.mean;
+                let frac = if span > 0.0 { (x - prev.mean) / span } else { 0.0 };
+                let prev_mid = cum - prev.weight / 2.0;
+                let mid = cum + c.weight / 2.0;
+                return (prev_mid + (mid - prev_mid) * frac) / total;
+            }
+            cum += c.weight;
+        }
+        1.0
+    }
+
+    /// Smallest sample seen.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Number of centroids currently held (after compressing).
+    pub fn centroid_count(&mut self) -> usize {
+        self.compress();
+        self.centroids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_digest(n: usize) -> TDigest {
+        let mut d = TDigest::new(100.0);
+        for i in 0..n {
+            // Golden-ratio Weyl sequence: deterministic, well spread.
+            d.insert((i as f64 * 0.6180339887498949).fract());
+        }
+        d
+    }
+
+    #[test]
+    fn quantiles_of_uniform_are_accurate() {
+        let mut d = uniform_digest(100_000);
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let est = d.quantile(q);
+            assert!((est - q).abs() < 0.01, "q={q} est={est}");
+        }
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_min_max() {
+        let mut d = TDigest::new(100.0);
+        for i in 1..=1000 {
+            d.insert(i as f64);
+        }
+        assert_eq!(d.quantile(0.0), 1.0);
+        assert_eq!(d.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        let mut d = uniform_digest(1_000_000);
+        assert!(d.centroid_count() < 200, "centroids = {}", d.centroid_count());
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_inverse_ish() {
+        let mut d = uniform_digest(50_000);
+        for &q in &[0.1, 0.5, 0.9] {
+            let x = d.quantile(q);
+            let back = d.cdf(x);
+            assert!((back - q).abs() < 0.02, "q={q} back={back}");
+        }
+    }
+
+    #[test]
+    fn merge_preserves_distribution() {
+        let mut a = TDigest::new(100.0);
+        let mut b = TDigest::new(100.0);
+        for i in 0..10_000 {
+            let v = (i as f64 * 0.6180339887498949).fract();
+            if i % 2 == 0 {
+                a.insert(v);
+            } else {
+                b.insert(v);
+            }
+        }
+        a.merge(&b);
+        assert!((a.count() - 10_000.0).abs() < 1e-9);
+        assert!((a.quantile(0.5) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn weighted_inserts_shift_quantiles() {
+        let mut d = TDigest::new(100.0);
+        d.insert_weighted(0.0, 90.0);
+        d.insert_weighted(10.0, 10.0);
+        assert!(d.quantile(0.5) <= 1.0);
+        assert!(d.quantile(0.99) > 5.0);
+    }
+
+    #[test]
+    fn single_value_digest() {
+        let mut d = TDigest::new(100.0);
+        d.insert(7.0);
+        assert_eq!(d.quantile(0.5), 7.0);
+        assert_eq!(d.cdf(8.0), 1.0);
+        assert_eq!(d.cdf(6.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_digest_quantile_panics() {
+        let mut d = TDigest::new(100.0);
+        d.quantile(0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_insert_panics() {
+        let mut d = TDigest::new(100.0);
+        d.insert(f64::NAN);
+    }
+
+    #[test]
+    fn normal_ish_distribution_median() {
+        // Sum of 4 uniforms ≈ bell curve centered at 2.
+        let mut d = TDigest::new(100.0);
+        for i in 0..40_000usize {
+            let u = |k: usize| ((i * 4 + k) as f64 * 0.6180339887498949).fract();
+            d.insert(u(0) + u(1) + u(2) + u(3));
+        }
+        assert!((d.quantile(0.5) - 2.0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests over the statistics crate's public API.
+
+use edgeperf_stats::cdf::CdfBuilder;
+use edgeperf_stats::{quantile_sorted, weighted_quantile, TDigest};
+use proptest::prelude::*;
+
+proptest! {
+    /// t-digest quantiles stay within the true order-statistic envelope
+    /// (± a small rank tolerance) for arbitrary inputs.
+    #[test]
+    fn tdigest_quantiles_are_rank_accurate(
+        mut values in prop::collection::vec(-1.0e6f64..1.0e6, 100..2_000),
+        q in 0.05f64..0.95,
+    ) {
+        let mut d = TDigest::new(100.0);
+        for &v in &values {
+            d.insert(v);
+        }
+        let est = d.quantile(q);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // The estimate must sit between the order statistics 5% of rank
+        // on either side of q.
+        let n = values.len();
+        let lo_idx = ((q - 0.05) * n as f64).floor().max(0.0) as usize;
+        let hi_idx = (((q + 0.05) * n as f64).ceil() as usize).min(n - 1);
+        prop_assert!(est >= values[lo_idx], "q={q}: {est} < {}", values[lo_idx]);
+        prop_assert!(est <= values[hi_idx], "q={q}: {est} > {}", values[hi_idx]);
+    }
+
+    /// Weighted quantile with unit weights equals the rank-based
+    /// definition on sorted data.
+    #[test]
+    fn weighted_quantile_degenerates_to_rank(
+        mut values in prop::collection::vec(-1.0e3f64..1.0e3, 5..200),
+        q in 0.0f64..=1.0,
+    ) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let items: Vec<(f64, f64)> = values.iter().map(|&v| (v, 1.0)).collect();
+        let wq = weighted_quantile(&items, q);
+        // Rank definition: smallest v with cum count >= q*n.
+        let n = values.len() as f64;
+        let target = (q * n).ceil().max(1.0) as usize;
+        let expect = values[(target - 1).min(values.len() - 1)];
+        prop_assert_eq!(wq, expect);
+    }
+
+    /// CDF quantile and fraction_leq are mutually consistent:
+    /// fraction_leq(quantile(q)) ≥ q.
+    #[test]
+    fn cdf_quantile_fraction_consistency(
+        values in prop::collection::vec(-50.0f64..50.0, 2..300),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut b = CdfBuilder::new();
+        for &v in &values {
+            b.push(v);
+        }
+        let cdf = b.build();
+        let x = cdf.quantile(q);
+        prop_assert!(cdf.fraction_leq(x) >= q - 1e-9);
+    }
+
+    /// quantile_sorted is monotone in q.
+    #[test]
+    fn quantile_monotone_in_q(
+        mut values in prop::collection::vec(-1.0e3f64..1.0e3, 2..100),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile_sorted(&values, qa) <= quantile_sorted(&values, qb) + 1e-12);
+    }
+}

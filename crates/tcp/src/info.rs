@@ -1,0 +1,31 @@
+//! `TcpInfo`: the instrumentation-visible snapshot of connection state.
+//!
+//! The paper's load balancers read kernel TCP state (à la `TCP_INFO`) at
+//! session start/end and at prescribed per-transaction points. This struct
+//! is our equivalent; in a real deployment it would be populated from
+//! `getsockopt(TCP_INFO)` (e.g. via the `nix` crate), here it is populated
+//! by the simulated sender.
+
+use crate::sender::SenderState;
+use crate::time::Nanos;
+
+/// Snapshot of sender-side TCP state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpInfo {
+    /// Congestion window in bytes.
+    pub cwnd_bytes: u32,
+    /// Slow-start threshold in bytes.
+    pub ssthresh_bytes: u32,
+    /// Bytes currently unacknowledged.
+    pub bytes_in_flight: u64,
+    /// Cumulative bytes acknowledged over the connection.
+    pub bytes_acked: u64,
+    /// Cumulative count of retransmitted segments.
+    pub retransmits: u64,
+    /// Minimum RTT observed so far, if any sample exists.
+    pub min_rtt: Option<Nanos>,
+    /// Smoothed RTT, if any sample exists.
+    pub srtt: Option<Nanos>,
+    /// Congestion state (open / recovery / loss).
+    pub state: SenderState,
+}

@@ -1,0 +1,76 @@
+//! Virtual time for the deterministic simulation stack.
+//!
+//! All simulation time is integer nanoseconds (`u64`), which removes
+//! floating-point drift from event ordering and makes runs bit-for-bit
+//! reproducible. Rates convert at the boundary: bits/second in the public
+//! API, bytes+nanoseconds internally.
+
+/// Virtual time or duration in nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROSECOND: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLISECOND: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+
+/// Convert nanoseconds to floating-point seconds (for reporting only).
+pub fn to_secs(ns: Nanos) -> f64 {
+    ns as f64 / SECOND as f64
+}
+
+/// Convert floating-point milliseconds to [`Nanos`], rounding to nearest.
+pub fn from_millis_f64(ms: f64) -> Nanos {
+    assert!(ms >= 0.0 && ms.is_finite(), "bad duration {ms} ms");
+    (ms * MILLISECOND as f64).round() as Nanos
+}
+
+/// Transmission time of `bytes` at `rate_bps` bits per second.
+///
+/// # Panics
+/// Panics if `rate_bps` is zero.
+pub fn transmission_time(bytes: u64, rate_bps: u64) -> Nanos {
+    assert!(rate_bps > 0, "zero link rate");
+    // bytes * 8 * 1e9 / rate, computed in u128 to avoid overflow.
+    ((bytes as u128 * 8 * SECOND as u128) / rate_bps as u128) as Nanos
+}
+
+/// Rate in bits/second that transfers `bytes` in `dur` nanoseconds.
+pub fn rate_bps(bytes: u64, dur: Nanos) -> f64 {
+    assert!(dur > 0, "zero duration");
+    bytes as f64 * 8.0 * SECOND as f64 / dur as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_time_examples() {
+        // 1500 B at 3 Mbps = 4 ms.
+        assert_eq!(transmission_time(1500, 3_000_000), 4 * MILLISECOND);
+        // 1 B at 8 bps = 1 s.
+        assert_eq!(transmission_time(1, 8), SECOND);
+    }
+
+    #[test]
+    fn transmission_time_no_overflow_at_scale() {
+        // 10 GB at 1 kbps — enormous duration but must not overflow u128 math.
+        let t = transmission_time(10_000_000_000, 1_000);
+        assert_eq!(t, 80_000_000 * SECOND);
+    }
+
+    #[test]
+    fn rate_round_trip() {
+        let t = transmission_time(125_000, 10_000_000); // 125 kB at 10 Mbps = 100 ms
+        assert_eq!(t, 100 * MILLISECOND);
+        assert!((rate_bps(125_000, t) - 10_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn from_millis_rounds() {
+        assert_eq!(from_millis_f64(1.5), 1_500_000);
+        assert_eq!(from_millis_f64(0.0), 0);
+    }
+}

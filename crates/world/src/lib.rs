@@ -1,0 +1,33 @@
+//! A seeded synthetic Internet for exercising the measurement pipeline.
+//!
+//! The paper's substrate — billions of users behind hundreds of thousands
+//! of BGP prefixes reaching dozens of PoPs over real interconnections —
+//! is unavailable, so this crate builds the closest synthetic equivalent
+//! (see DESIGN.md §2):
+//!
+//! - [`geo`]: continents, coordinates, and propagation-delay modelling.
+//! - [`topology`]: PoPs in real metro locations, countries with traffic
+//!   weights and access-network profiles calibrated to the paper's §4
+//!   per-continent findings, eyeball ASes, prefixes, and per-prefix route
+//!   sets ranked by the §6.1 policy.
+//! - [`dynamics`]: time-varying ground truth — diurnal destination-side
+//!   congestion, episodic route events, and two-cluster client
+//!   populations whose mix shifts with local time (the Figure-5 effect).
+//! - [`runner`]: the fleet study — generates sampled sessions per
+//!   (user group, 15-minute window, pinned route), simulates their
+//!   transfers with `edgeperf-netsim`'s fast model, measures them with
+//!   `edgeperf-core` exactly as a production load balancer would, and
+//!   emits `edgeperf-analysis` session records.
+//!
+//! Everything is deterministic in the world seed.
+
+pub mod cartographer;
+pub mod dynamics;
+pub mod geo;
+pub mod runner;
+pub mod topology;
+
+pub use cartographer::{map_cluster, ranked_pops, MappingPolicy};
+pub use geo::{distance_km, propagation_rtt_ms, Continent, GeoPoint};
+pub use runner::{run_study, StudyConfig};
+pub use topology::{ClientCluster, Pop, PrefixSite, RouteGt, World, WorldConfig};

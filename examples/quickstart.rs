@@ -1,0 +1,77 @@
+//! Quickstart: estimate user-perceived performance from server-side
+//! observations — no client cooperation, no active probes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use edgeperf::core::{
+    assemble_transactions, session_hdratio, Estimator, HttpVersion, MinRttTracker, ResponseObs,
+    SessionObs, HD_GOODPUT_BPS, MILLISECOND, SECOND,
+};
+
+fn main() {
+    // ── 1. Per-transaction estimation ────────────────────────────────
+    // A load balancer observed one response: 36 kB, first byte hit the
+    // NIC with a 14.6 kB congestion window, and the ACK covering the
+    // second-to-last packet arrived 135 ms later. Connection MinRTT was
+    // 60 ms.
+    let txn = edgeperf::core::instrument::Transaction {
+        bytes_full: 36_000,
+        bytes_measured: 34_760, // last packet excluded (delayed-ACK immunity)
+        ttotal: 135 * MILLISECOND,
+        wnic: 14_600,
+        eligible: true,
+        coalesced: 1,
+    };
+    let mut est = Estimator::new(HD_GOODPUT_BPS);
+    let outcome = est.evaluate(&txn, 60 * MILLISECOND);
+    println!("transaction can test {:.2} Mbps", outcome.gtestable_bps / 1e6);
+    println!("  testable for HD (2.5 Mbps): {}", outcome.testable);
+    println!("  achieved HD:                {}", outcome.achieved);
+
+    // ── 2. Whole-session HDratio from raw response observations ─────
+    // Three responses; the second was written back-to-back with the
+    // first (HTTP/2), so the instrumentation coalesces them.
+    let mk = |bytes: u64, t0: u64, t2: u64| ResponseObs {
+        bytes,
+        issued_at: t0,
+        first_tx: Some((t0, 14_600)),
+        t_second_last_ack: Some(t2),
+        t_full_ack: Some(t2 + 5 * MILLISECOND),
+        last_packet_bytes: Some(((bytes - 1) % 1460 + 1) as u32),
+        bytes_in_flight_at_write: 0,
+        prev_unsent_at_write: false,
+    };
+    let mut r2 = mk(20_000, 10 * MILLISECOND, 250 * MILLISECOND);
+    r2.first_tx = None; // still queued behind response 1
+    r2.prev_unsent_at_write = true;
+    r2.bytes_in_flight_at_write = 30_000;
+    let session = SessionObs {
+        responses: vec![
+            mk(80_000, 0, 250 * MILLISECOND), // coalesced with r2 below
+            r2,
+            mk(120_000, 5 * SECOND, 5 * SECOND + 400 * MILLISECOND),
+        ],
+        min_rtt: Some(60 * MILLISECOND),
+        http: HttpVersion::H2,
+        duration: 30 * SECOND,
+    };
+    let txns = assemble_transactions(&session.responses);
+    println!("\n{} responses → {} measurable transactions", session.responses.len(), txns.len());
+    let verdict = session_hdratio(&session, HD_GOODPUT_BPS).expect("has MinRTT");
+    println!(
+        "session HDratio = {:?} ({} tested, {} achieved)",
+        verdict.hdratio(),
+        verdict.tested,
+        verdict.achieved
+    );
+
+    // ── 3. Kernel-style windowed MinRTT ──────────────────────────────
+    let mut tracker = MinRttTracker::new(300 * SECOND); // 5-minute window
+    for (t, rtt_ms) in [(0u64, 48u64), (30, 42), (60, 55), (90, 43)] {
+        tracker.on_sample(t * SECOND, rtt_ms * MILLISECOND);
+    }
+    println!(
+        "\nMinRTT over the window: {} ms",
+        tracker.current(100 * SECOND).unwrap() / MILLISECOND
+    );
+}

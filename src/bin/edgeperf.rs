@@ -1,0 +1,76 @@
+//! `edgeperf` — estimate user performance from captured socket stats.
+//!
+//! ```text
+//! edgeperf estimate [--target-mbps F] [FILE]   JSONL sessions → JSONL verdicts
+//! edgeperf demo                                print a sample input line
+//! ```
+//!
+//! Input format: see `edgeperf::ingest`. With no FILE, reads stdin. Every
+//! output line mirrors an input session:
+//! `{"min_rtt_ms":60.0,"tested":1,"achieved":1,"hdratio":1.0}`.
+//! Malformed lines produce `{"error":...,"line":N}` on stderr and are
+//! skipped.
+
+use edgeperf::core::HD_GOODPUT_BPS;
+use edgeperf::ingest::{evaluate_jsonl, sample_line};
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("demo") => {
+            println!("{}", sample_line());
+        }
+        Some("estimate") => {
+            let mut target = HD_GOODPUT_BPS;
+            let mut file: Option<String> = None;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--target-mbps" => {
+                        let v: f64 = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| die("--target-mbps needs a number"));
+                        target = v * 1e6;
+                    }
+                    f if !f.starts_with('-') => file = Some(f.to_string()),
+                    other => die(&format!("unknown argument {other}")),
+                }
+            }
+            let input = match file {
+                Some(path) => std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| die(&format!("read {path}: {e}"))),
+                None => {
+                    let mut buf = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut buf)
+                        .unwrap_or_else(|e| die(&format!("read stdin: {e}")));
+                    buf
+                }
+            };
+            let mut errors = 0usize;
+            for result in evaluate_jsonl(&input, target) {
+                match result {
+                    Ok(v) => println!("{}", serde_json::to_string(&v).unwrap()),
+                    Err((line, msg)) => {
+                        eprintln!("{{\"line\":{line},\"error\":{}}}", serde_json::to_string(&msg).unwrap());
+                        errors += 1;
+                    }
+                }
+            }
+            if errors > 0 {
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!("usage: edgeperf estimate [--target-mbps F] [FILE] | edgeperf demo");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("edgeperf: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,247 @@
+//! JSON ingestion for the `edgeperf` CLI: turn externally captured
+//! socket statistics into [`edgeperf_core`] observations and verdicts.
+//!
+//! The wire format is one JSON object per line (JSONL), one line per HTTP
+//! session. Times are in **milliseconds** relative to any epoch (only
+//! differences matter); `wnic` is in bytes. A deployment would populate
+//! these fields from `getsockopt(TCP_INFO)` plus socket/NIC timestamps —
+//! see the paper's §2.2.2.
+//!
+//! ```json
+//! {"min_rtt_ms": 42.0, "responses": [
+//!   {"bytes": 36000, "issued_at_ms": 0.0, "first_tx_ms": 0.2,
+//!    "wnic": 14600, "second_last_ack_ms": 135.0, "full_ack_ms": 140.0,
+//!    "last_packet_bytes": 1240, "bytes_in_flight_at_write": 0,
+//!    "prev_unsent_at_write": false}
+//! ]}
+//! ```
+
+use edgeperf_core::{session_hdratio, HttpVersion, ResponseObs, SessionObs, MILLISECOND};
+use serde::{Deserialize, Serialize};
+
+/// One response as captured by external instrumentation.
+#[derive(Debug, Clone, Deserialize, Serialize)]
+pub struct ResponseIn {
+    /// Response size in bytes.
+    pub bytes: u64,
+    /// When the application wrote the response (ms).
+    pub issued_at_ms: f64,
+    /// When the first byte reached the NIC (ms); absent if it never did.
+    #[serde(default)]
+    pub first_tx_ms: Option<f64>,
+    /// Congestion window (bytes) at first transmission.
+    #[serde(default)]
+    pub wnic: Option<u32>,
+    /// Arrival of the ACK covering the second-to-last packet (ms).
+    #[serde(default)]
+    pub second_last_ack_ms: Option<f64>,
+    /// Arrival of the ACK covering the whole response (ms).
+    #[serde(default)]
+    pub full_ack_ms: Option<f64>,
+    /// Size of the final packet in bytes.
+    #[serde(default)]
+    pub last_packet_bytes: Option<u32>,
+    /// Bytes still unacknowledged when the write was issued.
+    #[serde(default)]
+    pub bytes_in_flight_at_write: u64,
+    /// A previous response still had unsent bytes at this write.
+    #[serde(default)]
+    pub prev_unsent_at_write: bool,
+}
+
+/// One session line in the input.
+#[derive(Debug, Clone, Deserialize, Serialize)]
+pub struct SessionIn {
+    /// Kernel MinRTT at session close, milliseconds.
+    pub min_rtt_ms: f64,
+    /// Responses in write order.
+    pub responses: Vec<ResponseIn>,
+    /// "h1" or "h2" (defaults to h2).
+    #[serde(default)]
+    pub http: Option<String>,
+    /// Session duration in milliseconds (defaults to the measurement span).
+    #[serde(default)]
+    pub duration_ms: Option<f64>,
+}
+
+/// Verdict emitted per session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerdictOut {
+    /// Session MinRTT echoed back, ms.
+    pub min_rtt_ms: f64,
+    /// Transactions able to test the target goodput.
+    pub tested: u32,
+    /// Of those, transactions that achieved it.
+    pub achieved: u32,
+    /// HDratio, if anything tested.
+    pub hdratio: Option<f64>,
+}
+
+fn ms(v: f64) -> u64 {
+    (v.max(0.0) * MILLISECOND as f64) as u64
+}
+
+impl SessionIn {
+    /// Convert to the core observation type.
+    pub fn to_obs(&self) -> SessionObs {
+        let responses = self
+            .responses
+            .iter()
+            .map(|r| ResponseObs {
+                bytes: r.bytes,
+                issued_at: ms(r.issued_at_ms),
+                first_tx: r.first_tx_ms.map(|t| (ms(t), r.wnic.unwrap_or(0))),
+                t_second_last_ack: r.second_last_ack_ms.map(ms),
+                t_full_ack: r.full_ack_ms.map(ms),
+                last_packet_bytes: r.last_packet_bytes,
+                bytes_in_flight_at_write: r.bytes_in_flight_at_write,
+                prev_unsent_at_write: r.prev_unsent_at_write,
+            })
+            .collect::<Vec<_>>();
+        let span = self
+            .responses
+            .iter()
+            .filter_map(|r| r.full_ack_ms)
+            .fold(0.0f64, f64::max);
+        SessionObs {
+            responses,
+            min_rtt: (self.min_rtt_ms > 0.0).then(|| ms(self.min_rtt_ms)),
+            http: match self.http.as_deref() {
+                Some("h1") | Some("http/1.1") => HttpVersion::H1,
+                _ => HttpVersion::H2,
+            },
+            duration: ms(self.duration_ms.unwrap_or(span)),
+        }
+    }
+
+    /// Evaluate the session at `target_bps`.
+    pub fn evaluate(&self, target_bps: f64) -> VerdictOut {
+        let obs = self.to_obs();
+        match session_hdratio(&obs, target_bps) {
+            Some(v) => VerdictOut {
+                min_rtt_ms: self.min_rtt_ms,
+                tested: v.tested,
+                achieved: v.achieved,
+                hdratio: v.hdratio(),
+            },
+            None => VerdictOut {
+                min_rtt_ms: self.min_rtt_ms,
+                tested: 0,
+                achieved: 0,
+                hdratio: None,
+            },
+        }
+    }
+}
+
+/// Evaluate a stream of JSONL sessions; invalid lines yield `Err` entries
+/// with the line number.
+pub fn evaluate_jsonl(
+    input: &str,
+    target_bps: f64,
+) -> Vec<Result<VerdictOut, (usize, String)>> {
+    input
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, line)| {
+            serde_json::from_str::<SessionIn>(line)
+                .map(|s| s.evaluate(target_bps))
+                .map_err(|e| (i + 1, e.to_string()))
+        })
+        .collect()
+}
+
+/// A sample input line (used by `edgeperf demo` and the docs).
+pub fn sample_line() -> String {
+    let s = SessionIn {
+        min_rtt_ms: 60.0,
+        http: Some("h2".into()),
+        duration_ms: Some(12_000.0),
+        responses: vec![ResponseIn {
+            bytes: 36_000,
+            issued_at_ms: 0.0,
+            first_tx_ms: Some(0.2),
+            wnic: Some(14_600),
+            second_last_ack_ms: Some(135.0),
+            full_ack_ms: Some(140.0),
+            last_packet_bytes: Some(1_240),
+            bytes_in_flight_at_write: 0,
+            prev_unsent_at_write: false,
+        }],
+    };
+    serde_json::to_string(&s).expect("sample serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgeperf_core::HD_GOODPUT_BPS;
+
+    #[test]
+    fn sample_line_round_trips_and_achieves_hd() {
+        let line = sample_line();
+        let out = evaluate_jsonl(&line, HD_GOODPUT_BPS);
+        assert_eq!(out.len(), 1);
+        let v = out[0].as_ref().expect("valid sample");
+        assert_eq!(v.tested, 1);
+        assert_eq!(v.achieved, 1);
+        assert_eq!(v.hdratio, Some(1.0));
+    }
+
+    #[test]
+    fn slow_session_fails_hd() {
+        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
+        s.responses[0].second_last_ack_ms = Some(900.0); // took forever
+        let v = s.evaluate(HD_GOODPUT_BPS);
+        assert_eq!(v.tested, 1);
+        assert_eq!(v.achieved, 0);
+    }
+
+    #[test]
+    fn tiny_session_tests_nothing() {
+        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
+        s.responses[0].bytes = 2_000;
+        s.responses[0].last_packet_bytes = Some(540);
+        let v = s.evaluate(HD_GOODPUT_BPS);
+        assert_eq!(v.tested, 0);
+        assert_eq!(v.hdratio, None);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let input = format!("{}\nnot json\n\n{}", sample_line(), sample_line());
+        let out = evaluate_jsonl(&input, HD_GOODPUT_BPS);
+        assert_eq!(out.len(), 3); // blank line skipped
+        assert!(out[0].is_ok());
+        let (line_no, _) = out[1].as_ref().unwrap_err();
+        assert_eq!(*line_no, 2);
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn missing_optionals_default_sanely() {
+        let line = r#"{"min_rtt_ms": 30.0, "responses": [{"bytes": 5000, "issued_at_ms": 0.0}]}"#;
+        let out = evaluate_jsonl(line, HD_GOODPUT_BPS);
+        let v = out[0].as_ref().unwrap();
+        // No transmission endpoints → nothing measurable.
+        assert_eq!(v.tested, 0);
+    }
+
+    #[test]
+    fn http_version_parsing() {
+        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
+        s.http = Some("h1".into());
+        assert_eq!(s.to_obs().http, HttpVersion::H1);
+        s.http = None;
+        assert_eq!(s.to_obs().http, HttpVersion::H2);
+    }
+
+    #[test]
+    fn zero_min_rtt_is_rejected() {
+        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
+        s.min_rtt_ms = 0.0;
+        let v = s.evaluate(HD_GOODPUT_BPS);
+        assert_eq!(v.tested, 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! # edgeperf
+//!
+//! An open-source reproduction of the measurement system behind
+//! *"Internet Performance from Facebook's Edge"* (IMC 2019): server-side
+//! passive estimation of user latency (MinRTT) and achievable goodput
+//! (HDratio), an aggregation/comparison pipeline with distribution-free
+//! statistics, and a synthetic-Internet substrate to exercise all of it.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! - [`core`] — the paper's contribution: `Gtestable`, `Tmodel`, HDratio,
+//!   MinRTT tracking, and the load-balancer instrumentation model.
+//! - [`stats`] — t-digest, Price–Bonett median CIs, weighted CDFs.
+//! - [`tcp`] — the TCP sender/receiver model (Reno, CUBIC, delayed ACKs).
+//! - [`netsim`] — deterministic discrete-event packet simulator and the
+//!   round-based "fastsim" used for fleet-scale studies.
+//! - [`routing`] — prefixes, AS paths, the 4-tiebreaker egress policy,
+//!   and the Edge-Fabric-style route pinning used for alternate-route
+//!   measurement.
+//! - [`workload`] — synthetic HTTP session/transaction generators matched
+//!   to the paper's published traffic distributions.
+//! - [`world`] — a seeded synthetic Internet (PoPs, ASes, prefixes, path
+//!   ground truth with diurnal/episodic dynamics).
+//! - [`analysis`] — user groups, 15-minute windows, degradation and
+//!   routing-opportunity detection, temporal classification.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the one-paragraph version:
+//!
+//! ```
+//! use edgeperf::core::{Estimator, HD_GOODPUT_BPS, MILLISECOND};
+//! use edgeperf::core::instrument::Transaction;
+//!
+//! // One measured transaction: ~36 kB response, Wnic = 10 segments,
+//! // MinRTT 60 ms, measured transfer time 135 ms (delayed-ACK corrected).
+//! let txn = Transaction {
+//!     bytes_full: 36_000,
+//!     bytes_measured: 34_760, // minus the final packet (§3.2.5)
+//!     ttotal: 135 * MILLISECOND,
+//!     wnic: 14_600,
+//!     eligible: true,
+//!     coalesced: 1,
+//! };
+//! let mut est = Estimator::new(HD_GOODPUT_BPS);
+//! let outcome = est.evaluate(&txn, 60 * MILLISECOND);
+//! assert!(outcome.testable); // big enough to exercise 2.5 Mbps
+//! assert!(outcome.achieved); // and it did
+//! ```
+
+pub mod ingest;
+
+pub use edgeperf_analysis as analysis;
+pub use edgeperf_core as core;
+pub use edgeperf_netsim as netsim;
+pub use edgeperf_routing as routing;
+pub use edgeperf_stats as stats;
+pub use edgeperf_tcp as tcp;
+pub use edgeperf_workload as workload;
+pub use edgeperf_world as world;

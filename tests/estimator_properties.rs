@@ -1,0 +1,164 @@
+//! Property-based tests of the core estimation invariants, cross-checked
+//! against the packet-level simulator.
+
+use edgeperf::core::gtestable::{gtestable_bps, next_wstart, rounds, sum_wss, wss};
+use edgeperf::core::tmodel::{achieved, delivery_rate, t_model};
+use edgeperf::core::MILLISECOND;
+use proptest::prelude::*;
+
+proptest! {
+    /// Eq. 1's integer form matches the closed-form logarithm.
+    #[test]
+    fn rounds_matches_closed_form(btotal in 1u64..10_000_000, wstart in 100u64..1_000_000) {
+        let m = rounds(btotal, wstart);
+        let expect = ((btotal as f64 / wstart as f64 + 1.0).log2().ceil()).max(1.0) as u32;
+        prop_assert_eq!(m, expect);
+    }
+
+    /// The geometric identities behind eqs. 2–3.
+    #[test]
+    fn wss_sums_are_consistent(k in 1u32..30, wstart in 1u64..1_000_000) {
+        let direct: u64 = (1..=k).map(|n| wss(n, wstart)).sum();
+        prop_assert_eq!(direct, sum_wss(k, wstart));
+    }
+
+    /// Gtestable is monotone in response size: more bytes can only test
+    /// an equal-or-higher rate.
+    #[test]
+    fn gtestable_monotone_in_bytes(
+        b1 in 1_000u64..1_000_000,
+        extra in 0u64..1_000_000,
+        wstart in 1_000u64..100_000,
+        rtt_ms in 5u64..300,
+    ) {
+        let rtt = rtt_ms * MILLISECOND;
+        let g1 = gtestable_bps(b1, wstart, rtt);
+        let g2 = gtestable_bps(b1 + extra, wstart, rtt);
+        prop_assert!(g2 >= g1 * 0.999_999, "g({}) = {g1} > g({}) = {g2}", b1, b1 + extra);
+    }
+
+    /// Carry-forward never shrinks the window below the measured Wnic.
+    #[test]
+    fn next_wstart_at_least_wnic(
+        prev_w in 1_000u64..100_000,
+        prev_b in 1u64..10_000_000,
+        wnic in 1_000u64..1_000_000,
+    ) {
+        prop_assert!(next_wstart(prev_w, prev_b, wnic) >= wnic);
+        prop_assert!(next_wstart(prev_w, prev_b, wnic) >= prev_w);
+    }
+
+    /// Tmodel is non-increasing in the target rate.
+    #[test]
+    fn t_model_non_increasing_in_rate(
+        btotal in 2_000u64..5_000_000,
+        wnic in 1_000u64..100_000,
+        rtt_ms in 5u64..300,
+        r1 in 10_000f64..1e9,
+        factor in 1.001f64..100.0,
+    ) {
+        let rtt = rtt_ms * MILLISECOND;
+        let t1 = t_model(btotal, wnic, rtt, r1);
+        let t2 = t_model(btotal, wnic, rtt, r1 * factor);
+        prop_assert!(t2 <= t1 + 1.0, "t_model increased: {t1} -> {t2}");
+    }
+
+    /// `achieved` at the estimated delivery rate is consistent: the rate
+    /// returned by the bisection is achievable, and 1% above it is not.
+    #[test]
+    fn delivery_rate_is_the_supremum(
+        btotal in 3_000u64..2_000_000,
+        wnic in 1_460u64..100_000,
+        rtt_ms in 5u64..200,
+        slowdown in 1.05f64..50.0,
+    ) {
+        let rtt = rtt_ms * MILLISECOND;
+        // Construct a plausible measured time: the model floor at a high
+        // rate, stretched by `slowdown`.
+        let floor = t_model(btotal, wnic, rtt, 1e12);
+        let ttotal = (floor * slowdown) as u64;
+        if let Some(r) = delivery_rate(btotal, wnic, rtt, ttotal) {
+            if r > 1.0 {
+                prop_assert!(achieved(btotal, wnic, rtt, ttotal, r * 0.999));
+                prop_assert!(!achieved(btotal, wnic, rtt, ttotal, r * 1.01),
+                    "rate {r} not the supremum");
+            }
+        }
+    }
+
+    /// Longer measured times can only lower the estimated rate.
+    #[test]
+    fn delivery_rate_monotone_in_time(
+        btotal in 3_000u64..2_000_000,
+        wnic in 1_460u64..100_000,
+        rtt_ms in 5u64..200,
+        t1_ms in 10u64..5_000,
+        extra_ms in 1u64..5_000,
+    ) {
+        let rtt = rtt_ms * MILLISECOND;
+        let r1 = delivery_rate(btotal, wnic, rtt, t1_ms * MILLISECOND);
+        let r2 = delivery_rate(btotal, wnic, rtt, (t1_ms + extra_ms) * MILLISECOND);
+        match (r1, r2) {
+            (Some(a), Some(b)) => prop_assert!(b <= a * 1.000_001, "{a} -> {b}"),
+            (None, Some(_)) => {} // faster-than-model → finite is fine
+            (Some(_), None) => prop_assert!(false, "slower transfer became unbounded"),
+            (None, None) => {}
+        }
+    }
+}
+
+/// The headline §3.2.3 property at a property-test scale: for random
+/// ideal-path configurations whose transfer can test its bottleneck, the
+/// estimate never exceeds the bottleneck rate.
+#[test]
+fn never_overestimates_bottleneck_on_ideal_paths() {
+    use edgeperf::netsim::{FlowSim, PathConfig};
+    use edgeperf::tcp::TcpConfig;
+
+    let mut checked = 0;
+    for (i, &(bw_mbps, rtt_ms, iw, pkts)) in [
+        (0.5f64, 20u64, 1u32, 40u64),
+        (0.5, 50, 10, 5),
+        (1.0, 35, 4, 80),
+        (1.5, 110, 2, 200),
+        (2.0, 60, 10, 500),
+        (2.5, 20, 24, 12),
+        (3.0, 80, 16, 350),
+        (3.5, 155, 32, 500),
+        (4.0, 95, 8, 90),
+        (4.5, 20, 50, 25),
+        (5.0, 200, 10, 450),
+        (5.0, 20, 1, 500),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let bw = (bw_mbps * 1e6) as u64;
+        let rtt = rtt_ms * MILLISECOND;
+        let mut sim = FlowSim::new(TcpConfig::ns3_validation(iw), PathConfig::ideal(bw, rtt), i as u64);
+        let bytes = pkts * 1_460;
+        sim.schedule_write(0, bytes);
+        let res = sim.run(3_600 * edgeperf::core::SECOND);
+        let w = res.writes[0];
+        let (Some((t0, wnic)), Some(t2), Some(last), Some(min_rtt)) =
+            (w.first_tx, w.t_second_last_ack, w.last_packet_bytes, res.info.min_rtt)
+        else {
+            continue;
+        };
+        let measured = bytes - last as u64;
+        if measured == 0 || t2 <= t0 {
+            continue;
+        }
+        if gtestable_bps(measured, wnic as u64, min_rtt) <= bw as f64 {
+            continue; // cannot test this bottleneck
+        }
+        let g = delivery_rate(measured, wnic as u64, min_rtt, t2 - t0).unwrap_or(f64::INFINITY);
+        let g = g.min(gtestable_bps(measured, wnic as u64, min_rtt));
+        assert!(
+            g <= bw as f64 * (1.0 + 1e-9),
+            "config {i}: estimated {g} > bottleneck {bw}"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 6, "too few capable configs exercised: {checked}");
+}

@@ -1,0 +1,114 @@
+//! Agreement between the two simulation fidelities (DESIGN.md §6): the
+//! round-based fast model must track the packet-level simulator on clean
+//! paths, and both must drive the estimator to the same HD verdicts in
+//! clear-cut cases.
+
+use edgeperf::core::{Estimator, HD_GOODPUT_BPS, MILLISECOND, SECOND};
+use edgeperf::netsim::{FastFlow, FlowSim, PathConfig, PathState};
+use edgeperf::tcp::TcpConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn packet_level(bytes: u64, bw: u64, rtt_ms: u64) -> (u64, u32) {
+    let mut sim = FlowSim::new(
+        TcpConfig::ns3_validation(10),
+        PathConfig::ideal(bw, rtt_ms * MILLISECOND),
+        1,
+    );
+    sim.schedule_write(0, bytes);
+    let res = sim.run(600 * SECOND);
+    let w = res.writes[0];
+    (w.t_full_ack.unwrap() - w.first_tx.unwrap().0, w.first_tx.unwrap().1)
+}
+
+fn fast(bytes: u64, bw: u64, rtt_ms: u64) -> (u64, u32) {
+    let mut rng = ChaCha12Rng::seed_from_u64(1);
+    let state = PathState {
+        base_rtt: rtt_ms * MILLISECOND,
+        standing_queue: 0,
+        jitter_max: 0,
+        bottleneck_bps: bw,
+        loss: 0.0,
+    };
+    let mut f = FastFlow::new(TcpConfig::ns3_validation(10));
+    let tr = f.transfer(bytes, &state, &mut rng);
+    (tr.ttotal, tr.wnic)
+}
+
+#[test]
+fn transfer_times_agree_on_clean_paths() {
+    for &(bytes, bw, rtt) in &[
+        (30_000u64, 10_000_000u64, 40u64),
+        (100_000, 5_000_000, 60),
+        (300_000, 20_000_000, 25),
+        (1_000_000, 8_000_000, 100),
+        (15_000, 2_000_000, 150),
+    ] {
+        let (tp, wp) = packet_level(bytes, bw, rtt);
+        let (tf, wf) = fast(bytes, bw, rtt);
+        assert_eq!(wp, wf, "Wnic must match exactly");
+        let ratio = tf as f64 / tp as f64;
+        assert!(
+            (0.7..1.35).contains(&ratio),
+            "{bytes}B @ {bw}bps/{rtt}ms: packet {tp} vs fast {tf} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn estimator_verdicts_agree_in_clear_cases() {
+    // A 25 Mbps path trivially sustains HD; a 1 Mbps path never does.
+    for &(bw, expect_hd) in &[(25_000_000u64, true), (1_000_000, false)] {
+        let bytes = 250_000u64;
+        let rtt = 50u64;
+
+        for (label, (ttotal, wnic)) in
+            [("packet", packet_level(bytes, bw, rtt)), ("fast", fast(bytes, bw, rtt))]
+        {
+            // Build the measured transaction by hand (full-ack endpoint is
+            // close enough for clear-cut cases).
+            let txn = edgeperf::core::instrument::Transaction {
+                bytes_full: bytes,
+                bytes_measured: bytes - 1_460,
+                ttotal,
+                wnic: wnic as u64,
+                eligible: true,
+                coalesced: 1,
+            };
+            let mut est = Estimator::new(HD_GOODPUT_BPS);
+            let o = est.evaluate(&txn, rtt * MILLISECOND);
+            assert!(o.testable, "{label}: 250 kB must be able to test HD");
+            assert_eq!(o.achieved, expect_hd, "{label} @ {bw}bps: wrong verdict");
+        }
+    }
+}
+
+#[test]
+fn fast_model_is_conservative_or_close_under_loss() {
+    // Under loss both models slow down; check they stay within 2× of
+    // each other on average (loss realizations differ by construction).
+    let mut sum_ratio = 0.0;
+    let n = 30;
+    for seed in 0..n {
+        let mut cfg = PathConfig::ideal(8_000_000, 50 * MILLISECOND);
+        cfg.loss = edgeperf::netsim::LossModel::bernoulli(0.01);
+        let mut sim = FlowSim::new(TcpConfig::ns3_validation(10), cfg, seed);
+        sim.schedule_write(0, 200_000);
+        let res = sim.run(600 * SECOND);
+        let tp = res.writes[0].t_full_ack.unwrap();
+
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let state = PathState {
+            base_rtt: 50 * MILLISECOND,
+            standing_queue: 0,
+            jitter_max: 0,
+            bottleneck_bps: 8_000_000,
+            loss: 0.01,
+        };
+        let mut f = FastFlow::new(TcpConfig::ns3_validation(10));
+        let tf = f.transfer(200_000, &state, &mut rng).ttotal;
+        sum_ratio += tf as f64 / tp as f64;
+    }
+    let mean_ratio = sum_ratio / n as f64;
+    assert!((0.5..2.0).contains(&mean_ratio), "mean ratio = {mean_ratio:.2}");
+}
