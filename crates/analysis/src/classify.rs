@@ -94,7 +94,7 @@ mod tests {
     }
 
     fn series(pattern: &[(WindowStatus, usize)]) -> Vec<WindowStatus> {
-        pattern.iter().flat_map(|&(s, n)| std::iter::repeat(s).take(n)).collect()
+        pattern.iter().flat_map(|&(s, n)| std::iter::repeat_n(s, n)).collect()
     }
 
     use WindowStatus::*;

@@ -71,10 +71,7 @@ impl GroupData {
 
     /// Windows where the preferred route has any traffic.
     pub fn covered_windows(&self) -> usize {
-        self.ranks
-            .first()
-            .map(|ws| ws.iter().filter(|c| c.is_some()).count())
-            .unwrap_or(0)
+        self.ranks.first().map(|ws| ws.iter().filter(|c| c.is_some()).count()).unwrap_or(0)
     }
 }
 

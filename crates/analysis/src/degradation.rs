@@ -116,12 +116,9 @@ pub fn degradation_events(
                     cfg.max_ci_width_minrtt_ms,
                 ),
                 // Degradation in goodput: baseline − current.
-                DegradationMetric::HdRatio => compare_medians(
-                    cfg,
-                    &baseline.hdratio,
-                    &cell.hdratio,
-                    cfg.max_ci_width_hdratio,
-                ),
+                DegradationMetric::HdRatio => {
+                    compare_medians(cfg, &baseline.hdratio, &cell.hdratio, cfg.max_ci_width_hdratio)
+                }
             };
             match outcome {
                 CompareOutcome::Invalid => WindowAssessment {

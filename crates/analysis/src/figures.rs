@@ -82,7 +82,7 @@ pub struct DiffCdfs {
     pub traffic_covered: f64,
 }
 
-fn build_diff_cdfs(
+pub(crate) fn build_diff_cdfs(
     points: Vec<(f64, f64, f64, u64)>,
     covered_bytes: u64,
     total_bytes: u64,
@@ -159,7 +159,7 @@ pub enum RelPair {
 }
 
 impl RelPair {
-    fn matches(&self, pref: Relationship, alt: Relationship) -> bool {
+    pub(crate) fn matches(&self, pref: Relationship, alt: Relationship) -> bool {
         match self {
             RelPair::PeeringVsTransit => pref.is_peer() && alt == Relationship::Transit,
             RelPair::TransitVsTransit => {
@@ -200,9 +200,9 @@ pub fn fig10_by_relationship(
                 _ => continue,
             };
             // First (most preferred) alternate with the matching type.
-            let alt = (1..g.ranks.len())
-                .filter_map(|r| g.cell(r, w))
-                .find(|c| c.n() >= cfg.min_samples && pair.matches(pref.relationship, c.relationship));
+            let alt = (1..g.ranks.len()).filter_map(|r| g.cell(r, w)).find(|c| {
+                c.n() >= cfg.min_samples && pair.matches(pref.relationship, c.relationship)
+            });
             let alt = match alt {
                 None => continue,
                 Some(a) => a,
@@ -240,11 +240,7 @@ mod tests {
             },
             window: 0,
             route_rank: rank,
-            relationship: if rank == 0 {
-                Relationship::PrivatePeer
-            } else {
-                Relationship::Transit
-            },
+            relationship: if rank == 0 { Relationship::PrivatePeer } else { Relationship::Transit },
             longer_path: false,
             more_prepended: false,
             min_rtt_ms: rtt,
@@ -294,8 +290,7 @@ mod tests {
                 for i in 0..40 {
                     let mut r = rec(0, rank, 0.0, Some(0.9));
                     r.window = w;
-                    r.min_rtt_ms =
-                        if rank == 0 { 55.0 } else { 40.0 } + (i as f64 - 20.0) * 0.05;
+                    r.min_rtt_ms = if rank == 0 { 55.0 } else { 40.0 } + (i as f64 - 20.0) * 0.05;
                     records.push(r);
                 }
             }

@@ -19,6 +19,9 @@
 //!   diurnal, episodic.
 //! - [`figures`]/[`tables`]: traffic-weighted rollups reproducing the
 //!   paper's Figures 6–10 and Tables 1–2.
+//! - [`sink`]: the runner-facing [`RecordSink`] abstraction — exact
+//!   record collection into a `Vec`, or the bounded-memory
+//!   [`StreamingDataset`] of per-cell t-digests (§3.4.1).
 
 pub mod classify;
 pub mod compare;
@@ -28,6 +31,7 @@ pub mod degradation;
 pub mod figures;
 pub mod opportunity;
 pub mod record;
+pub mod sink;
 pub mod streaming;
 pub mod tables;
 
@@ -38,4 +42,5 @@ pub use dataset::{Aggregation, Dataset, GroupData};
 pub use degradation::{degradation_events, DegradationMetric};
 pub use opportunity::{opportunity_events, OpportunityMetric};
 pub use record::{GroupKey, SessionRecord};
-pub use streaming::StreamingAggregation;
+pub use sink::{RecordShard, RecordSink, StreamingCell, StreamingDataset, StreamingGroupData};
+pub use streaming::{compare_minrtt_streaming, StreamingAggregation};

@@ -73,7 +73,7 @@ fn best_alternate<'a>(
                 None => continue,
             },
         };
-        if best.map_or(true, |(_, _, s)| score > s) {
+        if best.is_none_or(|(_, _, s)| score > s) {
             best = Some((rank as u8, cell, score));
         }
     }
@@ -131,8 +131,7 @@ pub fn opportunity_events(
             if event && metric == OpportunityMetric::MinRtt {
                 // HDratio priority: the alternate must not be
                 // statistically worse on HDratio.
-                match compare_medians(cfg, &alt.hdratio, &pref.hdratio, cfg.max_ci_width_hdratio)
-                {
+                match compare_medians(cfg, &alt.hdratio, &pref.hdratio, cfg.max_ci_width_hdratio) {
                     CompareOutcome::Valid { hi: h_hi, .. } if h_hi < 0.0 => event = false,
                     _ => {}
                 }
@@ -169,10 +168,9 @@ mod tests {
         };
         let mut out = Vec::new();
         for w in 0..windows {
-            for (rank, center, rel) in [
-                (0u8, pref_rtt, Relationship::PrivatePeer),
-                (1u8, alt_rtt, Relationship::Transit),
-            ] {
+            for (rank, center, rel) in
+                [(0u8, pref_rtt, Relationship::PrivatePeer), (1u8, alt_rtt, Relationship::Transit)]
+            {
                 for i in 0..60 {
                     out.push(SessionRecord {
                         group,

@@ -47,8 +47,18 @@ mod tests {
     #[test]
     fn group_key_equality_and_hash() {
         use std::collections::HashSet;
-        let k1 = GroupKey { pop: PopId(1), prefix: Prefix::new(0x0A000000, 16), country: 3, continent: 2 };
-        let k2 = GroupKey { pop: PopId(1), prefix: Prefix::new(0x0A000000, 16), country: 3, continent: 2 };
+        let k1 = GroupKey {
+            pop: PopId(1),
+            prefix: Prefix::new(0x0A000000, 16),
+            country: 3,
+            continent: 2,
+        };
+        let k2 = GroupKey {
+            pop: PopId(1),
+            prefix: Prefix::new(0x0A000000, 16),
+            country: 3,
+            continent: 2,
+        };
         let k3 = GroupKey { pop: PopId(2), ..k1 };
         let mut set = HashSet::new();
         set.insert(k1);

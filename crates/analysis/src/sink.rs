@@ -1,0 +1,491 @@
+//! Record sinks: where the study runner puts each measured session.
+//!
+//! The runner is generic over a [`RecordSink`]. Each parallel worker owns
+//! a thread-local [`RecordSink::Shard`], pushes records into it as
+//! sessions complete, and the runner merges finished shards back into the
+//! sink at join time. Because every prefix — and therefore every
+//! (group, window, route-rank) cell — is processed by exactly one worker,
+//! per-cell contents are independent of how the scheduler distributed
+//! prefixes across workers.
+//!
+//! Two implementations cover the two analysis modes:
+//!
+//! - `Vec<SessionRecord>` — the exact path: collect every record, then
+//!   build a [`crate::Dataset`]. Memory grows linearly with session count.
+//! - [`StreamingDataset`] — the production path (§3.4.1): bounded-memory
+//!   t-digest cells keyed exactly like the exact dataset's; the full
+//!   record vector is never materialized.
+
+use crate::config::AnalysisConfig;
+use crate::figures::{build_diff_cdfs, DiffCdfs, RelPair};
+use crate::record::{GroupKey, SessionRecord};
+use crate::streaming::{compare_minrtt_streaming, StreamingAggregation};
+use edgeperf_routing::Relationship;
+use edgeperf_stats::TDigest;
+use std::collections::{BTreeMap, HashMap};
+
+/// A per-worker accumulator of session records.
+pub trait RecordShard: Send {
+    /// Record one measured session.
+    fn push(&mut self, record: SessionRecord);
+}
+
+/// A destination for study records, assembled from per-worker shards.
+pub trait RecordSink {
+    /// The thread-local accumulator handed to each worker.
+    type Shard: RecordShard;
+
+    /// Create an empty shard for one worker.
+    fn new_shard(&self) -> Self::Shard;
+
+    /// Fold a finished worker's shard into the sink.
+    fn merge_shard(&mut self, shard: Self::Shard);
+}
+
+impl RecordShard for Vec<SessionRecord> {
+    fn push(&mut self, record: SessionRecord) {
+        Vec::push(self, record);
+    }
+}
+
+impl RecordSink for Vec<SessionRecord> {
+    type Shard = Vec<SessionRecord>;
+
+    fn new_shard(&self) -> Vec<SessionRecord> {
+        Vec::new()
+    }
+
+    fn merge_shard(&mut self, shard: Vec<SessionRecord>) {
+        self.extend(shard);
+    }
+}
+
+/// Bounded-memory measurements for one (group, window, route-rank) cell —
+/// the streaming analogue of [`crate::Aggregation`].
+#[derive(Debug, Clone)]
+pub struct StreamingCell {
+    /// Metric sketches (MinRTT / HDratio digests + traffic bytes).
+    pub agg: StreamingAggregation,
+    /// Relationship of the route measured by this cell.
+    pub relationship: Relationship,
+    /// This route's AS path is longer than the preferred route's.
+    pub longer_path: bool,
+    /// This route is prepended more than the preferred route.
+    pub more_prepended: bool,
+}
+
+impl StreamingCell {
+    fn new(relationship: Relationship) -> Self {
+        StreamingCell {
+            agg: StreamingAggregation::new(),
+            relationship,
+            longer_path: false,
+            more_prepended: false,
+        }
+    }
+
+    fn push(&mut self, r: &SessionRecord) {
+        self.agg.push(r.min_rtt_ms, r.hdratio, r.bytes);
+        self.longer_path |= r.longer_path;
+        self.more_prepended |= r.more_prepended;
+    }
+
+    fn merge(&mut self, other: &StreamingCell) {
+        self.agg.merge(&other.agg);
+        self.longer_path |= other.longer_path;
+        self.more_prepended |= other.more_prepended;
+    }
+}
+
+/// All streaming cells of one user group: `ranks[r][w]`, mirroring
+/// [`crate::GroupData`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamingGroupData {
+    /// Per route rank (0 = preferred), per window.
+    pub ranks: Vec<Vec<Option<StreamingCell>>>,
+    /// Total traffic bytes across every cell (the group weight).
+    pub total_bytes: u64,
+}
+
+impl StreamingGroupData {
+    /// Cell for (rank, window) if present.
+    pub fn cell(&self, rank: usize, window: usize) -> Option<&StreamingCell> {
+        self.ranks.get(rank)?.get(window)?.as_ref()
+    }
+}
+
+/// The streaming study dataset: the same (group → rank → window) cell
+/// layout as [`crate::Dataset`], but each cell is a pair of t-digests
+/// instead of sorted sample vectors. Memory is bounded by the number of
+/// *cells*, not the number of sessions.
+#[derive(Debug, Clone)]
+pub struct StreamingDataset {
+    n_windows: usize,
+    groups: HashMap<GroupKey, StreamingGroupData>,
+}
+
+impl StreamingDataset {
+    /// Empty dataset over a fixed number of 15-minute windows.
+    pub fn new(n_windows: usize) -> Self {
+        StreamingDataset { n_windows, groups: HashMap::new() }
+    }
+
+    /// Number of windows in the study.
+    pub fn n_windows(&self) -> usize {
+        self.n_windows
+    }
+
+    /// Per-group data.
+    pub fn groups(&self) -> &HashMap<GroupKey, StreamingGroupData> {
+        &self.groups
+    }
+
+    /// Mutable per-group data (rollups need `&mut` to query digests).
+    pub fn groups_mut(&mut self) -> &mut HashMap<GroupKey, StreamingGroupData> {
+        &mut self.groups
+    }
+
+    fn insert(&mut self, r: SessionRecord) {
+        assert!((r.window as usize) < self.n_windows, "window {} out of range", r.window);
+        assert!(r.route_rank < 8, "suspicious route rank {}", r.route_rank);
+        let g = self.groups.entry(r.group).or_default();
+        let rank = r.route_rank as usize;
+        while g.ranks.len() <= rank {
+            g.ranks.push(vec![None; self.n_windows]);
+        }
+        g.ranks[rank][r.window as usize]
+            .get_or_insert_with(|| StreamingCell::new(r.relationship))
+            .push(&r);
+        g.total_bytes += r.bytes;
+    }
+
+    /// Fold another dataset (typically a worker shard) into this one.
+    /// Cells present on both sides merge via [`TDigest::merge`].
+    pub fn merge(&mut self, other: StreamingDataset) {
+        assert_eq!(self.n_windows, other.n_windows, "window-count mismatch");
+        for (key, g) in other.groups {
+            let dst = self.groups.entry(key).or_default();
+            dst.total_bytes += g.total_bytes;
+            for (rank, windows) in g.ranks.into_iter().enumerate() {
+                while dst.ranks.len() <= rank {
+                    dst.ranks.push(vec![None; self.n_windows]);
+                }
+                for (w, cell) in windows.into_iter().enumerate() {
+                    let Some(cell) = cell else { continue };
+                    match &mut dst.ranks[rank][w] {
+                        Some(existing) => existing.merge(&cell),
+                        slot @ None => *slot = Some(cell),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total traffic across the dataset.
+    pub fn total_bytes(&self) -> u64 {
+        self.groups.values().map(|g| g.total_bytes).sum()
+    }
+
+    /// Traffic carried on preferred routes only (rank 0).
+    pub fn preferred_bytes(&self) -> u64 {
+        self.groups
+            .values()
+            .flat_map(|g| g.ranks.first())
+            .flat_map(|ws| ws.iter().flatten())
+            .map(|c| c.agg.bytes())
+            .sum()
+    }
+
+    /// Total centroids held across every cell digest — the dataset's
+    /// memory footprint, bounded by cell count rather than session count.
+    pub fn state_centroids(&mut self) -> usize {
+        self.groups
+            .values_mut()
+            .flat_map(|g| g.ranks.iter_mut())
+            .flat_map(|ws| ws.iter_mut().flatten())
+            .map(|c| c.agg.state_centroids())
+            .sum()
+    }
+
+    /// Per-session MinRTT digests over preferred-route cells: overall and
+    /// per continent — the streaming analogue of
+    /// [`crate::figures::fig6_minrtt`], obtained by merging rank-0 cell
+    /// digests (each session contributes weight 1, as in the exact path).
+    pub fn minrtt_rollup(&self) -> (TDigest, BTreeMap<u8, TDigest>) {
+        self.rank0_rollup(|c| c.agg.minrtt_digest())
+    }
+
+    /// Per-session HDratio digests over preferred-route cells, overall and
+    /// per continent (streaming analogue of [`crate::figures::fig6_hdratio`]).
+    pub fn hdratio_rollup(&self) -> (TDigest, BTreeMap<u8, TDigest>) {
+        self.rank0_rollup(|c| c.agg.hdratio_digest())
+    }
+
+    fn rank0_rollup(
+        &self,
+        digest: impl Fn(&StreamingCell) -> &TDigest,
+    ) -> (TDigest, BTreeMap<u8, TDigest>) {
+        let mut overall = TDigest::new(100.0);
+        let mut per: BTreeMap<u8, TDigest> = BTreeMap::new();
+        for (key, g) in &self.groups {
+            for cell in g.ranks.first().into_iter().flatten().flatten() {
+                let d = digest(cell);
+                if d.is_empty() {
+                    continue;
+                }
+                overall.merge(d);
+                per.entry(key.continent).or_insert_with(|| TDigest::new(100.0)).merge(d);
+            }
+        }
+        (overall, per)
+    }
+}
+
+impl RecordShard for StreamingDataset {
+    fn push(&mut self, record: SessionRecord) {
+        self.insert(record);
+    }
+}
+
+impl RecordSink for StreamingDataset {
+    type Shard = StreamingDataset;
+
+    fn new_shard(&self) -> StreamingDataset {
+        StreamingDataset::new(self.n_windows)
+    }
+
+    fn merge_shard(&mut self, shard: StreamingDataset) {
+        self.merge(shard);
+    }
+}
+
+/// Figure 10 on streaming cells: MinRTT_P50 difference (preferred −
+/// alternate) by relationship pair, with the Price–Bonett CI read from
+/// digest order statistics. Mirrors
+/// [`crate::figures::fig10_by_relationship`] cell for cell.
+pub fn fig10_by_relationship_streaming(
+    cfg: &AnalysisConfig,
+    ds: &StreamingDataset,
+    pair: RelPair,
+) -> Option<DiffCdfs> {
+    let mut points = Vec::new();
+    let mut covered = 0u64;
+    for g in ds.groups().values() {
+        let n_windows = g.ranks.first().map(|w| w.len()).unwrap_or(0);
+        for w in 0..n_windows {
+            let pref = match g.cell(0, w) {
+                Some(c) if c.agg.n() >= cfg.min_samples => c,
+                _ => continue,
+            };
+            let alt = (1..g.ranks.len()).filter_map(|r| g.cell(r, w)).find(|c| {
+                c.agg.n() >= cfg.min_samples && pair.matches(pref.relationship, c.relationship)
+            });
+            let Some(alt) = alt else { continue };
+            // Digest queries compress internally, so compare on clones
+            // rather than threading `&mut` through two cells of one group.
+            let mut a = pref.agg.clone();
+            let mut b = alt.agg.clone();
+            match compare_minrtt_streaming(cfg, &mut a, &mut b) {
+                crate::compare::CompareOutcome::Valid { diff, lo, hi } => {
+                    points.push((diff, lo, hi, pref.agg.bytes()));
+                    covered += pref.agg.bytes();
+                }
+                crate::compare::CompareOutcome::Invalid => {}
+            }
+        }
+    }
+    build_diff_cdfs(points, covered, ds.preferred_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use edgeperf_routing::{PopId, Prefix};
+
+    fn rec(prefix: u32, window: u32, rank: u8, rtt: f64, hdr: Option<f64>) -> SessionRecord {
+        SessionRecord {
+            group: GroupKey {
+                pop: PopId(0),
+                prefix: Prefix::new(prefix << 16, 16),
+                country: (prefix % 7) as u16,
+                continent: (prefix % 5) as u8,
+            },
+            window,
+            route_rank: rank,
+            relationship: if rank == 0 { Relationship::PrivatePeer } else { Relationship::Transit },
+            longer_path: rank > 0,
+            more_prepended: false,
+            min_rtt_ms: rtt,
+            hdratio: hdr,
+            bytes: 100,
+        }
+    }
+
+    fn synthetic(n: usize) -> Vec<SessionRecord> {
+        (0..n)
+            .map(|i| {
+                let u = (i as f64 * 0.618_033_988_749).fract();
+                rec(
+                    (i % 13) as u32,
+                    (i % 4) as u32,
+                    (i % 2) as u8,
+                    20.0 + 60.0 * u,
+                    (i % 3 != 0).then_some(u),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vec_sink_collects_across_shards() {
+        let mut sink: Vec<SessionRecord> = Vec::new();
+        let mut s1 = sink.new_shard();
+        let mut s2 = sink.new_shard();
+        for (i, r) in synthetic(100).into_iter().enumerate() {
+            if i % 2 == 0 {
+                s1.push(r);
+            } else {
+                s2.push(r);
+            }
+        }
+        sink.merge_shard(s1);
+        sink.merge_shard(s2);
+        assert_eq!(sink.len(), 100);
+    }
+
+    #[test]
+    fn streaming_dataset_mirrors_exact_dataset() {
+        let records = synthetic(4_000);
+        let exact = Dataset::from_records(&records, 4);
+        let mut stream = StreamingDataset::new(4);
+        for r in &records {
+            RecordShard::push(&mut stream, *r);
+        }
+        assert_eq!(stream.groups().len(), exact.groups.len());
+        assert_eq!(stream.total_bytes(), exact.total_bytes());
+        assert_eq!(stream.preferred_bytes(), exact.preferred_bytes());
+        for (key, g) in &exact.groups {
+            let sg = &stream.groups()[key];
+            for (rank, ws) in g.ranks.iter().enumerate() {
+                for (w, cell) in ws.iter().enumerate() {
+                    let Some(cell) = cell else {
+                        assert!(sg.cell(rank, w).is_none());
+                        continue;
+                    };
+                    let mut s = sg.cell(rank, w).unwrap().agg.clone();
+                    assert_eq!(s.n(), cell.n());
+                    assert_eq!(s.bytes(), cell.bytes);
+                    assert!((s.min_rtt_p50() - cell.min_rtt_p50()).abs() < 0.5);
+                    match (s.hdratio_p50(), cell.hdratio_p50()) {
+                        (Some(a), Some(b)) => assert!((a - b).abs() < 0.02, "{a} vs {b}"),
+                        (a, b) => assert_eq!(a.is_none(), b.is_none()),
+                    }
+                    // Extremes are exact, not approximate.
+                    assert_eq!(s.min_rtt_quantile(0.0), cell.min_rtt_ms[0]);
+                    assert_eq!(s.min_rtt_quantile(1.0), *cell.min_rtt_ms.last().unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_merge_matches_single_shard() {
+        let records = synthetic(3_000);
+        let mut single = StreamingDataset::new(4);
+        for r in &records {
+            RecordShard::push(&mut single, *r);
+        }
+        // Shard by prefix (as the runner does: one prefix → one worker),
+        // in arbitrary worker order.
+        let mut sink = StreamingDataset::new(4);
+        let mut shards: Vec<StreamingDataset> = (0..3).map(|_| sink.new_shard()).collect();
+        for r in &records {
+            RecordShard::push(&mut shards[(r.group.prefix.base >> 16) as usize % 3], *r);
+        }
+        for s in shards.into_iter().rev() {
+            sink.merge_shard(s);
+        }
+        assert_eq!(sink.groups().len(), single.groups().len());
+        for (key, g) in single.groups() {
+            let sg = &sink.groups()[key];
+            for (rank, ws) in g.ranks.iter().enumerate() {
+                for (w, cell) in ws.iter().enumerate() {
+                    let (Some(a), Some(b)) = (cell.as_ref(), sg.cell(rank, w)) else {
+                        assert!(cell.is_none() && sg.cell(rank, w).is_none());
+                        continue;
+                    };
+                    let (mut a, mut b) = (a.agg.clone(), b.agg.clone());
+                    // One prefix lands in exactly one shard, so cells are
+                    // bit-identical, not merely close.
+                    assert_eq!(a.n(), b.n());
+                    assert_eq!(a.min_rtt_p50().to_bits(), b.min_rtt_p50().to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_cells_keep_exact_extremes() {
+        // The satellite t-digest fix, observed at the sink level: a cell
+        // split across two compressed shards still reports the true
+        // sample extremes after the join-time merge.
+        let mut lo_shard = StreamingDataset::new(1);
+        let mut hi_shard = StreamingDataset::new(1);
+        for i in 0..2_000 {
+            let r = rec(1, 0, 0, 10.0 + i as f64 * 0.1, None);
+            if i < 1_000 {
+                RecordShard::push(&mut lo_shard, r);
+            } else {
+                RecordShard::push(&mut hi_shard, r);
+            }
+        }
+        let mut sink = StreamingDataset::new(1);
+        sink.merge_shard(hi_shard);
+        sink.merge_shard(lo_shard);
+        let g = sink.groups().values().next().unwrap();
+        let mut agg = g.cell(0, 0).unwrap().agg.clone();
+        assert_eq!(agg.min_rtt_quantile(0.0), 10.0);
+        assert_eq!(agg.min_rtt_quantile(1.0), 10.0 + 1_999.0 * 0.1);
+    }
+
+    #[test]
+    fn one_million_records_bounded_state() {
+        // The streaming sink must not materialize the record vector: a
+        // million sessions across 64 cells leave only digest state behind,
+        // orders of magnitude below one slot per record.
+        let mut ds = StreamingDataset::new(4);
+        for i in 0..1_000_000usize {
+            let u = (i as f64 * 0.618_033_988_749).fract();
+            RecordShard::push(
+                &mut ds,
+                rec((i % 8) as u32, (i % 4) as u32, ((i / 8) % 2) as u8, 10.0 + 90.0 * u, Some(u)),
+            );
+        }
+        let cells = 64;
+        let centroids = ds.state_centroids();
+        assert!(centroids < cells * 2 * 400, "state = {centroids} centroids");
+        // And the data is still queryable.
+        let (mut overall, per) = ds.minrtt_rollup();
+        assert!((overall.quantile(0.5) - 55.0).abs() < 2.0);
+        assert!(!per.is_empty());
+    }
+
+    #[test]
+    fn fig10_streaming_finds_peering_vs_transit() {
+        // Preferred private peer at ~50 ms, transit alternate at ~45 ms,
+        // 40 sessions per cell: a clean, valid comparison.
+        let mut ds = StreamingDataset::new(1);
+        for i in 0..40 {
+            let jitter = (i as f64 - 20.0) * 0.05;
+            RecordShard::push(&mut ds, rec(3, 0, 0, 50.0 + jitter, None));
+            RecordShard::push(&mut ds, rec(3, 0, 1, 45.0 + jitter, None));
+        }
+        let cfg = AnalysisConfig::default();
+        let out = fig10_by_relationship_streaming(&cfg, &ds, RelPair::PeeringVsTransit)
+            .expect("valid comparison");
+        assert!((out.diff.quantile(0.5) - 5.0).abs() < 1.0);
+        assert!(out.traffic_covered > 0.9);
+        assert!(fig10_by_relationship_streaming(&cfg, &ds, RelPair::TransitVsTransit).is_none());
+    }
+}

@@ -11,8 +11,8 @@
 //! Tests quantify the approximation against the exact pipeline.
 
 use crate::config::AnalysisConfig;
-use edgeperf_stats::dist::{binom_half_cdf, norm_inv_cdf};
-use edgeperf_stats::TDigest;
+use edgeperf_stats::dist::norm_inv_cdf;
+use edgeperf_stats::{median_variance_from_order_stats, order_stat_c, TDigest};
 
 /// Bounded-memory aggregation of one (group, window, route) cell.
 #[derive(Debug, Clone)]
@@ -31,11 +31,7 @@ impl Default for StreamingAggregation {
 impl StreamingAggregation {
     /// Empty aggregation (t-digest compression 100, a few kB of state).
     pub fn new() -> Self {
-        StreamingAggregation {
-            minrtt: TDigest::new(100.0),
-            hdratio: TDigest::new(100.0),
-            bytes: 0,
-        }
+        StreamingAggregation { minrtt: TDigest::new(100.0), hdratio: TDigest::new(100.0), bytes: 0 }
     }
 
     /// Record one session's measurements.
@@ -45,6 +41,47 @@ impl StreamingAggregation {
             self.hdratio.insert(h);
         }
         self.bytes += bytes;
+    }
+
+    /// Merge another aggregation of the same cell into this one. Built on
+    /// [`TDigest::merge`], so the true sample extremes survive: after a
+    /// merge, `quantile(0.0)`/`quantile(1.0)` are exactly the min/max over
+    /// both inputs.
+    pub fn merge(&mut self, other: &StreamingAggregation) {
+        self.minrtt.merge(&other.minrtt);
+        self.hdratio.merge(&other.hdratio);
+        self.bytes += other.bytes;
+    }
+
+    /// MinRTT quantile estimate (exact at q = 0 and q = 1).
+    pub fn min_rtt_quantile(&mut self, q: f64) -> f64 {
+        self.minrtt.quantile(q)
+    }
+
+    /// HDratio quantile estimate, if any session tested.
+    pub fn hdratio_quantile(&mut self, q: f64) -> Option<f64> {
+        if self.hdratio.is_empty() {
+            None
+        } else {
+            Some(self.hdratio.quantile(q))
+        }
+    }
+
+    /// The underlying MinRTT digest (for rollups that merge across cells).
+    pub fn minrtt_digest(&self) -> &TDigest {
+        &self.minrtt
+    }
+
+    /// The underlying HDratio digest.
+    pub fn hdratio_digest(&self) -> &TDigest {
+        &self.hdratio
+    }
+
+    /// Centroids currently held across both digests — the aggregation's
+    /// memory footprint, which stays bounded regardless of session count.
+    pub fn state_centroids(&mut self) -> usize {
+        let hd = if self.hdratio.is_empty() { 0 } else { self.hdratio.centroid_count() };
+        self.minrtt.centroid_count() + hd
     }
 
     /// Sessions recorded.
@@ -94,12 +131,13 @@ fn median_variance(d: &mut TDigest) -> Option<f64> {
     if n < 5 {
         return None;
     }
-    let c = (((n as f64 + 1.0) / 2.0 - (n as f64).sqrt()).round() as i64).max(1) as usize;
+    // Same ranks as the exact pipeline (edgeperf_stats::order_stat_c),
+    // read from the digest instead of the sorted sample; the variance
+    // inversion itself is the shared implementation in edgeperf-stats.
+    let c = order_stat_c(n);
     let y_lo = d.quantile((c as f64 - 0.5) / n as f64);
     let y_hi = d.quantile((n as f64 - c as f64 + 0.5) / n as f64);
-    let alpha_half = binom_half_cdf(n as u64, (c - 1) as u64).clamp(1e-12, 0.4999);
-    let z = norm_inv_cdf(1.0 - alpha_half);
-    Some(((y_hi - y_lo) / (2.0 * z)).powi(2))
+    Some(median_variance_from_order_stats(n, y_lo, y_hi))
 }
 
 /// Streaming analogue of [`crate::compare::compare_medians`] for MinRTT:

@@ -187,10 +187,9 @@ mod tests {
                 continent: gidx as u8,
             };
             for w in 0..10u32 {
-                for (rank, rtt, rel) in [
-                    (0u8, 60.0, Relationship::PublicPeer),
-                    (1u8, alt_rtt, Relationship::Transit),
-                ] {
+                for (rank, rtt, rel) in
+                    [(0u8, 60.0, Relationship::PublicPeer), (1u8, alt_rtt, Relationship::Transit)]
+                {
                     for i in 0..40 {
                         records.push(SessionRecord {
                             group,

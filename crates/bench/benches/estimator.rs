@@ -7,7 +7,9 @@ use edgeperf_core::gtestable::{gtestable_bps, next_wstart};
 use edgeperf_core::hdratio::session_hdratio_with_rule;
 use edgeperf_core::instrument::assemble_transactions;
 use edgeperf_core::tmodel::{achieved, delivery_rate, t_model};
-use edgeperf_core::{AchievedRule, HttpVersion, ResponseObs, SessionObs, HD_GOODPUT_BPS, MILLISECOND, SECOND};
+use edgeperf_core::{
+    AchievedRule, HttpVersion, ResponseObs, SessionObs, HD_GOODPUT_BPS, MILLISECOND, SECOND,
+};
 
 fn bench_gtestable(c: &mut Criterion) {
     c.bench_function("gtestable_bps 100kB", |b| {
@@ -20,7 +22,14 @@ fn bench_gtestable(c: &mut Criterion) {
 
 fn bench_tmodel(c: &mut Criterion) {
     c.bench_function("t_model 1MB", |b| {
-        b.iter(|| t_model(black_box(1_000_000), black_box(14_600), black_box(60 * MILLISECOND), black_box(2.5e6)))
+        b.iter(|| {
+            t_model(
+                black_box(1_000_000),
+                black_box(14_600),
+                black_box(60 * MILLISECOND),
+                black_box(2.5e6),
+            )
+        })
     });
     c.bench_function("achieved (HD test)", |b| {
         b.iter(|| {
@@ -61,7 +70,12 @@ fn session(n_txns: usize) -> SessionObs {
             }
         })
         .collect();
-    SessionObs { responses, min_rtt: Some(60 * MILLISECOND), http: HttpVersion::H2, duration: 60 * SECOND }
+    SessionObs {
+        responses,
+        min_rtt: Some(60 * MILLISECOND),
+        http: HttpVersion::H2,
+        duration: 60 * SECOND,
+    }
 }
 
 fn bench_session(c: &mut Criterion) {

@@ -1,11 +1,17 @@
 //! End-to-end pipeline cost: dataset assembly and the Table-1 analysis
-//! over a synthetic record set, plus a whole miniature study run.
+//! over a synthetic record set, plus a whole miniature study run under
+//! both schedulers (work-stealing vs static chunking) and both sinks
+//! (exact Vec vs bounded-memory streaming).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use edgeperf_analysis::tables::{table1, AnalysisKind};
-use edgeperf_analysis::{AnalysisConfig, Dataset, DegradationMetric, GroupKey, SessionRecord};
+use edgeperf_analysis::{
+    AnalysisConfig, Dataset, DegradationMetric, GroupKey, SessionRecord, StreamingDataset,
+};
 use edgeperf_routing::{PopId, Prefix, Relationship};
-use edgeperf_world::{run_study, StudyConfig, World, WorldConfig};
+use edgeperf_world::{
+    run_study, run_study_into, run_study_static, StudyConfig, World, WorldConfig,
+};
 
 fn synthetic_records(groups: usize, windows: u32, per_cell: usize) -> Vec<SessionRecord> {
     let mut out = Vec::new();
@@ -49,10 +55,14 @@ fn bench_dataset(c: &mut Criterion) {
     let ds = Dataset::from_records(&records, 96);
     let cfg = AnalysisConfig::default();
     c.bench_function("table1 degradation MinRTT", |b| {
-        b.iter(|| table1(&cfg, black_box(&ds), AnalysisKind::Degradation, DegradationMetric::MinRtt, 5.0))
+        b.iter(|| {
+            table1(&cfg, black_box(&ds), AnalysisKind::Degradation, DegradationMetric::MinRtt, 5.0)
+        })
     });
     c.bench_function("table1 opportunity MinRTT", |b| {
-        b.iter(|| table1(&cfg, black_box(&ds), AnalysisKind::Opportunity, DegradationMetric::MinRtt, 5.0))
+        b.iter(|| {
+            table1(&cfg, black_box(&ds), AnalysisKind::Opportunity, DegradationMetric::MinRtt, 5.0)
+        })
     });
 }
 
@@ -64,9 +74,34 @@ fn bench_study(c: &mut Criterion) {
     });
 }
 
+/// Scheduler comparison on a skewed world: per-prefix work varies with
+/// route count, cluster mix, and diurnal activity, which is exactly the
+/// shape where static chunking strands workers behind a heavy range.
+/// Work stealing must come out no slower.
+fn bench_schedulers(c: &mut Criterion) {
+    let world = World::generate(WorldConfig { country_fraction: 0.25, ..Default::default() });
+    // Multiple workers over few prefixes maximizes the imbalance a static
+    // split can suffer.
+    let cfg =
+        StudyConfig { days: 1, sessions_per_group_window: 4, parallelism: 4, ..Default::default() };
+    c.bench_function("scheduler: static chunking (skewed world)", |b| {
+        b.iter(|| run_study_static(black_box(&world), black_box(&cfg)))
+    });
+    c.bench_function("scheduler: work stealing (skewed world)", |b| {
+        b.iter(|| run_study(black_box(&world), black_box(&cfg)))
+    });
+    c.bench_function("scheduler: work stealing + streaming sink", |b| {
+        b.iter(|| {
+            let mut ds = StreamingDataset::new(cfg.n_windows() as usize);
+            run_study_into(black_box(&world), black_box(&cfg), &mut ds);
+            ds
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_dataset, bench_study
+    targets = bench_dataset, bench_study, bench_schedulers
 }
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro <experiment> [--seed N] [--days N] [--sessions N] [--scale F] [--json PATH]
+//! repro <experiment> [--seed N] [--days N] [--sessions N] [--scale F] [--json PATH] [--streaming]
 //!
 //! experiments:
 //!   fig1 fig2 fig3      traffic characterization (Figures 1–3)
@@ -19,8 +19,15 @@
 //! `--scale` (or `EDGEPERF_SCALE`) trades fidelity for speed: it thins the
 //! validation grid and shrinks the study (countries and sessions).
 //! Scale 1.0 reproduces the full configuration; CI uses ~0.1.
+//!
+//! `--streaming` runs the study through the bounded-memory t-digest sink
+//! instead of collecting every record: figures 6 and 10 are computed from
+//! digest cells; experiments that need per-session records are skipped
+//! with a note. Per-worker scheduler counters are printed either way.
 
-use edgeperf_bench::{ablations, cc_compare, detector, env_scale, fig4, fig5, naive, study, validation, workload_figs};
+use edgeperf_bench::{
+    ablations, cc_compare, detector, env_scale, fig4, fig5, naive, study, validation, workload_figs,
+};
 use std::fmt::Write as _;
 
 struct Args {
@@ -30,6 +37,7 @@ struct Args {
     sessions: u32,
     scale: f64,
     json: Option<String>,
+    streaming: bool,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +48,7 @@ fn parse_args() -> Args {
         sessions: 0,
         scale: env_scale(1.0),
         json: None,
+        streaming: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,8 +60,9 @@ fn parse_args() -> Args {
             }
             "--scale" => args.scale = it.next().expect("--scale F").parse().expect("scale"),
             "--json" => args.json = Some(it.next().expect("--json PATH")),
+            "--streaming" => args.streaming = true,
             "--help" | "-h" => {
-                eprintln!("repro <experiment> [--seed N] [--days N] [--sessions N] [--scale F] [--json PATH]");
+                eprintln!("repro <experiment> [--seed N] [--days N] [--sessions N] [--scale F] [--json PATH] [--streaming]");
                 eprintln!("experiments: fig1..fig10, table1, table2, fig4, validation, naive, ablations, all");
                 std::process::exit(0);
             }
@@ -99,21 +109,36 @@ fn main() {
     let exp = a.experiment.as_str();
     let mut printed = String::new();
 
-    let needs_study = matches!(
-        exp,
-        "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "table1" | "table2" | "all"
-    );
-    let data = needs_study.then(|| {
+    let needs_study =
+        matches!(exp, "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "table1" | "table2" | "all");
+    let mut data: Option<study::StudyData> = None;
+    let mut sdata: Option<study::StreamingStudyData> = None;
+    if needs_study {
         let p = study_params(&a);
         eprintln!(
-            "running study: days={} sessions/group/window={} country_fraction={:.2}",
-            p.days, p.sessions_per_group_window, p.country_fraction
+            "running study ({}): days={} sessions/group/window={} country_fraction={:.2}",
+            if a.streaming { "streaming sink" } else { "exact sink" },
+            p.days,
+            p.sessions_per_group_window,
+            p.country_fraction
         );
         let t0 = std::time::Instant::now();
-        let d = study::run(&p);
-        eprintln!("study: {} session records in {:.1?}", d.records.len(), t0.elapsed());
-        d
-    });
+        if a.streaming {
+            let d = study::run_streaming(&p);
+            eprintln!(
+                "study: {} sessions into bounded digest cells in {:.1?}",
+                d.stats.total().records_emitted,
+                t0.elapsed()
+            );
+            eprintln!("{}", study::render_stats(&d.stats));
+            sdata = Some(d);
+        } else {
+            let d = study::run(&p);
+            eprintln!("study: {} session records in {:.1?}", d.records.len(), t0.elapsed());
+            eprintln!("{}", study::render_stats(&d.stats));
+            data = Some(d);
+        }
+    }
 
     let workload_n = ((30_000.0 * a.scale) as usize).max(2_000);
     if matches!(exp, "fig1" | "fig2" | "fig3" | "all") {
@@ -142,6 +167,30 @@ fn main() {
         let _ = writeln!(printed, "{}", fig5::render_grouping(&g));
         write_json(&a.json, "grouping", serde_json::to_value(&g).unwrap());
     }
+    if let Some(sdata) = &sdata {
+        if matches!(exp, "fig6" | "all") {
+            let s = study::fig6_streaming(sdata);
+            let _ = writeln!(printed, "{}", study::render_fig6(&s));
+            write_json(&a.json, "fig6", serde_json::to_value(&s).unwrap());
+        }
+        if matches!(exp, "fig10" | "all") {
+            let d = study::fig10_streaming(sdata);
+            let _ = writeln!(
+                printed,
+                "{}",
+                study::render_diffs("Figure 10: MinRTT by relationship pair [streaming]", &d)
+            );
+            write_json(&a.json, "fig10", serde_json::to_value(&d).unwrap());
+        }
+        for skipped in ["fig7", "fig8", "fig9", "table1", "table2"] {
+            if matches!(exp, "all") || exp == skipped {
+                let _ = writeln!(
+                    printed,
+                    "== {skipped}: skipped — needs per-session records; rerun without --streaming ==\n"
+                );
+            }
+        }
+    }
     if let Some(data) = &data {
         if matches!(exp, "fig6" | "all") {
             let s = study::fig6(data);
@@ -155,8 +204,11 @@ fn main() {
         }
         if matches!(exp, "fig8" | "all") {
             let d = study::fig8(data);
-            let _ =
-                writeln!(printed, "{}", study::render_diffs("Figure 8: degradation vs baseline", &d));
+            let _ = writeln!(
+                printed,
+                "{}",
+                study::render_diffs("Figure 8: degradation vs baseline", &d)
+            );
             write_json(&a.json, "fig8", serde_json::to_value(&d).unwrap());
         }
         if matches!(exp, "table1" | "all") {

@@ -10,8 +10,8 @@
 use edgeperf_core::{session_hdratio, HD_GOODPUT_BPS, MILLISECOND};
 use edgeperf_netsim::PathState;
 use edgeperf_tcp::{CcAlgorithm, TcpConfig};
-use edgeperf_world::runner::simulate_session_with;
 use edgeperf_workload::WorkloadConfig;
+use edgeperf_world::runner::simulate_session_with;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::Serialize;
@@ -55,8 +55,7 @@ pub fn run(seed: u64, n: usize) -> Vec<CcRow> {
                 let plan = workload.generate(&mut rng);
                 let tcp = TcpConfig { cc, ..Default::default() };
                 let obs = simulate_session_with(&plan, &state, tcp, &mut rng);
-                if let Some(h) = session_hdratio(&obs, HD_GOODPUT_BPS).and_then(|v| v.hdratio())
-                {
+                if let Some(h) = session_hdratio(&obs, HD_GOODPUT_BPS).and_then(|v| v.hdratio()) {
                     tested += 1;
                     sum += h;
                     full += usize::from(h >= 1.0);
@@ -97,13 +96,13 @@ mod tests {
         let reno = get("Reno");
         let cubic = get("Cubic");
         let bbr = get("BbrLite");
+        assert!(bbr.hd_mean > reno.hd_mean, "BBR {} vs Reno {}", bbr.hd_mean, reno.hd_mean);
         assert!(
-            bbr.hd_mean > reno.hd_mean,
-            "BBR {} vs Reno {}",
-            bbr.hd_mean,
+            cubic.hd_mean >= reno.hd_mean - 0.02,
+            "CUBIC {} vs Reno {}",
+            cubic.hd_mean,
             reno.hd_mean
         );
-        assert!(cubic.hd_mean >= reno.hd_mean - 0.02, "CUBIC {} vs Reno {}", cubic.hd_mean, reno.hd_mean);
         // Sanity: all in (0, 1].
         for r in &rows {
             assert!(r.hd_mean > 0.2 && r.hd_mean <= 1.0, "{r:?}");

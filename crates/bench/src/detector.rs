@@ -131,9 +131,6 @@ mod tests {
     fn higher_thresholds_flag_fewer_windows() {
         let low = run(404, 1, 80, 5.0);
         let high = run(404, 1, 80, 20.0);
-        assert!(
-            high.flagged_windows <= low.flagged_windows,
-            "high {high:?} vs low {low:?}"
-        );
+        assert!(high.flagged_windows <= low.flagged_windows, "high {high:?} vs low {low:?}");
     }
 }

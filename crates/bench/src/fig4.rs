@@ -118,8 +118,11 @@ mod tests {
         use edgeperf_tcp::TcpConfig;
 
         // Fat pipe ⇒ negligible serialization, like the paper's diagram.
-        let mut sim =
-            FlowSim::new(TcpConfig::figure4(), PathConfig::ideal(1_000_000_000, 60 * MILLISECOND), 1);
+        let mut sim = FlowSim::new(
+            TcpConfig::figure4(),
+            PathConfig::ideal(1_000_000_000, 60 * MILLISECOND),
+            1,
+        );
         sim.schedule_write(0, 2 * 1_500);
         sim.schedule_write(200 * MILLISECOND, 24 * 1_500);
         sim.schedule_write(500 * MILLISECOND, 14 * 1_500);

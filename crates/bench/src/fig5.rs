@@ -12,8 +12,8 @@ use edgeperf_world::dynamics::{pick_cluster, WINDOWS_PER_DAY};
 use edgeperf_world::geo::{propagation_rtt_ms, GeoPoint};
 use edgeperf_world::topology::{ClientCluster, PrefixSite, World, WorldConfig};
 use rand::Rng;
-use rand_chacha::ChaCha12Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 use serde::Serialize;
 
 /// One window's medians.
@@ -133,8 +133,12 @@ mod tests {
         assert!(far_med > near_med + 20.0, "far {far_med} vs near {near_med}");
         // The overall median must swing by a sizeable fraction of the gap.
         let overall: Vec<f64> = pts.iter().map(|p| p.all_ms).collect();
-        assert!(spread(&overall) > (far_med - near_med) * 0.5,
-            "overall spread {} too small for gap {}", spread(&overall), far_med - near_med);
+        assert!(
+            spread(&overall) > (far_med - near_med) * 0.5,
+            "overall spread {} too small for gap {}",
+            spread(&overall),
+            far_med - near_med
+        );
     }
 
     #[test]

@@ -6,11 +6,11 @@
 use edgeperf_core::hdratio::session_hdratio_with_rule;
 use edgeperf_core::{AchievedRule, HD_GOODPUT_BPS, MILLISECOND};
 use edgeperf_netsim::PathState;
-use edgeperf_world::runner::simulate_session;
 use edgeperf_workload::WorkloadConfig;
-use rand_chacha::ChaCha12Rng;
+use edgeperf_world::runner::simulate_session;
 use rand::Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 use serde::Serialize;
 
 /// Result of the ablation.
@@ -115,7 +115,12 @@ mod tests {
     #[test]
     fn naive_rule_underestimates_hd_capability() {
         let r = run(5, 400);
-        assert!(r.model_median > r.naive_median, "model {} vs naive {}", r.model_median, r.naive_median);
+        assert!(
+            r.model_median > r.naive_median,
+            "model {} vs naive {}",
+            r.model_median,
+            r.naive_median
+        );
         assert!(r.model_mean > r.naive_mean + 0.05, "means too close: {r:?}");
         // On HD-capable paths the model rule should find most sessions HD.
         assert!(r.model_median > 0.8, "model median = {}", r.model_median);

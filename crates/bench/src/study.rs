@@ -5,12 +5,13 @@ use edgeperf_analysis::figures::{
     fig10_by_relationship, fig6_hdratio, fig6_minrtt, fig7_hdratio_by_minrtt, fig8_degradation,
     fig9_opportunity, RelPair,
 };
+use edgeperf_analysis::sink::fig10_by_relationship_streaming;
 use edgeperf_analysis::tables::{table1, table2, AnalysisKind, Share, Table2Row};
 use edgeperf_analysis::{
-    AnalysisConfig, Dataset, DegradationMetric, SessionRecord,
+    AnalysisConfig, Dataset, DegradationMetric, SessionRecord, StreamingDataset,
 };
 use edgeperf_routing::Relationship;
-use edgeperf_world::{run_study, Continent, StudyConfig, World, WorldConfig};
+use edgeperf_world::{run_study_into, Continent, StudyConfig, StudyStats, World, WorldConfig};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -29,7 +30,12 @@ pub struct StudyParams {
 
 impl Default for StudyParams {
     fn default() -> Self {
-        StudyParams { seed: 20190521, days: 3, sessions_per_group_window: 240, country_fraction: 1.0 }
+        StudyParams {
+            seed: 20190521,
+            days: 3,
+            sessions_per_group_window: 240,
+            country_fraction: 1.0,
+        }
     }
 }
 
@@ -42,10 +48,21 @@ pub struct StudyData {
     pub dataset: Dataset,
     /// Analysis configuration used.
     pub cfg: AnalysisConfig,
+    /// Per-worker scheduler counters from the run.
+    pub stats: StudyStats,
 }
 
-/// Run the study.
-pub fn run(params: &StudyParams) -> StudyData {
+/// The bounded-memory variant: per-cell t-digests, no record vector.
+pub struct StreamingStudyData {
+    /// Streaming dataset (same cell layout as the exact one).
+    pub dataset: StreamingDataset,
+    /// Analysis configuration used.
+    pub cfg: AnalysisConfig,
+    /// Per-worker scheduler counters from the run.
+    pub stats: StudyStats,
+}
+
+fn build(params: &StudyParams) -> (World, StudyConfig) {
     let world = World::generate(WorldConfig {
         seed: params.seed,
         country_fraction: params.country_fraction,
@@ -58,9 +75,42 @@ pub fn run(params: &StudyParams) -> StudyData {
         parallelism: 0,
         ..Default::default()
     };
-    let records = run_study(&world, &study);
+    (world, study)
+}
+
+/// Run the study through the exact (collect-everything) sink.
+pub fn run(params: &StudyParams) -> StudyData {
+    let (world, study) = build(params);
+    let mut records: Vec<SessionRecord> = Vec::new();
+    let stats = run_study_into(&world, &study, &mut records);
     let dataset = Dataset::from_records(&records, study.n_windows() as usize);
-    StudyData { records, dataset, cfg: AnalysisConfig::default() }
+    StudyData { records, dataset, cfg: AnalysisConfig::default(), stats }
+}
+
+/// Run the study through the streaming sink: memory stays bounded by the
+/// number of (group, window, route) cells regardless of session count.
+pub fn run_streaming(params: &StudyParams) -> StreamingStudyData {
+    let (world, study) = build(params);
+    let mut dataset = StreamingDataset::new(study.n_windows() as usize);
+    let stats = run_study_into(&world, &study, &mut dataset);
+    StreamingStudyData { dataset, cfg: AnalysisConfig::default(), stats }
+}
+
+/// Render the per-worker scheduler counters for the CLI.
+pub fn render_stats(stats: &StudyStats) -> String {
+    let mut out = String::from("study workers (work-stealing scheduler):\n");
+    for (i, w) in stats.workers.iter().enumerate() {
+        out.push_str(&format!(
+            "  worker {i:>2}: prefixes {:>6}  sessions {:>9}  emitted {:>9}  dropped(no MinRTT) {:>7}\n",
+            w.prefixes, w.sessions_simulated, w.records_emitted, w.sessions_dropped_no_minrtt
+        ));
+    }
+    let t = stats.total();
+    out.push_str(&format!(
+        "  total    : prefixes {:>6}  sessions {:>9}  emitted {:>9}  dropped(no MinRTT) {:>7}",
+        t.prefixes, t.sessions_simulated, t.records_emitted, t.sessions_dropped_no_minrtt
+    ));
+    out
 }
 
 fn cont_name(c: u8) -> &'static str {
@@ -100,6 +150,30 @@ pub fn fig6(data: &StudyData) -> Fig6Summary {
         hdratio_zero_by_continent: hd_cont
             .iter()
             .map(|(c, cdf)| (cont_name(*c).to_string(), cdf.fraction_leq(0.0)))
+            .collect(),
+    }
+}
+
+/// Figure 6 summary from the streaming dataset: global digests are
+/// obtained by merging preferred-route cell digests (`TDigest::merge`).
+/// Quantiles match the exact path closely; the HDratio point-mass
+/// fractions (= 0, = 1) are interpolated from centroids and carry a few
+/// percentage points of approximation error (see EXPERIMENTS.md).
+pub fn fig6_streaming(data: &StreamingStudyData) -> Fig6Summary {
+    let (mut mr_all, mr_cont) = data.dataset.minrtt_rollup();
+    let (mut hd_all, hd_cont) = data.dataset.hdratio_rollup();
+    Fig6Summary {
+        minrtt_p50: mr_all.quantile(0.5),
+        minrtt_p80: mr_all.quantile(0.8),
+        minrtt_p50_by_continent: mr_cont
+            .into_iter()
+            .map(|(c, mut d)| (cont_name(c).to_string(), d.quantile(0.5)))
+            .collect(),
+        hdratio_gt0: 1.0 - hd_all.cdf(0.0),
+        hdratio_eq1: 1.0 - hd_all.cdf(1.0 - 1e-9),
+        hdratio_zero_by_continent: hd_cont
+            .into_iter()
+            .map(|(c, mut d)| (cont_name(c).to_string(), d.cdf(0.0)))
             .collect(),
     }
 }
@@ -152,10 +226,7 @@ fn summarize_diff(
     Some(DiffSummary {
         metric: metric.to_string(),
         quantiles: c.diff.quantiles(&[0.1, 0.5, 0.9, 0.99]),
-        traffic_at_least: thresholds
-            .iter()
-            .map(|&t| (t, 1.0 - c.diff.fraction_leq(t)))
-            .collect(),
+        traffic_at_least: thresholds.iter().map(|&t| (t, 1.0 - c.diff.fraction_leq(t))).collect(),
         traffic_covered: c.traffic_covered,
     })
 }
@@ -238,6 +309,22 @@ pub fn fig10(data: &StudyData) -> Vec<DiffSummary> {
         .collect()
 }
 
+/// Figure 10 from the streaming dataset: per-cell medians and
+/// Price–Bonett CIs read from digest order statistics instead of sorted
+/// samples.
+pub fn fig10_streaming(data: &StreamingStudyData) -> Vec<DiffSummary> {
+    [RelPair::PeeringVsTransit, RelPair::TransitVsTransit, RelPair::PrivateVsPublic]
+        .into_iter()
+        .filter_map(|pair| {
+            summarize_diff(
+                pair.label(),
+                fig10_by_relationship_streaming(&data.cfg, &data.dataset, pair),
+                &[5.0, 10.0],
+            )
+        })
+        .collect()
+}
+
 /// One Table-1 block: a metric at a threshold.
 #[derive(Debug, Clone, Serialize)]
 pub struct Table1Block {
@@ -257,18 +344,30 @@ pub struct Table1Block {
 pub fn table1_blocks(data: &StudyData) -> Vec<Table1Block> {
     let mut blocks = Vec::new();
     let spec: Vec<(AnalysisKind, DegradationMetric, &str, Vec<f64>)> = vec![
-        (AnalysisKind::Degradation, DegradationMetric::MinRtt, "MinRTT_P50 (+ms)", vec![5.0, 10.0, 20.0, 50.0]),
-        (AnalysisKind::Degradation, DegradationMetric::HdRatio, "HDratio_P50 (-) [relaxed CI]", vec![0.05, 0.1, 0.2, 0.5]),
+        (
+            AnalysisKind::Degradation,
+            DegradationMetric::MinRtt,
+            "MinRTT_P50 (+ms)",
+            vec![5.0, 10.0, 20.0, 50.0],
+        ),
+        (
+            AnalysisKind::Degradation,
+            DegradationMetric::HdRatio,
+            "HDratio_P50 (-) [relaxed CI]",
+            vec![0.05, 0.1, 0.2, 0.5],
+        ),
         (AnalysisKind::Opportunity, DegradationMetric::MinRtt, "MinRTT_P50 (-ms)", vec![5.0, 10.0]),
-        (AnalysisKind::Opportunity, DegradationMetric::HdRatio, "HDratio_P50 (+) [relaxed CI]", vec![0.05]),
+        (
+            AnalysisKind::Opportunity,
+            DegradationMetric::HdRatio,
+            "HDratio_P50 (+) [relaxed CI]",
+            vec![0.05],
+        ),
     ];
     for (kind, metric, label, thresholds) in spec {
         for t in thresholds {
-            let cfg = if metric == DegradationMetric::HdRatio {
-                relaxed(&data.cfg)
-            } else {
-                data.cfg
-            };
+            let cfg =
+                if metric == DegradationMetric::HdRatio { relaxed(&data.cfg) } else { data.cfg };
             let tab = table1(&cfg, &data.dataset, kind, metric, t);
             let render_share = |s: &Share| (s.group_share, s.event_share);
             blocks.push(Table1Block {
@@ -448,6 +547,44 @@ mod tests {
         assert_eq!(t1.len(), 4 + 4 + 2 + 1);
         let _ = table2_outputs(&data);
         let _ = fig10(&data);
+    }
+
+    #[test]
+    fn streaming_study_tracks_exact_study() {
+        let params =
+            StudyParams { seed: 42, days: 1, sessions_per_group_window: 40, country_fraction: 0.3 };
+        let exact = run(&params);
+        let stream = run_streaming(&params);
+        // Same sessions flowed through both sinks.
+        assert_eq!(exact.stats.total(), stream.stats.total());
+        assert_eq!(exact.stats.total().records_emitted, exact.records.len() as u64);
+        let f6e = fig6(&exact);
+        let f6s = fig6_streaming(&stream);
+        assert!(
+            (f6e.minrtt_p50 - f6s.minrtt_p50).abs() <= 0.5,
+            "{} vs {}",
+            f6e.minrtt_p50,
+            f6s.minrtt_p50
+        );
+        assert!(
+            (f6e.minrtt_p80 - f6s.minrtt_p80).abs() <= 1.0,
+            "{} vs {}",
+            f6e.minrtt_p80,
+            f6s.minrtt_p80
+        );
+        // Point-mass fractions are interpolated from centroids: looser.
+        assert!((f6e.hdratio_gt0 - f6s.hdratio_gt0).abs() < 0.1);
+        assert!((f6e.hdratio_eq1 - f6s.hdratio_eq1).abs() < 0.1);
+        // Fig 10 reaches the same comparisons from digest order statistics.
+        let f10e = fig10(&exact);
+        let f10s = fig10_streaming(&stream);
+        assert_eq!(f10e.len(), f10s.len());
+        for (e, s) in f10e.iter().zip(&f10s) {
+            assert_eq!(e.metric, s.metric);
+            assert!((e.traffic_covered - s.traffic_covered).abs() < 0.15);
+            let p50 = |d: &DiffSummary| d.quantiles.iter().find(|(q, _)| *q == 0.5).unwrap().1;
+            assert!((p50(e) - p50(s)).abs() < 2.0, "{} vs {}", p50(e), p50(s));
+        }
     }
 
     #[test]

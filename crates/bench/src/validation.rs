@@ -107,7 +107,9 @@ pub fn run(fraction: f64) -> ValidationResult {
         let mut handles = Vec::new();
         for c in grid.chunks(chunk) {
             handles.push(s.spawn(move || {
-                c.iter().filter_map(|&(bw, rtt, iw, size)| run_config(bw, rtt, iw, size)).collect::<Vec<f64>>()
+                c.iter()
+                    .filter_map(|&(bw, rtt, iw, size)| run_config(bw, rtt, iw, size))
+                    .collect::<Vec<f64>>()
             }));
         }
         for h in handles {
@@ -136,11 +138,18 @@ pub fn run(fraction: f64) -> ValidationResult {
 impl std::fmt::Display for ValidationResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "== §3.2.3 validation sweep ==")?;
-        writeln!(f, "configurations: {}   capable of testing bottleneck: {}", self.configs, self.capable)?;
+        writeln!(
+            f,
+            "configurations: {}   capable of testing bottleneck: {}",
+            self.configs, self.capable
+        )?;
         writeln!(f, "overestimates of bottleneck rate: {} (paper: 0)", self.overestimates)?;
         writeln!(f, "relative error (bottleneck - estimate)/bottleneck:")?;
-        writeln!(f, "  p50 = {:.3}   p90 = {:.3}   p99 = {:.3} (paper p99: 0.066)   max = {:.3}",
-            self.err_p50, self.err_p90, self.err_p99, self.err_max)
+        writeln!(
+            f,
+            "  p50 = {:.3}   p90 = {:.3}   p99 = {:.3} (paper p99: 0.066)   max = {:.3}",
+            self.err_p50, self.err_p90, self.err_p99, self.err_max
+        )
     }
 }
 

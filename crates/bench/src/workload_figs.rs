@@ -6,8 +6,8 @@ use edgeperf_netsim::{FastFlow, PathState};
 use edgeperf_stats::cdf::{CdfBuilder, WeightedCdf};
 use edgeperf_tcp::{TcpConfig, MILLISECOND};
 use edgeperf_workload::{EndpointKind, WorkloadConfig};
-use rand_chacha::ChaCha12Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 use serde::Serialize;
 
 /// A rendered CDF series plus its headline quantiles.
@@ -161,11 +161,7 @@ pub fn run(seed: u64, n_sessions: usize) -> WorkloadFigures {
     let media_cdf = bytes_media.build();
     let labels = ["All", "HTTP/1.1", "HTTP/2"];
     let build3 = |builders: [CdfBuilder; 3]| -> Vec<Series> {
-        builders
-            .into_iter()
-            .zip(labels)
-            .map(|(b, l)| Series::from_cdf(l, &b.build(), 60))
-            .collect()
+        builders.into_iter().zip(labels).map(|(b, l)| Series::from_cdf(l, &b.build(), 60)).collect()
     };
 
     WorkloadFigures {

@@ -1,0 +1,163 @@
+//! Hermetic stand-in for `criterion`: `bench_function`/`iter`,
+//! `criterion_group!`/`criterion_main!`, and `black_box`.
+//!
+//! Timing model: one calibration run picks an iteration batch aiming at
+//! ~10 ms per sample, then `sample_size` samples are timed and the median
+//! ns/iter is reported on stdout. When invoked by `cargo test` (cargo
+//! passes `--test` to `harness = false` bench binaries) each benchmark
+//! body runs exactly once as a smoke test, with no timing loop.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    /// `--test` smoke mode: run each body once, skip timing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 100, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time `f` (which receives a [`Bencher`]) under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b =
+            Bencher { sample_size: self.sample_size, test_mode: self.test_mode, median_ns: None };
+        f(&mut b);
+        match b.median_ns {
+            Some(ns) => println!("{name:<50} time: [{}]", format_ns(ns)),
+            None if self.test_mode => println!("{name:<50} ok (test mode)"),
+            None => println!("{name:<50} (no measurement: Bencher::iter not called)"),
+        }
+        self
+    }
+}
+
+/// Per-benchmark measurement handle passed to the closure.
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its median time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate: aim for ~10ms per sample so short bodies still get
+        // a usable clock resolution.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(10);
+        let iters: u64 = if once >= target {
+            1
+        } else {
+            ((target.as_nanos() / once.as_nanos()) as u64).clamp(1, 1_000_000)
+        };
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion { sample_size: 5, test_mode: false };
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box((0..100u64).sum::<u64>())
+            })
+        });
+        assert!(ran > 5);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { sample_size: 100, test_mode: true };
+        let mut ran = 0u64;
+        c.bench_function("once", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 µs");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+}

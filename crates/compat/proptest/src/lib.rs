@@ -1,0 +1,360 @@
+//! Hermetic stand-in for `proptest`: the `proptest!` macro, `prop_assert*`,
+//! and the strategy combinators this workspace uses (ranges, tuples,
+//! `prop::collection::vec`, `prop::option::of`, `prop::sample::select`,
+//! `any`, `prop_map`).
+//!
+//! Differences from upstream: cases are generated from a fixed seed (fully
+//! deterministic), there is **no shrinking** of failures, and `prop_assert*`
+//! panics (upstream returns an error that drives shrinking). Case count
+//! defaults to 64 and can be overridden with `ProptestConfig::with_cases`
+//! or the `PROPTEST_CASES` environment variable.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand_chacha::ChaCha12Rng;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut rand_chacha::ChaCha12Rng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut rand_chacha::ChaCha12Rng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut rand_chacha::ChaCha12Rng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut rand_chacha::ChaCha12Rng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut rand_chacha::ChaCha12Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+/// Types with a canonical full-range strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for primitives (backs [`any`]).
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! any_impls {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut rand_chacha::ChaCha12Rng) -> $t {
+                rand::Rng::gen(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+any_impls!(bool, u8, u16, u32, u64, i8, i16, i32, i64, f64);
+
+/// The canonical strategy for `T` (whole domain for primitives).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Seed the case RNG; called from `proptest!` expansions, which cannot
+/// name `rand` because call sites need not depend on it.
+#[doc(hidden)]
+pub fn __seed_rng(seed: u64) -> ChaCha12Rng {
+    <ChaCha12Rng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// Combinator namespace mirroring upstream's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use std::ops::Range;
+
+        /// Bounds on a generated collection's length.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            /// Exclusive upper bound.
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty vec size range");
+                SizeRange { lo: r.start, hi: r.end }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// `Vec` strategy: each element from `elem`, length from `size`
+        /// (a `usize` for an exact length, or a `Range<usize>`).
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { elem, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut rand_chacha::ChaCha12Rng) -> Self::Value {
+                let len = if self.size.lo + 1 == self.size.hi {
+                    self.size.lo
+                } else {
+                    rand::Rng::gen_range(rng, self.size.lo..self.size.hi)
+                };
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::Strategy;
+
+        /// Strategy for `Option<S::Value>`.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `Some(inner)` three times out of four, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut rand_chacha::ChaCha12Rng) -> Self::Value {
+                if rand::Rng::gen_bool(rng, 0.75) {
+                    Some(self.inner.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::Strategy;
+
+        /// Strategy choosing uniformly from a fixed set.
+        pub struct SelectStrategy<T> {
+            options: Vec<T>,
+        }
+
+        /// Choose uniformly from `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> SelectStrategy<T> {
+            assert!(!options.is_empty(), "select from empty set");
+            SelectStrategy { options }
+        }
+
+        impl<T: Clone> Strategy for SelectStrategy<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut rand_chacha::ChaCha12Rng) -> T {
+                let i = rand::Rng::gen_range(rng, 0..self.options.len());
+                self.options[i].clone()
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert within a property (panics; no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define property tests. Each `fn name(binding in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` deterministic generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            // Fixed seed: deterministic suite, varied per call site.
+            let mut __rng = $crate::__seed_rng(0x70726f70u64 ^ ((line!() as u64) << 16));
+            for __case in 0..__cfg.cases {
+                $(let $p = $crate::Strategy::generate(&($s), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..10, y in -2.0f64..=2.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-2.0..=2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(
+            v in prop::collection::vec(0u32..100, 3..7),
+            exact in prop::collection::vec(any::<bool>(), 4),
+        ) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 4);
+        }
+
+        #[test]
+        fn map_and_select_compose(
+            s in prop::sample::select(vec![1u32, 2, 3]).prop_map(|v| v * 10),
+            o in prop::option::of(0u8..5),
+        ) {
+            prop_assert!(s == 10 || s == 20 || s == 30);
+            if let Some(x) = o {
+                prop_assert!(x < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        use crate::Strategy;
+        let s = crate::prop::collection::vec(0u64..1000, 1..50);
+        let mut r1 = <crate::ChaCha12Rng as rand::SeedableRng>::seed_from_u64(9);
+        let mut r2 = <crate::ChaCha12Rng as rand::SeedableRng>::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Hermetic stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for **named-field structs**, implemented with
+//! raw `proc_macro` token walking (no syn/quote available offline).
+//!
+//! Supported shape: optional attributes/doc comments, optional `pub`,
+//! `struct Name { fields... }` without generics. The only honoured field
+//! attribute is `#[serde(default)]`; unknown object keys are ignored on
+//! deserialization, mirroring serde's default behaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Parse `struct Name { ... }`, returning the name and fields.
+fn parse_struct(input: TokenStream, derive: &str) -> (String, Vec<Field>) {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute body (and the `!` of inner attributes).
+                if matches!(iter.peek(), Some(t) if is_punct(t, '!')) {
+                    iter.next();
+                }
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("derive({derive}): expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("derive({derive}) supports only structs");
+            }
+            _ => {}
+        }
+    }
+    let name = name.unwrap_or_else(|| panic!("derive({derive}): no struct found"));
+    for tt in iter {
+        if let TokenTree::Group(g) = tt {
+            match g.delimiter() {
+                Delimiter::Brace => return (name, parse_fields(g.stream(), derive)),
+                Delimiter::Parenthesis => {
+                    panic!("derive({derive}): tuple structs are not supported")
+                }
+                _ => {}
+            }
+        } else if is_punct(&tt, '<') {
+            panic!("derive({derive}): generic structs are not supported");
+        }
+    }
+    panic!("derive({derive}): struct {name} has no field block");
+}
+
+fn parse_fields(ts: TokenStream, derive: &str) -> Vec<Field> {
+    let mut out = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    loop {
+        // Field attributes; detect #[serde(default)].
+        let mut default = false;
+        while matches!(iter.peek(), Some(t) if is_punct(t, '#')) {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.next() {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(id)) = inner.next() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            for t in args.stream() {
+                                match t {
+                                    TokenTree::Ident(w) if w.to_string() == "default" => {
+                                        default = true
+                                    }
+                                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                                    other => panic!(
+                                        "derive({derive}): unsupported serde attribute {other}"
+                                    ),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive({derive}): expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(t) if is_punct(&t, ':') => {}
+            other => panic!("derive({derive}): expected `:` after {name}, got {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tt) = iter.peek() {
+            match tt {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        iter.next();
+                        break;
+                    }
+                    iter.next();
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+        out.push(Field { name, default });
+        if iter.peek().is_none() {
+            break;
+        }
+    }
+    out
+}
+
+/// Derive `serde::Serialize` (object with fields in declaration order).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input, "Serialize");
+    let mut members = String::new();
+    for f in &fields {
+        members.push_str(&format!(
+            "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})),",
+            f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{members}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`. Missing fields: `#[serde(default)]`
+/// fields take `Default::default()`; other fields deserialize from
+/// `Null` (so `Option` becomes `None`) or report a missing-field error.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input, "Deserialize");
+    let mut members = String::new();
+    for f in &fields {
+        let on_missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "::serde::Deserialize::from_value(&::serde::Value::Null)\
+                     .map_err(|_| ::serde::DeError::missing(\"{}\"))?",
+                f.name
+            )
+        };
+        members.push_str(&format!(
+            "{0}: match v.get(\"{0}\") {{\n\
+                 ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)\
+                     .map_err(|e| ::serde::DeError(::std::format!(\"field `{0}`: {{e}}\")))?,\n\
+                 ::std::option::Option::None => {1},\n\
+             }},",
+            f.name, on_missing
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if !::std::matches!(v, ::serde::Value::Object(_)) {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::expected(\"object\", v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {members} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

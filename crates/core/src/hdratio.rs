@@ -109,10 +109,8 @@ mod tests {
 
     #[test]
     fn all_fast_transactions_give_ratio_one() {
-        let s = session(
-            vec![resp(100_000, 0, 190, 14_600), resp(100_000, 1_000, 1_150, 14_600)],
-            60,
-        );
+        let s =
+            session(vec![resp(100_000, 0, 190, 14_600), resp(100_000, 1_000, 1_150, 14_600)], 60);
         let v = session_hdratio(&s, HD_GOODPUT_BPS).unwrap();
         assert_eq!(v.tested, 2);
         assert_eq!(v.achieved, 2);
@@ -123,7 +121,7 @@ mod tests {
     fn mixed_outcomes_give_fractional_ratio() {
         let s = session(
             vec![
-                resp(100_000, 0, 190, 14_600),      // fast
+                resp(100_000, 0, 190, 14_600),       // fast
                 resp(100_000, 1_000, 3_000, 14_600), // slow
             ],
             60,
@@ -153,13 +151,9 @@ mod tests {
     fn naive_rule_yields_lower_or_equal_ratio() {
         // Borderline transfers: model credits cwnd growth time, naive
         // does not.
-        let s = session(
-            vec![resp(36_000, 0, 150, 15_000), resp(36_000, 1_000, 1_150, 15_000)],
-            60,
-        );
+        let s = session(vec![resp(36_000, 0, 150, 15_000), resp(36_000, 1_000, 1_150, 15_000)], 60);
         let model = session_hdratio(&s, HD_GOODPUT_BPS).unwrap();
-        let naive =
-            session_hdratio_with_rule(&s, HD_GOODPUT_BPS, AchievedRule::Naive).unwrap();
+        let naive = session_hdratio_with_rule(&s, HD_GOODPUT_BPS, AchievedRule::Naive).unwrap();
         assert!(naive.achieved <= model.achieved);
         assert!(model.hdratio().unwrap() > naive.hdratio().unwrap_or(0.0));
     }

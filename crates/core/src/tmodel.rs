@@ -99,8 +99,7 @@ mod tests {
         let wnic = 20_000u64;
         let ttotal = 100 * MILLISECOND;
         let r = delivery_rate(b, wnic, RTT, ttotal).unwrap();
-        let expect = b as f64 * 8.0 * crate::types::SECOND as f64
-            / ((ttotal - RTT) as f64);
+        let expect = b as f64 * 8.0 * crate::types::SECOND as f64 / ((ttotal - RTT) as f64);
         assert!((r - expect).abs() / expect < 1e-6, "r = {r}, expect = {expect}");
     }
 

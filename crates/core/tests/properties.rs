@@ -66,14 +66,14 @@ mod robustness {
 
     fn arb_response() -> impl Strategy<Value = ResponseObs> {
         (
-            1u64..10_000_000,                          // bytes
-            0u64..1_000_000_000_000,                   // issued_at
+            1u64..10_000_000,                                              // bytes
+            0u64..1_000_000_000_000,                                       // issued_at
             prop::option::of((0u64..1_000_000_000_000, 0u32..10_000_000)), // first_tx
-            prop::option::of(0u64..1_000_000_000_000), // t_second_last_ack
-            prop::option::of(0u64..1_000_000_000_000), // t_full_ack
-            prop::option::of(0u32..100_000),           // last_packet_bytes
-            0u64..1_000_000,                           // bytes_in_flight
-            any::<bool>(),                             // prev_unsent
+            prop::option::of(0u64..1_000_000_000_000),                     // t_second_last_ack
+            prop::option::of(0u64..1_000_000_000_000),                     // t_full_ack
+            prop::option::of(0u32..100_000),                               // last_packet_bytes
+            0u64..1_000_000,                                               // bytes_in_flight
+            any::<bool>(),                                                 // prev_unsent
         )
             .prop_map(|(bytes, issued_at, first_tx, t2, tf, last, inflight, prev)| {
                 ResponseObs {

@@ -102,12 +102,7 @@ impl FastFlow {
 
     /// Transfer `bytes` over a path in condition `st`, advancing the
     /// connection's congestion state.
-    pub fn transfer(
-        &mut self,
-        bytes: u64,
-        st: &PathState,
-        rng: &mut ChaCha12Rng,
-    ) -> FastTransfer {
+    pub fn transfer(&mut self, bytes: u64, st: &PathState, rng: &mut ChaCha12Rng) -> FastTransfer {
         assert!(bytes > 0);
         let mss = self.cfg.mss as u64;
         let hdr = 40u64;
@@ -125,7 +120,8 @@ impl FastFlow {
             rounds += 1;
             let chunk = (self.cwnd as u64).min(bytes - sent);
             let npkts = chunk.div_ceil(mss);
-            let rtt = st.rtt_floor() + if st.jitter_max > 0 { rng.gen_range(0..=st.jitter_max) } else { 0 };
+            let rtt = st.rtt_floor()
+                + if st.jitter_max > 0 { rng.gen_range(0..=st.jitter_max) } else { 0 };
             min_rtt = min_rtt.min(rtt);
             let serialization = transmission_time(chunk + npkts * hdr, st.bottleneck_bps);
 

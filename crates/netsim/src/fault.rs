@@ -167,9 +167,7 @@ mod tests {
         let mut be = LossModel::bernoulli(rate);
         let mut rng1 = SmallRng::seed_from_u64(3);
         let mut rng2 = SmallRng::seed_from_u64(3);
-        let runs = |seq: Vec<bool>| {
-            seq.windows(2).filter(|w| !w[0] && w[1]).count()
-        };
+        let runs = |seq: Vec<bool>| seq.windows(2).filter(|w| !w[0] && w[1]).count();
         let ge_seq: Vec<bool> = (0..200_000).map(|_| ge.is_lost(&mut rng1)).collect();
         let be_seq: Vec<bool> = (0..200_000).map(|_| be.is_lost(&mut rng2)).collect();
         let (ge_losses, be_losses) =
@@ -187,7 +185,7 @@ mod tests {
         assert!(p.admit(0, 5_000));
         assert!(p.admit(0, 5_000));
         assert!(!p.admit(0, 1_500)); // bucket empty
-        // After 100 ms, 12.5 kB accrued (capped at 10 kB burst).
+                                     // After 100 ms, 12.5 kB accrued (capped at 10 kB burst).
         assert!(p.admit(100 * MILLISECOND, 10_000));
         assert!(!p.admit(100 * MILLISECOND, 1));
     }

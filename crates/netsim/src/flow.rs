@@ -340,7 +340,7 @@ mod tests {
         assert!(w.t_full_ack.is_some());
         // One packet over a fat pipe: done in ~RTT (+serialization).
         let t = w.t_full_ack.unwrap();
-        assert!(t >= 60 * MILLISECOND && t < 62 * MILLISECOND, "t = {t}");
+        assert!((60 * MILLISECOND..62 * MILLISECOND).contains(&t), "t = {t}");
         assert_eq!(w.first_tx.unwrap().1, tcp().initial_cwnd_bytes());
     }
 
@@ -603,8 +603,7 @@ mod pacing_tests {
     fn pacing_spreads_departures_in_time() {
         let run = |pacing: bool| {
             let tcp = TcpConfig { pacing, ..TcpConfig::ns3_validation(10) };
-            let mut sim =
-                FlowSim::new(tcp, PathConfig::ideal(50_000_000, 60 * MILLISECOND), 2);
+            let mut sim = FlowSim::new(tcp, PathConfig::ideal(50_000_000, 60 * MILLISECOND), 2);
             sim.enable_trace();
             sim.schedule_write(0, 14_600); // exactly one initial window
             let res = sim.run(60 * SECOND);

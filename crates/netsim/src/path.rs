@@ -150,8 +150,7 @@ impl Path {
         // Queue occupancy is implied by how far ahead busy_until runs.
         let rate = self.cfg.effective_bps();
         let backlog_time = self.busy_until.saturating_sub(now);
-        let backlog_bytes =
-            backlog_time as u128 * rate as u128 / 8 / edgeperf_tcp::SECOND as u128;
+        let backlog_bytes = backlog_time as u128 * rate as u128 / 8 / edgeperf_tcp::SECOND as u128;
         if backlog_bytes + wire_bytes as u128 > self.cfg.queue_capacity_bytes as u128 {
             self.stats.lost_overflow += 1;
             return None;
@@ -270,8 +269,7 @@ mod tests {
         for _ in 0..n {
             last = p.transmit(0, 1500, &mut r).unwrap();
         }
-        let goodput = n as f64 * 1500.0 * 8.0 * SECOND as f64
-            / (last - 10 * MILLISECOND) as f64;
+        let goodput = n as f64 * 1500.0 * 8.0 * SECOND as f64 / (last - 10 * MILLISECOND) as f64;
         assert!((goodput - bw as f64).abs() / (bw as f64) < 0.001, "goodput = {goodput}");
     }
 
@@ -315,10 +313,7 @@ mod tests {
 
     #[test]
     fn random_loss_is_counted() {
-        let mut p = Path::new(PathConfig {
-            loss: LossModel::bernoulli(0.5),
-            ..Default::default()
-        });
+        let mut p = Path::new(PathConfig { loss: LossModel::bernoulli(0.5), ..Default::default() });
         let mut r = rng();
         let mut delivered = 0;
         for i in 0..1000 {

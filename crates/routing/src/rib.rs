@@ -72,11 +72,7 @@ impl Rib {
     /// Longest-prefix match for an address: returns the candidate routes
     /// of the most specific covering prefix, ranked best-first by policy.
     pub fn lookup(&self, addr: u32) -> Vec<&Route> {
-        let best_prefix = self
-            .routes
-            .keys()
-            .filter(|p| p.contains(addr))
-            .max_by_key(|p| p.len);
+        let best_prefix = self.routes.keys().filter(|p| p.contains(addr)).max_by_key(|p| p.len);
         match best_prefix {
             None => Vec::new(),
             Some(p) => self.ranked(p),

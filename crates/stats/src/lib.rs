@@ -21,7 +21,9 @@ pub mod summary;
 pub mod tdigest;
 
 pub use cdf::WeightedCdf;
-pub use median_ci::{diff_of_medians_ci, median_ci, DiffCi, MedianCi};
+pub use median_ci::{
+    diff_of_medians_ci, median_ci, median_variance_from_order_stats, order_stat_c, DiffCi, MedianCi,
+};
 pub use quantile::{quantile_sorted, quantile_unsorted, weighted_quantile};
 pub use summary::Summary;
 pub use tdigest::TDigest;

@@ -51,9 +51,27 @@ impl DiffCi {
 
 /// Index `c` (1-based) of the lower order statistic to use for a sample of
 /// size `n`, per the Price–Bonett recommendation `c ≈ (n+1)/2 − √n`.
-fn order_stat_c(n: usize) -> usize {
+///
+/// Public so that approximating pipelines (e.g. the t-digest streaming
+/// aggregation) read the *same* ranks as the exact computation.
+pub fn order_stat_c(n: usize) -> usize {
     let c = ((n as f64 + 1.0) / 2.0 - (n as f64).sqrt()).round() as i64;
     c.max(1) as usize
+}
+
+/// Price–Bonett variance of the sample median given the two order
+/// statistics `y_c` and `y_{n−c+1}` (from [`order_stat_c`]) of a sample of
+/// size `n`. This is the single shared implementation of the variance
+/// inversion; both the exact sorted-sample path and the streaming
+/// digest-quantile path feed it their order statistics.
+pub fn median_variance_from_order_stats(n: usize, y_lo: f64, y_hi: f64) -> f64 {
+    let c = order_stat_c(n);
+    // Exact coverage of (y_c, y_{n-c+1}): 1 - 2 P[Bin(n, 1/2) <= c-1].
+    let alpha_half = binom_half_cdf(n as u64, (c - 1) as u64);
+    // Guard: for tiny n the tail can exceed the target; clamp into (0, 0.5).
+    let alpha_half = alpha_half.clamp(1e-12, 0.4999);
+    let z_c = norm_inv_cdf(1.0 - alpha_half);
+    ((y_hi - y_lo) / (2.0 * z_c)).powi(2)
 }
 
 /// Price–Bonett variance of the sample median of a **sorted** sample.
@@ -66,12 +84,7 @@ pub fn median_variance_sorted(sorted: &[f64]) -> (f64, f64) {
     let c = order_stat_c(n);
     let y_lo = sorted[c - 1];
     let y_hi = sorted[n - c];
-    // Exact coverage of (y_c, y_{n-c+1}): 1 - 2 P[Bin(n, 1/2) <= c-1].
-    let alpha_half = binom_half_cdf(n as u64, (c - 1) as u64);
-    // Guard: for tiny n the tail can exceed the target; clamp into (0, 0.5).
-    let alpha_half = alpha_half.clamp(1e-12, 0.4999);
-    let z_c = norm_inv_cdf(1.0 - alpha_half);
-    let var = ((y_hi - y_lo) / (2.0 * z_c)).powi(2);
+    let var = median_variance_from_order_stats(n, y_lo, y_hi);
     (median_sorted(sorted), var)
 }
 

@@ -83,9 +83,15 @@ impl TDigest {
 
     /// Merge another digest into this one.
     pub fn merge(&mut self, other: &TDigest) {
+        if other.is_empty() {
+            return;
+        }
+        // Take the extremes from the other digest's tracked min/max, not
+        // from its centroid means: interior centroids are averages that
+        // have already pulled away from the true sample extremes.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
         for c in other.centroids.iter().chain(other.buffer.iter()) {
-            self.min = self.min.min(c.mean);
-            self.max = self.max.max(c.mean);
             self.buffer.push(*c);
             if self.buffer.len() >= 512 {
                 self.compress();
@@ -265,17 +271,70 @@ mod tests {
     fn merge_preserves_distribution() {
         let mut a = TDigest::new(100.0);
         let mut b = TDigest::new(100.0);
+        let mut true_min = f64::INFINITY;
+        let mut true_max = f64::NEG_INFINITY;
         for i in 0..10_000 {
             let v = (i as f64 * 0.6180339887498949).fract();
+            true_min = true_min.min(v);
+            true_max = true_max.max(v);
             if i % 2 == 0 {
                 a.insert(v);
             } else {
                 b.insert(v);
             }
         }
+        // Force both digests through compression so the merge sees
+        // centroids (whose means sit strictly inside the extremes), not
+        // just raw buffered samples.
+        a.compress();
+        b.compress();
         a.merge(&b);
         assert!((a.count() - 10_000.0).abs() < 1e-9);
         assert!((a.quantile(0.5) - 0.5).abs() < 0.02);
+        // The sample extremes must survive the merge exactly: quantile 0
+        // and 1 are defined to be the true min/max, and the b-side extremes
+        // must not be replaced by interior centroid means.
+        assert_eq!(a.quantile(0.0), true_min);
+        assert_eq!(a.quantile(1.0), true_max);
+        assert_eq!(a.min(), true_min);
+        assert_eq!(a.max(), true_max);
+    }
+
+    #[test]
+    fn merge_takes_extremes_from_other_digest() {
+        // `b` holds both global extremes; after compression its centroid
+        // means are interior averages, so a merge that looked at means
+        // would lose them.
+        let mut a = TDigest::new(100.0);
+        for i in 400..600 {
+            a.insert(i as f64);
+        }
+        let mut b = TDigest::new(100.0);
+        for i in 0..1000 {
+            b.insert(i as f64);
+        }
+        b.compress();
+        a.merge(&b);
+        assert_eq!(a.min(), 0.0);
+        assert_eq!(a.max(), 999.0);
+        assert_eq!(a.quantile(0.0), 0.0);
+        assert_eq!(a.quantile(1.0), 999.0);
+    }
+
+    #[test]
+    fn merge_empty_is_identity() {
+        let mut a = TDigest::new(100.0);
+        a.insert(5.0);
+        let b = TDigest::new(100.0);
+        a.merge(&b);
+        assert_eq!(a.min(), 5.0);
+        assert_eq!(a.max(), 5.0);
+        assert_eq!(a.count(), 1.0);
+        // Merging into an empty digest adopts the other's extremes.
+        let mut c = TDigest::new(100.0);
+        c.merge(&a);
+        assert_eq!(c.min(), 5.0);
+        assert_eq!(c.max(), 5.0);
     }
 
     #[test]

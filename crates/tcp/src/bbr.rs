@@ -40,13 +40,7 @@ const BW_WINDOW_RTTS: u64 = 10;
 impl BbrLite {
     /// New instance for a connection with the given MSS.
     pub fn new(mss: u32) -> Self {
-        BbrLite {
-            mss,
-            deliveries: VecDeque::new(),
-            cum_acked: 0,
-            btl_bw: 0.0,
-            bw_expiry: 0,
-        }
+        BbrLite { mss, deliveries: VecDeque::new(), cum_acked: 0, btl_bw: 0.0, bw_expiry: 0 }
     }
 
     /// Current bottleneck-bandwidth estimate in bits/second.

@@ -143,11 +143,8 @@ impl CongestionControl for Cubic {
     fn on_loss(&mut self, now: Nanos, cwnd: u32) -> (u32, u32) {
         let cwnd_seg = self.segments(cwnd);
         // Fast convergence: if below the previous w_max, shrink it further.
-        self.w_max = if cwnd_seg < self.w_max {
-            cwnd_seg * (1.0 + CUBIC_BETA) / 2.0
-        } else {
-            cwnd_seg
-        };
+        self.w_max =
+            if cwnd_seg < self.w_max { cwnd_seg * (1.0 + CUBIC_BETA) / 2.0 } else { cwnd_seg };
         self.epoch_start = Some(now);
         self.k = (self.w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
         let new = ((cwnd_seg * CUBIC_BETA) * self.mss as f64) as u32;

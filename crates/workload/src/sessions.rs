@@ -180,11 +180,8 @@ impl WorkloadConfig {
         let mut txns = Vec::with_capacity(n);
         let mut t = (30.0 * MILLISECOND as f64) as Nanos;
         for i in 0..n {
-            let bytes = if rng.gen::<f64>() < 0.15 {
-                self.media_size(rng)
-            } else {
-                self.api_size(rng)
-            };
+            let bytes =
+                if rng.gen::<f64>() < 0.15 { self.media_size(rng) } else { self.api_size(rng) };
             txns.push(TxnPlan { offset: t, bytes });
             // Bursts within a page view, think time between views.
             let gap = if i % 3 == 2 {
@@ -291,16 +288,10 @@ mod tests {
     fn h2_sessions_have_more_transactions_on_average() {
         let ss = sessions(10_000);
         let avg = |v: Vec<usize>| v.iter().sum::<usize>() as f64 / v.len().max(1) as f64;
-        let h1: Vec<usize> = ss
-            .iter()
-            .filter(|s| s.http == HttpVersion::H1)
-            .map(|s| s.transactions.len())
-            .collect();
-        let h2: Vec<usize> = ss
-            .iter()
-            .filter(|s| s.http == HttpVersion::H2)
-            .map(|s| s.transactions.len())
-            .collect();
+        let h1: Vec<usize> =
+            ss.iter().filter(|s| s.http == HttpVersion::H1).map(|s| s.transactions.len()).collect();
+        let h2: Vec<usize> =
+            ss.iter().filter(|s| s.http == HttpVersion::H2).map(|s| s.transactions.len()).collect();
         assert!(avg(h2) > avg(h1));
     }
 
@@ -310,9 +301,10 @@ mod tests {
         // HTTP/2 — check the ordering, not the exact numbers.
         let ss = sessions(10_000);
         let under_min = |v: HttpVersion| {
-            let (n, tot) = ss.iter().filter(|s| s.http == v).fold((0, 0), |(n, t), s| {
-                (n + usize::from(s.duration < 60 * SECOND), t + 1)
-            });
+            let (n, tot) = ss
+                .iter()
+                .filter(|s| s.http == v)
+                .fold((0, 0), |(n, t), s| (n + usize::from(s.duration < 60 * SECOND), t + 1));
             n as f64 / tot as f64
         };
         assert!(under_min(HttpVersion::H1) > under_min(HttpVersion::H2));
@@ -322,8 +314,7 @@ mod tests {
     fn some_sessions_are_subsecond_and_some_long() {
         let ss = sessions(10_000);
         let sub = ss.iter().filter(|s| s.duration < SECOND).count() as f64 / ss.len() as f64;
-        let long =
-            ss.iter().filter(|s| s.duration > 180 * SECOND).count() as f64 / ss.len() as f64;
+        let long = ss.iter().filter(|s| s.duration > 180 * SECOND).count() as f64 / ss.len() as f64;
         assert!(sub > 0.02 && sub < 0.25, "sub-second fraction = {sub}");
         assert!(long > 0.05 && long < 0.45, "3-minute fraction = {long}");
     }

@@ -35,7 +35,7 @@ impl Default for MappingPolicy {
 }
 
 /// PoPs ranked by modelled propagation RTT to a location.
-pub fn ranked_pops<'a>(pops: &'a [Pop], loc: GeoPoint) -> Vec<(&'a Pop, f64)> {
+pub fn ranked_pops(pops: &[Pop], loc: GeoPoint) -> Vec<(&Pop, f64)> {
     let mut v: Vec<(&Pop, f64)> =
         pops.iter().map(|p| (p, propagation_rtt_ms(p.loc, loc))).collect();
     v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
@@ -131,15 +131,11 @@ mod tests {
         let loc = GeoPoint { lat: -23.5, lon: -46.6 };
         let a: Vec<PopId> = {
             let mut rng = ChaCha12Rng::seed_from_u64(9);
-            (0..100)
-                .map(|_| map_cluster(&pops, loc, MappingPolicy::default(), &mut rng))
-                .collect()
+            (0..100).map(|_| map_cluster(&pops, loc, MappingPolicy::default(), &mut rng)).collect()
         };
         let b: Vec<PopId> = {
             let mut rng = ChaCha12Rng::seed_from_u64(9);
-            (0..100)
-                .map(|_| map_cluster(&pops, loc, MappingPolicy::default(), &mut rng))
-                .collect()
+            (0..100).map(|_| map_cluster(&pops, loc, MappingPolicy::default(), &mut rng)).collect()
         };
         assert_eq!(a, b);
     }

@@ -147,11 +147,8 @@ mod tests {
     fn diurnal_affects_all_routes_equally() {
         let s = site_with_severity(1.0);
         let w = 84; // evening UTC for a UTC-ish cluster
-        let deltas: Vec<f64> = (0..s.routes.len())
-            .map(|r| {
-                route_condition(1, &s, r, w).standing_queue_ms
-            })
-            .collect();
+        let deltas: Vec<f64> =
+            (0..s.routes.len()).map(|r| route_condition(1, &s, r, w).standing_queue_ms).collect();
         // Modulo per-route episodic events, the diurnal queue component
         // is identical; require all routes to be within episodic range.
         for d in &deltas {
@@ -184,9 +181,8 @@ mod tests {
             .iter()
             .position(|r| r.route.relationship == edgeperf_routing::Relationship::Transit);
         let Some(rank) = transit_rank else { return };
-        let eventful = (0..9600)
-            .filter(|&w| route_condition(1, &s, rank, w).standing_queue_ms > 0.0)
-            .count();
+        let eventful =
+            (0..9600).filter(|&w| route_condition(1, &s, rank, w).standing_queue_ms > 0.0).count();
         assert!(eventful > 0, "no episodic events in 100 days");
         // But they are episodes, not the norm.
         assert!(eventful < 2000, "eventful = {eventful}");
@@ -209,8 +205,7 @@ mod tests {
         // Over a day, the share of cluster 1 must vary.
         let share_at = |window| {
             let n = 1000;
-            (0..n).filter(|i| pick_cluster(site, window, *i as f64 / n as f64) == 1).count()
-                as f64
+            (0..n).filter(|i| pick_cluster(site, window, *i as f64 / n as f64) == 1).count() as f64
                 / n as f64
         };
         let shares: Vec<f64> = (0..96).step_by(8).map(share_at).collect();

@@ -29,5 +29,7 @@ pub mod topology;
 
 pub use cartographer::{map_cluster, ranked_pops, MappingPolicy};
 pub use geo::{distance_km, propagation_rtt_ms, Continent, GeoPoint};
-pub use runner::{run_study, StudyConfig};
+pub use runner::{
+    run_study, run_study_into, run_study_static, StudyConfig, StudyStats, WorkerCounters,
+};
 pub use topology::{ClientCluster, Pop, PrefixSite, RouteGt, World, WorldConfig};

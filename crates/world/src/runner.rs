@@ -13,15 +13,16 @@
 use crate::dynamics::{diurnal_factor, local_hour, pick_cluster, route_condition};
 use crate::geo::propagation_rtt_ms;
 use crate::topology::World;
-use edgeperf_analysis::{GroupKey, SessionRecord};
+use edgeperf_analysis::{GroupKey, RecordShard, RecordSink, SessionRecord};
 use edgeperf_core::{session_hdratio, ResponseObs, SessionObs, HD_GOODPUT_BPS};
 use edgeperf_netsim::{FastFlow, PathState};
 use edgeperf_routing::EdgeFabric;
 use edgeperf_tcp::{TcpConfig, MILLISECOND};
 use edgeperf_workload::{SessionPlan, WorkloadConfig};
 use rand::Rng;
-use rand_chacha::ChaCha12Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Study parameters.
 #[derive(Debug, Clone, Copy)]
@@ -65,13 +66,116 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Run the study over `world`, producing one record per sampled session.
-pub fn run_study(world: &World, cfg: &StudyConfig) -> Vec<SessionRecord> {
-    let threads = if cfg.parallelism == 0 {
+/// Per-worker throughput and drop counters, reported by
+/// [`run_study_into`] so the CLI can surface scheduler behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerCounters {
+    /// Prefixes this worker claimed from the shared cursor.
+    pub prefixes: u64,
+    /// Sessions simulated (before any measurement-validity filtering).
+    pub sessions_simulated: u64,
+    /// Records pushed into the worker's shard.
+    pub records_emitted: u64,
+    /// Sessions dropped because the transport produced no MinRTT sample
+    /// (nothing was ever acked inside the window).
+    pub sessions_dropped_no_minrtt: u64,
+}
+
+impl WorkerCounters {
+    fn absorb(&mut self, other: &WorkerCounters) {
+        self.prefixes += other.prefixes;
+        self.sessions_simulated += other.sessions_simulated;
+        self.records_emitted += other.records_emitted;
+        self.sessions_dropped_no_minrtt += other.sessions_dropped_no_minrtt;
+    }
+}
+
+/// Scheduler statistics for one study run.
+#[derive(Debug, Clone, Default)]
+pub struct StudyStats {
+    /// One entry per worker thread, in spawn order. Which prefixes a
+    /// given worker claimed depends on OS scheduling; only the totals
+    /// are deterministic.
+    pub workers: Vec<WorkerCounters>,
+}
+
+impl StudyStats {
+    /// Counters summed across workers (deterministic for a fixed config).
+    pub fn total(&self) -> WorkerCounters {
+        let mut t = WorkerCounters::default();
+        for w in &self.workers {
+            t.absorb(w);
+        }
+        t
+    }
+}
+
+fn thread_count(cfg: &StudyConfig) -> usize {
+    if cfg.parallelism == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
         cfg.parallelism
-    };
+    }
+}
+
+/// Run the study over `world`, producing one record per sampled session.
+///
+/// Collects everything into a `Vec` — the exact-analysis path. For the
+/// bounded-memory path, pass an
+/// [`edgeperf_analysis::StreamingDataset`] to [`run_study_into`].
+pub fn run_study(world: &World, cfg: &StudyConfig) -> Vec<SessionRecord> {
+    let mut records = Vec::new();
+    run_study_into(world, cfg, &mut records);
+    records
+}
+
+/// Run the study into any [`RecordSink`], returning per-worker counters.
+///
+/// Prefixes are distributed by work stealing: workers claim the next
+/// unprocessed prefix from a shared atomic cursor, so a worker stuck on a
+/// heavy prefix (many routes, many sessions) does not leave its siblings
+/// idle the way static chunking does. Each worker pushes into its own
+/// thread-local shard; shards merge into `sink` at join time, in worker
+/// order. Every prefix is claimed exactly once, so per-cell contents are
+/// independent of the parallelism level.
+pub fn run_study_into<S: RecordSink>(world: &World, cfg: &StudyConfig, sink: &mut S) -> StudyStats {
+    let threads = thread_count(cfg).max(1);
+    let n = world.prefixes.len();
+    let cursor = AtomicUsize::new(0);
+    let mut stats = StudyStats::default();
+    std::thread::scope(|s| {
+        let cursor = &cursor;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let mut shard = sink.new_shard();
+                s.spawn(move || {
+                    let mut counters = WorkerCounters::default();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        run_prefix(world, cfg, idx, &mut shard, &mut counters);
+                        counters.prefixes += 1;
+                    }
+                    (shard, counters)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (shard, counters) = h.join().expect("runner thread panicked");
+            sink.merge_shard(shard);
+            stats.workers.push(counters);
+        }
+    });
+    stats
+}
+
+/// The pre-work-stealing scheduler: contiguous prefix ranges assigned up
+/// front. Kept as the baseline the pipeline bench compares the stealing
+/// scheduler against; produces the same record multiset.
+pub fn run_study_static(world: &World, cfg: &StudyConfig) -> Vec<SessionRecord> {
+    let threads = thread_count(cfg);
     let n = world.prefixes.len();
     let chunk = n.div_ceil(threads.max(1));
     let mut out = Vec::new();
@@ -85,8 +189,9 @@ pub fn run_study(world: &World, cfg: &StudyConfig) -> Vec<SessionRecord> {
             }
             handles.push(s.spawn(move || {
                 let mut records = Vec::new();
+                let mut counters = WorkerCounters::default();
                 for idx in lo..hi {
-                    run_prefix(world, cfg, idx, &mut records);
+                    run_prefix(world, cfg, idx, &mut records, &mut counters);
                 }
                 records
             }));
@@ -98,7 +203,13 @@ pub fn run_study(world: &World, cfg: &StudyConfig) -> Vec<SessionRecord> {
     out
 }
 
-fn run_prefix(world: &World, cfg: &StudyConfig, idx: usize, out: &mut Vec<SessionRecord>) {
+fn run_prefix<S: RecordShard>(
+    world: &World,
+    cfg: &StudyConfig,
+    idx: usize,
+    out: &mut S,
+    counters: &mut WorkerCounters,
+) {
     let site = &world.prefixes[idx];
     let pop = world.pop(site.pop);
     let fabric = EdgeFabric::default();
@@ -114,13 +225,11 @@ fn run_prefix(world: &World, cfg: &StudyConfig, idx: usize, out: &mut Vec<Sessio
         // need ≥30 samples per route per window); the group's true traffic
         // volume enters the analysis through the records' byte weights.
         // Volume still follows the destination's diurnal activity.
-        let activity =
-            0.7 + 0.6 * diurnal_factor(local_hour(window, site.clusters[0].utc_offset));
+        let activity = 0.7 + 0.6 * diurnal_factor(local_hour(window, site.clusters[0].utc_offset));
         let n_sessions = ((cfg.sessions_per_group_window as f64) * activity) as u32;
         for i in 0..n_sessions.max(1) {
-            let session_id = splitmix64(
-                cfg.seed ^ (idx as u64) << 40 ^ (window as u64) << 16 ^ i as u64,
-            );
+            let session_id =
+                splitmix64(cfg.seed ^ (idx as u64) << 40 ^ (window as u64) << 16 ^ i as u64);
             let mut rng = ChaCha12Rng::seed_from_u64(session_id);
 
             let choice = fabric.pin_sampled(session_id, site.routes.len());
@@ -144,8 +253,8 @@ fn run_prefix(world: &World, cfg: &StudyConfig, idx: usize, out: &mut Vec<Sessio
 
             // Client access bandwidth draw (log-normal).
             let z = edgeperf_workload::distributions::standard_normal(&mut rng);
-            let access_bps = (site.access_bw_median_bps * (site.access_bw_sigma * z).exp())
-                .clamp(2.0e5, 5.0e8);
+            let access_bps =
+                (site.access_bw_median_bps * (site.access_bw_sigma * z).exp()).clamp(2.0e5, 5.0e8);
 
             // Last-link (wireless/cellular) loss varies per client: a
             // sizeable minority of sessions see link-layer loss the route
@@ -177,8 +286,12 @@ fn run_prefix(world: &World, cfg: &StudyConfig, idx: usize, out: &mut Vec<Sessio
             };
 
             let plan = cfg.workload.generate(&mut rng);
+            counters.sessions_simulated += 1;
             let session = simulate_session(&plan, &state, &mut rng);
-            let Some(min_rtt) = session.min_rtt else { continue };
+            let Some(min_rtt) = session.min_rtt else {
+                counters.sessions_dropped_no_minrtt += 1;
+                continue;
+            };
             let verdict = session_hdratio(&session, HD_GOODPUT_BPS);
 
             out.push(SessionRecord {
@@ -193,6 +306,7 @@ fn run_prefix(world: &World, cfg: &StudyConfig, idx: usize, out: &mut Vec<Sessio
                 // Weight the sampled session by its group's traffic share.
                 bytes: (session.total_bytes() as f64 * site.weight).max(1.0) as u64,
             });
+            counters.records_emitted += 1;
         }
     }
 }
@@ -256,8 +370,8 @@ pub fn simulate_session_with(
         // (0 < HDratio < 1) rather than all-or-nothing.
         let z = edgeperf_workload::distributions::standard_normal(rng);
         let varied = PathState {
-            bottleneck_bps: ((state.bottleneck_bps as f64 * (TXN_BW_SIGMA * z).exp())
-                .max(1.5e5)) as u64,
+            bottleneck_bps: ((state.bottleneck_bps as f64 * (TXN_BW_SIGMA * z).exp()).max(1.5e5))
+                as u64,
             ..*state
         };
         let tr = flow.transfer(group_bytes, &varied, rng);
@@ -314,8 +428,7 @@ mod tests {
         let (world, cfg) = tiny_study();
         let records = run_study(&world, &cfg);
         assert!(!records.is_empty());
-        let ranks: std::collections::HashSet<u8> =
-            records.iter().map(|r| r.route_rank).collect();
+        let ranks: std::collections::HashSet<u8> = records.iter().map(|r| r.route_rank).collect();
         assert!(ranks.contains(&0));
         assert!(ranks.len() >= 2, "alternates must be measured: {ranks:?}");
     }
@@ -362,6 +475,46 @@ mod tests {
             assert_eq!(key(x), key(y));
             assert_eq!(x.hdratio.map(f64::to_bits), y.hdratio.map(f64::to_bits));
         }
+    }
+
+    #[test]
+    fn work_stealing_matches_static_chunking() {
+        let (world, cfg) = tiny_study();
+        let key = |r: &SessionRecord| {
+            (r.group.prefix.base, r.window, r.route_rank, r.min_rtt_ms.to_bits())
+        };
+        let mut stealing = run_study(&world, &cfg);
+        let mut chunked = run_study_static(&world, &cfg);
+        stealing.sort_by_key(key);
+        chunked.sort_by_key(key);
+        assert_eq!(stealing.len(), chunked.len());
+        for (a, b) in stealing.iter().zip(&chunked) {
+            assert_eq!(key(a), key(b));
+        }
+    }
+
+    #[test]
+    fn counters_balance_across_parallelism() {
+        let (world, cfg) = tiny_study();
+        let totals: Vec<WorkerCounters> = [1usize, 4]
+            .iter()
+            .map(|&p| {
+                let mut records: Vec<SessionRecord> = Vec::new();
+                let stats =
+                    run_study_into(&world, &StudyConfig { parallelism: p, ..cfg }, &mut records);
+                assert_eq!(stats.workers.len(), p);
+                let t = stats.total();
+                assert_eq!(t.records_emitted, records.len() as u64);
+                assert_eq!(
+                    t.sessions_dropped_no_minrtt,
+                    t.sessions_simulated - t.records_emitted,
+                    "every simulated session is either emitted or dropped"
+                );
+                assert_eq!(t.prefixes, world.prefixes.len() as u64);
+                t
+            })
+            .collect();
+        assert_eq!(totals[0], totals[1]);
     }
 
     #[test]
@@ -523,7 +676,7 @@ mod pep_runner_tests {
         // Run the PEP'd prefix, then the identical prefix with PEP removed.
         let median = |world: &World| {
             let mut out = Vec::new();
-            run_prefix(world, &cfg, idx, &mut out);
+            run_prefix(world, &cfg, idx, &mut out, &mut WorkerCounters::default());
             let mut v: Vec<f64> =
                 out.iter().filter(|r| r.route_rank == 0).map(|r| r.min_rtt_ms).collect();
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());

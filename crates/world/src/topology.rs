@@ -10,8 +10,8 @@
 use crate::geo::{Continent, GeoPoint};
 use edgeperf_routing::{AsPath, Asn, PopId, Prefix, Relationship, Rib, Route, RouteId};
 use rand::Rng;
-use rand_chacha::ChaCha12Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 
 /// A point of presence.
 #[derive(Debug, Clone)]
@@ -349,8 +349,7 @@ impl World {
             Continent::SouthAmerica => 0.08,
             _ => 0.04,
         };
-        let pep_rtt_fraction =
-            (rng.gen::<f64>() < pep_p).then(|| rng.gen_range(0.35..0.7));
+        let pep_rtt_fraction = (rng.gen::<f64>() < pep_p).then(|| rng.gen_range(0.35..0.7));
 
         let routes = Self::make_routes(rng, prefix, asn, peering_p);
 
@@ -458,7 +457,15 @@ impl World {
         }
         if candidates.is_empty() {
             // Guarantee at least one route.
-            push(rng, &mut candidates, Relationship::Transit, vec![Asn(3000), origin], 8.0, 0.002, 0.10);
+            push(
+                rng,
+                &mut candidates,
+                Relationship::Transit,
+                vec![Asn(3000), origin],
+                8.0,
+                0.002,
+                0.10,
+            );
         }
 
         // Rank with the production policy, then keep preferred + 2.
@@ -511,11 +518,7 @@ mod tests {
         assert_eq!(w.pops.len(), 25);
         assert!(w.prefixes.len() >= 60, "prefixes = {}", w.prefixes.len());
         for c in Continent::all() {
-            assert!(
-                w.prefixes.iter().any(|p| p.continent == c),
-                "no prefixes on {}",
-                c.code()
-            );
+            assert!(w.prefixes.iter().any(|p| p.continent == c), "no prefixes on {}", c.code());
         }
     }
 
@@ -660,9 +663,7 @@ mod pep_tests {
             for p in &w.prefixes {
                 if p.pep_rtt_fraction.is_some() {
                     match p.continent {
-                        Continent::Africa | Continent::Asia | Continent::SouthAmerica => {
-                            south += 1
-                        }
+                        Continent::Africa | Continent::Asia | Continent::SouthAmerica => south += 1,
                         _ => north += 1,
                     }
                 }

@@ -1,0 +1,153 @@
+//! End-to-end agreement between the exact (`Vec`) and streaming record
+//! sinks, across parallelism levels, on a skewed world.
+//!
+//! The work-stealing scheduler hands each prefix to exactly one worker,
+//! so the record *multiset* (Vec sink) and the per-cell digests
+//! (streaming sink) must be independent of the worker count; and the
+//! streaming cells must agree with the exact aggregations to within the
+//! t-digest approximation bounds, with sample extremes preserved exactly.
+
+use edgeperf_analysis::{Dataset, SessionRecord, StreamingDataset};
+use edgeperf_world::{run_study_into, StudyConfig, World, WorldConfig};
+
+/// A reduced-country world keeps the runtime testable while preserving
+/// the per-prefix skew (route counts, diurnal activity, cluster mixes)
+/// that the work-stealing scheduler exists for.
+fn skewed() -> (World, StudyConfig) {
+    let world =
+        World::generate(WorldConfig { seed: 99, country_fraction: 0.25, ..Default::default() });
+    let cfg = StudyConfig {
+        seed: 17,
+        days: 1,
+        sessions_per_group_window: 3,
+        parallelism: 1,
+        ..Default::default()
+    };
+    (world, cfg)
+}
+
+fn record_key(r: &SessionRecord) -> (u32, u32, u8, u64, u64) {
+    (r.group.prefix.base, r.window, r.route_rank, r.min_rtt_ms.to_bits(), r.bytes)
+}
+
+#[test]
+fn vec_sink_multiset_identical_across_parallelism() {
+    let (world, cfg) = skewed();
+    let mut runs: Vec<Vec<SessionRecord>> = [1usize, 4]
+        .iter()
+        .map(|&p| {
+            let mut records: Vec<SessionRecord> = Vec::new();
+            let stats =
+                run_study_into(&world, &StudyConfig { parallelism: p, ..cfg }, &mut records);
+            assert_eq!(stats.total().records_emitted, records.len() as u64);
+            records.sort_by_key(record_key);
+            records
+        })
+        .collect();
+    let b = runs.pop().unwrap();
+    let a = runs.pop().unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(record_key(x), record_key(y));
+        assert_eq!(x.hdratio.map(f64::to_bits), y.hdratio.map(f64::to_bits));
+    }
+}
+
+#[test]
+fn streaming_cells_identical_across_parallelism() {
+    let (world, cfg) = skewed();
+    let windows = cfg.n_windows() as usize;
+    let mut runs: Vec<StreamingDataset> = [1usize, 4]
+        .iter()
+        .map(|&p| {
+            let mut ds = StreamingDataset::new(windows);
+            run_study_into(&world, &StudyConfig { parallelism: p, ..cfg }, &mut ds);
+            ds
+        })
+        .collect();
+    let b = runs.pop().unwrap();
+    let a = runs.pop().unwrap();
+    assert_eq!(a.groups().len(), b.groups().len());
+    for (key, ga) in a.groups() {
+        let gb = &b.groups()[key];
+        assert_eq!(ga.total_bytes, gb.total_bytes);
+        assert_eq!(ga.ranks.len(), gb.ranks.len());
+        for rank in 0..ga.ranks.len() {
+            for w in 0..windows {
+                match (ga.cell(rank, w), gb.cell(rank, w)) {
+                    (Some(ca), Some(cb)) => {
+                        // One prefix is claimed by exactly one worker, so
+                        // each cell sees one insertion stream regardless of
+                        // parallelism: digests are bit-identical.
+                        let (mut x, mut y) = (ca.agg.clone(), cb.agg.clone());
+                        assert_eq!(x.n(), y.n());
+                        assert_eq!(x.bytes(), y.bytes());
+                        assert_eq!(x.min_rtt_p50().to_bits(), y.min_rtt_p50().to_bits());
+                        assert_eq!(
+                            x.hdratio_p50().map(f64::to_bits),
+                            y.hdratio_p50().map(f64::to_bits)
+                        );
+                    }
+                    (None, None) => {}
+                    other => panic!("cell presence differs at rank {rank} window {w}: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_cells_agree_with_exact_aggregations() {
+    let (world, cfg) = skewed();
+    let cfg = StudyConfig { parallelism: 4, ..cfg };
+    let windows = cfg.n_windows() as usize;
+
+    let mut records: Vec<SessionRecord> = Vec::new();
+    let vec_stats = run_study_into(&world, &cfg, &mut records);
+    let exact = Dataset::from_records(&records, windows);
+
+    let mut stream = StreamingDataset::new(windows);
+    let stream_stats = run_study_into(&world, &cfg, &mut stream);
+    assert_eq!(vec_stats.total(), stream_stats.total());
+
+    assert_eq!(stream.groups().len(), exact.groups.len());
+    assert_eq!(stream.total_bytes(), exact.total_bytes());
+    assert_eq!(stream.preferred_bytes(), exact.preferred_bytes());
+    let mut cells = 0usize;
+    for (key, g) in &exact.groups {
+        let sg = &stream.groups()[key];
+        for (rank, ws) in g.ranks.iter().enumerate() {
+            for (w, cell) in ws.iter().enumerate() {
+                let Some(cell) = cell else {
+                    assert!(sg.cell(rank, w).is_none());
+                    continue;
+                };
+                cells += 1;
+                let mut agg = sg.cell(rank, w).unwrap().agg.clone();
+                assert_eq!(agg.n(), cell.n());
+                assert_eq!(agg.bytes(), cell.bytes);
+                // Medians agree within the acceptance bounds.
+                assert!(
+                    (agg.min_rtt_p50() - cell.min_rtt_p50()).abs() <= 0.5,
+                    "MinRTT_P50 {} vs {}",
+                    agg.min_rtt_p50(),
+                    cell.min_rtt_p50()
+                );
+                match (agg.hdratio_p50(), cell.hdratio_p50()) {
+                    (Some(s), Some(e)) => {
+                        assert!((s - e).abs() <= 0.02, "HDratio_P50 {s} vs {e}")
+                    }
+                    (s, e) => assert_eq!(s.is_none(), e.is_none()),
+                }
+                // Extremes are exact (the t-digest merge fix, end to end).
+                assert_eq!(agg.min_rtt_quantile(0.0), cell.min_rtt_ms[0]);
+                assert_eq!(agg.min_rtt_quantile(1.0), *cell.min_rtt_ms.last().unwrap());
+                if !cell.hdratio.is_empty() {
+                    assert_eq!(agg.hdratio_quantile(0.0), Some(cell.hdratio[0]));
+                    assert_eq!(agg.hdratio_quantile(1.0), Some(*cell.hdratio.last().unwrap()));
+                }
+            }
+        }
+    }
+    assert!(cells > 50, "too few cells to be meaningful: {cells}");
+}

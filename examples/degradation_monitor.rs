@@ -16,7 +16,9 @@ fn todays_windows(rng: &mut ChaCha12Rng) -> Vec<Vec<f64>> {
         .map(|w| {
             let episode = (76..88).contains(&w);
             let center = 38.0 + if episode { 14.0 } else { 0.0 };
-            (0..80).map(|_| center + rng.gen_range(-4.0..4.0) + rng.gen::<f64>().powi(4) * 30.0).collect()
+            (0..80)
+                .map(|_| center + rng.gen_range(-4.0..4.0) + rng.gen::<f64>().powi(4) * 30.0)
+                .collect()
         })
         .collect()
 }
@@ -36,7 +38,7 @@ fn main() {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = edgeperf::stats::quantile::median_sorted(&sorted);
         window_medians.insert(med);
-        if best_window.as_ref().map_or(true, |(m, _)| med < *m) {
+        if best_window.as_ref().is_none_or(|(m, _)| med < *m) {
             best_window = Some((med, w.clone()));
         }
     }

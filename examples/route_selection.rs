@@ -96,7 +96,10 @@ fn main() {
             WindowStatus::Invalid => "insufficient data",
             WindowStatus::NoTraffic => "no traffic",
         };
-        let diff = a.diff.map(|(d, lo, hi)| format!("{d:+.1} ms [{lo:+.1}, {hi:+.1}]")).unwrap_or_default();
+        let diff = a
+            .diff
+            .map(|(d, lo, hi)| format!("{d:+.1} ms [{lo:+.1}, {hi:+.1}]"))
+            .unwrap_or_default();
         println!("  window {w:>2}: {verdict:<20} {diff}");
     }
     println!("\nCongestion windows 4–7 should be the only SHIFT verdicts: the");

@@ -24,11 +24,46 @@ struct Profile {
 
 fn main() {
     let profiles = [
-        Profile { name: "EU fibre metro", rtt_ms: 18.0, bw_median_mbps: 11.0, bw_sigma: 1.0, loss: 0.0005, jitter_ms: 3 },
-        Profile { name: "NA cable suburb", rtt_ms: 25.0, bw_median_mbps: 12.0, bw_sigma: 1.0, loss: 0.001, jitter_ms: 4 },
-        Profile { name: "SA mobile", rtt_ms: 48.0, bw_median_mbps: 5.5, bw_sigma: 1.2, loss: 0.004, jitter_ms: 7 },
-        Profile { name: "AS DSL", rtt_ms: 42.0, bw_median_mbps: 5.8, bw_sigma: 1.2, loss: 0.003, jitter_ms: 8 },
-        Profile { name: "AF mobile", rtt_ms: 58.0, bw_median_mbps: 4.4, bw_sigma: 1.2, loss: 0.006, jitter_ms: 10 },
+        Profile {
+            name: "EU fibre metro",
+            rtt_ms: 18.0,
+            bw_median_mbps: 11.0,
+            bw_sigma: 1.0,
+            loss: 0.0005,
+            jitter_ms: 3,
+        },
+        Profile {
+            name: "NA cable suburb",
+            rtt_ms: 25.0,
+            bw_median_mbps: 12.0,
+            bw_sigma: 1.0,
+            loss: 0.001,
+            jitter_ms: 4,
+        },
+        Profile {
+            name: "SA mobile",
+            rtt_ms: 48.0,
+            bw_median_mbps: 5.5,
+            bw_sigma: 1.2,
+            loss: 0.004,
+            jitter_ms: 7,
+        },
+        Profile {
+            name: "AS DSL",
+            rtt_ms: 42.0,
+            bw_median_mbps: 5.8,
+            bw_sigma: 1.2,
+            loss: 0.003,
+            jitter_ms: 8,
+        },
+        Profile {
+            name: "AF mobile",
+            rtt_ms: 58.0,
+            bw_median_mbps: 4.4,
+            bw_sigma: 1.2,
+            loss: 0.006,
+            jitter_ms: 10,
+        },
     ];
 
     let workload = WorkloadConfig::default();
@@ -46,7 +81,8 @@ fn main() {
                 standing_queue: 0,
                 jitter_max: p.jitter_ms * MILLISECOND,
                 bottleneck_bps: bw as u64,
-                loss: p.loss + if rng.gen::<f64>() < 0.3 { rng.gen_range(0.001..0.02) } else { 0.0 },
+                loss: p.loss
+                    + if rng.gen::<f64>() < 0.3 { rng.gen_range(0.001..0.02) } else { 0.0 },
             };
             let plan = workload.generate(&mut rng);
             let obs = simulate_session(&plan, &state, &mut rng);

@@ -54,7 +54,10 @@ fn main() {
                 match result {
                     Ok(v) => println!("{}", serde_json::to_string(&v).unwrap()),
                     Err((line, msg)) => {
-                        eprintln!("{{\"line\":{line},\"error\":{}}}", serde_json::to_string(&msg).unwrap());
+                        eprintln!(
+                            "{{\"line\":{line},\"error\":{}}}",
+                            serde_json::to_string(&msg).unwrap()
+                        );
                         errors += 1;
                     }
                 }

@@ -77,77 +77,122 @@ pub struct VerdictOut {
     pub hdratio: Option<f64>,
 }
 
-fn ms(v: f64) -> u64 {
-    (v.max(0.0) * MILLISECOND as f64) as u64
+/// Convert a millisecond timestamp to internal ticks, rejecting values a
+/// sane capture can never produce. Clamping negatives to zero (the old
+/// behavior) silently reordered events and corrupted downstream goodput
+/// estimates; bad telemetry must surface as a per-line error instead.
+fn ms(v: f64, field: &str) -> Result<u64, String> {
+    if !v.is_finite() {
+        return Err(format!("{field}: non-finite value {v}"));
+    }
+    if v < 0.0 {
+        return Err(format!("{field}: negative timestamp {v}"));
+    }
+    Ok((v * MILLISECOND as f64) as u64)
 }
 
 impl SessionIn {
     /// Convert to the core observation type.
-    pub fn to_obs(&self) -> SessionObs {
+    ///
+    /// Fails when any timestamp is negative or non-finite, or when the
+    /// session duration cannot be determined (`duration_ms` absent and no
+    /// response carries `full_ack_ms`) — previously such sessions were
+    /// given duration 0, which made every transaction look infinitely
+    /// fast to rate-based checks.
+    pub fn to_obs(&self) -> Result<SessionObs, String> {
         let responses = self
             .responses
             .iter()
-            .map(|r| ResponseObs {
-                bytes: r.bytes,
-                issued_at: ms(r.issued_at_ms),
-                first_tx: r.first_tx_ms.map(|t| (ms(t), r.wnic.unwrap_or(0))),
-                t_second_last_ack: r.second_last_ack_ms.map(ms),
-                t_full_ack: r.full_ack_ms.map(ms),
-                last_packet_bytes: r.last_packet_bytes,
-                bytes_in_flight_at_write: r.bytes_in_flight_at_write,
-                prev_unsent_at_write: r.prev_unsent_at_write,
+            .enumerate()
+            .map(|(i, r)| {
+                Ok(ResponseObs {
+                    bytes: r.bytes,
+                    issued_at: ms(r.issued_at_ms, &format!("responses[{i}].issued_at_ms"))?,
+                    first_tx: r
+                        .first_tx_ms
+                        .map(|t| {
+                            Ok::<_, String>((
+                                ms(t, &format!("responses[{i}].first_tx_ms"))?,
+                                r.wnic.unwrap_or(0),
+                            ))
+                        })
+                        .transpose()?,
+                    t_second_last_ack: r
+                        .second_last_ack_ms
+                        .map(|t| ms(t, &format!("responses[{i}].second_last_ack_ms")))
+                        .transpose()?,
+                    t_full_ack: r
+                        .full_ack_ms
+                        .map(|t| ms(t, &format!("responses[{i}].full_ack_ms")))
+                        .transpose()?,
+                    last_packet_bytes: r.last_packet_bytes,
+                    bytes_in_flight_at_write: r.bytes_in_flight_at_write,
+                    prev_unsent_at_write: r.prev_unsent_at_write,
+                })
             })
-            .collect::<Vec<_>>();
-        let span = self
-            .responses
-            .iter()
-            .filter_map(|r| r.full_ack_ms)
-            .fold(0.0f64, f64::max);
-        SessionObs {
+            .collect::<Result<Vec<_>, String>>()?;
+        if !self.min_rtt_ms.is_finite() || self.min_rtt_ms < 0.0 {
+            return Err(format!("min_rtt_ms: invalid value {}", self.min_rtt_ms));
+        }
+        let duration_ms = match self.duration_ms {
+            Some(d) => d,
+            None => {
+                let span = self
+                    .responses
+                    .iter()
+                    .filter_map(|r| r.full_ack_ms)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if span.is_finite() {
+                    span
+                } else {
+                    return Err("cannot determine session duration: duration_ms absent and no \
+                         response has full_ack_ms"
+                        .to_string());
+                }
+            }
+        };
+        Ok(SessionObs {
             responses,
-            min_rtt: (self.min_rtt_ms > 0.0).then(|| ms(self.min_rtt_ms)),
+            min_rtt: (self.min_rtt_ms > 0.0)
+                .then(|| ms(self.min_rtt_ms, "min_rtt_ms"))
+                .transpose()?,
             http: match self.http.as_deref() {
                 Some("h1") | Some("http/1.1") => HttpVersion::H1,
                 _ => HttpVersion::H2,
             },
-            duration: ms(self.duration_ms.unwrap_or(span)),
-        }
+            duration: ms(duration_ms, "duration_ms")?,
+        })
     }
 
     /// Evaluate the session at `target_bps`.
-    pub fn evaluate(&self, target_bps: f64) -> VerdictOut {
-        let obs = self.to_obs();
-        match session_hdratio(&obs, target_bps) {
+    pub fn evaluate(&self, target_bps: f64) -> Result<VerdictOut, String> {
+        let obs = self.to_obs()?;
+        Ok(match session_hdratio(&obs, target_bps) {
             Some(v) => VerdictOut {
                 min_rtt_ms: self.min_rtt_ms,
                 tested: v.tested,
                 achieved: v.achieved,
                 hdratio: v.hdratio(),
             },
-            None => VerdictOut {
-                min_rtt_ms: self.min_rtt_ms,
-                tested: 0,
-                achieved: 0,
-                hdratio: None,
-            },
-        }
+            None => {
+                VerdictOut { min_rtt_ms: self.min_rtt_ms, tested: 0, achieved: 0, hdratio: None }
+            }
+        })
     }
 }
 
 /// Evaluate a stream of JSONL sessions; invalid lines yield `Err` entries
 /// with the line number.
-pub fn evaluate_jsonl(
-    input: &str,
-    target_bps: f64,
-) -> Vec<Result<VerdictOut, (usize, String)>> {
+pub fn evaluate_jsonl(input: &str, target_bps: f64) -> Vec<Result<VerdictOut, (usize, String)>> {
     input
         .lines()
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty())
         .map(|(i, line)| {
             serde_json::from_str::<SessionIn>(line)
-                .map(|s| s.evaluate(target_bps))
-                .map_err(|e| (i + 1, e.to_string()))
+                .map_err(|e| e.to_string())
+                .and_then(|s| s.evaluate(target_bps))
+                .map_err(|e| (i + 1, e))
         })
         .collect()
 }
@@ -193,7 +238,7 @@ mod tests {
     fn slow_session_fails_hd() {
         let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
         s.responses[0].second_last_ack_ms = Some(900.0); // took forever
-        let v = s.evaluate(HD_GOODPUT_BPS);
+        let v = s.evaluate(HD_GOODPUT_BPS).unwrap();
         assert_eq!(v.tested, 1);
         assert_eq!(v.achieved, 0);
     }
@@ -203,7 +248,7 @@ mod tests {
         let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
         s.responses[0].bytes = 2_000;
         s.responses[0].last_packet_bytes = Some(540);
-        let v = s.evaluate(HD_GOODPUT_BPS);
+        let v = s.evaluate(HD_GOODPUT_BPS).unwrap();
         assert_eq!(v.tested, 0);
         assert_eq!(v.hdratio, None);
     }
@@ -221,7 +266,9 @@ mod tests {
 
     #[test]
     fn missing_optionals_default_sanely() {
-        let line = r#"{"min_rtt_ms": 30.0, "responses": [{"bytes": 5000, "issued_at_ms": 0.0}]}"#;
+        // With an explicit duration, absent per-response fields are fine:
+        // the session parses but nothing is measurable.
+        let line = r#"{"min_rtt_ms": 30.0, "duration_ms": 1000.0, "responses": [{"bytes": 5000, "issued_at_ms": 0.0}]}"#;
         let out = evaluate_jsonl(line, HD_GOODPUT_BPS);
         let v = out[0].as_ref().unwrap();
         // No transmission endpoints → nothing measurable.
@@ -229,19 +276,65 @@ mod tests {
     }
 
     #[test]
-    fn http_version_parsing() {
-        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
-        s.http = Some("h1".into());
-        assert_eq!(s.to_obs().http, HttpVersion::H1);
-        s.http = None;
-        assert_eq!(s.to_obs().http, HttpVersion::H2);
+    fn undeterminable_duration_is_rejected() {
+        // No duration_ms and no full_ack_ms anywhere: the old code
+        // defaulted the duration to 0; now it is a per-line error.
+        let line = r#"{"min_rtt_ms": 30.0, "responses": [{"bytes": 5000, "issued_at_ms": 0.0}]}"#;
+        let out = evaluate_jsonl(line, HD_GOODPUT_BPS);
+        let (line_no, msg) = out[0].as_ref().unwrap_err();
+        assert_eq!(*line_no, 1);
+        assert!(msg.contains("duration"), "unexpected message: {msg}");
     }
 
     #[test]
-    fn zero_min_rtt_is_rejected() {
+    fn negative_timestamps_are_rejected() {
+        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
+        s.responses[0].issued_at_ms = -3.0;
+        let err = s.evaluate(HD_GOODPUT_BPS).unwrap_err();
+        assert!(
+            err.contains("issued_at_ms") && err.contains("negative"),
+            "unexpected message: {err}"
+        );
+
+        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
+        s.responses[0].full_ack_ms = Some(-0.5);
+        let err = s.evaluate(HD_GOODPUT_BPS).unwrap_err();
+        assert!(err.contains("full_ack_ms"), "unexpected message: {err}");
+
+        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
+        s.min_rtt_ms = -1.0;
+        assert!(s.evaluate(HD_GOODPUT_BPS).is_err());
+
+        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
+        s.duration_ms = Some(-10.0);
+        assert!(s.evaluate(HD_GOODPUT_BPS).is_err());
+    }
+
+    #[test]
+    fn rejected_lines_carry_line_numbers() {
+        let bad = r#"{"min_rtt_ms": 30.0, "responses": [{"bytes": 1, "issued_at_ms": -1.0}]}"#;
+        let input = format!("{}\n{bad}", sample_line());
+        let out = evaluate_jsonl(&input, HD_GOODPUT_BPS);
+        assert!(out[0].is_ok());
+        let (line_no, msg) = out[1].as_ref().unwrap_err();
+        assert_eq!(*line_no, 2);
+        assert!(msg.contains("negative"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn http_version_parsing() {
+        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
+        s.http = Some("h1".into());
+        assert_eq!(s.to_obs().unwrap().http, HttpVersion::H1);
+        s.http = None;
+        assert_eq!(s.to_obs().unwrap().http, HttpVersion::H2);
+    }
+
+    #[test]
+    fn zero_min_rtt_is_untestable_but_not_an_error() {
         let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
         s.min_rtt_ms = 0.0;
-        let v = s.evaluate(HD_GOODPUT_BPS);
+        let v = s.evaluate(HD_GOODPUT_BPS).unwrap();
         assert_eq!(v.tested, 0);
     }
 }

@@ -3,9 +3,9 @@
 //! behaviours are what make goodput depend on more than bandwidth — the
 //! paper's §3.2 premise.
 
+use edgeperf::core::{MILLISECOND, SECOND};
 use edgeperf::netsim::{FlowSim, LossModel, PathConfig};
 use edgeperf::tcp::{CcAlgorithm, TcpConfig};
-use edgeperf::core::{MILLISECOND, SECOND};
 
 fn transfer_time(cc: CcAlgorithm, loss: f64, bytes: u64, seed: u64) -> u64 {
     let tcp = TcpConfig { cc, delayed_ack_disabled: true, ..Default::default() };

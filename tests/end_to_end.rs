@@ -8,11 +8,8 @@ use edgeperf::analysis::{AnalysisConfig, Dataset, DegradationMetric, TemporalCla
 use edgeperf::world::{run_study, Continent, StudyConfig, World, WorldConfig};
 
 fn small_study() -> (Vec<edgeperf::analysis::SessionRecord>, usize) {
-    let world = World::generate(WorldConfig {
-        seed: 1234,
-        country_fraction: 0.35,
-        ..Default::default()
-    });
+    let world =
+        World::generate(WorldConfig { seed: 1234, country_fraction: 0.35, ..Default::default() });
     let cfg = StudyConfig {
         seed: 77,
         days: 1,
@@ -84,9 +81,7 @@ fn continental_ordering_matches_paper() {
     assert!(med(Continent::SouthAmerica) > med(Continent::NorthAmerica));
 
     let (_, hd_per) = fig6_hdratio(&records);
-    let zero = |c: Continent| {
-        hd_per.get(&(c as u8)).map(|cdf| cdf.fraction_leq(0.0)).unwrap()
-    };
+    let zero = |c: Continent| hd_per.get(&(c as u8)).map(|cdf| cdf.fraction_leq(0.0)).unwrap();
     assert!(zero(Continent::Africa) > zero(Continent::Europe));
     assert!(zero(Continent::SouthAmerica) > zero(Continent::NorthAmerica));
 }

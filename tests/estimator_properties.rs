@@ -135,7 +135,8 @@ fn never_overestimates_bottleneck_on_ideal_paths() {
     {
         let bw = (bw_mbps * 1e6) as u64;
         let rtt = rtt_ms * MILLISECOND;
-        let mut sim = FlowSim::new(TcpConfig::ns3_validation(iw), PathConfig::ideal(bw, rtt), i as u64);
+        let mut sim =
+            FlowSim::new(TcpConfig::ns3_validation(iw), PathConfig::ideal(bw, rtt), i as u64);
         let bytes = pkts * 1_460;
         sim.schedule_write(0, bytes);
         let res = sim.run(3_600 * edgeperf::core::SECOND);
@@ -154,10 +155,7 @@ fn never_overestimates_bottleneck_on_ideal_paths() {
         }
         let g = delivery_rate(measured, wnic as u64, min_rtt, t2 - t0).unwrap_or(f64::INFINITY);
         let g = g.min(gtestable_bps(measured, wnic as u64, min_rtt));
-        assert!(
-            g <= bw as f64 * (1.0 + 1e-9),
-            "config {i}: estimated {g} > bottleneck {bw}"
-        );
+        assert!(g <= bw as f64 * (1.0 + 1e-9), "config {i}: estimated {g} > bottleneck {bw}");
         checked += 1;
     }
     assert!(checked >= 6, "too few capable configs exercised: {checked}");

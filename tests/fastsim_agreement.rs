@@ -10,11 +10,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
 fn packet_level(bytes: u64, bw: u64, rtt_ms: u64) -> (u64, u32) {
-    let mut sim = FlowSim::new(
-        TcpConfig::ns3_validation(10),
-        PathConfig::ideal(bw, rtt_ms * MILLISECOND),
-        1,
-    );
+    let mut sim =
+        FlowSim::new(TcpConfig::ns3_validation(10), PathConfig::ideal(bw, rtt_ms * MILLISECOND), 1);
     sim.schedule_write(0, bytes);
     let res = sim.run(600 * SECOND);
     let w = res.writes[0];
