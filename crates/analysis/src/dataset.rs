@@ -1,9 +1,9 @@
 //! Dataset assembly: records → per-(group, window, route-rank)
 //! aggregations (§3.3).
 
+use crate::hash::FxHashMap;
 use crate::record::{GroupKey, SessionRecord};
 use edgeperf_routing::Relationship;
-use std::collections::HashMap;
 
 /// Measurements for one (group, window, route-rank) cell.
 #[derive(Debug, Clone)]
@@ -23,7 +23,7 @@ pub struct Aggregation {
 }
 
 impl Aggregation {
-    fn new(relationship: Relationship) -> Self {
+    pub(crate) fn new(relationship: Relationship) -> Self {
         Aggregation {
             min_rtt_ms: Vec::new(),
             hdratio: Vec::new(),
@@ -97,19 +97,37 @@ impl GroupData {
 pub struct Dataset {
     /// Number of 15-minute windows in the study.
     pub n_windows: usize,
-    /// Per-group data.
-    pub groups: HashMap<GroupKey, GroupData>,
+    /// Per-group data, keyed with the fast deterministic hasher.
+    pub groups: FxHashMap<GroupKey, GroupData>,
 }
 
 impl Dataset {
     /// Assemble from raw records. Records beyond `n_windows` or with
     /// rank ≥ 8 are rejected (defensive: they indicate runner bugs).
+    ///
+    /// Record streams arrive grouped by prefix (each prefix is simulated
+    /// by exactly one worker), so a last-group memo short-circuits the
+    /// hash lookup for nearly every record; the map itself uses the
+    /// FxHash hasher from [`crate::hash`].
     pub fn from_records(records: &[SessionRecord], n_windows: usize) -> Self {
-        let mut groups: HashMap<GroupKey, GroupData> = HashMap::new();
+        let mut index: FxHashMap<GroupKey, u32> = FxHashMap::default();
+        let mut slots: Vec<(GroupKey, GroupData)> = Vec::new();
+        let mut memo: Option<(GroupKey, u32)> = None;
         for r in records {
             assert!((r.window as usize) < n_windows, "window {} out of range", r.window);
             assert!(r.route_rank < 8, "suspicious route rank {}", r.route_rank);
-            let g = groups.entry(r.group).or_default();
+            let gi = match memo {
+                Some((k, i)) if k == r.group => i,
+                _ => {
+                    let i = *index.entry(r.group).or_insert_with(|| {
+                        slots.push((r.group, GroupData::default()));
+                        (slots.len() - 1) as u32
+                    });
+                    memo = Some((r.group, i));
+                    i
+                }
+            };
+            let g = &mut slots[gi as usize].1;
             let rank = r.route_rank as usize;
             while g.ranks.len() <= rank {
                 g.ranks.push(vec![None; n_windows]);
@@ -125,16 +143,23 @@ impl Dataset {
             cell.more_prepended |= r.more_prepended;
             g.total_bytes += r.bytes;
         }
-        // Sort sample vectors once.
-        for g in groups.values_mut() {
+        // Sort sample vectors once. `total_cmp` is a total order, so no
+        // NaN panic path; unstable sort is fine (and faster) because equal
+        // f64 samples are indistinguishable.
+        for (_, g) in &mut slots {
             for ws in &mut g.ranks {
                 for cell in ws.iter_mut().flatten() {
-                    cell.min_rtt_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                    cell.hdratio.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    cell.min_rtt_ms.sort_unstable_by(f64::total_cmp);
+                    cell.hdratio.sort_unstable_by(f64::total_cmp);
                 }
             }
         }
-        Dataset { n_windows, groups }
+        Dataset { n_windows, groups: slots.into_iter().collect() }
+    }
+
+    /// Number of populated (group, window, rank) cells.
+    pub fn cell_count(&self) -> usize {
+        self.groups.values().flat_map(|g| &g.ranks).map(|ws| ws.iter().flatten().count()).sum()
     }
 
     /// Total traffic across the dataset.

@@ -22,13 +22,19 @@
 //! - [`sink`]: the runner-facing [`RecordSink`] abstraction — exact
 //!   record collection into a `Vec`, or the bounded-memory
 //!   [`StreamingDataset`] of per-cell t-digests (§3.4.1).
+//! - [`columnar`]: struct-of-arrays worker shards for the exact path,
+//!   merged zero-copy into the sink at join time.
+//! - [`hash`]: the fast deterministic FxHash-style hasher behind every
+//!   hot-path map.
 
 pub mod classify;
+pub mod columnar;
 pub mod compare;
 pub mod config;
 pub mod dataset;
 pub mod degradation;
 pub mod figures;
+pub mod hash;
 pub mod opportunity;
 pub mod record;
 pub mod sink;
@@ -36,10 +42,12 @@ pub mod streaming;
 pub mod tables;
 
 pub use classify::{classify_group, TemporalClass};
+pub use columnar::{CellKey, ColumnarShard, ColumnarSink};
 pub use compare::{compare_medians, CompareOutcome};
 pub use config::AnalysisConfig;
 pub use dataset::{Aggregation, Dataset, GroupData};
 pub use degradation::{degradation_events, DegradationMetric};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use opportunity::{opportunity_events, OpportunityMetric};
 pub use record::{GroupKey, SessionRecord};
 pub use sink::{RecordShard, RecordSink, StreamingCell, StreamingDataset, StreamingGroupData};

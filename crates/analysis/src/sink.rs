@@ -8,21 +8,27 @@
 //! per-cell contents are independent of how the scheduler distributed
 //! prefixes across workers.
 //!
-//! Two implementations cover the two analysis modes:
+//! Three implementations cover the analysis modes:
 //!
 //! - `Vec<SessionRecord>` — the exact path: collect every record, then
 //!   build a [`crate::Dataset`]. Memory grows linearly with session count.
+//! - [`crate::ColumnarSink`] — the fast exact path: workers accumulate
+//!   columnar (SoA) shards that merge zero-copy at join time.
 //! - [`StreamingDataset`] — the production path (§3.4.1): bounded-memory
 //!   t-digest cells keyed exactly like the exact dataset's; the full
 //!   record vector is never materialized.
+//!
+//! Tuple sinks `(A, B)` tee every record into both members, letting one
+//! parallel pass feed two destinations (e.g. records + columnar dataset).
 
 use crate::config::AnalysisConfig;
 use crate::figures::{build_diff_cdfs, DiffCdfs, RelPair};
+use crate::hash::FxHashMap;
 use crate::record::{GroupKey, SessionRecord};
 use crate::streaming::{compare_minrtt_streaming, StreamingAggregation};
 use edgeperf_routing::Relationship;
 use edgeperf_stats::TDigest;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// A per-worker accumulator of session records.
 pub trait RecordShard: Send {
@@ -40,6 +46,11 @@ pub trait RecordSink {
 
     /// Fold a finished worker's shard into the sink.
     fn merge_shard(&mut self, shard: Self::Shard);
+
+    /// Called once by the runner after every shard has been merged.
+    /// Sinks with deferred state (digest insert buffers) settle it here
+    /// so post-run queries borrow `&self` without hidden work.
+    fn finalize(&mut self) {}
 }
 
 impl RecordShard for Vec<SessionRecord> {
@@ -57,6 +68,31 @@ impl RecordSink for Vec<SessionRecord> {
 
     fn merge_shard(&mut self, shard: Vec<SessionRecord>) {
         self.extend(shard);
+    }
+}
+
+impl<A: RecordShard, B: RecordShard> RecordShard for (A, B) {
+    fn push(&mut self, record: SessionRecord) {
+        self.0.push(record);
+        self.1.push(record);
+    }
+}
+
+impl<A: RecordSink, B: RecordSink> RecordSink for (A, B) {
+    type Shard = (A::Shard, B::Shard);
+
+    fn new_shard(&self) -> Self::Shard {
+        (self.0.new_shard(), self.1.new_shard())
+    }
+
+    fn merge_shard(&mut self, shard: Self::Shard) {
+        self.0.merge_shard(shard.0);
+        self.1.merge_shard(shard.1);
+    }
+
+    fn finalize(&mut self) {
+        self.0.finalize();
+        self.1.finalize();
     }
 }
 
@@ -118,16 +154,29 @@ impl StreamingGroupData {
 /// layout as [`crate::Dataset`], but each cell is a pair of t-digests
 /// instead of sorted sample vectors. Memory is bounded by the number of
 /// *cells*, not the number of sessions.
+///
+/// Groups live in a dense `Vec` addressed through an FxHash index map,
+/// with a last-group memo so the consecutive same-group records the
+/// runner produces skip hashing entirely.
 #[derive(Debug, Clone)]
 pub struct StreamingDataset {
     n_windows: usize,
-    groups: HashMap<GroupKey, StreamingGroupData>,
+    index: FxHashMap<GroupKey, u32>,
+    keys: Vec<GroupKey>,
+    groups: Vec<StreamingGroupData>,
+    memo: Option<(GroupKey, u32)>,
 }
 
 impl StreamingDataset {
     /// Empty dataset over a fixed number of 15-minute windows.
     pub fn new(n_windows: usize) -> Self {
-        StreamingDataset { n_windows, groups: HashMap::new() }
+        StreamingDataset {
+            n_windows,
+            index: FxHashMap::default(),
+            keys: Vec::new(),
+            groups: Vec::new(),
+            memo: None,
+        }
     }
 
     /// Number of windows in the study.
@@ -135,23 +184,51 @@ impl StreamingDataset {
         self.n_windows
     }
 
-    /// Per-group data.
-    pub fn groups(&self) -> &HashMap<GroupKey, StreamingGroupData> {
-        &self.groups
+    /// Number of user groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
     }
 
-    /// Mutable per-group data (rollups need `&mut` to query digests).
-    pub fn groups_mut(&mut self) -> &mut HashMap<GroupKey, StreamingGroupData> {
-        &mut self.groups
+    /// True when no record has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Iterate groups in insertion order (first record wins the slot).
+    pub fn iter(&self) -> impl Iterator<Item = (&GroupKey, &StreamingGroupData)> {
+        self.keys.iter().zip(self.groups.iter())
+    }
+
+    /// Data for one group, if present.
+    pub fn get(&self, key: &GroupKey) -> Option<&StreamingGroupData> {
+        self.index.get(key).map(|&i| &self.groups[i as usize])
+    }
+
+    /// Dense slot of `key`, allocating if new; memoized on the last key.
+    fn group_slot(&mut self, key: GroupKey) -> usize {
+        match self.memo {
+            Some((k, i)) if k == key => i as usize,
+            _ => {
+                let i = *self.index.entry(key).or_insert_with(|| {
+                    self.keys.push(key);
+                    self.groups.push(StreamingGroupData::default());
+                    (self.groups.len() - 1) as u32
+                });
+                self.memo = Some((key, i));
+                i as usize
+            }
+        }
     }
 
     fn insert(&mut self, r: SessionRecord) {
         assert!((r.window as usize) < self.n_windows, "window {} out of range", r.window);
         assert!(r.route_rank < 8, "suspicious route rank {}", r.route_rank);
-        let g = self.groups.entry(r.group).or_default();
+        let n_windows = self.n_windows;
+        let slot = self.group_slot(r.group);
+        let g = &mut self.groups[slot];
         let rank = r.route_rank as usize;
         while g.ranks.len() <= rank {
-            g.ranks.push(vec![None; self.n_windows]);
+            g.ranks.push(vec![None; n_windows]);
         }
         g.ranks[rank][r.window as usize]
             .get_or_insert_with(|| StreamingCell::new(r.relationship))
@@ -163,12 +240,14 @@ impl StreamingDataset {
     /// Cells present on both sides merge via [`TDigest::merge`].
     pub fn merge(&mut self, other: StreamingDataset) {
         assert_eq!(self.n_windows, other.n_windows, "window-count mismatch");
-        for (key, g) in other.groups {
-            let dst = self.groups.entry(key).or_default();
+        let n_windows = self.n_windows;
+        for (key, g) in other.keys.into_iter().zip(other.groups) {
+            let slot = self.group_slot(key);
+            let dst = &mut self.groups[slot];
             dst.total_bytes += g.total_bytes;
             for (rank, windows) in g.ranks.into_iter().enumerate() {
                 while dst.ranks.len() <= rank {
-                    dst.ranks.push(vec![None; self.n_windows]);
+                    dst.ranks.push(vec![None; n_windows]);
                 }
                 for (w, cell) in windows.into_iter().enumerate() {
                     let Some(cell) = cell else { continue };
@@ -181,15 +260,28 @@ impl StreamingDataset {
         }
     }
 
+    /// Flush every cell digest's insert buffer so subsequent queries are
+    /// allocation-free. The runner calls this through
+    /// [`RecordSink::finalize`].
+    pub fn flush(&mut self) {
+        for g in &mut self.groups {
+            for ws in &mut g.ranks {
+                for cell in ws.iter_mut().flatten() {
+                    cell.agg.flush();
+                }
+            }
+        }
+    }
+
     /// Total traffic across the dataset.
     pub fn total_bytes(&self) -> u64 {
-        self.groups.values().map(|g| g.total_bytes).sum()
+        self.groups.iter().map(|g| g.total_bytes).sum()
     }
 
     /// Traffic carried on preferred routes only (rank 0).
     pub fn preferred_bytes(&self) -> u64 {
         self.groups
-            .values()
+            .iter()
             .flat_map(|g| g.ranks.first())
             .flat_map(|ws| ws.iter().flatten())
             .map(|c| c.agg.bytes())
@@ -198,11 +290,11 @@ impl StreamingDataset {
 
     /// Total centroids held across every cell digest — the dataset's
     /// memory footprint, bounded by cell count rather than session count.
-    pub fn state_centroids(&mut self) -> usize {
+    pub fn state_centroids(&self) -> usize {
         self.groups
-            .values_mut()
-            .flat_map(|g| g.ranks.iter_mut())
-            .flat_map(|ws| ws.iter_mut().flatten())
+            .iter()
+            .flat_map(|g| g.ranks.iter())
+            .flat_map(|ws| ws.iter().flatten())
             .map(|c| c.agg.state_centroids())
             .sum()
     }
@@ -227,7 +319,7 @@ impl StreamingDataset {
     ) -> (TDigest, BTreeMap<u8, TDigest>) {
         let mut overall = TDigest::new(100.0);
         let mut per: BTreeMap<u8, TDigest> = BTreeMap::new();
-        for (key, g) in &self.groups {
+        for (key, g) in self.iter() {
             for cell in g.ranks.first().into_iter().flatten().flatten() {
                 let d = digest(cell);
                 if d.is_empty() {
@@ -257,6 +349,10 @@ impl RecordSink for StreamingDataset {
     fn merge_shard(&mut self, shard: StreamingDataset) {
         self.merge(shard);
     }
+
+    fn finalize(&mut self) {
+        self.flush();
+    }
 }
 
 /// Figure 10 on streaming cells: MinRTT_P50 difference (preferred −
@@ -270,7 +366,7 @@ pub fn fig10_by_relationship_streaming(
 ) -> Option<DiffCdfs> {
     let mut points = Vec::new();
     let mut covered = 0u64;
-    for g in ds.groups().values() {
+    for (_, g) in ds.iter() {
         let n_windows = g.ranks.first().map(|w| w.len()).unwrap_or(0);
         for w in 0..n_windows {
             let pref = match g.cell(0, w) {
@@ -281,11 +377,7 @@ pub fn fig10_by_relationship_streaming(
                 c.agg.n() >= cfg.min_samples && pair.matches(pref.relationship, c.relationship)
             });
             let Some(alt) = alt else { continue };
-            // Digest queries compress internally, so compare on clones
-            // rather than threading `&mut` through two cells of one group.
-            let mut a = pref.agg.clone();
-            let mut b = alt.agg.clone();
-            match compare_minrtt_streaming(cfg, &mut a, &mut b) {
+            match compare_minrtt_streaming(cfg, &pref.agg, &alt.agg) {
                 crate::compare::CompareOutcome::Valid { diff, lo, hi } => {
                     points.push((diff, lo, hi, pref.agg.bytes()));
                     covered += pref.agg.bytes();
@@ -351,7 +443,23 @@ mod tests {
         }
         sink.merge_shard(s1);
         sink.merge_shard(s2);
+        sink.finalize();
         assert_eq!(sink.len(), 100);
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_members() {
+        let mut sink: (Vec<SessionRecord>, StreamingDataset) =
+            (Vec::new(), StreamingDataset::new(4));
+        let mut shard = sink.new_shard();
+        for r in synthetic(500) {
+            shard.push(r);
+        }
+        sink.merge_shard(shard);
+        sink.finalize();
+        assert_eq!(sink.0.len(), 500);
+        assert_eq!(sink.1.total_bytes(), 500 * 100);
+        assert_eq!(sink.1.len(), Dataset::from_records(&sink.0, 4).groups.len());
     }
 
     #[test]
@@ -362,18 +470,19 @@ mod tests {
         for r in &records {
             RecordShard::push(&mut stream, *r);
         }
-        assert_eq!(stream.groups().len(), exact.groups.len());
+        stream.flush();
+        assert_eq!(stream.len(), exact.groups.len());
         assert_eq!(stream.total_bytes(), exact.total_bytes());
         assert_eq!(stream.preferred_bytes(), exact.preferred_bytes());
         for (key, g) in &exact.groups {
-            let sg = &stream.groups()[key];
+            let sg = stream.get(key).expect("group present");
             for (rank, ws) in g.ranks.iter().enumerate() {
                 for (w, cell) in ws.iter().enumerate() {
                     let Some(cell) = cell else {
                         assert!(sg.cell(rank, w).is_none());
                         continue;
                     };
-                    let mut s = sg.cell(rank, w).unwrap().agg.clone();
+                    let s = &sg.cell(rank, w).unwrap().agg;
                     assert_eq!(s.n(), cell.n());
                     assert_eq!(s.bytes(), cell.bytes);
                     assert!((s.min_rtt_p50() - cell.min_rtt_p50()).abs() < 0.5);
@@ -406,20 +515,20 @@ mod tests {
         for s in shards.into_iter().rev() {
             sink.merge_shard(s);
         }
-        assert_eq!(sink.groups().len(), single.groups().len());
-        for (key, g) in single.groups() {
-            let sg = &sink.groups()[key];
+        sink.finalize();
+        assert_eq!(sink.len(), single.len());
+        for (key, g) in single.iter() {
+            let sg = sink.get(key).expect("group present");
             for (rank, ws) in g.ranks.iter().enumerate() {
                 for (w, cell) in ws.iter().enumerate() {
                     let (Some(a), Some(b)) = (cell.as_ref(), sg.cell(rank, w)) else {
                         assert!(cell.is_none() && sg.cell(rank, w).is_none());
                         continue;
                     };
-                    let (mut a, mut b) = (a.agg.clone(), b.agg.clone());
                     // One prefix lands in exactly one shard, so cells are
                     // bit-identical, not merely close.
-                    assert_eq!(a.n(), b.n());
-                    assert_eq!(a.min_rtt_p50().to_bits(), b.min_rtt_p50().to_bits());
+                    assert_eq!(a.agg.n(), b.agg.n());
+                    assert_eq!(a.agg.min_rtt_p50().to_bits(), b.agg.min_rtt_p50().to_bits());
                 }
             }
         }
@@ -443,8 +552,8 @@ mod tests {
         let mut sink = StreamingDataset::new(1);
         sink.merge_shard(hi_shard);
         sink.merge_shard(lo_shard);
-        let g = sink.groups().values().next().unwrap();
-        let mut agg = g.cell(0, 0).unwrap().agg.clone();
+        let (_, g) = sink.iter().next().unwrap();
+        let agg = &g.cell(0, 0).unwrap().agg;
         assert_eq!(agg.min_rtt_quantile(0.0), 10.0);
         assert_eq!(agg.min_rtt_quantile(1.0), 10.0 + 1_999.0 * 0.1);
     }
@@ -462,11 +571,12 @@ mod tests {
                 rec((i % 8) as u32, (i % 4) as u32, ((i / 8) % 2) as u8, 10.0 + 90.0 * u, Some(u)),
             );
         }
+        ds.flush();
         let cells = 64;
         let centroids = ds.state_centroids();
         assert!(centroids < cells * 2 * 400, "state = {centroids} centroids");
         // And the data is still queryable.
-        let (mut overall, per) = ds.minrtt_rollup();
+        let (overall, per) = ds.minrtt_rollup();
         assert!((overall.quantile(0.5) - 55.0).abs() < 2.0);
         assert!(!per.is_empty());
     }

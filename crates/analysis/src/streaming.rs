@@ -53,13 +53,20 @@ impl StreamingAggregation {
         self.bytes += other.bytes;
     }
 
+    /// Flush both digests' insert buffers so subsequent queries are
+    /// allocation-free. Sinks call this once at finalize time.
+    pub fn flush(&mut self) {
+        self.minrtt.flush();
+        self.hdratio.flush();
+    }
+
     /// MinRTT quantile estimate (exact at q = 0 and q = 1).
-    pub fn min_rtt_quantile(&mut self, q: f64) -> f64 {
+    pub fn min_rtt_quantile(&self, q: f64) -> f64 {
         self.minrtt.quantile(q)
     }
 
     /// HDratio quantile estimate, if any session tested.
-    pub fn hdratio_quantile(&mut self, q: f64) -> Option<f64> {
+    pub fn hdratio_quantile(&self, q: f64) -> Option<f64> {
         if self.hdratio.is_empty() {
             None
         } else {
@@ -79,7 +86,7 @@ impl StreamingAggregation {
 
     /// Centroids currently held across both digests — the aggregation's
     /// memory footprint, which stays bounded regardless of session count.
-    pub fn state_centroids(&mut self) -> usize {
+    pub fn state_centroids(&self) -> usize {
         let hd = if self.hdratio.is_empty() { 0 } else { self.hdratio.centroid_count() };
         self.minrtt.centroid_count() + hd
     }
@@ -100,12 +107,12 @@ impl StreamingAggregation {
     }
 
     /// Median MinRTT (ms).
-    pub fn min_rtt_p50(&mut self) -> f64 {
+    pub fn min_rtt_p50(&self) -> f64 {
         self.minrtt.quantile(0.5)
     }
 
     /// Median HDratio, if any session tested.
-    pub fn hdratio_p50(&mut self) -> Option<f64> {
+    pub fn hdratio_p50(&self) -> Option<f64> {
         if self.hdratio.is_empty() {
             None
         } else {
@@ -116,17 +123,17 @@ impl StreamingAggregation {
     /// Approximate Price–Bonett variance of the MinRTT median: the exact
     /// method reads order statistics `y_c` and `y_{n−c+1}`; here they are
     /// approximated by digest quantiles at ranks `c/n` and `(n−c+1)/n`.
-    pub fn min_rtt_median_variance(&mut self) -> Option<f64> {
-        median_variance(&mut self.minrtt)
+    pub fn min_rtt_median_variance(&self) -> Option<f64> {
+        median_variance(&self.minrtt)
     }
 
     /// Approximate variance of the HDratio median.
-    pub fn hdratio_median_variance(&mut self) -> Option<f64> {
-        median_variance(&mut self.hdratio)
+    pub fn hdratio_median_variance(&self) -> Option<f64> {
+        median_variance(&self.hdratio)
     }
 }
 
-fn median_variance(d: &mut TDigest) -> Option<f64> {
+fn median_variance(d: &TDigest) -> Option<f64> {
     let n = d.count() as usize;
     if n < 5 {
         return None;
@@ -145,8 +152,8 @@ fn median_variance(d: &mut TDigest) -> Option<f64> {
 /// validity rules.
 pub fn compare_minrtt_streaming(
     cfg: &AnalysisConfig,
-    a: &mut StreamingAggregation,
-    b: &mut StreamingAggregation,
+    a: &StreamingAggregation,
+    b: &StreamingAggregation,
 ) -> crate::compare::CompareOutcome {
     use crate::compare::CompareOutcome;
     if a.n() < cfg.min_samples || b.n() < cfg.min_samples {
@@ -189,9 +196,9 @@ mod tests {
     #[test]
     fn medians_match_exact_pipeline() {
         let v = samples(42.0, 12.0, 5_000);
-        let mut s = stream_of(&v);
+        let s = stream_of(&v);
         let mut sorted = v.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_unstable_by(f64::total_cmp);
         let exact = edgeperf_stats::quantile::median_sorted(&sorted);
         assert!((s.min_rtt_p50() - exact).abs() < 0.2, "{} vs {exact}", s.min_rtt_p50());
         assert_eq!(s.n(), 5_000);
@@ -208,17 +215,17 @@ mod tests {
             &cfg,
             &{
                 let mut v = a.clone();
-                v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                v.sort_unstable_by(f64::total_cmp);
                 v
             },
             &{
                 let mut v = b.clone();
-                v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                v.sort_unstable_by(f64::total_cmp);
                 v
             },
             cfg.max_ci_width_minrtt_ms,
         );
-        let stream = compare_minrtt_streaming(&cfg, &mut stream_of(&a), &mut stream_of(&b));
+        let stream = compare_minrtt_streaming(&cfg, &stream_of(&a), &stream_of(&b));
         match (exact, stream) {
             (
                 CompareOutcome::Valid { diff: d1, lo: l1, hi: h1 },
@@ -243,11 +250,11 @@ mod tests {
             let a = samples(40.0 + shift, 6.0, 300);
             let b = samples(40.0, 6.0, 300);
             let mut sa = a.clone();
-            sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            sa.sort_unstable_by(f64::total_cmp);
             let mut sb = b.clone();
-            sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            sb.sort_unstable_by(f64::total_cmp);
             let exact = compare_medians(&cfg, &sa, &sb, cfg.max_ci_width_minrtt_ms);
-            let stream = compare_minrtt_streaming(&cfg, &mut stream_of(&a), &mut stream_of(&b));
+            let stream = compare_minrtt_streaming(&cfg, &stream_of(&a), &stream_of(&b));
             total += 1;
             if exact.event_at(5.0) == stream.event_at(5.0) {
                 agreements += 1;
@@ -262,7 +269,7 @@ mod tests {
         let a = samples(50.0, 5.0, 10);
         let b = samples(40.0, 5.0, 100);
         assert_eq!(
-            compare_minrtt_streaming(&cfg, &mut stream_of(&a), &mut stream_of(&b)),
+            compare_minrtt_streaming(&cfg, &stream_of(&a), &stream_of(&b)),
             CompareOutcome::Invalid
         );
     }

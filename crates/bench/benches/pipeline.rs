@@ -6,8 +6,10 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use edgeperf_analysis::tables::{table1, AnalysisKind};
 use edgeperf_analysis::{
-    AnalysisConfig, Dataset, DegradationMetric, GroupKey, SessionRecord, StreamingDataset,
+    AnalysisConfig, ColumnarSink, Dataset, DegradationMetric, GroupKey, SessionRecord,
+    StreamingDataset,
 };
+use edgeperf_bench::pipeline_bench::{columnar_ingest, seed_style_from_records, streaming_ingest};
 use edgeperf_routing::{PopId, Prefix, Relationship};
 use edgeperf_world::{
     run_study, run_study_into, run_study_static, StudyConfig, World, WorldConfig,
@@ -74,6 +76,52 @@ fn bench_study(c: &mut Criterion) {
     });
 }
 
+/// The tentpole before/after: the same 150k-record stream through the
+/// seed-style std-HashMap rebuild, today's `Dataset::from_records`
+/// (FxHash + last-cell memo + unstable sorts), the columnar SoA shard
+/// path, and the bounded-memory digest sink. `repro bench` reports the
+/// same comparison on real study output and writes BENCH_pipeline.json.
+fn bench_pipeline_throughput(c: &mut Criterion) {
+    let records = synthetic_records(20, 96, 40);
+    let n_windows = 96;
+    c.bench_function("pipeline_throughput: baseline seed-style 150k", |b| {
+        b.iter(|| seed_style_from_records(black_box(&records), n_windows))
+    });
+    c.bench_function("pipeline_throughput: from_records fx+memo 150k", |b| {
+        b.iter(|| Dataset::from_records(black_box(&records), n_windows))
+    });
+    c.bench_function("pipeline_throughput: columnar shards 150k", |b| {
+        b.iter(|| columnar_ingest(black_box(&records), n_windows))
+    });
+    c.bench_function("pipeline_throughput: streaming digests 150k", |b| {
+        b.iter(|| streaming_ingest(black_box(&records), n_windows))
+    });
+}
+
+/// End-to-end study through the shipping tee sink (records + columnar
+/// dataset in one pass) vs the old two-pass shape (records, then a
+/// serial from_records sweep).
+fn bench_study_tee(c: &mut Criterion) {
+    let world = World::generate(WorldConfig { country_fraction: 0.15, ..Default::default() });
+    let cfg = StudyConfig { days: 1, sessions_per_group_window: 5, ..Default::default() };
+    let n_windows = cfg.n_windows() as usize;
+    c.bench_function("study: records then from_records (two-pass)", |b| {
+        b.iter(|| {
+            let mut records: Vec<SessionRecord> = Vec::new();
+            run_study_into(black_box(&world), black_box(&cfg), &mut records);
+            Dataset::from_records(&records, n_windows)
+        })
+    });
+    c.bench_function("study: tee sink records + columnar (one-pass)", |b| {
+        b.iter(|| {
+            let mut sink: (Vec<SessionRecord>, ColumnarSink) =
+                (Vec::new(), ColumnarSink::new(n_windows));
+            run_study_into(black_box(&world), black_box(&cfg), &mut sink);
+            (sink.0, sink.1.into_dataset())
+        })
+    });
+}
+
 /// Scheduler comparison on a skewed world: per-prefix work varies with
 /// route count, cluster mix, and diurnal activity, which is exactly the
 /// shape where static chunking strands workers behind a heavy range.
@@ -102,6 +150,6 @@ fn bench_schedulers(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_dataset, bench_study, bench_schedulers
+    targets = bench_dataset, bench_pipeline_throughput, bench_study, bench_study_tee, bench_schedulers
 }
 criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Phase breakdown of the ingestion paths (dev profiling aid).
+
+use edgeperf_analysis::sink::{RecordShard, RecordSink};
+use edgeperf_analysis::{ColumnarShard, ColumnarSink, Dataset, SessionRecord};
+use edgeperf_bench::pipeline_bench::seed_style_from_records;
+use edgeperf_world::{run_study_into, StudyConfig, World, WorldConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let world = World::generate(WorldConfig { country_fraction: 0.3, ..Default::default() });
+    let study = StudyConfig {
+        seed: 20190521 ^ 0xABCD,
+        days: 1,
+        sessions_per_group_window: 48,
+        parallelism: 1,
+        ..Default::default()
+    };
+    let n_windows = study.n_windows() as usize;
+    let mut records: Vec<SessionRecord> = Vec::new();
+    run_study_into(&world, &study, &mut records);
+    eprintln!("{} records", records.len());
+
+    for _ in 0..3 {
+        let t = Instant::now();
+        let c = seed_style_from_records(black_box(&records), n_windows);
+        eprintln!("baseline: {:?} ({c} cells)", t.elapsed());
+
+        let t = Instant::now();
+        let ds = Dataset::from_records(black_box(&records), n_windows);
+        eprintln!("from_records: {:?} ({} cells)", t.elapsed(), ds.cell_count());
+
+        let t = Instant::now();
+        let mut shard = ColumnarShard::default();
+        for &r in &records {
+            shard.push(r);
+        }
+        let push_t = t.elapsed();
+        let t = Instant::now();
+        let mut sink = ColumnarSink::new(n_windows);
+        sink.merge_shard(shard);
+        let ds2 = sink.into_dataset();
+        eprintln!(
+            "columnar: push {:?} + assemble {:?} ({} cells)",
+            push_t,
+            t.elapsed(),
+            ds2.cell_count()
+        );
+    }
+}

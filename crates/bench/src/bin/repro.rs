@@ -13,7 +13,8 @@
 //!   fig8 table1         degradation over time (Figure 8, Table 1)
 //!   fig9 fig10 table2   routing opportunity (Figures 9–10, Table 2)
 //!   naive               naive-vs-model achieved-rule ablation (§4)
-//!   all                 everything (one shared study run)
+//!   bench               pipeline-throughput baseline (--quick, --bench-json)
+//!   all                 everything (one shared study run; excludes bench)
 //! ```
 //!
 //! `--scale` (or `EDGEPERF_SCALE`) trades fidelity for speed: it thins the
@@ -26,7 +27,8 @@
 //! with a note. Per-worker scheduler counters are printed either way.
 
 use edgeperf_bench::{
-    ablations, cc_compare, detector, env_scale, fig4, fig5, naive, study, validation, workload_figs,
+    ablations, cc_compare, detector, env_scale, fig4, fig5, naive, pipeline_bench, study,
+    validation, workload_figs,
 };
 use std::fmt::Write as _;
 
@@ -37,6 +39,8 @@ struct Args {
     sessions: u32,
     scale: f64,
     json: Option<String>,
+    bench_json: Option<String>,
+    quick: bool,
     streaming: bool,
 }
 
@@ -48,6 +52,8 @@ fn parse_args() -> Args {
         sessions: 0,
         scale: env_scale(1.0),
         json: None,
+        bench_json: None,
+        quick: false,
         streaming: false,
     };
     let mut it = std::env::args().skip(1);
@@ -60,10 +66,13 @@ fn parse_args() -> Args {
             }
             "--scale" => args.scale = it.next().expect("--scale F").parse().expect("scale"),
             "--json" => args.json = Some(it.next().expect("--json PATH")),
+            "--bench-json" => args.bench_json = Some(it.next().expect("--bench-json PATH")),
+            "--quick" => args.quick = true,
             "--streaming" => args.streaming = true,
             "--help" | "-h" => {
                 eprintln!("repro <experiment> [--seed N] [--days N] [--sessions N] [--scale F] [--json PATH] [--streaming]");
-                eprintln!("experiments: fig1..fig10, table1, table2, fig4, validation, naive, ablations, all");
+                eprintln!("       repro bench [--quick] [--bench-json PATH]   pipeline throughput baseline");
+                eprintln!("experiments: fig1..fig10, table1, table2, fig4, validation, naive, ablations, bench, all");
                 std::process::exit(0);
             }
             exp if args.experiment.is_empty() && !exp.starts_with('-') => {
@@ -260,6 +269,18 @@ fn main() {
         let r = naive::run(a.seed, ((2_000.0 * a.scale) as usize).max(300));
         let _ = writeln!(printed, "{r}");
         write_json(&a.json, "naive", serde_json::to_value(&r).unwrap());
+    }
+    // Deliberately not part of `all`: it re-runs the study several times
+    // to time each ingestion path.
+    if matches!(exp, "bench") {
+        let r = pipeline_bench::run(&pipeline_bench::BenchOptions { seed: a.seed, quick: a.quick });
+        let _ = writeln!(printed, "{}", pipeline_bench::render(&r));
+        write_json(&a.json, "bench", serde_json::to_value(&r).unwrap());
+        if let Some(path) = &a.bench_json {
+            std::fs::write(path, serde_json::to_string_pretty(&r).unwrap())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
     }
 
     if printed.is_empty() {

@@ -12,6 +12,7 @@ pub mod detector;
 pub mod fig4;
 pub mod fig5;
 pub mod naive;
+pub mod pipeline_bench;
 pub mod study;
 pub mod validation;
 pub mod workload_figs;

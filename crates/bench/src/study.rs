@@ -8,7 +8,7 @@ use edgeperf_analysis::figures::{
 use edgeperf_analysis::sink::fig10_by_relationship_streaming;
 use edgeperf_analysis::tables::{table1, table2, AnalysisKind, Share, Table2Row};
 use edgeperf_analysis::{
-    AnalysisConfig, Dataset, DegradationMetric, SessionRecord, StreamingDataset,
+    AnalysisConfig, ColumnarSink, Dataset, DegradationMetric, SessionRecord, StreamingDataset,
 };
 use edgeperf_routing::Relationship;
 use edgeperf_world::{run_study_into, Continent, StudyConfig, StudyStats, World, WorldConfig};
@@ -79,11 +79,19 @@ fn build(params: &StudyParams) -> (World, StudyConfig) {
 }
 
 /// Run the study through the exact (collect-everything) sink.
+///
+/// A tee sink collects the raw record vector and the columnar dataset
+/// shards in the same parallel pass, so the dataset comes from a
+/// zero-copy shard merge at join time instead of a serial
+/// `Dataset::from_records` sweep afterwards. The result is bit-identical
+/// (see `columnar_sink_matches_from_records_end_to_end`).
 pub fn run(params: &StudyParams) -> StudyData {
     let (world, study) = build(params);
-    let mut records: Vec<SessionRecord> = Vec::new();
-    let stats = run_study_into(&world, &study, &mut records);
-    let dataset = Dataset::from_records(&records, study.n_windows() as usize);
+    let mut sink: (Vec<SessionRecord>, ColumnarSink) =
+        (Vec::new(), ColumnarSink::new(study.n_windows() as usize));
+    let stats = run_study_into(&world, &study, &mut sink);
+    let (records, columnar) = sink;
+    let dataset = columnar.into_dataset();
     StudyData { records, dataset, cfg: AnalysisConfig::default(), stats }
 }
 
@@ -160,20 +168,20 @@ pub fn fig6(data: &StudyData) -> Fig6Summary {
 /// fractions (= 0, = 1) are interpolated from centroids and carry a few
 /// percentage points of approximation error (see EXPERIMENTS.md).
 pub fn fig6_streaming(data: &StreamingStudyData) -> Fig6Summary {
-    let (mut mr_all, mr_cont) = data.dataset.minrtt_rollup();
-    let (mut hd_all, hd_cont) = data.dataset.hdratio_rollup();
+    let (mr_all, mr_cont) = data.dataset.minrtt_rollup();
+    let (hd_all, hd_cont) = data.dataset.hdratio_rollup();
     Fig6Summary {
         minrtt_p50: mr_all.quantile(0.5),
         minrtt_p80: mr_all.quantile(0.8),
         minrtt_p50_by_continent: mr_cont
             .into_iter()
-            .map(|(c, mut d)| (cont_name(c).to_string(), d.quantile(0.5)))
+            .map(|(c, d)| (cont_name(c).to_string(), d.quantile(0.5)))
             .collect(),
         hdratio_gt0: 1.0 - hd_all.cdf(0.0),
         hdratio_eq1: 1.0 - hd_all.cdf(1.0 - 1e-9),
         hdratio_zero_by_continent: hd_cont
             .into_iter()
-            .map(|(c, mut d)| (cont_name(c).to_string(), d.cdf(0.0)))
+            .map(|(c, d)| (cont_name(c).to_string(), d.cdf(0.0)))
             .collect(),
     }
 }

@@ -13,7 +13,7 @@
 
 use edgeperf_tcp::time::transmission_time;
 use edgeperf_tcp::{Nanos, TcpConfig};
-use rand::Rng;
+use rand::{Rng, RngCore};
 use rand_chacha::ChaCha12Rng;
 
 /// Ground-truth condition of a path for the duration of one transfer.
@@ -108,6 +108,22 @@ impl FastFlow {
         let hdr = 40u64;
         let wnic = self.cwnd;
 
+        // Per-transfer constants, hoisted out of the round loop. The RNG
+        // draw sequence below must stay bit-identical to the original
+        // per-round code — determinism tests and every recorded experiment
+        // depend on the stream.
+        let floor = st.rtt_floor();
+        let jitter_span = st.jitter_max.checked_add(1).expect("jitter_max overflows span");
+        let one_minus_loss = 1.0 - st.loss;
+        let lossy = st.loss > 0.0;
+        // Multiplicative-decrease factor per algorithm: Reno 0.5,
+        // CUBIC 0.7, BBR-lite none (model-based, loss-blind).
+        let beta = match self.cfg.cc {
+            edgeperf_tcp::CcAlgorithm::Reno => 0.5,
+            edgeperf_tcp::CcAlgorithm::Cubic => 0.7,
+            edgeperf_tcp::CcAlgorithm::BbrLite => 1.0,
+        };
+
         let mut sent = 0u64;
         let mut t: Nanos = 0;
         let mut min_rtt = Nanos::MAX;
@@ -120,24 +136,23 @@ impl FastFlow {
             rounds += 1;
             let chunk = (self.cwnd as u64).min(bytes - sent);
             let npkts = chunk.div_ceil(mss);
-            let rtt = st.rtt_floor()
-                + if st.jitter_max > 0 { rng.gen_range(0..=st.jitter_max) } else { 0 };
+            // Uniform jitter by direct modulo: the same single `next_u64`
+            // draw and value as `gen_range(0..=jitter_max)`, without the
+            // generic path's u128 widening.
+            let rtt = floor + if st.jitter_max > 0 { rng.next_u64() % jitter_span } else { 0 };
             min_rtt = min_rtt.min(rtt);
             let serialization = transmission_time(chunk + npkts * hdr, st.bottleneck_bps);
 
-            let p_round_loss = 1.0 - (1.0 - st.loss).powi(npkts as i32);
-            let lost = st.loss > 0.0 && rng.gen::<f64>() < p_round_loss;
+            // Loss-free paths skip both the powi and the draw (the draw
+            // was already skipped before: `&&` short-circuited it).
+            let lost = lossy && {
+                let p_round_loss = 1.0 - one_minus_loss.powi(npkts as i32);
+                rng.gen::<f64>() < p_round_loss
+            };
 
             let cwnd_limited = chunk * 2 > self.cwnd as u64;
             if lost {
                 loss_rounds += 1;
-                // Multiplicative-decrease factor per algorithm: Reno 0.5,
-                // CUBIC 0.7, BBR-lite none (model-based, loss-blind).
-                let beta = match self.cfg.cc {
-                    edgeperf_tcp::CcAlgorithm::Reno => 0.5,
-                    edgeperf_tcp::CcAlgorithm::Cubic => 0.7,
-                    edgeperf_tcp::CcAlgorithm::BbrLite => 1.0,
-                };
                 let recovery = if npkts <= 3 {
                     // Too few packets for dup-ACK recovery: RTO path
                     // (even BBR restarts after a tail timeout).
@@ -172,7 +187,7 @@ impl FastFlow {
 
         let last_packet_bytes = (((bytes - 1) % mss) + 1) as u32;
         let last_pkt_ser = transmission_time(last_packet_bytes as u64 + hdr, st.bottleneck_bps);
-        let min_rtt = if min_rtt == Nanos::MAX { st.rtt_floor() } else { min_rtt };
+        let min_rtt = if min_rtt == Nanos::MAX { floor } else { min_rtt };
         self.min_rtt = Some(self.min_rtt.map_or(min_rtt, |m| m.min(min_rtt)));
 
         FastTransfer {

@@ -54,7 +54,7 @@ impl CdfBuilder {
     /// Panics if no samples were added.
     pub fn build(mut self) -> WeightedCdf {
         assert!(!self.items.is_empty(), "CDF of no samples");
-        self.items.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        self.items.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         let mut points = Vec::with_capacity(self.items.len());
         let mut acc = 0.0;
         for (v, w) in self.items {

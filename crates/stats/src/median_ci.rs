@@ -92,7 +92,7 @@ pub fn median_variance_sorted(sorted: &[f64]) -> (f64, f64) {
 /// (e.g. 0.95). Input need not be sorted.
 pub fn median_ci(values: &[f64], conf: f64) -> MedianCi {
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    v.sort_unstable_by(f64::total_cmp);
     let (m, var) = median_variance_sorted(&v);
     let z = norm_inv_cdf(0.5 + conf / 2.0);
     let half = z * var.sqrt();
@@ -114,9 +114,9 @@ pub fn median_ci(values: &[f64], conf: f64) -> MedianCi {
 /// ```
 pub fn diff_of_medians_ci(a: &[f64], b: &[f64], conf: f64) -> DiffCi {
     let mut av = a.to_vec();
-    av.sort_by(|x, y| x.partial_cmp(y).expect("NaN sample"));
+    av.sort_unstable_by(f64::total_cmp);
     let mut bv = b.to_vec();
-    bv.sort_by(|x, y| x.partial_cmp(y).expect("NaN sample"));
+    bv.sort_unstable_by(f64::total_cmp);
     diff_of_medians_ci_sorted(&av, &bv, conf)
 }
 

@@ -29,11 +29,30 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
-/// Quantile of an unsorted slice (copies and sorts internally).
+/// Quantile of an unsorted slice.
+///
+/// Copies the input, then selects the one or two order statistics the
+/// type-7 definition needs via `select_nth_unstable_by` — O(n) expected
+/// instead of a full O(n log n) sort. NaN inputs order last under
+/// `total_cmp` rather than panicking.
 pub fn quantile_unsorted(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1], got {q}");
+    let n = values.len();
+    if n == 1 {
+        return values[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let frac = pos - lo as f64;
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
-    quantile_sorted(&v, q)
+    let (_, &mut lo_val, above) = v.select_nth_unstable_by(lo, f64::total_cmp);
+    if frac == 0.0 {
+        return lo_val;
+    }
+    // The rank-(lo+1) statistic is the minimum of the right partition.
+    let hi_val = above.iter().copied().min_by(f64::total_cmp).expect("rank lo+1 in bounds");
+    lo_val * (1.0 - frac) + hi_val * frac
 }
 
 /// Median convenience wrapper.
@@ -57,7 +76,7 @@ pub fn weighted_quantile(items: &[(f64, f64)], q: f64) -> f64 {
             assert!(w >= 0.0 && x.is_finite(), "bad item ({x}, {w})");
         })
         .collect();
-    v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    v.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
     let total: f64 = v.iter().map(|&(_, w)| w).sum();
     assert!(total > 0.0, "weighted quantile needs positive total weight");
     let target = q * total;
@@ -99,6 +118,24 @@ mod tests {
     fn unsorted_matches_sorted() {
         let v = [3.0, 1.0, 2.0];
         assert_eq!(quantile_unsorted(&v, 0.5), 2.0);
+    }
+
+    #[test]
+    fn selection_path_matches_full_sort() {
+        // Deterministic scramble with duplicates; the select-based path
+        // must agree bit-for-bit with sort + interpolate at every rank.
+        let vals: Vec<f64> =
+            (0..257).map(|i| (((i * 7919) % 997) as f64 / 31.0).floor() * 0.5).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            assert_eq!(
+                quantile_unsorted(&vals, q).to_bits(),
+                quantile_sorted(&sorted, q).to_bits(),
+                "q={q}"
+            );
+        }
     }
 
     #[test]

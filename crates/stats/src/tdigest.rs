@@ -7,6 +7,17 @@
 //! `k(q) = δ/(2π)·asin(2q−1)`, buffered inserts, and merge-based
 //! compression. It is deterministic: the same insertion order always yields
 //! the same digest.
+//!
+//! Ingestion is buffered: inserts accumulate raw samples and merge into the
+//! compressed centroid list in batches of [`BUFFER_LEN`], so the per-insert
+//! cost is a bounds check and a push. Queries never mutate the digest:
+//! [`TDigest::quantile`]/[`TDigest::cdf`] take `&self` and, when buffered
+//! samples are pending, compress into a temporary view. Call
+//! [`TDigest::flush`] once after the last insert (the record sinks do this
+//! at finalize time) to make every subsequent query allocation-free.
+
+/// Buffered inserts per compression batch.
+const BUFFER_LEN: usize = 512;
 
 /// A single centroid: a weighted point approximating nearby samples.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +50,97 @@ pub struct TDigest {
     max: f64,
 }
 
+/// Scale function k1.
+fn k1(compression: f64, q: f64) -> f64 {
+    compression / (2.0 * std::f64::consts::PI) * (2.0 * q - 1.0).asin()
+}
+
+/// Sort `all` by mean and merge adjacent centroids under the `k1` size
+/// bound. The single compression routine shared by the mutating flush and
+/// the non-mutating query view, so both produce identical centroids.
+fn compress_centroids(all: &mut Vec<Centroid>, compression: f64) -> f64 {
+    debug_assert!(!all.is_empty());
+    all.sort_unstable_by(|a, b| a.mean.total_cmp(&b.mean));
+    let total: f64 = all.iter().map(|c| c.weight).sum();
+
+    let mut merged: Vec<Centroid> = Vec::with_capacity(all.len() / 2 + 1);
+    let mut acc = all[0];
+    let mut w_before = 0.0; // weight strictly before `acc`
+    for c in all.drain(..).skip(1) {
+        let q_lo = w_before / total;
+        let q_hi = (w_before + acc.weight + c.weight) / total;
+        if k1(compression, q_hi.min(1.0)) - k1(compression, q_lo) <= 1.0 {
+            // Merge c into acc.
+            let w = acc.weight + c.weight;
+            acc.mean += (c.mean - acc.mean) * c.weight / w;
+            acc.weight = w;
+        } else {
+            w_before += acc.weight;
+            merged.push(acc);
+            acc = c;
+        }
+    }
+    merged.push(acc);
+    *all = merged;
+    total
+}
+
+/// Walk a compressed centroid list accumulating weight; interpolate
+/// between centroid midpoints, honoring exact min/max at the extremes.
+fn quantile_over(centroids: &[Centroid], total: f64, min: f64, max: f64, q: f64) -> f64 {
+    assert!(!centroids.is_empty(), "quantile of empty digest");
+    if centroids.len() == 1 {
+        return centroids[0].mean;
+    }
+    let target = q * total;
+    let mut cum = 0.0;
+    for (i, c) in centroids.iter().enumerate() {
+        let mid = cum + c.weight / 2.0;
+        if target < mid {
+            if i == 0 {
+                // Between min and first centroid mean.
+                let frac = (target / c.weight * 2.0).clamp(0.0, 1.0);
+                return min + (centroids[0].mean - min) * frac;
+            }
+            let prev = &centroids[i - 1];
+            let prev_mid = cum - prev.weight / 2.0;
+            let span = mid - prev_mid;
+            let frac = if span > 0.0 { (target - prev_mid) / span } else { 0.5 };
+            return prev.mean + (c.mean - prev.mean) * frac;
+        }
+        cum += c.weight;
+    }
+    max
+}
+
+fn cdf_over(centroids: &[Centroid], total: f64, min: f64, max: f64, x: f64) -> f64 {
+    assert!(!centroids.is_empty(), "cdf of empty digest");
+    if x < min {
+        return 0.0;
+    }
+    if x >= max {
+        return 1.0;
+    }
+    let mut cum = 0.0;
+    for (i, c) in centroids.iter().enumerate() {
+        if x < c.mean {
+            if i == 0 {
+                let span = c.mean - min;
+                let frac = if span > 0.0 { (x - min) / span } else { 0.0 };
+                return (c.weight / 2.0) * frac / total;
+            }
+            let prev = &centroids[i - 1];
+            let span = c.mean - prev.mean;
+            let frac = if span > 0.0 { (x - prev.mean) / span } else { 0.0 };
+            let prev_mid = cum - prev.weight / 2.0;
+            let mid = cum + c.weight / 2.0;
+            return (prev_mid + (mid - prev_mid) * frac) / total;
+        }
+        cum += c.weight;
+    }
+    1.0
+}
+
 impl TDigest {
     /// Create a digest with the given compression δ (typical: 100).
     /// Larger δ means more centroids and better accuracy.
@@ -47,7 +149,7 @@ impl TDigest {
         TDigest {
             compression,
             centroids: Vec::new(),
-            buffer: Vec::with_capacity(512),
+            buffer: Vec::with_capacity(BUFFER_LEN),
             total_weight: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
@@ -65,19 +167,21 @@ impl TDigest {
     }
 
     /// Insert a sample with weight 1.
+    #[inline]
     pub fn insert(&mut self, value: f64) {
         self.insert_weighted(value, 1.0);
     }
 
     /// Insert a sample with an arbitrary positive weight.
+    #[inline]
     pub fn insert_weighted(&mut self, value: f64, weight: f64) {
         assert!(value.is_finite(), "non-finite sample {value}");
         assert!(weight > 0.0, "non-positive weight {weight}");
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.buffer.push(Centroid { mean: value, weight });
-        if self.buffer.len() >= 512 {
-            self.compress();
+        if self.buffer.len() >= BUFFER_LEN {
+            self.flush();
         }
     }
 
@@ -93,113 +197,55 @@ impl TDigest {
         self.max = self.max.max(other.max);
         for c in other.centroids.iter().chain(other.buffer.iter()) {
             self.buffer.push(*c);
-            if self.buffer.len() >= 512 {
-                self.compress();
+            if self.buffer.len() >= BUFFER_LEN {
+                self.flush();
             }
         }
     }
 
-    /// Scale function k1.
-    fn k(&self, q: f64) -> f64 {
-        self.compression / (2.0 * std::f64::consts::PI) * (2.0 * q - 1.0).asin()
-    }
-
-    fn compress(&mut self) {
+    /// Merge buffered samples into the compressed centroid list. Called
+    /// automatically every [`BUFFER_LEN`] inserts; call it once after the
+    /// last insert to make subsequent queries allocation-free.
+    pub fn flush(&mut self) {
         if self.buffer.is_empty() {
             return;
         }
         let mut all = std::mem::take(&mut self.centroids);
         all.append(&mut self.buffer);
-        all.sort_by(|a, b| a.mean.partial_cmp(&b.mean).unwrap());
-        let total: f64 = all.iter().map(|c| c.weight).sum();
-
-        let mut merged: Vec<Centroid> = Vec::with_capacity(all.len() / 2 + 1);
-        let mut acc = all[0];
-        let mut w_before = 0.0; // weight strictly before `acc`
-        for c in all.into_iter().skip(1) {
-            let q_lo = w_before / total;
-            let q_hi = (w_before + acc.weight + c.weight) / total;
-            if self.k(q_hi.min(1.0)) - self.k(q_lo) <= 1.0 {
-                // Merge c into acc.
-                let w = acc.weight + c.weight;
-                acc.mean += (c.mean - acc.mean) * c.weight / w;
-                acc.weight = w;
-            } else {
-                w_before += acc.weight;
-                merged.push(acc);
-                acc = c;
-            }
-        }
-        merged.push(acc);
-        self.centroids = merged;
-        self.total_weight = total;
+        self.total_weight = compress_centroids(&mut all, self.compression);
+        self.centroids = all;
     }
 
-    /// Estimate the quantile `q` ∈ [0, 1].
+    /// Run `f` over the compressed view of this digest. When the buffer is
+    /// clean this borrows the centroid list directly; otherwise it
+    /// compresses into a temporary using the same routine as [`flush`],
+    /// so the view is bit-identical to the post-flush state.
+    fn with_view<R>(&self, f: impl FnOnce(&[Centroid], f64) -> R) -> R {
+        if self.buffer.is_empty() {
+            f(&self.centroids, self.total_weight)
+        } else {
+            let mut all = Vec::with_capacity(self.centroids.len() + self.buffer.len());
+            all.extend_from_slice(&self.centroids);
+            all.extend_from_slice(&self.buffer);
+            let total = compress_centroids(&mut all, self.compression);
+            f(&all, total)
+        }
+    }
+
+    /// Estimate the quantile `q` ∈ [0, 1]. Non-mutating: pending buffered
+    /// samples are folded in through a temporary view (see [`flush`]).
     ///
     /// # Panics
     /// Panics if the digest is empty or q outside [0, 1].
-    pub fn quantile(&mut self, q: f64) -> f64 {
+    pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "q out of range: {q}");
-        self.compress();
-        assert!(!self.centroids.is_empty(), "quantile of empty digest");
-        if self.centroids.len() == 1 {
-            return self.centroids[0].mean;
-        }
-        let total = self.total_weight;
-        let target = q * total;
-
-        // Walk centroids accumulating weight; interpolate between centroid
-        // midpoints, honoring exact min/max at the extremes.
-        let mut cum = 0.0;
-        for (i, c) in self.centroids.iter().enumerate() {
-            let mid = cum + c.weight / 2.0;
-            if target < mid {
-                if i == 0 {
-                    // Between min and first centroid mean.
-                    let frac = (target / c.weight * 2.0).clamp(0.0, 1.0);
-                    return self.min + (c.mean - self.min) * frac;
-                }
-                let prev = &self.centroids[i - 1];
-                let prev_mid = cum - prev.weight / 2.0;
-                let span = mid - prev_mid;
-                let frac = if span > 0.0 { (target - prev_mid) / span } else { 0.5 };
-                return prev.mean + (c.mean - prev.mean) * frac;
-            }
-            cum += c.weight;
-        }
-        self.max
+        self.with_view(|cs, total| quantile_over(cs, total, self.min, self.max, q))
     }
 
     /// Estimate the fraction of samples ≤ `x` (the empirical CDF).
-    pub fn cdf(&mut self, x: f64) -> f64 {
-        self.compress();
-        assert!(!self.centroids.is_empty(), "cdf of empty digest");
-        if x < self.min {
-            return 0.0;
-        }
-        if x >= self.max {
-            return 1.0;
-        }
-        let total = self.total_weight;
-        let mut cum = 0.0;
-        for (i, c) in self.centroids.iter().enumerate() {
-            if x < c.mean {
-                if i == 0 {
-                    let span = c.mean - self.min;
-                    let frac = if span > 0.0 { (x - self.min) / span } else { 0.0 };
-                    return (c.weight / 2.0) * frac / total;
-                }
-                let prev = &self.centroids[i - 1];
-                let span = c.mean - prev.mean;
-                let frac = if span > 0.0 { (x - prev.mean) / span } else { 0.0 };
-                let prev_mid = cum - prev.weight / 2.0;
-                let mid = cum + c.weight / 2.0;
-                return (prev_mid + (mid - prev_mid) * frac) / total;
-            }
-            cum += c.weight;
-        }
-        1.0
+    /// Non-mutating, like [`quantile`].
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.with_view(|cs, total| cdf_over(cs, total, self.min, self.max, x))
     }
 
     /// Smallest sample seen.
@@ -212,10 +258,13 @@ impl TDigest {
         self.max
     }
 
-    /// Number of centroids currently held (after compressing).
-    pub fn centroid_count(&mut self) -> usize {
-        self.compress();
-        self.centroids.len()
+    /// Number of centroids the compressed digest holds (buffered samples
+    /// are counted through the same compression as [`flush`]).
+    pub fn centroid_count(&self) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        self.with_view(|cs, _| cs.len())
     }
 }
 
@@ -234,7 +283,7 @@ mod tests {
 
     #[test]
     fn quantiles_of_uniform_are_accurate() {
-        let mut d = uniform_digest(100_000);
+        let d = uniform_digest(100_000);
         for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
             let est = d.quantile(q);
             assert!((est - q).abs() < 0.01, "q={q} est={est}");
@@ -253,18 +302,41 @@ mod tests {
 
     #[test]
     fn memory_is_bounded() {
-        let mut d = uniform_digest(1_000_000);
+        let d = uniform_digest(1_000_000);
         assert!(d.centroid_count() < 200, "centroids = {}", d.centroid_count());
     }
 
     #[test]
     fn cdf_and_quantile_are_inverse_ish() {
-        let mut d = uniform_digest(50_000);
+        let d = uniform_digest(50_000);
         for &q in &[0.1, 0.5, 0.9] {
             let x = d.quantile(q);
             let back = d.cdf(x);
             assert!((back - q).abs() < 0.02, "q={q} back={back}");
         }
+    }
+
+    #[test]
+    fn queries_do_not_mutate_and_match_flushed_state() {
+        // A digest with a dirty buffer must answer exactly what it would
+        // answer after flushing, without flushing.
+        let mut d = TDigest::new(100.0);
+        for i in 0..10_000 {
+            d.insert((i as f64 * 0.7548776662466927).fract() * 50.0);
+        }
+        assert!(
+            !d.buffer.is_empty(),
+            "test needs a dirty buffer; adjust the sample count off the batch size"
+        );
+        let before: Vec<f64> = [0.0, 0.1, 0.5, 0.9, 1.0].iter().map(|&q| d.quantile(q)).collect();
+        let centroids_before = d.centroid_count();
+        d.flush();
+        assert!(d.buffer.is_empty());
+        let after: Vec<f64> = [0.0, 0.1, 0.5, 0.9, 1.0].iter().map(|&q| d.quantile(q)).collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.to_bits(), a.to_bits(), "{b} vs {a}");
+        }
+        assert_eq!(centroids_before, d.centroid_count());
     }
 
     #[test]
@@ -286,8 +358,8 @@ mod tests {
         // Force both digests through compression so the merge sees
         // centroids (whose means sit strictly inside the extremes), not
         // just raw buffered samples.
-        a.compress();
-        b.compress();
+        a.flush();
+        b.flush();
         a.merge(&b);
         assert!((a.count() - 10_000.0).abs() < 1e-9);
         assert!((a.quantile(0.5) - 0.5).abs() < 0.02);
@@ -313,7 +385,7 @@ mod tests {
         for i in 0..1000 {
             b.insert(i as f64);
         }
-        b.compress();
+        b.flush();
         a.merge(&b);
         assert_eq!(a.min(), 0.0);
         assert_eq!(a.max(), 999.0);
@@ -358,7 +430,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn empty_digest_quantile_panics() {
-        let mut d = TDigest::new(100.0);
+        let d = TDigest::new(100.0);
         d.quantile(0.5);
     }
 

@@ -60,6 +60,72 @@ proptest! {
         prop_assert!(cdf.fraction_leq(x) >= q - 1e-9);
     }
 
+    /// Querying a digest with a dirty insert buffer gives the same answer
+    /// as flushing that digest first, across arbitrary interleavings of
+    /// inserts, merges, and queries — and the query itself never mutates
+    /// observable state. The lazy view compresses through the same
+    /// routine as `flush`, so the match is exact; 1e-9 is safety margin.
+    #[test]
+    fn buffered_tdigest_queries_match_flushed(
+        ops in prop::collection::vec(
+            (0u8..3, -1.0e4f64..1.0e4, 0.01f64..0.99),
+            1..120,
+        ),
+    ) {
+        let mut d = TDigest::new(100.0);
+        for &(op, v, q) in &ops {
+            match op {
+                0 => d.insert(v),
+                1 => {
+                    // Merge a small digest with its own dirty buffer.
+                    let mut other = TDigest::new(100.0);
+                    for i in 0..7 {
+                        other.insert(v + i as f64);
+                    }
+                    d.merge(&other);
+                }
+                _ if d.is_empty() => {} // quantile of an empty digest panics
+                _ => {
+                    // Query through the buffered view, then flush a copy
+                    // and re-query: identical answers required.
+                    let dirty_q = d.quantile(q);
+                    let dirty_c = d.cdf(v);
+                    let mut flushed = d.clone();
+                    flushed.flush();
+                    let (fq, fc) = (flushed.quantile(q), flushed.cdf(v));
+                    prop_assert!(
+                        (dirty_q - fq).abs() <= 1e-9 || (dirty_q.is_nan() && fq.is_nan()),
+                        "quantile({q}): dirty {dirty_q} vs flushed {fq}"
+                    );
+                    prop_assert!(
+                        (dirty_c - fc).abs() <= 1e-9,
+                        "cdf({v}): dirty {dirty_c} vs flushed {fc}"
+                    );
+                    // The dirty query must not have changed the answer a
+                    // later identical query sees.
+                    let again = d.quantile(q);
+                    prop_assert!(
+                        again.to_bits() == dirty_q.to_bits()
+                            || (again.is_nan() && dirty_q.is_nan()),
+                        "query mutated state: {dirty_q} then {again}"
+                    );
+                }
+            }
+        }
+        // Settle and spot-check the full quantile range one last time.
+        if !d.is_empty() {
+            let mut flushed = d.clone();
+            flushed.flush();
+            for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+                let (a, b) = (d.quantile(q), flushed.quantile(q));
+                prop_assert!(
+                    (a - b).abs() <= 1e-9 || (a.is_nan() && b.is_nan()),
+                    "final quantile({q}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
     /// quantile_sorted is monotone in q.
     #[test]
     fn quantile_monotone_in_q(

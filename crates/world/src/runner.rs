@@ -168,6 +168,9 @@ pub fn run_study_into<S: RecordSink>(world: &World, cfg: &StudyConfig, sink: &mu
             stats.workers.push(counters);
         }
     });
+    // Let the sink settle deferred state (e.g. digest insert buffers) so
+    // post-run queries borrow `&self` without hidden work.
+    sink.finalize();
     stats
 }
 
@@ -219,6 +222,9 @@ fn run_prefix<S: RecordShard>(
         country: site.country,
         continent: site.continent as u8,
     };
+    // One scratch per prefix: every session on this worker reuses the
+    // same coalescing buffers instead of allocating per session.
+    let mut scratch = SessionScratch::default();
 
     for window in 0..cfg.n_windows() {
         // Sampled-session counts are stratified per group (the statistics
@@ -287,7 +293,13 @@ fn run_prefix<S: RecordShard>(
 
             let plan = cfg.workload.generate(&mut rng);
             counters.sessions_simulated += 1;
-            let session = simulate_session(&plan, &state, &mut rng);
+            let session = simulate_session_scratch(
+                &plan,
+                &state,
+                TcpConfig::default(),
+                &mut rng,
+                &mut scratch,
+            );
             let Some(min_rtt) = session.min_rtt else {
                 counters.sessions_dropped_no_minrtt += 1;
                 continue;
@@ -338,8 +350,28 @@ pub fn simulate_session_with(
     tcp: TcpConfig,
     rng: &mut ChaCha12Rng,
 ) -> SessionObs {
+    simulate_session_scratch(plan, state, tcp, rng, &mut SessionScratch::default())
+}
+
+/// Reusable per-worker buffers for [`simulate_session_scratch`]: the
+/// write-coalescing member list would otherwise be reallocated for every
+/// back-to-back group of every session.
+#[derive(Debug, Default)]
+pub struct SessionScratch {
+    members: Vec<u64>,
+}
+
+/// As [`simulate_session_with`], reusing caller-owned scratch buffers
+/// across calls. The hot path: `run_prefix` keeps one scratch per prefix.
+pub fn simulate_session_scratch(
+    plan: &SessionPlan,
+    state: &PathState,
+    tcp: TcpConfig,
+    rng: &mut ChaCha12Rng,
+    scratch: &mut SessionScratch,
+) -> SessionObs {
     let mut flow = FastFlow::new(tcp);
-    let mut responses: Vec<ResponseObs> = Vec::new();
+    let mut responses: Vec<ResponseObs> = Vec::with_capacity(plan.transactions.len());
     let mut busy_until: u64 = 0;
 
     let mut i = 0;
@@ -350,7 +382,9 @@ pub fn simulate_session_with(
         // consumes the connection's congestion state exactly once.
         let start = plan.transactions[i].offset.max(busy_until);
         let mut group_bytes = plan.transactions[i].bytes;
-        let mut members = vec![plan.transactions[i].bytes];
+        let members = &mut scratch.members;
+        members.clear();
+        members.push(plan.transactions[i].bytes);
         let mut j = i + 1;
         while j < plan.transactions.len() {
             let mut probe_flow = flow.clone();

@@ -7,7 +7,7 @@
 //! streaming cells must agree with the exact aggregations to within the
 //! t-digest approximation bounds, with sample extremes preserved exactly.
 
-use edgeperf_analysis::{Dataset, SessionRecord, StreamingDataset};
+use edgeperf_analysis::{ColumnarSink, Dataset, SessionRecord, StreamingDataset};
 use edgeperf_world::{run_study_into, StudyConfig, World, WorldConfig};
 
 /// A reduced-country world keeps the runtime testable while preserving
@@ -67,9 +67,9 @@ fn streaming_cells_identical_across_parallelism() {
         .collect();
     let b = runs.pop().unwrap();
     let a = runs.pop().unwrap();
-    assert_eq!(a.groups().len(), b.groups().len());
-    for (key, ga) in a.groups() {
-        let gb = &b.groups()[key];
+    assert_eq!(a.len(), b.len());
+    for (key, ga) in a.iter() {
+        let gb = b.get(key).expect("group present in both runs");
         assert_eq!(ga.total_bytes, gb.total_bytes);
         assert_eq!(ga.ranks.len(), gb.ranks.len());
         for rank in 0..ga.ranks.len() {
@@ -79,7 +79,7 @@ fn streaming_cells_identical_across_parallelism() {
                         // One prefix is claimed by exactly one worker, so
                         // each cell sees one insertion stream regardless of
                         // parallelism: digests are bit-identical.
-                        let (mut x, mut y) = (ca.agg.clone(), cb.agg.clone());
+                        let (x, y) = (&ca.agg, &cb.agg);
                         assert_eq!(x.n(), y.n());
                         assert_eq!(x.bytes(), y.bytes());
                         assert_eq!(x.min_rtt_p50().to_bits(), y.min_rtt_p50().to_bits());
@@ -110,12 +110,12 @@ fn streaming_cells_agree_with_exact_aggregations() {
     let stream_stats = run_study_into(&world, &cfg, &mut stream);
     assert_eq!(vec_stats.total(), stream_stats.total());
 
-    assert_eq!(stream.groups().len(), exact.groups.len());
+    assert_eq!(stream.len(), exact.groups.len());
     assert_eq!(stream.total_bytes(), exact.total_bytes());
     assert_eq!(stream.preferred_bytes(), exact.preferred_bytes());
     let mut cells = 0usize;
     for (key, g) in &exact.groups {
-        let sg = &stream.groups()[key];
+        let sg = stream.get(key).expect("group present in stream");
         for (rank, ws) in g.ranks.iter().enumerate() {
             for (w, cell) in ws.iter().enumerate() {
                 let Some(cell) = cell else {
@@ -123,7 +123,7 @@ fn streaming_cells_agree_with_exact_aggregations() {
                     continue;
                 };
                 cells += 1;
-                let mut agg = sg.cell(rank, w).unwrap().agg.clone();
+                let agg = &sg.cell(rank, w).unwrap().agg;
                 assert_eq!(agg.n(), cell.n());
                 assert_eq!(agg.bytes(), cell.bytes);
                 // Medians agree within the acceptance bounds.
@@ -150,4 +150,53 @@ fn streaming_cells_agree_with_exact_aggregations() {
         }
     }
     assert!(cells > 50, "too few cells to be meaningful: {cells}");
+}
+
+/// Cell-by-cell bit equality of two exact datasets.
+fn assert_datasets_identical(a: &Dataset, b: &Dataset) {
+    assert_eq!(a.n_windows, b.n_windows);
+    assert_eq!(a.groups.len(), b.groups.len());
+    for (key, ga) in &a.groups {
+        let gb = b.groups.get(key).expect("group present in both");
+        assert_eq!(ga.total_bytes, gb.total_bytes);
+        assert_eq!(ga.ranks.len(), gb.ranks.len());
+        for (rank, ws) in ga.ranks.iter().enumerate() {
+            for (w, ca) in ws.iter().enumerate() {
+                match (ca, &gb.ranks[rank][w]) {
+                    (Some(x), Some(y)) => {
+                        let bits = |v: &[f64]| v.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+                        assert_eq!(bits(&x.min_rtt_ms), bits(&y.min_rtt_ms));
+                        assert_eq!(bits(&x.hdratio), bits(&y.hdratio));
+                        assert_eq!(x.bytes, y.bytes);
+                        assert_eq!(x.relationship, y.relationship);
+                        assert_eq!(x.longer_path, y.longer_path);
+                        assert_eq!(x.more_prepended, y.more_prepended);
+                    }
+                    (None, None) => {}
+                    other => panic!("cell presence differs at rank {rank} w {w}: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn columnar_sink_matches_from_records_end_to_end() {
+    // The fast exact path (columnar shards merged zero-copy, assembled
+    // at the end) must be bit-identical to the original path (record
+    // vector re-aggregated by `from_records`) — at any parallelism, and
+    // through a tee so both paths see one simulation pass.
+    let (world, cfg) = skewed();
+    let windows = cfg.n_windows() as usize;
+    for p in [1usize, 4] {
+        let cfg = StudyConfig { parallelism: p, ..cfg };
+        let mut sink: (Vec<SessionRecord>, ColumnarSink) = (Vec::new(), ColumnarSink::new(windows));
+        let stats = run_study_into(&world, &cfg, &mut sink);
+        let (records, columnar) = sink;
+        assert_eq!(stats.total().records_emitted, records.len() as u64);
+        let via_columnar = columnar.into_dataset();
+        let via_records = Dataset::from_records(&records, windows);
+        assert!(via_columnar.cell_count() > 50, "too few cells to be meaningful");
+        assert_datasets_identical(&via_columnar, &via_records);
+    }
 }
