@@ -30,7 +30,7 @@
 use crate::dataset::{Aggregation, Dataset, GroupData};
 use crate::hash::FxHashMap;
 use crate::record::{GroupKey, SessionRecord};
-use crate::sink::{RecordShard, RecordSink};
+use crate::sink::{RecordShard, RecordSink, SinkStats};
 use edgeperf_routing::Relationship;
 
 /// Identity of one (group, window, route-rank) cell.
@@ -239,6 +239,12 @@ impl ColumnarSink {
 
 impl RecordSink for ColumnarSink {
     type Shard = ColumnarShard;
+    type Snapshot = Dataset;
+    type Stats = SinkStats;
+
+    fn name(&self) -> &'static str {
+        "columnar"
+    }
 
     fn new_shard(&self) -> ColumnarShard {
         ColumnarShard::default()
@@ -248,6 +254,18 @@ impl RecordSink for ColumnarSink {
         // Zero-copy: adopt the shard whole; samples stay where the worker
         // wrote them until `into_dataset` moves each column into its cell.
         self.shards.push(shard);
+    }
+
+    fn stats(&self) -> SinkStats {
+        SinkStats {
+            records: self.shards.iter().map(|s| s.sample_count() as u64).sum(),
+            cells: self.cell_count() as u64,
+            ..SinkStats::default()
+        }
+    }
+
+    fn into_snapshot(self) -> Dataset {
+        self.into_dataset()
     }
 }
 

@@ -1,5 +1,7 @@
 //! Analysis parameters (§3.4 defaults).
 
+use edgeperf_core::EdgeperfError;
+
 /// Tunables for the comparison pipeline. Defaults are the paper's.
 #[derive(Debug, Clone, Copy)]
 pub struct AnalysisConfig {
@@ -20,6 +22,53 @@ pub struct AnalysisConfig {
     pub continuous_fraction: f64,
     /// Days a fixed slot must be eventful for the diurnal class.
     pub diurnal_days: u32,
+}
+
+impl AnalysisConfig {
+    /// Reject parameter combinations the pipeline cannot work with.
+    ///
+    /// Call after constructing a non-default config (e.g. from CLI flags);
+    /// every limit below would otherwise surface later as a panic or a
+    /// silently empty analysis.
+    pub fn validate(&self) -> Result<(), EdgeperfError> {
+        fn bad(field: &'static str, message: String) -> Result<(), EdgeperfError> {
+            Err(EdgeperfError::InvalidConfig { field, message })
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return bad("confidence", format!("must be in (0, 1), got {}", self.confidence));
+        }
+        if self.min_samples < 2 {
+            return bad("min_samples", format!("must be at least 2, got {}", self.min_samples));
+        }
+        if self.max_ci_width_minrtt_ms <= 0.0 || self.max_ci_width_minrtt_ms.is_nan() {
+            return bad(
+                "max_ci_width_minrtt_ms",
+                format!("must be positive, got {}", self.max_ci_width_minrtt_ms),
+            );
+        }
+        if self.max_ci_width_hdratio <= 0.0 || self.max_ci_width_hdratio.is_nan() {
+            return bad(
+                "max_ci_width_hdratio",
+                format!("must be positive, got {}", self.max_ci_width_hdratio),
+            );
+        }
+        if self.windows_per_day == 0 {
+            return bad("windows_per_day", "must be positive, got 0".to_string());
+        }
+        if !(self.min_coverage > 0.0 && self.min_coverage <= 1.0) {
+            return bad("min_coverage", format!("must be in (0, 1], got {}", self.min_coverage));
+        }
+        if !(self.continuous_fraction > 0.0 && self.continuous_fraction <= 1.0) {
+            return bad(
+                "continuous_fraction",
+                format!("must be in (0, 1], got {}", self.continuous_fraction),
+            );
+        }
+        if self.diurnal_days == 0 {
+            return bad("diurnal_days", "must be positive, got 0".to_string());
+        }
+        Ok(())
+    }
 }
 
 impl Default for AnalysisConfig {
@@ -49,5 +98,36 @@ mod tests {
         assert!((c.max_ci_width_minrtt_ms - 10.0).abs() < f64::EPSILON);
         assert!((c.max_ci_width_hdratio - 0.1).abs() < f64::EPSILON);
         assert!((c.min_coverage - 0.6).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn defaults_validate() {
+        AnalysisConfig::default().validate().expect("paper defaults are valid");
+    }
+
+    #[test]
+    fn out_of_range_parameters_are_rejected_with_field_context() {
+        type Case = (fn(&mut AnalysisConfig), &'static str);
+        let cases: Vec<Case> = vec![
+            (|c| c.confidence = 1.0, "confidence"),
+            (|c| c.confidence = f64::NAN, "confidence"),
+            (|c| c.min_samples = 1, "min_samples"),
+            (|c| c.max_ci_width_minrtt_ms = 0.0, "max_ci_width_minrtt_ms"),
+            (|c| c.max_ci_width_hdratio = -0.1, "max_ci_width_hdratio"),
+            (|c| c.windows_per_day = 0, "windows_per_day"),
+            (|c| c.min_coverage = 0.0, "min_coverage"),
+            (|c| c.continuous_fraction = 1.5, "continuous_fraction"),
+            (|c| c.diurnal_days = 0, "diurnal_days"),
+        ];
+        for (mutate, field) in cases {
+            let mut c = AnalysisConfig::default();
+            mutate(&mut c);
+            let err = c.validate().expect_err(field);
+            match &err {
+                EdgeperfError::InvalidConfig { field: f, .. } => assert_eq!(*f, field),
+                other => panic!("unexpected error for {field}: {other}"),
+            }
+            assert!(err.to_string().contains(field), "message lacks field: {err}");
+        }
     }
 }

@@ -19,9 +19,11 @@
 //!   diurnal, episodic.
 //! - [`figures`]/[`tables`]: traffic-weighted rollups reproducing the
 //!   paper's Figures 6–10 and Tables 1–2.
-//! - [`sink`]: the runner-facing [`RecordSink`] abstraction — exact
-//!   record collection into a `Vec`, or the bounded-memory
-//!   [`StreamingDataset`] of per-cell t-digests (§3.4.1).
+//! - [`sink`]: the one entry point for the runner-facing [`RecordSink`]
+//!   abstraction and every implementation — exact record collection into
+//!   a `Vec`, the columnar fast path, or the bounded-memory
+//!   [`StreamingDataset`] of per-cell t-digests (§3.4.1) — plus the
+//!   [`SinkStats`] summary the observability layer exports as gauges.
 //! - [`columnar`]: struct-of-arrays worker shards for the exact path,
 //!   merged zero-copy into the sink at join time.
 //! - [`hash`]: the fast deterministic FxHash-style hasher behind every
@@ -50,5 +52,7 @@ pub use degradation::{degradation_events, DegradationMetric};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use opportunity::{opportunity_events, OpportunityMetric};
 pub use record::{GroupKey, SessionRecord};
-pub use sink::{RecordShard, RecordSink, StreamingCell, StreamingDataset, StreamingGroupData};
+pub use sink::{
+    RecordShard, RecordSink, SinkStats, StreamingCell, StreamingDataset, StreamingGroupData,
+};
 pub use streaming::{compare_minrtt_streaming, StreamingAggregation};

@@ -20,6 +20,14 @@
 //!
 //! Tuple sinks `(A, B)` tee every record into both members, letting one
 //! parallel pass feed two destinations (e.g. records + columnar dataset).
+//!
+//! This module is the one entry point for sinks: the traits, the
+//! [`SinkStats`] summary, and every implementation ([`ColumnarSink`] and
+//! [`ColumnarShard`] are re-exported here from their implementation
+//! module) — import from `edgeperf_analysis::sink` rather than reaching
+//! into `columnar`/`streaming` directly.
+
+pub use crate::columnar::{ColumnarShard, ColumnarSink};
 
 use crate::config::AnalysisConfig;
 use crate::figures::{build_diff_cdfs, DiffCdfs, RelPair};
@@ -29,6 +37,36 @@ use crate::streaming::{compare_minrtt_streaming, StreamingAggregation};
 use edgeperf_routing::Relationship;
 use edgeperf_stats::TDigest;
 use std::collections::BTreeMap;
+
+/// Concrete summary counters every sink reports through
+/// [`RecordSink::stats`] — the bridge from sink internals to metrics
+/// gauges (`sink.records`, `sink.cells`, …).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkStats {
+    /// Session records ingested.
+    pub records: u64,
+    /// Materialized (group, window, route-rank) cells.
+    pub cells: u64,
+    /// Centroids currently held across every cell digest (streaming
+    /// sinks; 0 elsewhere) — the sink's bounded-memory footprint.
+    pub digest_centroids: u64,
+    /// Digest buffer-compression passes run (streaming sinks; 0 elsewhere).
+    pub digest_compressions: u64,
+}
+
+impl SinkStats {
+    /// Combine the two members of a tee. Both ingest the same record
+    /// stream, so `records` is the larger of the two (not the sum);
+    /// structural state (cells, digests) is disjoint per member and adds.
+    pub fn tee(self, other: SinkStats) -> SinkStats {
+        SinkStats {
+            records: self.records.max(other.records),
+            cells: self.cells + other.cells,
+            digest_centroids: self.digest_centroids + other.digest_centroids,
+            digest_compressions: self.digest_compressions + other.digest_compressions,
+        }
+    }
+}
 
 /// A per-worker accumulator of session records.
 pub trait RecordShard: Send {
@@ -41,6 +79,19 @@ pub trait RecordSink {
     /// The thread-local accumulator handed to each worker.
     type Shard: RecordShard;
 
+    /// The finished artifact this sink is turned into once the run ends
+    /// (e.g. [`crate::Dataset`] for [`ColumnarSink`]). Sinks whose working
+    /// state *is* the artifact use `Self`.
+    type Snapshot;
+
+    /// Per-impl summary type, convertible into the concrete [`SinkStats`].
+    type Stats: Into<SinkStats>;
+
+    /// Short label for metrics and log lines (`"vec"`, `"columnar"`, …).
+    fn name(&self) -> &'static str {
+        "sink"
+    }
+
     /// Create an empty shard for one worker.
     fn new_shard(&self) -> Self::Shard;
 
@@ -51,6 +102,14 @@ pub trait RecordSink {
     /// Sinks with deferred state (digest insert buffers) settle it here
     /// so post-run queries borrow `&self` without hidden work.
     fn finalize(&mut self) {}
+
+    /// Summary counters (record/cell/digest totals) for observability.
+    fn stats(&self) -> Self::Stats;
+
+    /// Consume the sink, yielding its end product.
+    fn into_snapshot(self) -> Self::Snapshot
+    where
+        Self: Sized;
 }
 
 impl RecordShard for Vec<SessionRecord> {
@@ -61,6 +120,12 @@ impl RecordShard for Vec<SessionRecord> {
 
 impl RecordSink for Vec<SessionRecord> {
     type Shard = Vec<SessionRecord>;
+    type Snapshot = Vec<SessionRecord>;
+    type Stats = SinkStats;
+
+    fn name(&self) -> &'static str {
+        "vec"
+    }
 
     fn new_shard(&self) -> Vec<SessionRecord> {
         Vec::new()
@@ -68,6 +133,14 @@ impl RecordSink for Vec<SessionRecord> {
 
     fn merge_shard(&mut self, shard: Vec<SessionRecord>) {
         self.extend(shard);
+    }
+
+    fn stats(&self) -> SinkStats {
+        SinkStats { records: self.len() as u64, ..SinkStats::default() }
+    }
+
+    fn into_snapshot(self) -> Vec<SessionRecord> {
+        self
     }
 }
 
@@ -80,6 +153,12 @@ impl<A: RecordShard, B: RecordShard> RecordShard for (A, B) {
 
 impl<A: RecordSink, B: RecordSink> RecordSink for (A, B) {
     type Shard = (A::Shard, B::Shard);
+    type Snapshot = (A::Snapshot, B::Snapshot);
+    type Stats = SinkStats;
+
+    fn name(&self) -> &'static str {
+        "tee"
+    }
 
     fn new_shard(&self) -> Self::Shard {
         (self.0.new_shard(), self.1.new_shard())
@@ -93,6 +172,14 @@ impl<A: RecordSink, B: RecordSink> RecordSink for (A, B) {
     fn finalize(&mut self) {
         self.0.finalize();
         self.1.finalize();
+    }
+
+    fn stats(&self) -> SinkStats {
+        self.0.stats().into().tee(self.1.stats().into())
+    }
+
+    fn into_snapshot(self) -> Self::Snapshot {
+        (self.0.into_snapshot(), self.1.into_snapshot())
     }
 }
 
@@ -288,6 +375,20 @@ impl StreamingDataset {
             .sum()
     }
 
+    /// Number of materialized (group, window, route-rank) cells.
+    pub fn cell_count(&self) -> usize {
+        self.groups.iter().flat_map(|g| g.ranks.iter()).map(|ws| ws.iter().flatten().count()).sum()
+    }
+
+    /// Sessions recorded across every cell.
+    pub fn record_count(&self) -> usize {
+        self.cells().map(|c| c.agg.n()).sum()
+    }
+
+    fn cells(&self) -> impl Iterator<Item = &StreamingCell> {
+        self.groups.iter().flat_map(|g| g.ranks.iter()).flat_map(|ws| ws.iter().flatten())
+    }
+
     /// Total centroids held across every cell digest — the dataset's
     /// memory footprint, bounded by cell count rather than session count.
     pub fn state_centroids(&self) -> usize {
@@ -341,6 +442,12 @@ impl RecordShard for StreamingDataset {
 
 impl RecordSink for StreamingDataset {
     type Shard = StreamingDataset;
+    type Snapshot = StreamingDataset;
+    type Stats = SinkStats;
+
+    fn name(&self) -> &'static str {
+        "streaming"
+    }
 
     fn new_shard(&self) -> StreamingDataset {
         StreamingDataset::new(self.n_windows)
@@ -352,6 +459,19 @@ impl RecordSink for StreamingDataset {
 
     fn finalize(&mut self) {
         self.flush();
+    }
+
+    fn stats(&self) -> SinkStats {
+        SinkStats {
+            records: self.record_count() as u64,
+            cells: self.cell_count() as u64,
+            digest_centroids: self.state_centroids() as u64,
+            digest_compressions: self.cells().map(|c| c.agg.compressions()).sum(),
+        }
+    }
+
+    fn into_snapshot(self) -> StreamingDataset {
+        self
     }
 }
 
@@ -460,6 +580,61 @@ mod tests {
         assert_eq!(sink.0.len(), 500);
         assert_eq!(sink.1.total_bytes(), 500 * 100);
         assert_eq!(sink.1.len(), Dataset::from_records(&sink.0, 4).groups.len());
+    }
+
+    #[test]
+    fn sink_stats_report_records_cells_and_digest_state() {
+        let records = synthetic(2_000);
+
+        let mut vec_sink: Vec<SessionRecord> = Vec::new();
+        let mut columnar = ColumnarSink::new(4);
+        let mut stream = StreamingDataset::new(4);
+        let (mut vs, mut cs, mut ss) =
+            (vec_sink.new_shard(), columnar.new_shard(), stream.new_shard());
+        for r in &records {
+            vs.push(*r);
+            cs.push(*r);
+            ss.push(*r);
+        }
+        vec_sink.merge_shard(vs);
+        columnar.merge_shard(cs);
+        stream.merge_shard(ss);
+        stream.finalize();
+
+        assert_eq!(vec_sink.name(), "vec");
+        assert_eq!(vec_sink.stats().records, 2_000);
+
+        assert_eq!(columnar.name(), "columnar");
+        let c = columnar.stats();
+        assert_eq!(c.records, 2_000);
+        assert!(c.cells > 0);
+
+        assert_eq!(stream.name(), "streaming");
+        let s = stream.stats();
+        assert_eq!(s.records, 2_000);
+        assert_eq!(s.cells, c.cells, "both sinks saw the same cells");
+        assert!(s.digest_centroids > 0);
+        assert!(s.digest_compressions > 0, "finalize flushed every digest");
+    }
+
+    #[test]
+    fn tee_stats_max_records_and_add_structure() {
+        let mut sink: (Vec<SessionRecord>, StreamingDataset) =
+            (Vec::new(), StreamingDataset::new(4));
+        let mut shard = sink.new_shard();
+        for r in synthetic(300) {
+            shard.push(r);
+        }
+        sink.merge_shard(shard);
+        sink.finalize();
+        assert_eq!(sink.name(), "tee");
+        let stats: SinkStats = sink.stats();
+        // Both members saw the same 300 records: max, not 600.
+        assert_eq!(stats.records, 300);
+        assert_eq!(stats.cells, sink.1.cell_count() as u64);
+        let (records, ds) = sink.into_snapshot();
+        assert_eq!(records.len(), 300);
+        assert_eq!(ds.record_count(), 300);
     }
 
     #[test]

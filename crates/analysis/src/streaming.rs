@@ -91,6 +91,12 @@ impl StreamingAggregation {
         self.minrtt.centroid_count() + hd
     }
 
+    /// Digest compression passes run across both digests (see
+    /// [`TDigest::compressions`]).
+    pub fn compressions(&self) -> u64 {
+        self.minrtt.compressions() + self.hdratio.compressions()
+    }
+
     /// Sessions recorded.
     pub fn n(&self) -> usize {
         self.minrtt.count() as usize

@@ -3,6 +3,7 @@
 //! Usage:
 //! ```text
 //! repro <experiment> [--seed N] [--days N] [--sessions N] [--scale F] [--json PATH] [--streaming]
+//!                    [--metrics] [--metrics-json PATH]
 //!
 //! experiments:
 //!   fig1 fig2 fig3      traffic characterization (Figures 1–3)
@@ -25,11 +26,17 @@
 //! instead of collecting every record: figures 6 and 10 are computed from
 //! digest cells; experiments that need per-session records are skipped
 //! with a note. Per-worker scheduler counters are printed either way.
+//!
+//! `--metrics` prints the observability snapshot (counters, gauges,
+//! latency histograms, phase spans) to stderr after the run;
+//! `--metrics-json PATH` writes the same snapshot as JSON. Either flag
+//! enables recording; otherwise the metrics layer stays a dead branch.
 
 use edgeperf_bench::{
     ablations, cc_compare, detector, env_scale, fig4, fig5, naive, pipeline_bench, study,
     validation, workload_figs,
 };
+use edgeperf_obs::{render_table, Metrics};
 use std::fmt::Write as _;
 
 struct Args {
@@ -42,6 +49,8 @@ struct Args {
     bench_json: Option<String>,
     quick: bool,
     streaming: bool,
+    metrics: bool,
+    metrics_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +64,8 @@ fn parse_args() -> Args {
         bench_json: None,
         quick: false,
         streaming: false,
+        metrics: false,
+        metrics_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -69,9 +80,12 @@ fn parse_args() -> Args {
             "--bench-json" => args.bench_json = Some(it.next().expect("--bench-json PATH")),
             "--quick" => args.quick = true,
             "--streaming" => args.streaming = true,
+            "--metrics" => args.metrics = true,
+            "--metrics-json" => args.metrics_json = Some(it.next().expect("--metrics-json PATH")),
             "--help" | "-h" => {
                 eprintln!("repro <experiment> [--seed N] [--days N] [--sessions N] [--scale F] [--json PATH] [--streaming]");
                 eprintln!("       repro bench [--quick] [--bench-json PATH]   pipeline throughput baseline");
+                eprintln!("       --metrics prints the observability snapshot to stderr; --metrics-json PATH writes it as JSON");
                 eprintln!("experiments: fig1..fig10, table1, table2, fig4, validation, naive, ablations, bench, all");
                 std::process::exit(0);
             }
@@ -100,22 +114,25 @@ fn write_json(path: &Option<String>, name: &str, value: serde_json::Value) {
     }
 }
 
-fn study_params(a: &Args) -> study::StudyParams {
-    study::StudyParams {
-        seed: a.seed,
-        days: if a.days > 0 { a.days } else { ((3.0 * a.scale).ceil() as u32).clamp(1, 10) },
-        sessions_per_group_window: if a.sessions > 0 {
-            a.sessions
-        } else {
-            ((240.0 * a.scale) as u32).clamp(8, 240)
-        },
-        country_fraction: a.scale.clamp(0.15, 1.0),
+fn study_builder(a: &Args, metrics: &Metrics) -> study::StudyBuilder {
+    let mut b = study::StudyBuilder::new().seed(a.seed).scale(a.scale).metrics(metrics);
+    if a.days > 0 {
+        b = b.days(a.days);
     }
+    if a.sessions > 0 {
+        b = b.sessions_per_group_window(a.sessions);
+    }
+    b
 }
 
 fn main() {
     let a = parse_args();
     let exp = a.experiment.as_str();
+    let metrics = if a.metrics || a.metrics_json.is_some() {
+        Metrics::enabled()
+    } else {
+        Metrics::disabled()
+    };
     let mut printed = String::new();
 
     let needs_study =
@@ -123,17 +140,17 @@ fn main() {
     let mut data: Option<study::StudyData> = None;
     let mut sdata: Option<study::StreamingStudyData> = None;
     if needs_study {
-        let p = study_params(&a);
+        let b = study_builder(&a, &metrics);
         eprintln!(
             "running study ({}): days={} sessions/group/window={} country_fraction={:.2}",
             if a.streaming { "streaming sink" } else { "exact sink" },
-            p.days,
-            p.sessions_per_group_window,
-            p.country_fraction
+            b.resolved_days(),
+            b.resolved_sessions_per_group_window(),
+            b.resolved_country_fraction()
         );
         let t0 = std::time::Instant::now();
         if a.streaming {
-            let d = study::run_streaming(&p);
+            let d = b.run_streaming();
             eprintln!(
                 "study: {} sessions into bounded digest cells in {:.1?}",
                 d.stats.total().records_emitted,
@@ -142,7 +159,7 @@ fn main() {
             eprintln!("{}", study::render_stats(&d.stats));
             sdata = Some(d);
         } else {
-            let d = study::run(&p);
+            let d = b.run();
             eprintln!("study: {} session records in {:.1?}", d.records.len(), t0.elapsed());
             eprintln!("{}", study::render_stats(&d.stats));
             data = Some(d);
@@ -178,12 +195,18 @@ fn main() {
     }
     if let Some(sdata) = &sdata {
         if matches!(exp, "fig6" | "all") {
-            let s = study::fig6_streaming(sdata);
+            let s = {
+                let _sp = metrics.span("figures.fig6");
+                study::fig6_streaming(sdata)
+            };
             let _ = writeln!(printed, "{}", study::render_fig6(&s));
             write_json(&a.json, "fig6", serde_json::to_value(&s).unwrap());
         }
         if matches!(exp, "fig10" | "all") {
-            let d = study::fig10_streaming(sdata);
+            let d = {
+                let _sp = metrics.span("figures.fig10");
+                study::fig10_streaming(sdata)
+            };
             let _ = writeln!(
                 printed,
                 "{}",
@@ -202,17 +225,26 @@ fn main() {
     }
     if let Some(data) = &data {
         if matches!(exp, "fig6" | "all") {
-            let s = study::fig6(data);
+            let s = {
+                let _sp = metrics.span("figures.fig6");
+                study::fig6(data)
+            };
             let _ = writeln!(printed, "{}", study::render_fig6(&s));
             write_json(&a.json, "fig6", serde_json::to_value(&s).unwrap());
         }
         if matches!(exp, "fig7" | "all") {
-            let rows = study::fig7(data);
+            let rows = {
+                let _sp = metrics.span("figures.fig7");
+                study::fig7(data)
+            };
             let _ = writeln!(printed, "{}", study::render_fig7(&rows));
             write_json(&a.json, "fig7", serde_json::to_value(&rows).unwrap());
         }
         if matches!(exp, "fig8" | "all") {
-            let d = study::fig8(data);
+            let d = {
+                let _sp = metrics.span("figures.fig8");
+                study::fig8(data)
+            };
             let _ = writeln!(
                 printed,
                 "{}",
@@ -221,12 +253,18 @@ fn main() {
             write_json(&a.json, "fig8", serde_json::to_value(&d).unwrap());
         }
         if matches!(exp, "table1" | "all") {
-            let t = study::table1_blocks(data);
+            let t = {
+                let _sp = metrics.span("figures.table1");
+                study::table1_blocks(data)
+            };
             let _ = writeln!(printed, "{}", study::render_table1(&t));
             write_json(&a.json, "table1", serde_json::to_value(&t).unwrap());
         }
         if matches!(exp, "fig9" | "all") {
-            let d = study::fig9(data);
+            let d = {
+                let _sp = metrics.span("figures.fig9");
+                study::fig9(data)
+            };
             let _ = writeln!(
                 printed,
                 "{}",
@@ -235,7 +273,10 @@ fn main() {
             write_json(&a.json, "fig9", serde_json::to_value(&d).unwrap());
         }
         if matches!(exp, "fig10" | "all") {
-            let d = study::fig10(data);
+            let d = {
+                let _sp = metrics.span("figures.fig10");
+                study::fig10(data)
+            };
             let _ = writeln!(
                 printed,
                 "{}",
@@ -244,7 +285,10 @@ fn main() {
             write_json(&a.json, "fig10", serde_json::to_value(&d).unwrap());
         }
         if matches!(exp, "table2" | "all") {
-            let t = study::table2_outputs(data);
+            let t = {
+                let _sp = metrics.span("figures.table2");
+                study::table2_outputs(data)
+            };
             let _ = writeln!(printed, "{}", study::render_table2(&t));
             write_json(&a.json, "table2", serde_json::to_value(&t).unwrap());
         }
@@ -273,7 +317,10 @@ fn main() {
     // Deliberately not part of `all`: it re-runs the study several times
     // to time each ingestion path.
     if matches!(exp, "bench") {
-        let r = pipeline_bench::run(&pipeline_bench::BenchOptions { seed: a.seed, quick: a.quick });
+        let r = pipeline_bench::run_observed(
+            &pipeline_bench::BenchOptions { seed: a.seed, quick: a.quick },
+            &metrics,
+        );
         let _ = writeln!(printed, "{}", pipeline_bench::render(&r));
         write_json(&a.json, "bench", serde_json::to_value(&r).unwrap());
         if let Some(path) = &a.bench_json {
@@ -288,4 +335,16 @@ fn main() {
         std::process::exit(2);
     }
     print!("{printed}");
+
+    if metrics.is_enabled() {
+        let snap = metrics.snapshot();
+        if let Some(path) = &a.metrics_json {
+            std::fs::write(path, serde_json::to_string_pretty(&snap).unwrap())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        if a.metrics {
+            eprintln!("{}", render_table(&snap));
+        }
+    }
 }

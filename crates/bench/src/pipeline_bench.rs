@@ -28,8 +28,9 @@ use edgeperf_analysis::sink::{RecordShard, RecordSink};
 use edgeperf_analysis::{
     ColumnarShard, ColumnarSink, Dataset, GroupKey, SessionRecord, StreamingDataset,
 };
+use edgeperf_obs::Metrics;
 use edgeperf_routing::Relationship;
-use edgeperf_world::{run_study_into, StudyConfig, World, WorldConfig};
+use edgeperf_world::{run_study_observed, StudyConfig, World, WorldConfig};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -128,6 +129,21 @@ pub struct StreamingAgreement {
     pub delta_p80: f64,
 }
 
+/// Cost of the observability layer on the end-to-end study: the same
+/// run with metrics disabled (a dead `Option` branch, no clock reads)
+/// and with the full registry recording. Instrumentation is per-prefix
+/// and per-worker — never per-record — so the enabled run must stay
+/// within a few percent of the disabled one.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsOverhead {
+    /// End-to-end study wall time with metrics disabled (seconds).
+    pub study_sec_disabled: f64,
+    /// Same study with counters, histograms, and spans recording.
+    pub study_sec_enabled: f64,
+    /// `(enabled / disabled − 1) · 100` (target: < 3%).
+    pub overhead_pct: f64,
+}
+
 /// Headline before/after pair the acceptance gate reads.
 #[derive(Debug, Clone, Serialize)]
 pub struct Headline {
@@ -150,6 +166,8 @@ pub struct PipelineBenchReport {
     pub ingest: IngestThroughput,
     /// Streaming-sink cost and exact-vs-streaming deltas.
     pub streaming: StreamingAgreement,
+    /// Observability-layer cost on the end-to-end study.
+    pub metrics_overhead: MetricsOverhead,
     /// The acceptance-gate numbers.
     pub headline: Headline,
 }
@@ -268,6 +286,13 @@ fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> (f64, R) {
 
 /// Run the full pipeline benchmark and assemble the report.
 pub fn run(opts: &BenchOptions) -> PipelineBenchReport {
+    run_observed(opts, &Metrics::disabled())
+}
+
+/// Run the benchmark and record phase spans, runner counters, scheduler
+/// gauges, and sink gauges into `metrics` (when enabled) along the way.
+/// The registry ends up holding exactly one end-to-end study run.
+pub fn run_observed(opts: &BenchOptions, metrics: &Metrics) -> PipelineBenchReport {
     let (country_fraction, days, sessions, iters) =
         if opts.quick { (0.15, 1, 16, 2) } else { (0.3, 1, 48, 5) };
     let world =
@@ -281,10 +306,11 @@ pub fn run(opts: &BenchOptions) -> PipelineBenchReport {
     };
     let n_windows = study.n_windows() as usize;
 
-    // End-to-end study at parallelism 1 through the shipping tee sink.
+    // End-to-end study at parallelism 1 through the shipping tee sink,
+    // metrics disabled: the baseline side of the overhead comparison.
     let t0 = Instant::now();
     let mut sink: (Vec<SessionRecord>, ColumnarSink) = (Vec::new(), ColumnarSink::new(n_windows));
-    let stats = run_study_into(&world, &study, &mut sink);
+    let stats = run_study_observed(&world, &study, &mut sink, &Metrics::disabled());
     let elapsed = t0.elapsed().as_secs_f64();
     let (records, columnar) = sink;
     let peak_cells = columnar.cell_count();
@@ -332,7 +358,10 @@ pub fn run(opts: &BenchOptions) -> PipelineBenchReport {
 
     // Streaming sink cost + agreement with the exact quantiles.
     let (stream_sec, stream_ds) = best_of(iters, || streaming_ingest(&records, n_windows));
-    let (exact_cdf, _) = fig6_minrtt(&records);
+    let (exact_cdf, _) = {
+        let _sp = metrics.span("figures.fig6_minrtt");
+        fig6_minrtt(&records)
+    };
     let (stream_all, _) = stream_ds.minrtt_rollup();
     let e50 = exact_cdf.quantile(0.5);
     let e80 = exact_cdf.quantile(0.8);
@@ -347,6 +376,34 @@ pub fn run(opts: &BenchOptions) -> PipelineBenchReport {
         exact_minrtt_p80: e80,
         streaming_minrtt_p80: s80,
         delta_p80: (e80 - s80).abs(),
+    };
+
+    // Observability overhead: the same end-to-end study with the full
+    // metrics layer recording. The caller's registry (or a throwaway one
+    // when the caller's handle is disabled) takes the final repeat, so
+    // it ends up holding exactly one run's worth of counters.
+    let study_once = |m: &Metrics| {
+        let mut sink: (Vec<SessionRecord>, ColumnarSink) =
+            (Vec::new(), ColumnarSink::new(n_windows));
+        let t = Instant::now();
+        run_study_observed(&world, &study, &mut sink, m);
+        t.elapsed().as_secs_f64()
+    };
+    // Interleave disabled/enabled repeats so clock-speed drift hits both
+    // sides equally, and take the best of each.
+    let study_iters = if opts.quick { 1 } else { 3 };
+    let recorder = if metrics.is_enabled() { metrics.clone() } else { Metrics::enabled() };
+    let mut disabled_sec = elapsed;
+    let mut enabled_sec = f64::INFINITY;
+    for i in 0..study_iters {
+        disabled_sec = disabled_sec.min(study_once(&Metrics::disabled()));
+        let m = if i + 1 == study_iters { recorder.clone() } else { Metrics::enabled() };
+        enabled_sec = enabled_sec.min(study_once(&m));
+    }
+    let metrics_overhead = MetricsOverhead {
+        study_sec_disabled: disabled_sec,
+        study_sec_enabled: enabled_sec,
+        overhead_pct: (enabled_sec / disabled_sec.max(1e-9) - 1.0) * 100.0,
     };
 
     let headline = Headline {
@@ -368,6 +425,7 @@ pub fn run(opts: &BenchOptions) -> PipelineBenchReport {
         study: study_tp,
         ingest,
         streaming,
+        metrics_overhead,
         headline,
     }
 }
@@ -401,6 +459,12 @@ pub fn render(r: &PipelineBenchReport) -> String {
     out.push_str(&format!(
         "streaming sink: {:>10.0} rec/s  ΔMinRTT p50 {:.3} ms  p80 {:.3} ms\n",
         r.streaming.records_per_sec, r.streaming.delta_p50, r.streaming.delta_p80
+    ));
+    out.push_str(&format!(
+        "observability: study {:.2}s → {:.2}s with metrics recording  ({:+.2}%, target < 3%)\n",
+        r.metrics_overhead.study_sec_disabled,
+        r.metrics_overhead.study_sec_enabled,
+        r.metrics_overhead.overhead_pct
     ));
     out.push_str(&format!(
         "headline: {:.0} → {:.0} sessions/s  ({:.2}x, target ≥ 2.00x)\n",
@@ -470,7 +534,31 @@ mod tests {
         assert!(r.headline.speedup > 0.0);
         // Digest quantiles track the exact ones on real study data.
         assert!(r.streaming.delta_p50 <= 1.0, "p50 delta {}", r.streaming.delta_p50);
+        assert!(r.metrics_overhead.study_sec_disabled > 0.0);
+        assert!(r.metrics_overhead.study_sec_enabled > 0.0);
         let js = serde_json::to_string(&r).expect("serializable");
         assert!(js.contains("sessions_per_sec_after"));
+        assert!(js.contains("overhead_pct"));
+    }
+
+    #[test]
+    fn observed_bench_populates_every_metric_family() {
+        let metrics = Metrics::enabled();
+        let r = run_observed(&BenchOptions { seed: 7, quick: true }, &metrics);
+        let snap = metrics.snapshot();
+        // Runner counters from the recorded study run.
+        assert_eq!(
+            snap.counters.get("runner.records_emitted").copied(),
+            Some(r.study.records_emitted)
+        );
+        // Scheduler gauges and sink gauges.
+        assert!(snap.gauges.keys().any(|k| k.starts_with("scheduler.worker.")));
+        assert!(snap.gauges.contains_key("sink.tee.records"));
+        // Merge-latency histogram and phase spans, including figures.
+        assert!(snap.histograms.contains_key("sink.merge_ns"));
+        let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in ["study", "study.run", "study.finalize", "figures.fig6_minrtt"] {
+            assert!(names.contains(&expected), "missing span {expected}: {names:?}");
+        }
     }
 }

@@ -10,32 +10,118 @@ use edgeperf_analysis::tables::{table1, table2, AnalysisKind, Share, Table2Row};
 use edgeperf_analysis::{
     AnalysisConfig, ColumnarSink, Dataset, DegradationMetric, SessionRecord, StreamingDataset,
 };
+use edgeperf_obs::Metrics;
 use edgeperf_routing::Relationship;
-use edgeperf_world::{run_study_into, Continent, StudyConfig, StudyStats, World, WorldConfig};
+use edgeperf_world::{run_study_observed, Continent, StudyConfig, StudyStats, World, WorldConfig};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
-/// Study parameters for the repro harness.
-#[derive(Debug, Clone, Copy)]
-pub struct StudyParams {
-    /// World + session seed.
-    pub seed: u64,
-    /// Days to simulate (paper: 10).
-    pub days: u32,
-    /// Base sampled sessions per (group, window).
-    pub sessions_per_group_window: u32,
-    /// Fraction of countries to keep (test-scale knob).
-    pub country_fraction: f64,
+/// Builder for study runs.
+///
+/// Every knob the harness has grown — seed, scale, explicit shape
+/// overrides, parallelism, a metrics handle — lives here, so the next
+/// knob is one more method instead of another positional argument at
+/// every call site.
+///
+/// `scale` is the single fidelity-for-speed dial: unless overridden
+/// explicitly, it derives the simulated days (`ceil(3·scale)`, clamped
+/// to 1..=10), the sampled sessions per (group, window) (`240·scale`,
+/// clamped to 8..=240), and the fraction of countries kept (`scale`,
+/// clamped to 0.15..=1.0). Scale 1.0 reproduces the default study.
+///
+/// ```
+/// use edgeperf_bench::study::StudyBuilder;
+/// let data = StudyBuilder::new().seed(42).scale(0.1).days(1).run();
+/// assert!(!data.records.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StudyBuilder {
+    seed: u64,
+    scale: f64,
+    days: Option<u32>,
+    sessions_per_group_window: Option<u32>,
+    country_fraction: Option<f64>,
+    parallelism: usize,
+    metrics: Metrics,
 }
 
-impl Default for StudyParams {
+impl Default for StudyBuilder {
     fn default() -> Self {
-        StudyParams {
+        StudyBuilder {
             seed: 20190521,
-            days: 3,
-            sessions_per_group_window: 240,
-            country_fraction: 1.0,
+            scale: 1.0,
+            days: None,
+            sessions_per_group_window: None,
+            country_fraction: None,
+            parallelism: 0,
+            metrics: Metrics::disabled(),
         }
+    }
+}
+
+impl StudyBuilder {
+    /// Start from the default study (seed 20190521, scale 1.0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// World + session seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fidelity dial; see the type docs for the derived shape.
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Days to simulate (paper: 10). Overrides the scale mapping.
+    pub fn days(mut self, days: u32) -> Self {
+        self.days = Some(days);
+        self
+    }
+
+    /// Base sampled sessions per (group, window). Overrides the scale
+    /// mapping.
+    pub fn sessions_per_group_window(mut self, sessions: u32) -> Self {
+        self.sessions_per_group_window = Some(sessions);
+        self
+    }
+
+    /// Fraction of countries to keep. Overrides the scale mapping.
+    pub fn country_fraction(mut self, fraction: f64) -> Self {
+        self.country_fraction = Some(fraction);
+        self
+    }
+
+    /// Worker count (0 = one per available core).
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Metrics handle the run records into (default: disabled).
+    pub fn metrics(mut self, metrics: &Metrics) -> Self {
+        self.metrics = metrics.clone();
+        self
+    }
+
+    /// Days the run will simulate after applying the scale mapping.
+    pub fn resolved_days(&self) -> u32 {
+        self.days.unwrap_or_else(|| ((3.0 * self.scale).ceil() as u32).clamp(1, 10))
+    }
+
+    /// Sessions per (group, window) after applying the scale mapping.
+    pub fn resolved_sessions_per_group_window(&self) -> u32 {
+        self.sessions_per_group_window
+            .unwrap_or_else(|| ((240.0 * self.scale) as u32).clamp(8, 240))
+    }
+
+    /// Country fraction after applying the scale mapping.
+    pub fn resolved_country_fraction(&self) -> f64 {
+        self.country_fraction.unwrap_or_else(|| self.scale.clamp(0.15, 1.0))
     }
 }
 
@@ -62,46 +148,49 @@ pub struct StreamingStudyData {
     pub stats: StudyStats,
 }
 
-fn build(params: &StudyParams) -> (World, StudyConfig) {
-    let world = World::generate(WorldConfig {
-        seed: params.seed,
-        country_fraction: params.country_fraction,
-        ..Default::default()
-    });
-    let study = StudyConfig {
-        seed: params.seed ^ 0xABCD,
-        days: params.days,
-        sessions_per_group_window: params.sessions_per_group_window,
-        parallelism: 0,
-        ..Default::default()
-    };
-    (world, study)
-}
+impl StudyBuilder {
+    fn build(&self) -> (World, StudyConfig) {
+        let world = World::generate(WorldConfig {
+            seed: self.seed,
+            country_fraction: self.resolved_country_fraction(),
+            ..Default::default()
+        });
+        let study = StudyConfig {
+            seed: self.seed ^ 0xABCD,
+            days: self.resolved_days(),
+            sessions_per_group_window: self.resolved_sessions_per_group_window(),
+            parallelism: self.parallelism,
+            ..Default::default()
+        };
+        (world, study)
+    }
 
-/// Run the study through the exact (collect-everything) sink.
-///
-/// A tee sink collects the raw record vector and the columnar dataset
-/// shards in the same parallel pass, so the dataset comes from a
-/// zero-copy shard merge at join time instead of a serial
-/// `Dataset::from_records` sweep afterwards. The result is bit-identical
-/// (see `columnar_sink_matches_from_records_end_to_end`).
-pub fn run(params: &StudyParams) -> StudyData {
-    let (world, study) = build(params);
-    let mut sink: (Vec<SessionRecord>, ColumnarSink) =
-        (Vec::new(), ColumnarSink::new(study.n_windows() as usize));
-    let stats = run_study_into(&world, &study, &mut sink);
-    let (records, columnar) = sink;
-    let dataset = columnar.into_dataset();
-    StudyData { records, dataset, cfg: AnalysisConfig::default(), stats }
-}
+    /// Run the study through the exact (collect-everything) sink.
+    ///
+    /// A tee sink collects the raw record vector and the columnar dataset
+    /// shards in the same parallel pass, so the dataset comes from a
+    /// zero-copy shard merge at join time instead of a serial
+    /// `Dataset::from_records` sweep afterwards. The result is
+    /// bit-identical (see `columnar_sink_matches_from_records_end_to_end`).
+    pub fn run(&self) -> StudyData {
+        let (world, study) = self.build();
+        let mut sink: (Vec<SessionRecord>, ColumnarSink) =
+            (Vec::new(), ColumnarSink::new(study.n_windows() as usize));
+        let stats = run_study_observed(&world, &study, &mut sink, &self.metrics);
+        let (records, columnar) = sink;
+        let dataset = columnar.into_dataset();
+        StudyData { records, dataset, cfg: AnalysisConfig::default(), stats }
+    }
 
-/// Run the study through the streaming sink: memory stays bounded by the
-/// number of (group, window, route) cells regardless of session count.
-pub fn run_streaming(params: &StudyParams) -> StreamingStudyData {
-    let (world, study) = build(params);
-    let mut dataset = StreamingDataset::new(study.n_windows() as usize);
-    let stats = run_study_into(&world, &study, &mut dataset);
-    StreamingStudyData { dataset, cfg: AnalysisConfig::default(), stats }
+    /// Run the study through the streaming sink: memory stays bounded by
+    /// the number of (group, window, route) cells regardless of session
+    /// count.
+    pub fn run_streaming(&self) -> StreamingStudyData {
+        let (world, study) = self.build();
+        let mut dataset = StreamingDataset::new(study.n_windows() as usize);
+        let stats = run_study_observed(&world, &study, &mut dataset, &self.metrics);
+        StreamingStudyData { dataset, cfg: AnalysisConfig::default(), stats }
+    }
 }
 
 /// Render the per-worker scheduler counters for the CLI.
@@ -529,18 +618,41 @@ pub fn render_table2(outputs: &[Table2Output]) -> String {
 mod tests {
     use super::*;
 
-    fn small() -> StudyData {
-        run(&StudyParams {
-            seed: 42,
-            days: 1,
-            sessions_per_group_window: 40,
-            country_fraction: 0.3,
-        })
+    fn small() -> StudyBuilder {
+        StudyBuilder::new().seed(42).days(1).sessions_per_group_window(40).country_fraction(0.3)
+    }
+
+    #[test]
+    fn scale_mapping_matches_the_old_cli_defaults() {
+        let b = StudyBuilder::new().scale(0.1);
+        assert_eq!(b.resolved_days(), 1);
+        assert_eq!(b.resolved_sessions_per_group_window(), 24);
+        assert!((b.resolved_country_fraction() - 0.15).abs() < 1e-12);
+        let full = StudyBuilder::new();
+        assert_eq!(full.resolved_days(), 3);
+        assert_eq!(full.resolved_sessions_per_group_window(), 240);
+        assert_eq!(full.resolved_country_fraction(), 1.0);
+        // Explicit overrides beat the scale mapping.
+        let o = StudyBuilder::new().scale(0.1).days(7).sessions_per_group_window(99);
+        assert_eq!(o.resolved_days(), 7);
+        assert_eq!(o.resolved_sessions_per_group_window(), 99);
+    }
+
+    #[test]
+    fn builder_records_into_the_supplied_metrics_handle() {
+        let metrics = Metrics::enabled();
+        let data = small().metrics(&metrics).run();
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.counters.get("runner.records_emitted").copied(),
+            Some(data.records.len() as u64)
+        );
+        assert!(snap.spans.iter().any(|s| s.name == "study"));
     }
 
     #[test]
     fn study_pipeline_produces_all_outputs() {
-        let data = small();
+        let data = small().run();
         assert!(!data.records.is_empty());
         let f6 = fig6(&data);
         assert!(f6.minrtt_p50 > 5.0 && f6.minrtt_p50 < 100.0, "{}", f6.minrtt_p50);
@@ -559,10 +671,8 @@ mod tests {
 
     #[test]
     fn streaming_study_tracks_exact_study() {
-        let params =
-            StudyParams { seed: 42, days: 1, sessions_per_group_window: 40, country_fraction: 0.3 };
-        let exact = run(&params);
-        let stream = run_streaming(&params);
+        let exact = small().run();
+        let stream = small().run_streaming();
         // Same sessions flowed through both sinks.
         assert_eq!(exact.stats.total(), stream.stats.total());
         assert_eq!(exact.stats.total().records_emitted, exact.records.len() as u64);
@@ -598,7 +708,7 @@ mod tests {
     #[test]
     fn preferred_route_is_usually_best() {
         // The paper's headline: default routing is close to optimal.
-        let data = small();
+        let data = small().run();
         let opp = fig9(&data);
         if let Some(minrtt) = opp.iter().find(|d| d.metric.contains("MinRTT")) {
             // Median improvement available should be ≈ 0 or negative.

@@ -1,0 +1,161 @@
+//! Typed errors for the edgeperf API surface.
+//!
+//! Replaces the `Result<_, String>` plumbing that ingestion and analysis
+//! configuration grew organically. Every variant keeps the context a
+//! caller needs programmatically (field name, offending value, line
+//! number) while `Display` reproduces the exact message text the CLI has
+//! always printed, so scripts parsing stderr keep working.
+
+use std::fmt;
+
+/// Any error the edgeperf pipeline surfaces to callers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeperfError {
+    /// A numeric field held NaN or ±∞.
+    NonFinite {
+        /// Dotted path of the offending field (e.g. `responses[2].first_tx_ms`).
+        field: String,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A timestamp field was negative.
+    NegativeTimestamp {
+        /// Dotted path of the offending field.
+        field: String,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `min_rtt_ms` was negative or non-finite.
+    InvalidMinRtt {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Neither `duration_ms` nor any `full_ack_ms` was present, so the
+    /// session span cannot be established.
+    UnknownDuration,
+    /// A JSONL line failed to parse at all.
+    Json {
+        /// The parser's message.
+        message: String,
+    },
+    /// An [`AnalysisConfig`]-style parameter was out of range.
+    ///
+    /// [`AnalysisConfig`]: https://docs.rs/edgeperf-analysis
+    InvalidConfig {
+        /// The parameter name.
+        field: &'static str,
+        /// Why it was rejected.
+        message: String,
+    },
+}
+
+impl EdgeperfError {
+    /// Stable, low-cardinality label for metrics (`ingest.reject.<reason>`).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            EdgeperfError::NonFinite { .. } => "non_finite",
+            EdgeperfError::NegativeTimestamp { .. } => "negative_timestamp",
+            EdgeperfError::InvalidMinRtt { .. } => "invalid_min_rtt",
+            EdgeperfError::UnknownDuration => "unknown_duration",
+            EdgeperfError::Json { .. } => "json",
+            EdgeperfError::InvalidConfig { .. } => "invalid_config",
+        }
+    }
+}
+
+impl fmt::Display for EdgeperfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeperfError::NonFinite { field, value } => {
+                write!(f, "{field}: non-finite value {value}")
+            }
+            EdgeperfError::NegativeTimestamp { field, value } => {
+                write!(f, "{field}: negative timestamp {value}")
+            }
+            EdgeperfError::InvalidMinRtt { value } => {
+                write!(f, "min_rtt_ms: invalid value {value}")
+            }
+            EdgeperfError::UnknownDuration => write!(
+                f,
+                "cannot determine session duration: duration_ms absent and no response has \
+                 full_ack_ms"
+            ),
+            EdgeperfError::Json { message } => write!(f, "{message}"),
+            EdgeperfError::InvalidConfig { field, message } => {
+                write!(f, "invalid config: {field}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeperfError {}
+
+/// An [`EdgeperfError`] pinned to a 1-based JSONL line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong on that line.
+    pub error: EdgeperfError,
+}
+
+impl fmt::Display for LineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.error)
+    }
+}
+
+impl std::error::Error for LineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The CLI prints these messages to stderr; they are part of the
+    /// observable interface and must not drift when variants change.
+    #[test]
+    fn display_is_compatible_with_the_string_era() {
+        let cases: Vec<(EdgeperfError, &str)> = vec![
+            (
+                EdgeperfError::NonFinite {
+                    field: "responses[0].issued_at_ms".into(),
+                    value: f64::INFINITY,
+                },
+                "responses[0].issued_at_ms: non-finite value inf",
+            ),
+            (
+                EdgeperfError::NegativeTimestamp { field: "duration_ms".into(), value: -3.0 },
+                "duration_ms: negative timestamp -3",
+            ),
+            (EdgeperfError::InvalidMinRtt { value: -1.0 }, "min_rtt_ms: invalid value -1"),
+            (
+                EdgeperfError::UnknownDuration,
+                "cannot determine session duration: duration_ms absent and no response has \
+                 full_ack_ms",
+            ),
+            (
+                EdgeperfError::Json { message: "expected value at line 1".into() },
+                "expected value at line 1",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+        let le = LineError { line: 7, error: EdgeperfError::UnknownDuration };
+        assert!(le.to_string().starts_with("line 7: cannot determine"));
+    }
+
+    #[test]
+    fn reasons_are_stable_metric_labels() {
+        assert_eq!(EdgeperfError::UnknownDuration.reason(), "unknown_duration");
+        assert_eq!(EdgeperfError::Json { message: String::new() }.reason(), "json");
+        assert_eq!(
+            EdgeperfError::NegativeTimestamp { field: "t".into(), value: -1.0 }.reason(),
+            "negative_timestamp"
+        );
+    }
+}

@@ -26,6 +26,7 @@
 //! [`minrtt`] provides the kernel-style windowed MinRTT tracker and
 //! [`sampler`] the deterministic session sampling used in production.
 
+pub mod error;
 pub mod estimator;
 pub mod gtestable;
 pub mod hdratio;
@@ -35,6 +36,7 @@ pub mod sampler;
 pub mod tmodel;
 pub mod types;
 
+pub use error::{EdgeperfError, LineError};
 pub use estimator::{AchievedRule, Estimator, EstimatorOptions, TxnOutcome};
 pub use hdratio::{session_hdratio, SessionVerdict};
 pub use instrument::{assemble_transactions, InstrumentOptions, Transaction};

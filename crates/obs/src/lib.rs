@@ -1,0 +1,63 @@
+//! # edgeperf-obs — always-on pipeline observability
+//!
+//! The paper's measurement system is an always-on production pipeline
+//! (§3.3–3.4: 15-minute windows, validity rules over millions of cells);
+//! diagnosing such a system needs first-class, cheap instrumentation of
+//! the pipeline *itself*, not just of the traffic it measures. This crate
+//! provides that layer for the whole workspace:
+//!
+//! - [`Metrics`] — a cloneable handle over a lock-light [`Registry`].
+//!   A disabled handle ([`Metrics::disabled`]) turns every operation into
+//!   a branch on `None`, so instrumented code pays ~nothing when
+//!   observability is off.
+//! - [`Counter`] / [`Gauge`] — monotonic event counts and last-write-wins
+//!   values, both a single relaxed atomic op to record.
+//! - [`Histogram`] — log₂-bucketed `u64` samples (by convention
+//!   nanoseconds, names ending `_ns`) with exact atomic min/max, for
+//!   batch latencies like `RecordSink::merge_shard`.
+//! - Spans — hierarchical wall-time phases with dotted names
+//!   (`"bench.study"` is the parent of `"bench.study.merge"`); the
+//!   snapshot rolls child time up into each parent. Create one with
+//!   [`Metrics::span`] or the [`span!`] macro; time is recorded when the
+//!   guard drops.
+//! - [`MetricsSnapshot`] — a point-in-time, JSON-serializable view of
+//!   everything above, plus [`render_table`] for a human-readable
+//!   summary (`repro --metrics`).
+//!
+//! Registration (first use of a name) takes a mutex on the cold path;
+//! recording through an already-obtained handle is atomics only, so
+//! worker threads record without contention. Handles are meant to be
+//! resolved once per scope (per worker, per batch), not per event.
+//!
+//! ```
+//! use edgeperf_obs::Metrics;
+//!
+//! let metrics = Metrics::enabled();
+//! let sessions = metrics.counter("runner.sessions_simulated");
+//! sessions.add(1_000);
+//! {
+//!     let _phase = metrics.span("study.simulate");
+//!     // ... work ...
+//! }
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.counters["runner.sessions_simulated"], 1_000);
+//! assert_eq!(snap.spans[0].name, "study.simulate");
+//! ```
+
+pub mod registry;
+pub mod snapshot;
+
+pub use registry::{Counter, Gauge, Histogram, Metrics, Registry, SpanGuard};
+pub use snapshot::{render_table, HistogramSnapshot, MetricsSnapshot, SpanSnapshot};
+
+/// Open a phase span on a [`Metrics`] handle: `span!(metrics, "study.simulate")`.
+///
+/// Expands to [`Metrics::span`]; the span closes (and records its wall
+/// time) when the returned guard drops. Bind it — `let _g = span!(...)` —
+/// or the span closes immediately.
+#[macro_export]
+macro_rules! span {
+    ($metrics:expr, $name:expr) => {
+        $metrics.span($name)
+    };
+}

@@ -1,0 +1,284 @@
+//! Point-in-time, JSON-serializable views of a [`crate::Registry`].
+
+use crate::registry::{Registry, HISTOGRAM_BUCKETS};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+/// Summary of one histogram: exact count/sum/min/max plus quantiles
+/// interpolated within the log₂ buckets, and the non-empty buckets
+/// themselves as `(upper_bound, count)` pairs.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: f64,
+    /// Exact smallest sample (0 when empty).
+    pub min: f64,
+    /// Exact largest sample (0 when empty).
+    pub max: f64,
+    /// Median, interpolated within its bucket.
+    pub p50: f64,
+    /// 90th percentile, interpolated within its bucket.
+    pub p90: f64,
+    /// 99th percentile, interpolated within its bucket.
+    pub p99: f64,
+    /// Non-empty `(bucket upper bound, count)` pairs, ascending.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// One phase span aggregate with its hierarchy rollup.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanSnapshot {
+    /// Dotted span name (`"a.b"` is a child of `"a"`).
+    pub name: String,
+    /// Times the phase ran.
+    pub count: u64,
+    /// Total wall seconds across runs.
+    pub total_sec: f64,
+    /// Seconds attributed to direct children (`name.<one more segment>`).
+    pub child_sec: f64,
+    /// `total_sec` minus `child_sec` (floored at 0).
+    pub self_sec: f64,
+}
+
+/// Everything a registry held at snapshot time, ready for
+/// `serde_json::to_string_pretty`.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic event counts by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Phase spans, sorted by name.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+fn bucket_bounds(i: usize) -> (f64, f64) {
+    let lo = if i == 0 { 0.0 } else { (i as f64).exp2() };
+    (lo, ((i + 1) as f64).exp2())
+}
+
+fn bucket_quantile(counts: &[u64; HISTOGRAM_BUCKETS], total: u64, q: f64) -> f64 {
+    let target = q * total as f64;
+    let mut cum = 0.0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if cum + c as f64 >= target {
+            let (lo, hi) = bucket_bounds(i);
+            let frac = ((target - cum) / c as f64).clamp(0.0, 1.0);
+            return lo + frac * (hi - lo);
+        }
+        cum += c as f64;
+    }
+    0.0
+}
+
+pub(crate) fn snapshot_registry(r: &Registry) -> MetricsSnapshot {
+    let counters = r
+        .counters
+        .lock()
+        .expect("counter map poisoned")
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    let gauges = r
+        .gauges
+        .lock()
+        .expect("gauge map poisoned")
+        .iter()
+        .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+        .collect();
+    let histograms = r
+        .histograms
+        .lock()
+        .expect("histogram map poisoned")
+        .iter()
+        .map(|(k, h)| {
+            let counts: [u64; HISTOGRAM_BUCKETS] =
+                std::array::from_fn(|i| h.buckets[i].load(Ordering::Relaxed));
+            let count = h.count.load(Ordering::Relaxed);
+            let (min, max) = if count == 0 {
+                (0.0, 0.0)
+            } else {
+                (h.min.load(Ordering::Relaxed) as f64, h.max.load(Ordering::Relaxed) as f64)
+            };
+            let quantile = |q: f64| {
+                if count == 0 {
+                    0.0
+                } else {
+                    bucket_quantile(&counts, count, q).clamp(min, max)
+                }
+            };
+            let snap = HistogramSnapshot {
+                count,
+                sum: h.sum.load(Ordering::Relaxed) as f64,
+                min,
+                max,
+                p50: quantile(0.5),
+                p90: quantile(0.9),
+                p99: quantile(0.99),
+                buckets: counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(i, &c)| (bucket_bounds(i).1, c))
+                    .collect(),
+            };
+            (k.clone(), snap)
+        })
+        .collect();
+    let raw = r.spans.lock().expect("span map poisoned").clone();
+    let spans = raw
+        .iter()
+        .map(|(name, agg)| {
+            let prefix = format!("{name}.");
+            let child_ns: u64 = raw
+                .iter()
+                .filter(|(other, _)| {
+                    other.strip_prefix(&prefix).is_some_and(|rest| !rest.contains('.'))
+                })
+                .map(|(_, a)| a.total_ns)
+                .sum();
+            SpanSnapshot {
+                name: name.clone(),
+                count: agg.count,
+                total_sec: agg.total_ns as f64 / 1e9,
+                child_sec: child_ns as f64 / 1e9,
+                self_sec: (agg.total_ns.saturating_sub(child_ns)) as f64 / 1e9,
+            }
+        })
+        .collect();
+    MetricsSnapshot { counters, gauges, histograms, spans }
+}
+
+fn human_count(v: f64) -> String {
+    if v.abs() >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v.abs() >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v.abs() >= 1e4 {
+        format!("{:.1}k", v / 1e3)
+    } else if v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Render a snapshot as the stderr summary table behind `repro --metrics`.
+pub fn render_table(s: &MetricsSnapshot) -> String {
+    let mut out = String::from("== metrics ==\n");
+    if !s.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (k, v) in &s.counters {
+            out.push_str(&format!("  {k:<44} {:>12}\n", human_count(*v as f64)));
+        }
+    }
+    if !s.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (k, v) in &s.gauges {
+            out.push_str(&format!("  {k:<44} {:>12}\n", human_count(*v)));
+        }
+    }
+    if !s.histograms.is_empty() {
+        out.push_str("histograms (log2 buckets):\n");
+        for (k, h) in &s.histograms {
+            // Histograms named `*_ns` hold durations; the rest are raw
+            // values (queue depths, sizes).
+            let fmt = if k.ends_with("_ns") { human_ns } else { human_count };
+            out.push_str(&format!(
+                "  {k:<44} n={:<8} p50={:<9} p99={:<9} max={}\n",
+                h.count,
+                fmt(h.p50),
+                fmt(h.p99),
+                fmt(h.max)
+            ));
+        }
+    }
+    if !s.spans.is_empty() {
+        out.push_str("spans:\n");
+        for sp in &s.spans {
+            out.push_str(&format!(
+                "  {:<44} x{:<5} total={:<9} self={}\n",
+                sp.name,
+                sp.count,
+                human_ns(sp.total_sec * 1e9),
+                human_ns(sp.self_sec * 1e9)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+
+    #[test]
+    fn snapshot_serializes_to_json_with_all_sections() {
+        let m = Metrics::enabled();
+        m.counter("c.events").add(3);
+        m.gauge("g.level").set(0.25);
+        let h = m.histogram("h_ns");
+        for v in 1..100u64 {
+            h.record(v * 1_000);
+        }
+        drop(m.span("phase.one"));
+        let snap = m.snapshot();
+        let js = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
+        for key in ["counters", "gauges", "histograms", "spans", "c.events", "phase.one"] {
+            assert!(js.contains(key), "missing {key} in {js}");
+        }
+        // Quantiles sit inside the recorded range.
+        let hs = &snap.histograms["h_ns"];
+        assert!(hs.p50 >= hs.min && hs.p50 <= hs.max);
+        assert!(hs.p99 >= hs.p50 && hs.p99 <= hs.max);
+        assert!(!hs.buckets.is_empty());
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let m = Metrics::enabled();
+        let h = m.histogram("u_ns");
+        // 1000 samples uniform in [0, 1024): p50 should land near 512,
+        // not at a bucket edge like 256 or 1024.
+        for i in 0..1024u64 {
+            h.record(i);
+        }
+        let hs = &m.snapshot().histograms["u_ns"];
+        assert!((hs.p50 - 512.0).abs() < 160.0, "p50 = {}", hs.p50);
+        assert!(hs.p99 > 900.0 && hs.p99 <= 1023.0, "p99 = {}", hs.p99);
+    }
+
+    #[test]
+    fn render_table_mentions_every_metric() {
+        let m = Metrics::enabled();
+        m.counter("runner.records").add(12);
+        m.gauge("sink.cells").set(99.0);
+        m.histogram("merge_ns").record(1_500_000);
+        drop(m.span("study"));
+        let table = render_table(&m.snapshot());
+        for key in ["runner.records", "sink.cells", "merge_ns", "study"] {
+            assert!(table.contains(key), "missing {key} in:\n{table}");
+        }
+    }
+}

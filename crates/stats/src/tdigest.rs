@@ -48,6 +48,7 @@ pub struct TDigest {
     total_weight: f64,
     min: f64,
     max: f64,
+    compressions: u64,
 }
 
 /// Scale function k1.
@@ -153,6 +154,7 @@ impl TDigest {
             total_weight: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            compressions: 0,
         }
     }
 
@@ -214,6 +216,7 @@ impl TDigest {
         all.append(&mut self.buffer);
         self.total_weight = compress_centroids(&mut all, self.compression);
         self.centroids = all;
+        self.compressions += 1;
     }
 
     /// Run `f` over the compressed view of this digest. When the buffer is
@@ -258,6 +261,14 @@ impl TDigest {
         self.max
     }
 
+    /// How many buffer-compression passes this digest has run (automatic
+    /// batch flushes plus explicit [`flush`] calls) — the signal behind
+    /// the sinks' digest-flush metrics. Non-mutating queries over a dirty
+    /// buffer compress a temporary and do not count.
+    pub fn compressions(&self) -> u64 {
+        self.compressions
+    }
+
     /// Number of centroids the compressed digest holds (buffered samples
     /// are counted through the same compression as [`flush`]).
     pub fn centroid_count(&self) -> usize {
@@ -298,6 +309,23 @@ mod tests {
         }
         assert_eq!(d.quantile(0.0), 1.0);
         assert_eq!(d.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn compressions_count_batch_flushes_but_not_queries() {
+        let mut d = TDigest::new(100.0);
+        for i in 0..(BUFFER_LEN * 3) {
+            d.insert(i as f64);
+        }
+        // 3 full batches auto-flushed; the buffer is clean again.
+        assert_eq!(d.compressions(), 3);
+        d.insert(-1.0);
+        let _ = d.quantile(0.5); // query over a dirty buffer: a temp view
+        assert_eq!(d.compressions(), 3);
+        d.flush();
+        assert_eq!(d.compressions(), 4);
+        d.flush(); // empty buffer: no work, no count
+        assert_eq!(d.compressions(), 4);
     }
 
     #[test]

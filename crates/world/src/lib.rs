@@ -30,7 +30,8 @@ pub mod topology;
 pub use cartographer::{map_cluster, ranked_pops, MappingPolicy};
 pub use geo::{distance_km, propagation_rtt_ms, Continent, GeoPoint};
 pub use runner::{
-    run_study, run_study_into, run_study_static, simulate_session, simulate_session_scratch,
-    simulate_session_with, SessionScratch, StudyConfig, StudyStats, WorkerCounters,
+    run_study, run_study_into, run_study_observed, run_study_static, simulate_session,
+    simulate_session_scratch, simulate_session_with, SessionScratch, StudyConfig, StudyStats,
+    WorkerCounters,
 };
 pub use topology::{ClientCluster, Pop, PrefixSite, RouteGt, World, WorldConfig};

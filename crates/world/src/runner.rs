@@ -13,9 +13,10 @@
 use crate::dynamics::{diurnal_factor, local_hour, pick_cluster, route_condition};
 use crate::geo::propagation_rtt_ms;
 use crate::topology::World;
-use edgeperf_analysis::{GroupKey, RecordShard, RecordSink, SessionRecord};
+use edgeperf_analysis::{GroupKey, RecordShard, RecordSink, SessionRecord, SinkStats};
 use edgeperf_core::{session_hdratio, ResponseObs, SessionObs, HD_GOODPUT_BPS};
 use edgeperf_netsim::{FastFlow, PathState};
+use edgeperf_obs::Metrics;
 use edgeperf_routing::EdgeFabric;
 use edgeperf_tcp::{TcpConfig, MILLISECOND};
 use edgeperf_workload::{SessionPlan, WorkloadConfig};
@@ -23,6 +24,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Study parameters.
 #[derive(Debug, Clone, Copy)]
@@ -139,38 +141,112 @@ pub fn run_study(world: &World, cfg: &StudyConfig) -> Vec<SessionRecord> {
 /// order. Every prefix is claimed exactly once, so per-cell contents are
 /// independent of the parallelism level.
 pub fn run_study_into<S: RecordSink>(world: &World, cfg: &StudyConfig, sink: &mut S) -> StudyStats {
+    run_study_observed(world, cfg, sink, &Metrics::disabled())
+}
+
+/// [`run_study_into`] with pipeline observability.
+///
+/// With an enabled [`Metrics`] handle the runner additionally records:
+///
+/// - counters `runner.prefixes`, `runner.sessions_simulated`,
+///   `runner.records_emitted`, and drops by reason
+///   (`runner.drop.no_minrtt`);
+/// - per-worker gauges `scheduler.worker.<i>.{steals,busy_sec,idle_sec}`
+///   and the `scheduler.queue_depth` histogram (prefixes still unclaimed
+///   at each steal);
+/// - the `sink.merge_ns` shard-merge latency histogram and post-run
+///   `sink.<name>.{records,cells,digest_centroids,digest_compressions}`
+///   gauges from [`RecordSink::stats`];
+/// - spans `study` → `study.run` (workers + merges, with
+///   `study.run.merge` as the merge share) and `study.finalize`.
+///
+/// Instrumentation granularity is per prefix and per worker, never per
+/// record, so the measured overhead stays well under the 3% budget; with
+/// a disabled handle every metrics call is a no-op branch and no clock is
+/// read.
+pub fn run_study_observed<S: RecordSink>(
+    world: &World,
+    cfg: &StudyConfig,
+    sink: &mut S,
+    metrics: &Metrics,
+) -> StudyStats {
+    let _study = metrics.span("study");
     let threads = thread_count(cfg).max(1);
     let n = world.prefixes.len();
     let cursor = AtomicUsize::new(0);
     let mut stats = StudyStats::default();
-    std::thread::scope(|s| {
-        let cursor = &cursor;
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let mut shard = sink.new_shard();
-                s.spawn(move || {
-                    let mut counters = WorkerCounters::default();
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        if idx >= n {
-                            break;
+    {
+        let _run = metrics.span("study.run");
+        let merge_ns = metrics.histogram("sink.merge_ns");
+        std::thread::scope(|s| {
+            let cursor = &cursor;
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let mut shard = sink.new_shard();
+                    let metrics = metrics.clone();
+                    s.spawn(move || {
+                        let enabled = metrics.is_enabled();
+                        let queue_depth = metrics.histogram("scheduler.queue_depth");
+                        let worker_t0 = enabled.then(Instant::now);
+                        let mut busy_ns = 0u64;
+                        let mut counters = WorkerCounters::default();
+                        loop {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= n {
+                                break;
+                            }
+                            if enabled {
+                                queue_depth.record((n - idx) as u64);
+                                let t0 = Instant::now();
+                                run_prefix(world, cfg, idx, &mut shard, &mut counters);
+                                busy_ns += t0.elapsed().as_nanos() as u64;
+                            } else {
+                                run_prefix(world, cfg, idx, &mut shard, &mut counters);
+                            }
+                            counters.prefixes += 1;
                         }
-                        run_prefix(world, cfg, idx, &mut shard, &mut counters);
-                        counters.prefixes += 1;
-                    }
-                    (shard, counters)
+                        if let Some(t0) = worker_t0 {
+                            let wall = t0.elapsed().as_nanos() as u64;
+                            let pre = format!("scheduler.worker.{w}");
+                            metrics.gauge(&format!("{pre}.steals")).set(counters.prefixes as f64);
+                            metrics.gauge(&format!("{pre}.busy_sec")).set(busy_ns as f64 / 1e9);
+                            metrics
+                                .gauge(&format!("{pre}.idle_sec"))
+                                .set(wall.saturating_sub(busy_ns) as f64 / 1e9);
+                        }
+                        (shard, counters)
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            let (shard, counters) = h.join().expect("runner thread panicked");
-            sink.merge_shard(shard);
-            stats.workers.push(counters);
-        }
-    });
-    // Let the sink settle deferred state (e.g. digest insert buffers) so
-    // post-run queries borrow `&self` without hidden work.
-    sink.finalize();
+                .collect();
+            for h in handles {
+                let (shard, counters) = h.join().expect("runner thread panicked");
+                let _merge = metrics.span("study.run.merge");
+                merge_ns.time(|| sink.merge_shard(shard));
+                stats.workers.push(counters);
+            }
+        });
+    }
+    {
+        // Let the sink settle deferred state (e.g. digest insert buffers)
+        // so post-run queries borrow `&self` without hidden work.
+        let _finalize = metrics.span("study.finalize");
+        sink.finalize();
+    }
+    if metrics.is_enabled() {
+        let t = stats.total();
+        metrics.counter("runner.prefixes").add(t.prefixes);
+        metrics.counter("runner.sessions_simulated").add(t.sessions_simulated);
+        metrics.counter("runner.records_emitted").add(t.records_emitted);
+        metrics.counter("runner.drop.no_minrtt").add(t.sessions_dropped_no_minrtt);
+        let s: SinkStats = sink.stats().into();
+        let label = sink.name();
+        metrics.gauge(&format!("sink.{label}.records")).set(s.records as f64);
+        metrics.gauge(&format!("sink.{label}.cells")).set(s.cells as f64);
+        metrics.gauge(&format!("sink.{label}.digest_centroids")).set(s.digest_centroids as f64);
+        metrics
+            .gauge(&format!("sink.{label}.digest_compressions"))
+            .set(s.digest_compressions as f64);
+    }
     stats
 }
 
@@ -549,6 +625,53 @@ mod tests {
             })
             .collect();
         assert_eq!(totals[0], totals[1]);
+    }
+
+    #[test]
+    fn observed_run_matches_sink_at_parallelism_1_and_4() {
+        // The tentpole's end-to-end contract: for a fixed seed, the
+        // metrics snapshot's emitted-record counter equals the sink's
+        // record count — and both are invariant under parallelism.
+        let (world, cfg) = tiny_study();
+        let mut emitted = Vec::new();
+        for p in [1usize, 4] {
+            let metrics = Metrics::enabled();
+            let mut records: Vec<SessionRecord> = Vec::new();
+            let stats = run_study_observed(
+                &world,
+                &StudyConfig { parallelism: p, ..cfg },
+                &mut records,
+                &metrics,
+            );
+            let snap = metrics.snapshot();
+            assert_eq!(
+                snap.counters["runner.records_emitted"],
+                records.len() as u64,
+                "parallelism {p}"
+            );
+            assert_eq!(
+                snap.counters["runner.sessions_simulated"],
+                snap.counters["runner.records_emitted"] + snap.counters["runner.drop.no_minrtt"]
+            );
+            assert_eq!(snap.counters["runner.prefixes"], world.prefixes.len() as u64);
+            // The sink-stats gauges agree with the runner counters.
+            assert_eq!(snap.gauges["sink.vec.records"] as u64, records.len() as u64);
+            // Per-worker scheduler gauges: one triple per worker, steals
+            // summing to the prefix count.
+            let steals: f64 =
+                (0..p).map(|w| snap.gauges[&format!("scheduler.worker.{w}.steals")]).sum();
+            assert_eq!(steals as u64, world.prefixes.len() as u64);
+            assert_eq!(snap.histograms["scheduler.queue_depth"].count, world.prefixes.len() as u64);
+            assert_eq!(snap.histograms["sink.merge_ns"].count, p as u64);
+            assert_eq!(stats.workers.len(), p);
+            // Span taxonomy is present and nested.
+            let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+            for want in ["study", "study.run", "study.run.merge", "study.finalize"] {
+                assert!(names.contains(&want), "missing span {want} in {names:?}");
+            }
+            emitted.push(records.len());
+        }
+        assert_eq!(emitted[0], emitted[1], "record count is parallelism-invariant");
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! `edgeperf` — estimate user performance from captured socket stats.
 //!
 //! ```text
-//! edgeperf estimate [--target-mbps F] [FILE]   JSONL sessions → JSONL verdicts
+//! edgeperf estimate [--target-mbps F] [--metrics] [FILE]
+//!                                              JSONL sessions → JSONL verdicts
 //! edgeperf demo                                print a sample input line
 //! ```
+//!
+//! `--metrics` prints an ingest accounting table (lines evaluated, rejects
+//! by reason) to stderr after the run.
 //!
 //! Input format: see `edgeperf::ingest`. With no FILE, reads stdin. Every
 //! output line mirrors an input session:
@@ -12,7 +16,8 @@
 //! skipped.
 
 use edgeperf::core::HD_GOODPUT_BPS;
-use edgeperf::ingest::{evaluate_jsonl, sample_line};
+use edgeperf::ingest::{evaluate_jsonl_observed, sample_line};
+use edgeperf::obs::{render_table, Metrics};
 use std::io::Read;
 
 fn main() {
@@ -24,6 +29,7 @@ fn main() {
         Some("estimate") => {
             let mut target = HD_GOODPUT_BPS;
             let mut file: Option<String> = None;
+            let mut metrics = Metrics::disabled();
             let mut it = args.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -34,6 +40,7 @@ fn main() {
                             .unwrap_or_else(|| die("--target-mbps needs a number"));
                         target = v * 1e6;
                     }
+                    "--metrics" => metrics = Metrics::enabled(),
                     f if !f.starts_with('-') => file = Some(f.to_string()),
                     other => die(&format!("unknown argument {other}")),
                 }
@@ -50,24 +57,30 @@ fn main() {
                 }
             };
             let mut errors = 0usize;
-            for result in evaluate_jsonl(&input, target) {
+            for result in evaluate_jsonl_observed(&input, target, &metrics) {
                 match result {
                     Ok(v) => println!("{}", serde_json::to_string(&v).unwrap()),
-                    Err((line, msg)) => {
+                    Err(e) => {
                         eprintln!(
-                            "{{\"line\":{line},\"error\":{}}}",
-                            serde_json::to_string(&msg).unwrap()
+                            "{{\"line\":{},\"error\":{}}}",
+                            e.line,
+                            serde_json::to_string(&e.error.to_string()).unwrap()
                         );
                         errors += 1;
                     }
                 }
+            }
+            if metrics.is_enabled() {
+                eprint!("{}", render_table(&metrics.snapshot()));
             }
             if errors > 0 {
                 std::process::exit(1);
             }
         }
         _ => {
-            eprintln!("usage: edgeperf estimate [--target-mbps F] [FILE] | edgeperf demo");
+            eprintln!(
+                "usage: edgeperf estimate [--target-mbps F] [--metrics] [FILE] | edgeperf demo"
+            );
             std::process::exit(2);
         }
     }

@@ -16,7 +16,10 @@
 //! ]}
 //! ```
 
-use edgeperf_core::{session_hdratio, HttpVersion, ResponseObs, SessionObs, MILLISECOND};
+use edgeperf_core::{
+    session_hdratio, EdgeperfError, HttpVersion, LineError, ResponseObs, SessionObs, MILLISECOND,
+};
+use edgeperf_obs::Metrics;
 use serde::{Deserialize, Serialize};
 
 /// One response as captured by external instrumentation.
@@ -81,12 +84,12 @@ pub struct VerdictOut {
 /// sane capture can never produce. Clamping negatives to zero (the old
 /// behavior) silently reordered events and corrupted downstream goodput
 /// estimates; bad telemetry must surface as a per-line error instead.
-fn ms(v: f64, field: &str) -> Result<u64, String> {
+fn ms(v: f64, field: &str) -> Result<u64, EdgeperfError> {
     if !v.is_finite() {
-        return Err(format!("{field}: non-finite value {v}"));
+        return Err(EdgeperfError::NonFinite { field: field.to_string(), value: v });
     }
     if v < 0.0 {
-        return Err(format!("{field}: negative timestamp {v}"));
+        return Err(EdgeperfError::NegativeTimestamp { field: field.to_string(), value: v });
     }
     Ok((v * MILLISECOND as f64) as u64)
 }
@@ -99,7 +102,7 @@ impl SessionIn {
     /// response carries `full_ack_ms`) — previously such sessions were
     /// given duration 0, which made every transaction look infinitely
     /// fast to rate-based checks.
-    pub fn to_obs(&self) -> Result<SessionObs, String> {
+    pub fn to_obs(&self) -> Result<SessionObs, EdgeperfError> {
         let responses = self
             .responses
             .iter()
@@ -111,7 +114,7 @@ impl SessionIn {
                     first_tx: r
                         .first_tx_ms
                         .map(|t| {
-                            Ok::<_, String>((
+                            Ok::<_, EdgeperfError>((
                                 ms(t, &format!("responses[{i}].first_tx_ms"))?,
                                 r.wnic.unwrap_or(0),
                             ))
@@ -130,9 +133,9 @@ impl SessionIn {
                     prev_unsent_at_write: r.prev_unsent_at_write,
                 })
             })
-            .collect::<Result<Vec<_>, String>>()?;
+            .collect::<Result<Vec<_>, EdgeperfError>>()?;
         if !self.min_rtt_ms.is_finite() || self.min_rtt_ms < 0.0 {
-            return Err(format!("min_rtt_ms: invalid value {}", self.min_rtt_ms));
+            return Err(EdgeperfError::InvalidMinRtt { value: self.min_rtt_ms });
         }
         let duration_ms = match self.duration_ms {
             Some(d) => d,
@@ -145,9 +148,7 @@ impl SessionIn {
                 if span.is_finite() {
                     span
                 } else {
-                    return Err("cannot determine session duration: duration_ms absent and no \
-                         response has full_ack_ms"
-                        .to_string());
+                    return Err(EdgeperfError::UnknownDuration);
                 }
             }
         };
@@ -165,7 +166,7 @@ impl SessionIn {
     }
 
     /// Evaluate the session at `target_bps`.
-    pub fn evaluate(&self, target_bps: f64) -> Result<VerdictOut, String> {
+    pub fn evaluate(&self, target_bps: f64) -> Result<VerdictOut, EdgeperfError> {
         let obs = self.to_obs()?;
         Ok(match session_hdratio(&obs, target_bps) {
             Some(v) => VerdictOut {
@@ -181,18 +182,34 @@ impl SessionIn {
     }
 }
 
-/// Evaluate a stream of JSONL sessions; invalid lines yield `Err` entries
-/// with the line number.
-pub fn evaluate_jsonl(input: &str, target_bps: f64) -> Vec<Result<VerdictOut, (usize, String)>> {
+/// Evaluate a stream of JSONL sessions; invalid lines yield [`LineError`]
+/// entries carrying the 1-based line number and a typed cause.
+pub fn evaluate_jsonl(input: &str, target_bps: f64) -> Vec<Result<VerdictOut, LineError>> {
+    evaluate_jsonl_observed(input, target_bps, &Metrics::disabled())
+}
+
+/// [`evaluate_jsonl`] with parse accounting: counts every evaluated line
+/// into `ingest.lines` and each reject into `ingest.reject.<reason>`
+/// (reasons from [`EdgeperfError::reason`]).
+pub fn evaluate_jsonl_observed(
+    input: &str,
+    target_bps: f64,
+    metrics: &Metrics,
+) -> Vec<Result<VerdictOut, LineError>> {
+    let lines = metrics.counter("ingest.lines");
     input
         .lines()
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty())
         .map(|(i, line)| {
+            lines.inc();
             serde_json::from_str::<SessionIn>(line)
-                .map_err(|e| e.to_string())
+                .map_err(|e| EdgeperfError::Json { message: e.to_string() })
                 .and_then(|s| s.evaluate(target_bps))
-                .map_err(|e| (i + 1, e))
+                .map_err(|error| {
+                    metrics.counter(&format!("ingest.reject.{}", error.reason())).inc();
+                    LineError { line: i + 1, error }
+                })
         })
         .collect()
 }
@@ -259,8 +276,9 @@ mod tests {
         let out = evaluate_jsonl(&input, HD_GOODPUT_BPS);
         assert_eq!(out.len(), 3); // blank line skipped
         assert!(out[0].is_ok());
-        let (line_no, _) = out[1].as_ref().unwrap_err();
-        assert_eq!(*line_no, 2);
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.error.reason(), "json");
         assert!(out[2].is_ok());
     }
 
@@ -281,9 +299,10 @@ mod tests {
         // defaulted the duration to 0; now it is a per-line error.
         let line = r#"{"min_rtt_ms": 30.0, "responses": [{"bytes": 5000, "issued_at_ms": 0.0}]}"#;
         let out = evaluate_jsonl(line, HD_GOODPUT_BPS);
-        let (line_no, msg) = out[0].as_ref().unwrap_err();
-        assert_eq!(*line_no, 1);
-        assert!(msg.contains("duration"), "unexpected message: {msg}");
+        let err = out[0].as_ref().unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.error, EdgeperfError::UnknownDuration);
+        assert!(err.to_string().contains("duration"), "unexpected message: {err}");
     }
 
     #[test]
@@ -291,15 +310,17 @@ mod tests {
         let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
         s.responses[0].issued_at_ms = -3.0;
         let err = s.evaluate(HD_GOODPUT_BPS).unwrap_err();
+        let msg = err.to_string();
         assert!(
-            err.contains("issued_at_ms") && err.contains("negative"),
-            "unexpected message: {err}"
+            msg.contains("issued_at_ms") && msg.contains("negative"),
+            "unexpected message: {msg}"
         );
+        assert_eq!(err.reason(), "negative_timestamp");
 
         let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
         s.responses[0].full_ack_ms = Some(-0.5);
         let err = s.evaluate(HD_GOODPUT_BPS).unwrap_err();
-        assert!(err.contains("full_ack_ms"), "unexpected message: {err}");
+        assert!(err.to_string().contains("full_ack_ms"), "unexpected message: {err}");
 
         let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
         s.min_rtt_ms = -1.0;
@@ -316,9 +337,50 @@ mod tests {
         let input = format!("{}\n{bad}", sample_line());
         let out = evaluate_jsonl(&input, HD_GOODPUT_BPS);
         assert!(out[0].is_ok());
-        let (line_no, msg) = out[1].as_ref().unwrap_err();
-        assert_eq!(*line_no, 2);
-        assert!(msg.contains("negative"), "unexpected message: {msg}");
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("negative"), "unexpected message: {err}");
+    }
+
+    /// CLI stderr messages are part of the observable interface: the typed
+    /// errors must render exactly what the `String` era rendered.
+    #[test]
+    fn typed_errors_render_legacy_messages() {
+        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
+        s.responses[0].issued_at_ms = -3.0;
+        assert_eq!(
+            s.evaluate(HD_GOODPUT_BPS).unwrap_err().to_string(),
+            "responses[0].issued_at_ms: negative timestamp -3"
+        );
+
+        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
+        s.min_rtt_ms = -1.0;
+        assert_eq!(
+            s.evaluate(HD_GOODPUT_BPS).unwrap_err().to_string(),
+            "min_rtt_ms: invalid value -1"
+        );
+
+        let mut s: SessionIn = serde_json::from_str(&sample_line()).unwrap();
+        s.responses[0].first_tx_ms = Some(f64::NAN);
+        assert_eq!(
+            s.evaluate(HD_GOODPUT_BPS).unwrap_err().to_string(),
+            "responses[0].first_tx_ms: non-finite value NaN"
+        );
+    }
+
+    #[test]
+    fn observed_ingest_counts_rejects_by_reason() {
+        let metrics = Metrics::enabled();
+        let bad_ts = r#"{"min_rtt_ms": 30.0, "responses": [{"bytes": 1, "issued_at_ms": -1.0}]}"#;
+        let no_dur = r#"{"min_rtt_ms": 30.0, "responses": [{"bytes": 5, "issued_at_ms": 0.0}]}"#;
+        let input = format!("{}\nnot json\n{bad_ts}\n{no_dur}", sample_line());
+        let out = evaluate_jsonl_observed(&input, HD_GOODPUT_BPS, &metrics);
+        assert_eq!(out.len(), 4);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["ingest.lines"], 4);
+        assert_eq!(snap.counters["ingest.reject.json"], 1);
+        assert_eq!(snap.counters["ingest.reject.negative_timestamp"], 1);
+        assert_eq!(snap.counters["ingest.reject.unknown_duration"], 1);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //!   ground truth with diurnal/episodic dynamics).
 //! - [`analysis`] — user groups, 15-minute windows, degradation and
 //!   routing-opportunity detection, temporal classification.
+//! - [`obs`] — pipeline observability: the lock-light metrics registry,
+//!   phase spans, and JSON-serializable snapshots behind `--metrics-json`.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +55,7 @@ pub mod ingest;
 pub use edgeperf_analysis as analysis;
 pub use edgeperf_core as core;
 pub use edgeperf_netsim as netsim;
+pub use edgeperf_obs as obs;
 pub use edgeperf_routing as routing;
 pub use edgeperf_stats as stats;
 pub use edgeperf_tcp as tcp;
