@@ -97,7 +97,7 @@ pub fn degradation_events(
     let (baseline_w, _) = p50s
         .iter()
         .copied()
-        .min_by(|a, b| (a.1 - target).abs().partial_cmp(&(b.1 - target).abs()).unwrap())
+        .min_by(|a, b| (a.1 - target).abs().total_cmp(&(b.1 - target).abs()))
         .unwrap();
     let baseline = group.cell(0, baseline_w).expect("baseline cell");
 

@@ -26,9 +26,13 @@
 //!   [`SinkStats`] summary the observability layer exports as gauges.
 //! - [`columnar`]: struct-of-arrays worker shards for the exact path,
 //!   merged zero-copy into the sink at join time.
+//! - [`checkpoint`]: [`PersistentSink`] — sinks that can flatten their
+//!   complete state to JSON and rebuild it, the substrate of the study
+//!   supervisor's checkpoint/resume.
 //! - [`hash`]: the fast deterministic FxHash-style hasher behind every
 //!   hot-path map.
 
+pub mod checkpoint;
 pub mod classify;
 pub mod columnar;
 pub mod compare;
@@ -43,6 +47,7 @@ pub mod sink;
 pub mod streaming;
 pub mod tables;
 
+pub use checkpoint::PersistentSink;
 pub use classify::{classify_group, TemporalClass};
 pub use columnar::{CellKey, ColumnarShard, ColumnarSink};
 pub use compare::{compare_medians, CompareOutcome};

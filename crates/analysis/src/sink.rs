@@ -323,6 +323,18 @@ impl StreamingDataset {
         g.total_bytes += r.bytes;
     }
 
+    /// Install a fully-built group under `key` (checkpoint restore path).
+    /// The key must not be present yet; insertion order is preserved, so
+    /// restoring groups in their saved order reproduces [`iter`] order.
+    ///
+    /// [`iter`]: StreamingDataset::iter
+    pub(crate) fn insert_group(&mut self, key: GroupKey, group: StreamingGroupData) {
+        let prev = self.index.insert(key, self.groups.len() as u32);
+        assert!(prev.is_none(), "duplicate group in checkpoint");
+        self.keys.push(key);
+        self.groups.push(group);
+    }
+
     /// Fold another dataset (typically a worker shard) into this one.
     /// Cells present on both sides merge via [`TDigest::merge`].
     pub fn merge(&mut self, other: StreamingDataset) {

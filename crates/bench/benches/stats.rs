@@ -46,8 +46,8 @@ fn bench_tdigest(c: &mut Criterion) {
 fn bench_median_ci(c: &mut Criterion) {
     let mut a = samples(200, 40.0);
     let mut b2 = samples(200, 42.0);
-    a.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    b2.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    a.sort_unstable_by(f64::total_cmp);
+    b2.sort_unstable_by(f64::total_cmp);
     c.bench_function("diff_of_medians_ci n=200", |bch| {
         bch.iter(|| diff_of_medians_ci_sorted(black_box(&a), black_box(&b2), 0.95))
     });

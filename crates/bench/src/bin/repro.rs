@@ -31,6 +31,17 @@
 //! latency histograms, phase spans) to stderr after the run;
 //! `--metrics-json PATH` writes the same snapshot as JSON. Either flag
 //! enables recording; otherwise the metrics layer stays a dead branch.
+//!
+//! `--supervised` runs the study under the fault-tolerant supervisor
+//! (panic isolation, retry/quarantine, watchdog deadlines).
+//! `--checkpoint-dir PATH` adds periodic checkpoints there — a rerun
+//! against the same directory resumes after the last merged prefix, and
+//! the supervisor's `study_report.json` is written alongside the
+//! checkpoint. `--fault-plan SPEC` (or `EDGEPERF_FAULT_PLAN`) injects
+//! deterministic faults — `panic:K`, `stall:K`, `delay:W:MS`,
+//! `malformed:N`, `mergefail:K`, `crash:K` — for chaos testing. Either
+//! flag implies `--supervised`. `--quick` shrinks the study to scale 0.1
+//! unless `--scale` is given.
 
 use edgeperf_bench::{
     ablations, cc_compare, detector, env_scale, fig4, fig5, naive, pipeline_bench, study,
@@ -51,6 +62,9 @@ struct Args {
     streaming: bool,
     metrics: bool,
     metrics_json: Option<String>,
+    supervised: bool,
+    fault_plan: Option<String>,
+    checkpoint_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -59,14 +73,18 @@ fn parse_args() -> Args {
         seed: 20190521,
         days: 0, // 0 = per-experiment default
         sessions: 0,
-        scale: env_scale(1.0),
+        scale: 0.0, // resolved after parsing (depends on --quick)
         json: None,
         bench_json: None,
         quick: false,
         streaming: false,
         metrics: false,
         metrics_json: None,
+        supervised: false,
+        fault_plan: None,
+        checkpoint_dir: None,
     };
+    let mut scale_flag: Option<f64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -75,17 +93,23 @@ fn parse_args() -> Args {
             "--sessions" => {
                 args.sessions = it.next().expect("--sessions N").parse().expect("sessions")
             }
-            "--scale" => args.scale = it.next().expect("--scale F").parse().expect("scale"),
+            "--scale" => scale_flag = Some(it.next().expect("--scale F").parse().expect("scale")),
             "--json" => args.json = Some(it.next().expect("--json PATH")),
             "--bench-json" => args.bench_json = Some(it.next().expect("--bench-json PATH")),
             "--quick" => args.quick = true,
             "--streaming" => args.streaming = true,
             "--metrics" => args.metrics = true,
             "--metrics-json" => args.metrics_json = Some(it.next().expect("--metrics-json PATH")),
+            "--supervised" => args.supervised = true,
+            "--fault-plan" => args.fault_plan = Some(it.next().expect("--fault-plan SPEC")),
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(it.next().expect("--checkpoint-dir PATH"))
+            }
             "--help" | "-h" => {
                 eprintln!("repro <experiment> [--seed N] [--days N] [--sessions N] [--scale F] [--json PATH] [--streaming]");
                 eprintln!("       repro bench [--quick] [--bench-json PATH]   pipeline throughput baseline");
                 eprintln!("       --metrics prints the observability snapshot to stderr; --metrics-json PATH writes it as JSON");
+                eprintln!("       --supervised [--fault-plan SPEC] [--checkpoint-dir PATH]   fault-tolerant study driver");
                 eprintln!("experiments: fig1..fig10, table1, table2, fig4, validation, naive, ablations, bench, all");
                 std::process::exit(0);
             }
@@ -100,6 +124,12 @@ fn parse_args() -> Args {
     }
     if args.experiment.is_empty() {
         args.experiment = "all".to_string();
+    }
+    // --quick shrinks everything unless the scale was pinned explicitly
+    // (EDGEPERF_SCALE still wins over the quick default).
+    args.scale = scale_flag.unwrap_or_else(|| env_scale(if args.quick { 0.1 } else { 1.0 }));
+    if args.fault_plan.is_some() || args.checkpoint_dir.is_some() {
+        args.supervised = true;
     }
     args
 }
@@ -140,16 +170,63 @@ fn main() {
     let mut data: Option<study::StudyData> = None;
     let mut sdata: Option<study::StreamingStudyData> = None;
     if needs_study {
-        let b = study_builder(&a, &metrics);
+        let mut b = study_builder(&a, &metrics);
         eprintln!(
             "running study ({}): days={} sessions/group/window={} country_fraction={:.2}",
-            if a.streaming { "streaming sink" } else { "exact sink" },
+            if a.supervised {
+                "supervised"
+            } else if a.streaming {
+                "streaming sink"
+            } else {
+                "exact sink"
+            },
             b.resolved_days(),
             b.resolved_sessions_per_group_window(),
             b.resolved_country_fraction()
         );
         let t0 = std::time::Instant::now();
-        if a.streaming {
+        if a.supervised {
+            if a.streaming {
+                eprintln!("note: --supervised uses the exact sink; --streaming ignored");
+            }
+            if let Some(spec) = &a.fault_plan {
+                let plan = edgeperf_world::FaultPlan::parse(spec).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+                eprintln!("fault plan: {plan}");
+                b = b.fault_plan(plan);
+            }
+            if let Some(dir) = &a.checkpoint_dir {
+                b = b.checkpoint_dir(dir);
+            }
+            match b.run_supervised() {
+                Ok(d) => {
+                    eprintln!("study: {} session records in {:.1?}", d.records.len(), t0.elapsed());
+                    eprintln!("{}", study::render_stats(&d.stats));
+                    eprint!("{}", d.report.render());
+                    let report_json = serde_json::to_string_pretty(&d.report.to_value()).unwrap();
+                    if let Some(dir) = &a.checkpoint_dir {
+                        let file = format!("{dir}/study_report.json");
+                        std::fs::create_dir_all(dir).expect("create checkpoint dir");
+                        std::fs::write(&file, &report_json)
+                            .unwrap_or_else(|e| panic!("write {file}: {e}"));
+                        eprintln!("wrote {file}");
+                    }
+                    write_json(&a.json, "study_report", serde_json::parse(&report_json).unwrap());
+                    data = Some(study::StudyData {
+                        records: d.records,
+                        dataset: d.dataset,
+                        cfg: d.cfg,
+                        stats: d.stats,
+                    });
+                }
+                Err(e) => {
+                    eprintln!("supervised study failed: {e}");
+                    std::process::exit(3);
+                }
+            }
+        } else if a.streaming {
             let d = b.run_streaming();
             eprintln!(
                 "study: {} sessions into bounded digest cells in {:.1?}",

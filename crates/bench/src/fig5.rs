@@ -75,7 +75,7 @@ pub fn run(seed: u64, days: u32, sessions_per_window: usize) -> Vec<Fig5Point> {
             if v.is_empty() {
                 None
             } else {
-                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v.sort_unstable_by(f64::total_cmp);
                 Some(edgeperf_stats::quantile::median_sorted(&v))
             }
         };

@@ -78,7 +78,7 @@ pub fn run(seed: u64, n: usize) -> NaiveComparison {
         }
     }
     let med = |v: &mut Vec<f64>| {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_unstable_by(f64::total_cmp);
         edgeperf_stats::quantile::median_sorted(v)
     };
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;

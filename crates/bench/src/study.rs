@@ -12,9 +12,13 @@ use edgeperf_analysis::{
 };
 use edgeperf_obs::Metrics;
 use edgeperf_routing::Relationship;
-use edgeperf_world::{run_study_observed, Continent, StudyConfig, StudyStats, World, WorldConfig};
+use edgeperf_world::{
+    run_study_observed, run_study_supervised, Continent, FaultPlan, StudyConfig, StudyReport,
+    StudyStats, SupervisorConfig, SupervisorError, World, WorldConfig,
+};
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 /// Builder for study runs.
 ///
@@ -43,6 +47,9 @@ pub struct StudyBuilder {
     country_fraction: Option<f64>,
     parallelism: usize,
     metrics: Metrics,
+    fault_plan: FaultPlan,
+    checkpoint_dir: Option<PathBuf>,
+    retry_budget: Option<u32>,
 }
 
 impl Default for StudyBuilder {
@@ -55,6 +62,9 @@ impl Default for StudyBuilder {
             country_fraction: None,
             parallelism: 0,
             metrics: Metrics::disabled(),
+            fault_plan: FaultPlan::default(),
+            checkpoint_dir: None,
+            retry_budget: None,
         }
     }
 }
@@ -108,6 +118,26 @@ impl StudyBuilder {
         self
     }
 
+    /// Faults to inject on the supervised path (default: none). An empty
+    /// plan falls back to `EDGEPERF_FAULT_PLAN` at run time.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Checkpoint directory for the supervised path. A compatible
+    /// checkpoint already present there resumes the study.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Retries per prefix before quarantine on the supervised path.
+    pub fn retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = Some(budget);
+        self
+    }
+
     /// Days the run will simulate after applying the scale mapping.
     pub fn resolved_days(&self) -> u32 {
         self.days.unwrap_or_else(|| ((3.0 * self.scale).ceil() as u32).clamp(1, 10))
@@ -136,6 +166,22 @@ pub struct StudyData {
     pub cfg: AnalysisConfig,
     /// Per-worker scheduler counters from the run.
     pub stats: StudyStats,
+}
+
+/// [`StudyData`] plus the supervisor's account of the run: quarantine,
+/// retries, watchdog interventions, checkpoints.
+pub struct SupervisedStudyData {
+    /// Per-session records (prefix-index order — supervisor merge order).
+    pub records: Vec<SessionRecord>,
+    /// Aggregated dataset.
+    pub dataset: Dataset,
+    /// Analysis configuration used.
+    pub cfg: AnalysisConfig,
+    /// Per-worker scheduler counters from this process.
+    pub stats: StudyStats,
+    /// Completion, quarantine, and recovery report (cumulative across
+    /// resume).
+    pub report: StudyReport,
 }
 
 /// The bounded-memory variant: per-cell t-digests, no record vector.
@@ -191,6 +237,108 @@ impl StudyBuilder {
         let stats = run_study_observed(&world, &study, &mut dataset, &self.metrics);
         StreamingStudyData { dataset, cfg: AnalysisConfig::default(), stats }
     }
+
+    /// The builder-level identity stored in (and checked against) a
+    /// checkpoint: everything [`resume_from`](Self::resume_from) needs to
+    /// rebuild an equivalent builder. Parallelism is deliberately absent —
+    /// a resumed run may use a different worker count.
+    fn checkpoint_meta(&self) -> Vec<(String, String)> {
+        vec![
+            ("builder_seed".into(), self.seed.to_string()),
+            ("country_fraction".into(), self.resolved_country_fraction().to_string()),
+        ]
+    }
+
+    /// Run the study under the fault-tolerant supervisor (see
+    /// `edgeperf-world`'s `supervisor` module): per-prefix panic
+    /// isolation with retry/quarantine, watchdog deadlines, and — when a
+    /// checkpoint directory is set — periodic checkpoints and automatic
+    /// resume.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O failures, resuming against a checkpoint from a
+    /// different study, and the fault plan's injected crash.
+    ///
+    /// # Panics
+    ///
+    /// When no fault plan was set and `EDGEPERF_FAULT_PLAN` holds an
+    /// unparseable spec.
+    pub fn run_supervised(&self) -> Result<SupervisedStudyData, SupervisorError> {
+        let (world, study) = self.build();
+        let plan = if self.fault_plan.is_empty() {
+            FaultPlan::from_env().expect("EDGEPERF_FAULT_PLAN")
+        } else {
+            self.fault_plan.clone()
+        };
+        let mut sup = SupervisorConfig {
+            checkpoint_dir: self.checkpoint_dir.clone(),
+            meta: self.checkpoint_meta(),
+            fault_plan: plan,
+            ..SupervisorConfig::default()
+        };
+        if let Some(budget) = self.retry_budget {
+            sup.retry_budget = budget;
+        }
+        let mut records: Vec<SessionRecord> = Vec::new();
+        let (stats, report) =
+            run_study_supervised(&world, &study, &sup, &mut records, &self.metrics)?;
+        let dataset = Dataset::from_records(&records, study.n_windows() as usize);
+        Ok(SupervisedStudyData { records, dataset, cfg: AnalysisConfig::default(), stats, report })
+    }
+
+    /// Rebuild the builder for a study whose checkpoint lives in `dir`,
+    /// ready to [`run_supervised`](Self::run_supervised) to completion.
+    /// The study shape (seed, days, sessions, country fraction) comes
+    /// from the checkpoint itself; parallelism and metrics are fresh
+    /// choices.
+    ///
+    /// # Errors
+    ///
+    /// When the checkpoint file is missing, unreadable, or malformed.
+    pub fn resume_from(dir: impl AsRef<Path>) -> Result<StudyBuilder, SupervisorError> {
+        let dir = dir.as_ref();
+        let path = dir.join("checkpoint.json");
+        let fail = |message: String| SupervisorError::Checkpoint { path: path.clone(), message };
+        let text = std::fs::read_to_string(&path).map_err(|e| fail(e.to_string()))?;
+        let root = serde_json::parse(&text).map_err(|e| fail(e.to_string()))?;
+        let study = root.get("study").ok_or_else(|| fail("missing field study".into()))?;
+        let meta = root.get("meta").ok_or_else(|| fail("missing field meta".into()))?;
+        let num = |v: &serde_json::Value, what: &str| match v {
+            serde_json::Value::Num(n) => Ok(*n),
+            _ => Err(fail(format!("{what}: expected a number"))),
+        };
+        let days = num(study.get("days").ok_or_else(|| fail("missing field days".into()))?, "days")?
+            as u32;
+        let sessions = num(
+            study
+                .get("sessions_per_group_window")
+                .ok_or_else(|| fail("missing field sessions_per_group_window".into()))?,
+            "sessions_per_group_window",
+        )? as u32;
+        let meta_str = |name: &str| -> Result<String, SupervisorError> {
+            match meta.get(name) {
+                Some(serde_json::Value::Str(s)) => Ok(s.clone()),
+                _ => Err(fail(format!("missing meta field {name}"))),
+            }
+        };
+        let seed: u64 =
+            meta_str("builder_seed")?.parse().map_err(|_| fail("bad builder_seed".into()))?;
+        let fraction: f64 = meta_str("country_fraction")?
+            .parse()
+            .map_err(|_| fail("bad country_fraction".into()))?;
+        Ok(StudyBuilder::new()
+            .seed(seed)
+            .days(days)
+            .sessions_per_group_window(sessions)
+            .country_fraction(fraction)
+            .checkpoint_dir(dir))
+    }
+}
+
+/// Render the supervisor's report for the CLI.
+pub fn render_report(report: &StudyReport) -> String {
+    report.render()
 }
 
 /// Render the per-worker scheduler counters for the CLI.

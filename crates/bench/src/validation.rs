@@ -116,7 +116,7 @@ pub fn run(fraction: f64) -> ValidationResult {
             errors.extend(h.join().expect("validation worker panicked"));
         }
     });
-    errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    errors.sort_unstable_by(f64::total_cmp);
     let q = |p: f64| {
         if errors.is_empty() {
             f64::NAN

@@ -83,7 +83,7 @@ impl Bencher {
             }
             samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_unstable_by(f64::total_cmp);
         self.median_ns = Some(samples[samples.len() / 2]);
     }
 }

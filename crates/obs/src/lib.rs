@@ -23,6 +23,9 @@
 //! - [`MetricsSnapshot`] — a point-in-time, JSON-serializable view of
 //!   everything above, plus [`render_table`] for a human-readable
 //!   summary (`repro --metrics`).
+//! - [`HeartbeatBoard`] — per-worker lock-free liveness slots (what is
+//!   each worker running, since when, and should it abandon it), the
+//!   substrate of the study supervisor's watchdog.
 //!
 //! Registration (first use of a name) takes a mutex on the cold path;
 //! recording through an already-obtained handle is atomics only, so
@@ -44,9 +47,11 @@
 //! assert_eq!(snap.spans[0].name, "study.simulate");
 //! ```
 
+pub mod heartbeat;
 pub mod registry;
 pub mod snapshot;
 
+pub use heartbeat::{ActiveTask, HeartbeatBoard};
 pub use registry::{Counter, Gauge, Histogram, Metrics, Registry, SpanGuard};
 pub use snapshot::{render_table, HistogramSnapshot, MetricsSnapshot, SpanSnapshot};
 

@@ -77,7 +77,7 @@ impl EdgeFabric {
         let rank = utilization
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap();
         RouteChoice { rank, pinned: false }

@@ -72,7 +72,7 @@ impl CdfBuilder {
 impl WeightedCdf {
     /// Fraction of weight at values ≤ `x`.
     pub fn fraction_leq(&self, x: f64) -> f64 {
-        match self.points.binary_search_by(|p| p.0.partial_cmp(&x).unwrap()) {
+        match self.points.binary_search_by(|p| p.0.total_cmp(&x)) {
             Ok(i) => self.points[i].1 / self.total,
             Err(0) => 0.0,
             Err(i) => self.points[i - 1].1 / self.total,

@@ -26,4 +26,4 @@ pub use median_ci::{
 };
 pub use quantile::{quantile_sorted, quantile_unsorted, weighted_quantile};
 pub use summary::Summary;
-pub use tdigest::TDigest;
+pub use tdigest::{Centroid, DigestParts, TDigest};

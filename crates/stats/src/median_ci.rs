@@ -203,7 +203,7 @@ mod tests {
                     -(1.0 - u).ln() // Exp(1) via inverse CDF
                 })
                 .collect();
-            sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sample.sort_unstable_by(f64::total_cmp);
             let ci = median_ci(&sample, 0.95);
             if ci.lo <= true_median && true_median <= ci.hi {
                 covered += 1;

@@ -277,6 +277,70 @@ impl TDigest {
         }
         self.with_view(|cs, _| cs.len())
     }
+
+    /// Flatten the digest into plain data for persistence. The centroid
+    /// list is the compressed view (identical to the post-[`flush`]
+    /// state), so `from_parts(d.to_parts())` reproduces a flushed `d`
+    /// bit-for-bit — including the tracked extremes and the compression
+    /// counter. This crate stays serialization-agnostic; callers own the
+    /// encoding.
+    pub fn to_parts(&self) -> DigestParts {
+        let centroids =
+            if self.is_empty() { Vec::new() } else { self.with_view(|cs, _| cs.to_vec()) };
+        DigestParts {
+            compression: self.compression,
+            min: self.min,
+            max: self.max,
+            compressions: self.compressions,
+            centroids,
+        }
+    }
+
+    /// Rebuild a digest from [`to_parts`] output.
+    ///
+    /// # Panics
+    /// Panics on the same invalid inputs `insert_weighted` rejects
+    /// (non-finite means, non-positive weights) or a compression < 10.
+    ///
+    /// [`to_parts`]: TDigest::to_parts
+    pub fn from_parts(parts: DigestParts) -> Self {
+        assert!(parts.compression >= 10.0, "compression too small: {}", parts.compression);
+        let mut total_weight = 0.0;
+        for c in &parts.centroids {
+            assert!(c.mean.is_finite(), "non-finite centroid mean {}", c.mean);
+            assert!(c.weight > 0.0, "non-positive centroid weight {}", c.weight);
+            total_weight += c.weight;
+        }
+        let (min, max) = if parts.centroids.is_empty() {
+            (f64::INFINITY, f64::NEG_INFINITY)
+        } else {
+            (parts.min, parts.max)
+        };
+        TDigest {
+            compression: parts.compression,
+            centroids: parts.centroids,
+            buffer: Vec::with_capacity(BUFFER_LEN),
+            total_weight,
+            min,
+            max,
+            compressions: parts.compressions,
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`TDigest`] (see [`TDigest::to_parts`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestParts {
+    /// The digest's compression δ.
+    pub compression: f64,
+    /// Tracked exact minimum (ignored when `centroids` is empty).
+    pub min: f64,
+    /// Tracked exact maximum (ignored when `centroids` is empty).
+    pub max: f64,
+    /// Lifetime compression-pass counter.
+    pub compressions: u64,
+    /// The compressed centroid list, in mean order.
+    pub centroids: Vec<Centroid>,
 }
 
 #[cfg(test)]
@@ -467,6 +531,42 @@ mod tests {
     fn non_finite_insert_panics() {
         let mut d = TDigest::new(100.0);
         d.insert(f64::NAN);
+    }
+
+    #[test]
+    fn parts_round_trip_is_bit_identical_to_flushed_state() {
+        let mut d = uniform_digest(10_000);
+        // Parts taken over a dirty buffer equal the flushed state (same
+        // compression routine) except the pass counter, which only counts
+        // real flushes.
+        let dirty = TDigest::from_parts(d.to_parts());
+        d.flush();
+        assert_eq!(dirty.quantile(0.5).to_bits(), d.quantile(0.5).to_bits());
+        let restored = TDigest::from_parts(d.to_parts());
+        assert_eq!(restored.centroids, d.centroids);
+        assert_eq!(restored.total_weight.to_bits(), d.total_weight.to_bits());
+        assert_eq!(restored.min.to_bits(), d.min.to_bits());
+        assert_eq!(restored.max.to_bits(), d.max.to_bits());
+        assert_eq!(restored.compressions, d.compressions);
+        for &q in &[0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(restored.quantile(q).to_bits(), d.quantile(q).to_bits());
+        }
+        // Continued inserts behave identically on both sides.
+        let (mut x, mut y) = (restored, d);
+        for i in 0..2_000 {
+            let v = (i as f64 * 0.7548776662466927).fract();
+            x.insert(v);
+            y.insert(v);
+        }
+        assert_eq!(x.quantile(0.5).to_bits(), y.quantile(0.5).to_bits());
+    }
+
+    #[test]
+    fn empty_digest_parts_round_trip() {
+        let d = TDigest::new(100.0);
+        let restored = TDigest::from_parts(d.to_parts());
+        assert!(restored.is_empty());
+        assert_eq!(restored.centroid_count(), 0);
     }
 
     #[test]

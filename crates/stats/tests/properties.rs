@@ -17,7 +17,7 @@ proptest! {
             d.insert(v);
         }
         let est = d.quantile(q);
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_unstable_by(f64::total_cmp);
         // The estimate must sit between the order statistics 5% of rank
         // on either side of q.
         let n = values.len();
@@ -34,7 +34,7 @@ proptest! {
         mut values in prop::collection::vec(-1.0e3f64..1.0e3, 5..200),
         q in 0.0f64..=1.0,
     ) {
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_unstable_by(f64::total_cmp);
         let items: Vec<(f64, f64)> = values.iter().map(|&v| (v, 1.0)).collect();
         let wq = weighted_quantile(&items, q);
         // Rank definition: smallest v with cum count >= q*n.
@@ -133,7 +133,7 @@ proptest! {
         q1 in 0.0f64..=1.0,
         q2 in 0.0f64..=1.0,
     ) {
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_unstable_by(f64::total_cmp);
         let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         prop_assert!(quantile_sorted(&values, qa) <= quantile_sorted(&values, qb) + 1e-12);
     }

@@ -38,7 +38,7 @@ impl Default for MappingPolicy {
 pub fn ranked_pops(pops: &[Pop], loc: GeoPoint) -> Vec<(&Pop, f64)> {
     let mut v: Vec<(&Pop, f64)> =
         pops.iter().map(|p| (p, propagation_rtt_ms(p.loc, loc))).collect();
-    v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    v.sort_by(|a, b| a.1.total_cmp(&b.1));
     v
 }
 

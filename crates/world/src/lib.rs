@@ -18,6 +18,9 @@
 //!   transfers with `edgeperf-netsim`'s fast model, measures them with
 //!   `edgeperf-core` exactly as a production load balancer would, and
 //!   emits `edgeperf-analysis` session records.
+//! - [`supervisor`]: the fault-tolerant study driver — panic isolation
+//!   with retry/quarantine, watchdog deadlines, checkpoint/resume, and a
+//!   deterministic fault-injection harness ([`FaultPlan`]).
 //!
 //! Everything is deterministic in the world seed.
 
@@ -25,6 +28,7 @@ pub mod cartographer;
 pub mod dynamics;
 pub mod geo;
 pub mod runner;
+pub mod supervisor;
 pub mod topology;
 
 pub use cartographer::{map_cluster, ranked_pops, MappingPolicy};
@@ -33,5 +37,9 @@ pub use runner::{
     run_study, run_study_into, run_study_observed, run_study_static, simulate_session,
     simulate_session_scratch, simulate_session_with, SessionScratch, StudyConfig, StudyStats,
     WorkerCounters,
+};
+pub use supervisor::{
+    run_study_supervised, FaultPlan, FaultPlanError, QuarantinedPrefix, StudyReport,
+    SupervisorConfig, SupervisorError,
 };
 pub use topology::{ClientCluster, Pop, PrefixSite, RouteGt, World, WorldConfig};

@@ -84,7 +84,7 @@ pub struct WorkerCounters {
 }
 
 impl WorkerCounters {
-    fn absorb(&mut self, other: &WorkerCounters) {
+    pub(crate) fn absorb(&mut self, other: &WorkerCounters) {
         self.prefixes += other.prefixes;
         self.sessions_simulated += other.sessions_simulated;
         self.records_emitted += other.records_emitted;
@@ -112,7 +112,7 @@ impl StudyStats {
     }
 }
 
-fn thread_count(cfg: &StudyConfig) -> usize {
+pub(crate) fn thread_count(cfg: &StudyConfig) -> usize {
     if cfg.parallelism == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
@@ -289,6 +289,25 @@ fn run_prefix<S: RecordShard>(
     out: &mut S,
     counters: &mut WorkerCounters,
 ) {
+    run_prefix_cancellable(world, cfg, idx, out, counters, &|| false);
+}
+
+/// As [`run_prefix`], polling `cancelled` once per window.
+///
+/// The supervisor's watchdog aborts a stuck prefix by flipping its
+/// cancellation flag; the sim loop honours it at window granularity (the
+/// finest point where abandoning work keeps the per-session RNG stream
+/// untouched for a future retry). Returns `false` if the prefix was
+/// abandoned mid-flight — the shard then holds a partial fragment the
+/// caller must discard.
+pub(crate) fn run_prefix_cancellable<S: RecordShard>(
+    world: &World,
+    cfg: &StudyConfig,
+    idx: usize,
+    out: &mut S,
+    counters: &mut WorkerCounters,
+    cancelled: &dyn Fn() -> bool,
+) -> bool {
     let site = &world.prefixes[idx];
     let pop = world.pop(site.pop);
     let fabric = EdgeFabric::default();
@@ -303,6 +322,9 @@ fn run_prefix<S: RecordShard>(
     let mut scratch = SessionScratch::default();
 
     for window in 0..cfg.n_windows() {
+        if cancelled() {
+            return false;
+        }
         // Sampled-session counts are stratified per group (the statistics
         // need ≥30 samples per route per window); the group's true traffic
         // volume enters the analysis through the records' byte weights.
@@ -397,6 +419,7 @@ fn run_prefix<S: RecordShard>(
             counters.records_emitted += 1;
         }
     }
+    true
 }
 
 /// Execute a session plan over a path condition with the fast TCP model,
@@ -553,7 +576,7 @@ mod tests {
         // Global median in a plausible band (paper: < 40 ms; our world is
         // similar but not identical — allow a generous band).
         let mut rtts: Vec<f64> = records.iter().map(|r| r.min_rtt_ms).collect();
-        rtts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rtts.sort_unstable_by(f64::total_cmp);
         let med = rtts[rtts.len() / 2];
         assert!(med > 10.0 && med < 80.0, "median min_rtt = {med}");
     }
@@ -691,7 +714,7 @@ mod tests {
                 .filter(|r| r.group.continent == cont as u8 && r.route_rank == 0)
                 .map(|r| r.min_rtt_ms)
                 .collect();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_unstable_by(f64::total_cmp);
             v[v.len() / 2]
         };
         assert!(med(Continent::Africa) > med(Continent::Europe));
@@ -836,7 +859,7 @@ mod pep_runner_tests {
             run_prefix(world, &cfg, idx, &mut out, &mut WorkerCounters::default());
             let mut v: Vec<f64> =
                 out.iter().filter(|r| r.route_rank == 0).map(|r| r.min_rtt_ms).collect();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_unstable_by(f64::total_cmp);
             v[v.len() / 2]
         };
         let with_pep = median(&world);

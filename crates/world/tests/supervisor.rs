@@ -1,0 +1,418 @@
+//! Semantics of the fault-tolerant study supervisor, exercised through
+//! the deterministic fault-injection harness.
+//!
+//! The contract under test: whatever faults fire, the supervised study
+//! completes with an exact account of what is missing — unaffected
+//! prefixes are bit-identical to a fault-free run, quarantine hits
+//! exactly the injected prefixes after the retry budget, and a crash
+//! resumed from a checkpoint reproduces the uninterrupted output
+//! bit-for-bit at any parallelism.
+
+use edgeperf_analysis::SessionRecord;
+use edgeperf_obs::Metrics;
+use edgeperf_world::{
+    run_study_into, run_study_supervised, FaultPlan, StudyConfig, SupervisorConfig, World,
+    WorldConfig,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A thinned world: enough prefixes for the scheduler to matter, small
+/// enough that every test finishes in well under a second of sim time.
+fn tiny() -> (World, StudyConfig) {
+    let world =
+        World::generate(WorldConfig { seed: 42, country_fraction: 0.12, ..Default::default() });
+    assert!(world.prefixes.len() >= 8, "world too small for fault targeting");
+    let cfg = StudyConfig {
+        seed: 11,
+        days: 1,
+        sessions_per_group_window: 2,
+        parallelism: 2,
+        ..Default::default()
+    };
+    (world, cfg)
+}
+
+/// Test-speed supervisor defaults: fast tick, tiny backoff, generous
+/// deadline (the watchdog tests shrink it explicitly).
+fn sup() -> SupervisorConfig {
+    SupervisorConfig {
+        backoff: std::time::Duration::from_millis(1),
+        tick: std::time::Duration::from_millis(5),
+        ..SupervisorConfig::default()
+    }
+}
+
+fn record_bits(r: &SessionRecord) -> (u32, u32, u8, u64, Option<u64>, u64) {
+    (
+        r.group.prefix.base,
+        r.window,
+        r.route_rank,
+        r.min_rtt_ms.to_bits(),
+        r.hdratio.map(f64::to_bits),
+        r.bytes,
+    )
+}
+
+/// A fresh checkpoint directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "edgeperf-supervisor-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn fault_free_supervised_run_matches_unsupervised_output_exactly() {
+    let (world, cfg) = tiny();
+
+    // The unsupervised baseline at parallelism 1 emits records in prefix
+    // order (one worker drains the shared cursor in order).
+    let mut baseline: Vec<SessionRecord> = Vec::new();
+    run_study_into(&world, &StudyConfig { parallelism: 1, ..cfg }, &mut baseline);
+
+    // The supervisor merges fragments strictly by prefix index, so its
+    // output order matches the parallelism-1 baseline at ANY parallelism.
+    for p in [1usize, 4] {
+        let mut records: Vec<SessionRecord> = Vec::new();
+        let (stats, report) = run_study_supervised(
+            &world,
+            &StudyConfig { parallelism: p, ..cfg },
+            &sup(),
+            &mut records,
+            &Metrics::disabled(),
+        )
+        .expect("fault-free run cannot fail");
+        assert_eq!(records.len(), baseline.len(), "parallelism {p}");
+        for (a, b) in records.iter().zip(&baseline) {
+            assert_eq!(record_bits(a), record_bits(b), "parallelism {p}");
+        }
+        assert_eq!(report.completed, world.prefixes.len());
+        assert_eq!(report.n_prefixes, world.prefixes.len());
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.malformed_dropped, 0);
+        assert_eq!(stats.total().records_emitted, records.len() as u64);
+        assert_eq!(report.records_emitted, records.len() as u64);
+    }
+}
+
+#[test]
+fn panicking_prefix_is_quarantined_and_the_rest_is_bit_identical() {
+    let (world, cfg) = tiny();
+    let n = world.prefixes.len();
+    let victim = n / 2;
+    let victim_base = world.prefixes[victim].prefix.base;
+
+    let mut clean: Vec<SessionRecord> = Vec::new();
+    run_study_supervised(&world, &cfg, &sup(), &mut clean, &Metrics::disabled()).unwrap();
+
+    // Panic on every attempt: budget 2 → 3 attempts, then quarantine.
+    let faulty_sup = SupervisorConfig {
+        fault_plan: FaultPlan::parse(&format!("panic:{victim}@99")).unwrap(),
+        ..sup()
+    };
+    let mut faulty: Vec<SessionRecord> = Vec::new();
+    let (_, report) =
+        run_study_supervised(&world, &cfg, &faulty_sup, &mut faulty, &Metrics::disabled()).unwrap();
+
+    assert_eq!(report.completed, n - 1);
+    assert_eq!(report.retries, 2);
+    assert_eq!(report.quarantined.len(), 1);
+    let q = &report.quarantined[0];
+    assert_eq!(q.prefix, victim);
+    assert_eq!(q.attempts, 3);
+    assert!(q.reason.contains("injected panic"), "reason: {}", q.reason);
+
+    // Every other prefix's records survive bit-identically, in order.
+    let expected: Vec<&SessionRecord> =
+        clean.iter().filter(|r| r.group.prefix.base != victim_base).collect();
+    assert!(faulty.len() < clean.len(), "victim produced records it shouldn't have");
+    assert_eq!(faulty.len(), expected.len());
+    for (a, b) in faulty.iter().zip(expected) {
+        assert_eq!(record_bits(a), record_bits(b));
+    }
+}
+
+#[test]
+fn transient_panic_retries_then_completes_clean() {
+    let (world, cfg) = tiny();
+    let victim = 1;
+
+    // Panics on the first attempt only; the retry succeeds.
+    let faulty_sup = SupervisorConfig {
+        fault_plan: FaultPlan::parse(&format!("panic:{victim}@1")).unwrap(),
+        ..sup()
+    };
+    let mut records: Vec<SessionRecord> = Vec::new();
+    let (_, report) =
+        run_study_supervised(&world, &cfg, &faulty_sup, &mut records, &Metrics::disabled())
+            .unwrap();
+    assert_eq!(report.completed, world.prefixes.len());
+    assert!(report.quarantined.is_empty());
+    assert_eq!(report.retries, 1);
+
+    // And the retried prefix's records equal a clean run's (deterministic
+    // per-prefix RNG: a retry replays the identical stream).
+    let mut clean: Vec<SessionRecord> = Vec::new();
+    run_study_supervised(&world, &cfg, &sup(), &mut clean, &Metrics::disabled()).unwrap();
+    assert_eq!(records.len(), clean.len());
+    for (a, b) in records.iter().zip(&clean) {
+        assert_eq!(record_bits(a), record_bits(b));
+    }
+}
+
+#[test]
+fn watchdog_aborts_a_stalled_prefix_and_the_retry_completes() {
+    let (world, cfg) = tiny();
+    let victim = 2;
+
+    let faulty_sup = SupervisorConfig {
+        // Stall fires on attempt 0 only; 120 ms deadline catches it fast.
+        fault_plan: FaultPlan::parse(&format!("stall:{victim}@1")).unwrap(),
+        deadline: std::time::Duration::from_millis(120),
+        ..sup()
+    };
+    let mut records: Vec<SessionRecord> = Vec::new();
+    let (_, report) =
+        run_study_supervised(&world, &cfg, &faulty_sup, &mut records, &Metrics::disabled())
+            .unwrap();
+    assert_eq!(report.completed, world.prefixes.len());
+    assert!(report.quarantined.is_empty());
+    assert!(report.watchdog_aborts >= 1, "watchdog never fired");
+    assert!(report.watchdog_slow >= 1, "slow mark should precede the abort");
+    assert!(report.retries >= 1);
+
+    let mut clean: Vec<SessionRecord> = Vec::new();
+    run_study_supervised(&world, &cfg, &sup(), &mut clean, &Metrics::disabled()).unwrap();
+    assert_eq!(records.len(), clean.len());
+    for (a, b) in records.iter().zip(&clean) {
+        assert_eq!(record_bits(a), record_bits(b));
+    }
+}
+
+#[test]
+fn acceptance_scenario_panic_plus_stall_completes_with_exact_quarantine() {
+    // ISSUE acceptance: a FaultPlan study with one panicking prefix and
+    // one stuck worker completes, quarantining exactly the panicking
+    // prefix after the retry budget.
+    let (world, cfg) = tiny();
+    let n = world.prefixes.len();
+    let (bad, stuck) = (n / 3, 2 * n / 3);
+    assert_ne!(bad, stuck);
+
+    let faulty_sup = SupervisorConfig {
+        fault_plan: FaultPlan::parse(&format!("panic:{bad}@99;stall:{stuck}@1")).unwrap(),
+        deadline: std::time::Duration::from_millis(120),
+        ..sup()
+    };
+    let mut records: Vec<SessionRecord> = Vec::new();
+    let (_, report) =
+        run_study_supervised(&world, &cfg, &faulty_sup, &mut records, &Metrics::disabled())
+            .unwrap();
+
+    assert_eq!(report.completed, n - 1);
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(report.quarantined[0].prefix, bad);
+    assert_eq!(report.quarantined[0].attempts, 1 + SupervisorConfig::default().retry_budget);
+    assert!(report.watchdog_aborts >= 1, "stalled prefix never aborted");
+    // The stalled prefix recovered rather than being quarantined.
+    assert!(report.quarantined.iter().all(|q| q.prefix != stuck));
+}
+
+#[test]
+fn merge_failure_recomputes_the_prefix_and_completes() {
+    let (world, cfg) = tiny();
+    let victim = 3;
+
+    let faulty_sup = SupervisorConfig {
+        fault_plan: FaultPlan::parse(&format!("mergefail:{victim}")).unwrap(),
+        ..sup()
+    };
+    let mut records: Vec<SessionRecord> = Vec::new();
+    let (_, report) =
+        run_study_supervised(&world, &cfg, &faulty_sup, &mut records, &Metrics::disabled())
+            .unwrap();
+    assert_eq!(report.completed, world.prefixes.len());
+    assert_eq!(report.merge_failures, 1);
+    assert_eq!(report.retries, 1);
+    assert!(report.quarantined.is_empty());
+
+    let mut clean: Vec<SessionRecord> = Vec::new();
+    run_study_supervised(&world, &cfg, &sup(), &mut clean, &Metrics::disabled()).unwrap();
+    assert_eq!(records.len(), clean.len());
+    for (a, b) in records.iter().zip(&clean) {
+        assert_eq!(record_bits(a), record_bits(b));
+    }
+}
+
+#[test]
+fn malformed_records_are_dropped_counted_and_never_reach_the_sink() {
+    let (world, cfg) = tiny();
+
+    let faulty_sup =
+        SupervisorConfig { fault_plan: FaultPlan::parse("malformed:7").unwrap(), ..sup() };
+    let mut records: Vec<SessionRecord> = Vec::new();
+    let (_, report) =
+        run_study_supervised(&world, &cfg, &faulty_sup, &mut records, &Metrics::disabled())
+            .unwrap();
+
+    assert!(report.malformed_dropped > 0, "injector never fired");
+    // Accounting closes: emitted = kept + dropped.
+    assert_eq!(report.records_emitted, records.len() as u64 + report.malformed_dropped);
+    // Validation held the line: nothing non-finite reached the sink.
+    assert!(records.iter().all(|r| r.min_rtt_ms.is_finite()));
+    assert!(records.iter().all(|r| r.hdratio.is_none_or(f64::is_finite)));
+}
+
+#[test]
+fn crash_then_resume_is_bit_identical_to_uninterrupted() {
+    let (world, cfg) = tiny();
+    let n = world.prefixes.len();
+
+    for p in [1usize, 4] {
+        let cfg = StudyConfig { parallelism: p, ..cfg };
+        let mut uninterrupted: Vec<SessionRecord> = Vec::new();
+        run_study_supervised(&world, &cfg, &sup(), &mut uninterrupted, &Metrics::disabled())
+            .unwrap();
+
+        let dir = scratch_dir("resume");
+        // First process: crash right after merging the middle prefix.
+        let crash_sup = SupervisorConfig {
+            checkpoint_dir: Some(dir.clone()),
+            fault_plan: FaultPlan::parse(&format!("crash:{}", n / 2)).unwrap(),
+            ..sup()
+        };
+        let mut first: Vec<SessionRecord> = Vec::new();
+        let err = run_study_supervised(&world, &cfg, &crash_sup, &mut first, &Metrics::disabled())
+            .expect_err("the injected crash must abort the run");
+        assert!(err.to_string().contains("injected crash"), "got: {err}");
+        assert!(dir.join("checkpoint.json").exists());
+
+        // Second process: same checkpoint dir, no faults → resume.
+        let resume_sup = SupervisorConfig { checkpoint_dir: Some(dir.clone()), ..sup() };
+        let mut resumed: Vec<SessionRecord> = Vec::new();
+        let (_, report) =
+            run_study_supervised(&world, &cfg, &resume_sup, &mut resumed, &Metrics::disabled())
+                .unwrap();
+        assert_eq!(report.resumed_at, Some(n / 2 + 1), "parallelism {p}");
+        assert_eq!(report.completed, n, "cumulative completion count survives resume");
+
+        assert_eq!(resumed.len(), uninterrupted.len(), "parallelism {p}");
+        for (a, b) in resumed.iter().zip(&uninterrupted) {
+            assert_eq!(record_bits(a), record_bits(b), "parallelism {p}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_preserves_quarantine_across_the_crash() {
+    let (world, cfg) = tiny();
+    let n = world.prefixes.len();
+    let victim = 1;
+    let crash_at = n / 2;
+    assert!(victim < crash_at);
+
+    let dir = scratch_dir("quarantine");
+    let crash_sup = SupervisorConfig {
+        checkpoint_dir: Some(dir.clone()),
+        fault_plan: FaultPlan::parse(&format!("panic:{victim}@99;crash:{crash_at}")).unwrap(),
+        ..sup()
+    };
+    let mut first: Vec<SessionRecord> = Vec::new();
+    run_study_supervised(&world, &cfg, &crash_sup, &mut first, &Metrics::disabled())
+        .expect_err("crash fires");
+
+    let resume_sup = SupervisorConfig { checkpoint_dir: Some(dir.clone()), ..sup() };
+    let mut resumed: Vec<SessionRecord> = Vec::new();
+    let (_, report) =
+        run_study_supervised(&world, &cfg, &resume_sup, &mut resumed, &Metrics::disabled())
+            .unwrap();
+    // The pre-crash quarantine is remembered: not re-attempted, still
+    // reported, and its records stay absent.
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(report.quarantined[0].prefix, victim);
+    assert_eq!(report.completed, n - 1);
+    let victim_base = world.prefixes[victim].prefix.base;
+    assert!(resumed.iter().all(|r| r.group.prefix.base != victim_base));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_from_a_different_study_is_rejected() {
+    let (world, cfg) = tiny();
+    let dir = scratch_dir("mismatch");
+    let ck_sup = SupervisorConfig { checkpoint_dir: Some(dir.clone()), ..sup() };
+    let mut records: Vec<SessionRecord> = Vec::new();
+    run_study_supervised(&world, &cfg, &ck_sup, &mut records, &Metrics::disabled()).unwrap();
+
+    // Same directory, different seed → refuse to resume.
+    let other = StudyConfig { seed: cfg.seed + 1, ..cfg };
+    let mut out: Vec<SessionRecord> = Vec::new();
+    let err = run_study_supervised(&world, &other, &ck_sup, &mut out, &Metrics::disabled())
+        .expect_err("seed mismatch must be rejected");
+    assert!(err.to_string().contains("seed"), "got: {err}");
+
+    // Different builder-level meta → also refused.
+    let meta_sup = SupervisorConfig {
+        checkpoint_dir: Some(dir.clone()),
+        meta: vec![("scale".into(), "0.5".into())],
+        ..sup()
+    };
+    let mut out: Vec<SessionRecord> = Vec::new();
+    let err = run_study_supervised(&world, &cfg, &meta_sup, &mut out, &Metrics::disabled())
+        .expect_err("meta mismatch must be rejected");
+    assert!(err.to_string().contains("scale"), "got: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn completed_checkpoint_resumes_as_a_no_op() {
+    let (world, cfg) = tiny();
+    let dir = scratch_dir("noop");
+    let ck_sup = SupervisorConfig { checkpoint_dir: Some(dir.clone()), ..sup() };
+
+    let mut records: Vec<SessionRecord> = Vec::new();
+    run_study_supervised(&world, &cfg, &ck_sup, &mut records, &Metrics::disabled()).unwrap();
+
+    // Rerun against the finished checkpoint: nothing recomputes, output
+    // is rebuilt bit-identically from the stored sink state.
+    let mut again: Vec<SessionRecord> = Vec::new();
+    let (stats, report) =
+        run_study_supervised(&world, &cfg, &ck_sup, &mut again, &Metrics::disabled()).unwrap();
+    assert_eq!(report.resumed_at, Some(world.prefixes.len()));
+    assert_eq!(stats.total().records_emitted, 0, "no new work on a finished study");
+    assert_eq!(again.len(), records.len());
+    for (a, b) in again.iter().zip(&records) {
+        assert_eq!(record_bits(a), record_bits(b));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervisor_metrics_account_for_every_decision() {
+    let (world, cfg) = tiny();
+    let victim = 0;
+    let metrics = Metrics::enabled();
+    let faulty_sup = SupervisorConfig {
+        fault_plan: FaultPlan::parse(&format!("panic:{victim}@99")).unwrap(),
+        ..sup()
+    };
+    let mut records: Vec<SessionRecord> = Vec::new();
+    let (_, report) =
+        run_study_supervised(&world, &cfg, &faulty_sup, &mut records, &metrics).unwrap();
+
+    let snap = metrics.snapshot();
+    let counter =
+        |name: &str| *snap.counters.get(name).unwrap_or_else(|| panic!("missing counter {name}"));
+    assert_eq!(counter("supervisor.retries"), report.retries);
+    assert_eq!(counter("supervisor.quarantined"), report.quarantined.len() as u64);
+    assert_eq!(counter("supervisor.prefixes_merged"), report.completed as u64);
+    assert!(snap.spans.iter().any(|s| s.name == "supervisor"));
+    assert!(snap.spans.iter().any(|s| s.name == "supervisor.merge"));
+}

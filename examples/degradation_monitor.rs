@@ -35,7 +35,7 @@ fn main() {
     let mut best_window: Option<(f64, Vec<f64>)> = None;
     for w in &windows[..warmup] {
         let mut sorted = w.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_unstable_by(f64::total_cmp);
         let med = edgeperf::stats::quantile::median_sorted(&sorted);
         window_medians.insert(med);
         if best_window.as_ref().is_none_or(|(m, _)| med < *m) {

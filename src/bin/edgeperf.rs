@@ -1,13 +1,18 @@
 //! `edgeperf` — estimate user performance from captured socket stats.
 //!
 //! ```text
-//! edgeperf estimate [--target-mbps F] [--metrics] [FILE]
+//! edgeperf estimate [--target-mbps F] [--metrics] [--quarantine-file PATH] [FILE]
 //!                                              JSONL sessions → JSONL verdicts
 //! edgeperf demo                                print a sample input line
 //! ```
 //!
 //! `--metrics` prints an ingest accounting table (lines evaluated, rejects
 //! by reason) to stderr after the run.
+//!
+//! `--quarantine-file PATH` additionally writes every rejected line to a
+//! JSONL sidecar — `{"line":N,"reason":...,"error":...,"raw":...}` — so
+//! bad telemetry can be triaged or replayed without the original file.
+//! The file is only created when something was rejected.
 //!
 //! Input format: see `edgeperf::ingest`. With no FILE, reads stdin. Every
 //! output line mirrors an input session:
@@ -16,7 +21,7 @@
 //! skipped.
 
 use edgeperf::core::HD_GOODPUT_BPS;
-use edgeperf::ingest::{evaluate_jsonl_observed, sample_line};
+use edgeperf::ingest::{evaluate_jsonl_observed, quarantine_jsonl, sample_line};
 use edgeperf::obs::{render_table, Metrics};
 use std::io::Read;
 
@@ -30,6 +35,7 @@ fn main() {
             let mut target = HD_GOODPUT_BPS;
             let mut file: Option<String> = None;
             let mut metrics = Metrics::disabled();
+            let mut quarantine_file: Option<String> = None;
             let mut it = args.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -41,6 +47,13 @@ fn main() {
                         target = v * 1e6;
                     }
                     "--metrics" => metrics = Metrics::enabled(),
+                    "--quarantine-file" => {
+                        quarantine_file = Some(
+                            it.next()
+                                .cloned()
+                                .unwrap_or_else(|| die("--quarantine-file needs a path")),
+                        );
+                    }
                     f if !f.starts_with('-') => file = Some(f.to_string()),
                     other => die(&format!("unknown argument {other}")),
                 }
@@ -56,10 +69,11 @@ fn main() {
                     buf
                 }
             };
+            let results = evaluate_jsonl_observed(&input, target, &metrics);
             let mut errors = 0usize;
-            for result in evaluate_jsonl_observed(&input, target, &metrics) {
+            for result in &results {
                 match result {
-                    Ok(v) => println!("{}", serde_json::to_string(&v).unwrap()),
+                    Ok(v) => println!("{}", serde_json::to_string(v).unwrap()),
                     Err(e) => {
                         eprintln!(
                             "{{\"line\":{},\"error\":{}}}",
@@ -68,6 +82,13 @@ fn main() {
                         );
                         errors += 1;
                     }
+                }
+            }
+            if let Some(path) = quarantine_file {
+                if let Some(sidecar) = quarantine_jsonl(&input, &results) {
+                    std::fs::write(&path, sidecar)
+                        .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+                    eprintln!("edgeperf: quarantined {errors} line(s) to {path}");
                 }
             }
             if metrics.is_enabled() {
@@ -79,7 +100,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: edgeperf estimate [--target-mbps F] [--metrics] [FILE] | edgeperf demo"
+                "usage: edgeperf estimate [--target-mbps F] [--metrics] [--quarantine-file PATH] [FILE] | edgeperf demo"
             );
             std::process::exit(2);
         }

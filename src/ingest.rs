@@ -182,20 +182,19 @@ impl SessionIn {
     }
 }
 
+/// One evaluated input line: a verdict, or the typed per-line error.
+pub type LineResult = Result<VerdictOut, LineError>;
+
 /// Evaluate a stream of JSONL sessions; invalid lines yield [`LineError`]
 /// entries carrying the 1-based line number and a typed cause.
-pub fn evaluate_jsonl(input: &str, target_bps: f64) -> Vec<Result<VerdictOut, LineError>> {
+pub fn evaluate_jsonl(input: &str, target_bps: f64) -> Vec<LineResult> {
     evaluate_jsonl_observed(input, target_bps, &Metrics::disabled())
 }
 
 /// [`evaluate_jsonl`] with parse accounting: counts every evaluated line
 /// into `ingest.lines` and each reject into `ingest.reject.<reason>`
 /// (reasons from [`EdgeperfError::reason`]).
-pub fn evaluate_jsonl_observed(
-    input: &str,
-    target_bps: f64,
-    metrics: &Metrics,
-) -> Vec<Result<VerdictOut, LineError>> {
+pub fn evaluate_jsonl_observed(input: &str, target_bps: f64, metrics: &Metrics) -> Vec<LineResult> {
     let lines = metrics.counter("ingest.lines");
     input
         .lines()
@@ -212,6 +211,33 @@ pub fn evaluate_jsonl_observed(
                 })
         })
         .collect()
+}
+
+/// Render one quarantine-sidecar entry for a rejected input line: the
+/// 1-based line number, the typed reason (stable, machine-matchable),
+/// the human-readable error, and the offending raw line — everything
+/// needed to replay or triage the reject without the original file.
+pub fn quarantine_line(raw: &str, err: &LineError) -> String {
+    let v = serde_json::Value::Object(vec![
+        ("line".to_string(), serde_json::Value::Num(err.line as f64)),
+        ("reason".to_string(), serde_json::Value::Str(err.error.reason().to_string())),
+        ("error".to_string(), serde_json::Value::Str(err.error.to_string())),
+        ("raw".to_string(), serde_json::Value::Str(raw.to_string())),
+    ]);
+    serde_json::to_string(&v).expect("quarantine entry serializes")
+}
+
+/// Build the quarantine sidecar (JSONL, one entry per rejected line) for
+/// an already-evaluated input. Returns `None` when nothing was rejected.
+pub fn quarantine_jsonl(input: &str, results: &[LineResult]) -> Option<String> {
+    let lines: Vec<&str> = input.lines().collect();
+    let mut out = String::new();
+    for err in results.iter().filter_map(|r| r.as_ref().err()) {
+        let raw = lines.get(err.line.saturating_sub(1)).copied().unwrap_or("");
+        out.push_str(&quarantine_line(raw, err));
+        out.push('\n');
+    }
+    (!out.is_empty()).then_some(out)
 }
 
 /// A sample input line (used by `edgeperf demo` and the docs).
@@ -381,6 +407,29 @@ mod tests {
         assert_eq!(snap.counters["ingest.reject.json"], 1);
         assert_eq!(snap.counters["ingest.reject.negative_timestamp"], 1);
         assert_eq!(snap.counters["ingest.reject.unknown_duration"], 1);
+    }
+
+    #[test]
+    fn quarantine_sidecar_carries_raw_lines_and_reasons() {
+        let bad_ts = r#"{"min_rtt_ms": 30.0, "responses": [{"bytes": 1, "issued_at_ms": -1.0}]}"#;
+        let input = format!("{}\nnot json\n{bad_ts}", sample_line());
+        let out = evaluate_jsonl(&input, HD_GOODPUT_BPS);
+        let sidecar = quarantine_jsonl(&input, &out).expect("two rejects");
+        let entries: Vec<serde_json::Value> =
+            sidecar.lines().map(|l| serde_json::parse(l).expect("valid JSONL")).collect();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].get("line"), Some(&serde_json::Value::Num(2.0)));
+        assert_eq!(entries[0].get("reason"), Some(&serde_json::Value::Str("json".to_string())));
+        assert_eq!(entries[0].get("raw"), Some(&serde_json::Value::Str("not json".to_string())));
+        assert_eq!(
+            entries[1].get("reason"),
+            Some(&serde_json::Value::Str("negative_timestamp".to_string()))
+        );
+        assert_eq!(entries[1].get("raw"), Some(&serde_json::Value::Str(bad_ts.to_string())));
+
+        // Clean input → no sidecar at all.
+        assert!(quarantine_jsonl(&sample_line(), &evaluate_jsonl(&sample_line(), HD_GOODPUT_BPS))
+            .is_none());
     }
 
     #[test]

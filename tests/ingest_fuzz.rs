@@ -1,0 +1,81 @@
+//! Fuzz properties for the ingest boundary: `evaluate_jsonl` must never
+//! panic on arbitrary input, and no verdict it emits may carry a
+//! non-finite number. Hostile telemetry — truncated JSON, random bytes,
+//! NaN/infinite fields, overflowing literals — surfaces as per-line
+//! errors, never as a crash or a poisoned `VerdictOut`.
+
+use edgeperf::core::HD_GOODPUT_BPS;
+use edgeperf::ingest::{evaluate_jsonl, sample_line};
+use proptest::prelude::*;
+
+/// Run the evaluator and check the one invariant every fuzz case shares:
+/// whatever comes out as `Ok` is finite and in range.
+fn evaluate_and_check(input: &str) {
+    for v in evaluate_jsonl(input, HD_GOODPUT_BPS).into_iter().flatten() {
+        assert!(v.min_rtt_ms.is_finite(), "non-finite min_rtt_ms in verdict: {}", v.min_rtt_ms);
+        assert!(v.achieved <= v.tested, "achieved > tested");
+        if let Some(h) = v.hdratio {
+            assert!(h.is_finite(), "non-finite hdratio in verdict: {h}");
+            assert!((0.0..=1.0).contains(&h), "hdratio out of range: {h}");
+        }
+    }
+}
+
+/// Render an arbitrary f64 as it would appear in captured telemetry.
+/// Finite values round-trip through JSON; NaN/inf render as invalid JSON
+/// tokens, which is exactly how a buggy serializer would emit them.
+fn num(f: f64) -> String {
+    format!("{f}")
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        evaluate_and_check(&input);
+    }
+
+    #[test]
+    fn truncated_valid_json_never_panics(cut in 0usize..512) {
+        let line = sample_line();
+        let cut = cut.min(line.len());
+        // sample_line() is ASCII, so any byte index is a char boundary.
+        evaluate_and_check(&line[..cut]);
+        // A valid line followed by a truncated one: the good line must
+        // still evaluate, the bad one must reject without poisoning it.
+        let mixed = format!("{line}\n{}", &line[..cut]);
+        evaluate_and_check(&mixed);
+    }
+
+    #[test]
+    fn hostile_numeric_fields_never_reach_a_verdict(
+        min_rtt in any::<f64>(),
+        issued in any::<f64>(),
+        full_ack in any::<f64>(),
+        duration in any::<f64>(),
+        bytes in any::<u64>(),
+        wnic in any::<u32>(),
+    ) {
+        let line = format!(
+            concat!(
+                r#"{{"min_rtt_ms":{},"duration_ms":{},"responses":[{{"bytes":{},"#,
+                r#""issued_at_ms":{},"wnic":{},"full_ack_ms":{}}}]}}"#,
+            ),
+            num(min_rtt), num(duration), bytes, num(issued), wnic, num(full_ack),
+        );
+        evaluate_and_check(&line);
+    }
+
+    #[test]
+    fn overflowing_literals_are_rejected_not_propagated(exp in 309u32..9999) {
+        // 1e309 overflows f64 to +inf at parse time; the evaluator must
+        // treat the resulting non-finite value as a reject, not a panic.
+        let line = format!(
+            r#"{{"min_rtt_ms":1e{exp},"responses":[{{"bytes":100,"issued_at_ms":0.0,"full_ack_ms":1e{exp}}}]}}"#
+        );
+        for result in evaluate_jsonl(&line, HD_GOODPUT_BPS) {
+            assert!(result.is_err(), "overflowing literal produced a verdict");
+        }
+        evaluate_and_check(&line);
+    }
+}
