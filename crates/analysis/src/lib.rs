@@ -53,7 +53,7 @@ pub use columnar::{CellKey, ColumnarShard, ColumnarSink};
 pub use compare::{compare_medians, CompareOutcome};
 pub use config::AnalysisConfig;
 pub use dataset::{Aggregation, Dataset, GroupData};
-pub use degradation::{degradation_events, DegradationMetric};
+pub use degradation::{degradation_events, DegradationMetric, WindowAssessment, WindowStatus};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use opportunity::{opportunity_events, OpportunityMetric};
 pub use record::{GroupKey, SessionRecord};

@@ -1,0 +1,76 @@
+//! `loadgen` — replay simulated workload sessions into `edgeperf serve`.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--rate F] [--sessions N] [--connections N]
+//!         [--groups N] [--windows N] [--window-ms F] [--max-txns N]
+//!         [--seed N] [--shutdown] [--expect-clean] [--json PATH]
+//! ```
+//!
+//! Prints the [`edgeperf_bench::loadgen::LoadReport`] as JSON on stdout;
+//! `--json PATH` also writes it to a file (the tracked `BENCH_live.json`).
+//! `--shutdown` drains the server at the end of the replay.
+//! `--expect-clean` exits non-zero unless every session was ingested
+//! (no rejects, no late drops, groups observed, clean drain when
+//! `--shutdown` was given) — the CI smoke assertion.
+
+use edgeperf_bench::loadgen::{run, LoadgenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = LoadgenConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut expect_clean = false;
+    fn num(it: &mut dyn Iterator<Item = &String>, flag: &str) -> f64 {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                cfg.addr = it.next().cloned().unwrap_or_else(|| die("--addr needs an address"));
+            }
+            "--rate" => cfg.rate = num(&mut it, "--rate"),
+            "--sessions" => cfg.sessions = num(&mut it, "--sessions") as usize,
+            "--connections" => cfg.connections = num(&mut it, "--connections") as usize,
+            "--groups" => cfg.groups = num(&mut it, "--groups") as usize,
+            "--windows" => cfg.windows = num(&mut it, "--windows") as u32,
+            "--window-ms" => cfg.window_ms = num(&mut it, "--window-ms"),
+            "--max-txns" => cfg.max_txns = num(&mut it, "--max-txns") as usize,
+            "--seed" => cfg.seed = num(&mut it, "--seed") as u64,
+            "--ping-interval-ms" => {
+                cfg.ping_interval_ms = num(&mut it, "--ping-interval-ms") as u64
+            }
+            "--shutdown" => cfg.shutdown = true,
+            "--expect-clean" => expect_clean = true,
+            "--json" => {
+                json_path = Some(it.next().cloned().unwrap_or_else(|| die("--json needs a path")));
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    let report = run(&cfg).unwrap_or_else(|e| die(&format!("replay against {}: {e}", cfg.addr)));
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{json}");
+    if let Some(path) = json_path {
+        std::fs::write(&path, format!("{json}\n"))
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    }
+    if expect_clean {
+        let clean = report.accepted == report.sessions
+            && report.rejected == 0
+            && report.late == 0
+            && report.groups > 0
+            && (!cfg.shutdown || report.drained);
+        if !clean {
+            die(&format!("replay was not clean: {report:?}"));
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,370 @@
+//! Load generator for the live ingest server (`edgeperf serve`).
+//!
+//! Replays simulated workload sessions (from `edgeperf-workload`'s
+//! session planner, so the transaction mixture matches the paper's
+//! traffic shape) over TCP as `WireSession` JSONL, paced to a target
+//! rate across several connections, while a dedicated control
+//! connection pings through the worker queues to measure end-to-end
+//! ingest latency. The resulting [`LoadReport`] is the tracked
+//! `BENCH_live.json` artifact.
+
+use edgeperf::ingest::{ResponseIn, SessionIn};
+use edgeperf::serve::WireSession;
+use edgeperf_core::MILLISECOND;
+use edgeperf_live::LiveClient;
+use edgeperf_workload::WorkloadConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Knobs for one load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Target send rate in sessions/s (0 = unthrottled).
+    pub rate: f64,
+    /// Total sessions to replay.
+    pub sessions: usize,
+    /// Parallel data connections.
+    pub connections: usize,
+    /// Distinct user groups to spread sessions over.
+    pub groups: usize,
+    /// PoPs the groups are spread over.
+    pub pops: u16,
+    /// Event time spans this many windows.
+    pub windows: u32,
+    /// Window length used to lay out event time (ms).
+    pub window_ms: f64,
+    /// Cap on transactions per session (keeps wire lines bounded; the
+    /// workload planner's video sessions can carry hundreds).
+    pub max_txns: usize,
+    /// The server's allowed lateness (must match its `--lateness-ms`):
+    /// the replay is chunked so cross-connection event-time skew stays
+    /// within half this bound, guaranteeing a late-free replay.
+    pub lateness_ms: f64,
+    /// Workload/rng seed.
+    pub seed: u64,
+    /// Ping cadence on the control connection (ms).
+    pub ping_interval_ms: u64,
+    /// Drain the server after the replay (`shutdown` command).
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: "127.0.0.1:4620".to_string(),
+            rate: 0.0,
+            sessions: 100_000,
+            connections: 4,
+            groups: 64,
+            pops: 4,
+            windows: 8,
+            window_ms: 900_000.0,
+            max_txns: 6,
+            lateness_ms: 60_000.0,
+            seed: 7,
+            ping_interval_ms: 10,
+            shutdown: false,
+        }
+    }
+}
+
+/// What a load run achieved, plus the server's closing snapshot.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Configured target rate (sessions/s; 0 = unthrottled).
+    pub target_rate: f64,
+    /// Sessions replayed.
+    pub sessions: u64,
+    /// Wall-clock replay time (s).
+    pub elapsed_s: f64,
+    /// Sessions per second actually sustained.
+    pub achieved_sessions_per_sec: f64,
+    /// Ping round-trips measured during the replay.
+    pub pings: u64,
+    /// Median ingest latency (socket + parse + queue wait), ms.
+    pub p50_ingest_latency_ms: f64,
+    /// p99 ingest latency, ms.
+    pub p99_ingest_latency_ms: f64,
+    /// Server: records folded into windows.
+    pub accepted: u64,
+    /// Server: lines rejected (parse errors + late records).
+    pub rejected: u64,
+    /// Server: late records (behind the watermark).
+    pub late: u64,
+    /// Server: distinct groups observed.
+    pub groups: u64,
+    /// Server: windows closed.
+    pub windows_closed: u64,
+    /// Server: confident MinRTT degradation events.
+    pub events_minrtt: u64,
+    /// The server drained cleanly (only with [`LoadgenConfig::shutdown`]).
+    pub drained: bool,
+}
+
+/// Pre-render the whole replay as wire lines. Event time is laid out
+/// monotonically across [`LoadgenConfig::windows`] windows, so a replay
+/// never produces late records regardless of pacing.
+pub fn generate_lines(cfg: &LoadgenConfig) -> Vec<String> {
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+    let workload = WorkloadConfig::default();
+    let span_ms = cfg.windows as f64 * cfg.window_ms;
+    let relationships = ["private", "public", "transit"];
+    (0..cfg.sessions)
+        .map(|i| {
+            let g = i % cfg.groups.max(1);
+            let plan = workload.generate(&mut rng);
+            let min_rtt_ms = 15.0 + (g % 60) as f64 * 1.5 + rng.gen_range(0.0..4.0);
+            // Per-group achievable goodput straddles the 2.5 Mbps HD
+            // target so both HD outcomes occur.
+            let goodput_bps = 1.2e6 * (1.0 + (g % 8) as f64);
+            let responses: Vec<ResponseIn> = plan
+                .transactions
+                .iter()
+                .take(cfg.max_txns)
+                .map(|t| {
+                    let issued_at_ms = t.offset as f64 / MILLISECOND as f64;
+                    let first_tx_ms = issued_at_ms + 0.1;
+                    let transfer_ms = t.bytes as f64 * 8_000.0 / goodput_bps;
+                    let full_ack_ms = first_tx_ms + transfer_ms + min_rtt_ms;
+                    ResponseIn {
+                        bytes: t.bytes,
+                        issued_at_ms,
+                        first_tx_ms: Some(first_tx_ms),
+                        wnic: Some(14_600),
+                        second_last_ack_ms: Some((full_ack_ms - 1.0).max(first_tx_ms)),
+                        full_ack_ms: Some(full_ack_ms),
+                        last_packet_bytes: Some(1_240.min(t.bytes as u32)),
+                        bytes_in_flight_at_write: 0,
+                        prev_unsent_at_write: false,
+                    }
+                })
+                .collect();
+            let session = SessionIn {
+                min_rtt_ms,
+                responses,
+                http: None,
+                duration_ms: Some(plan.duration as f64 / MILLISECOND as f64),
+            };
+            WireSession {
+                ts_ms: (i as f64 + 0.5) * span_ms / cfg.sessions as f64,
+                pop: (g as u16) % cfg.pops.max(1),
+                prefix_base: 0x0A00_0000 + ((g as u32) << 8),
+                prefix_len: 24,
+                country: (g % 40) as u16,
+                continent: (g % 6) as u8,
+                route_rank: u8::from(i % 11 == 0),
+                relationship: relationships[g % 3].to_string(),
+                longer_path: g.is_multiple_of(5),
+                more_prepended: g.is_multiple_of(7),
+                session,
+            }
+            .to_line()
+        })
+        .collect()
+}
+
+/// Poll `snapshot` until the server has accounted for `expected` lines
+/// (ingested or rejected), i.e. every byte sent so far is processed.
+fn wait_processed(client: &mut LiveClient, expected: u64) -> io::Result<()> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let snap = client.snapshot()?;
+        if snap.accepted + snap.rejected >= expected {
+            return Ok(());
+        }
+        if Instant::now() > deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("server stuck at {}/{expected} processed", snap.accepted + snap.rejected),
+            ));
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run one replay against a live server and collect the report.
+pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
+    let lines = generate_lines(cfg);
+    let connections = cfg.connections.max(1);
+
+    // Ping sampler on its own connection: each round-trip rides a worker
+    // queue, so it measures real ingest latency under load.
+    let stop = Arc::new(AtomicBool::new(false));
+    let pinger = {
+        let stop = Arc::clone(&stop);
+        let addr = cfg.addr.clone();
+        let interval = Duration::from_millis(cfg.ping_interval_ms.max(1));
+        std::thread::spawn(move || -> io::Result<Vec<f64>> {
+            let mut client = LiveClient::connect(&addr)?;
+            let mut samples = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                samples.push(client.ping()?.as_secs_f64() * 1e3);
+                std::thread::sleep(interval);
+            }
+            Ok(samples)
+        })
+    };
+
+    // Senders: stripe the replay across connections. Event time is tied
+    // to the global line index, but connections drain at independent
+    // speeds, so an unconstrained replay would let one stripe race whole
+    // windows ahead and turn the others' records late. The replay is
+    // therefore chunked: after each chunk every sender flushes, meets at
+    // a barrier, and the leader polls `snapshot` until the server has
+    // processed everything sent so far. Chunks span at most half the
+    // lateness bound in event time, so no record can fall behind the
+    // watermark — and the final sync quiesces the server before the
+    // closing snapshot/shutdown (a drain cuts data connections, so bytes
+    // still in flight then would be lost).
+    let span_ms = cfg.windows as f64 * cfg.window_ms;
+    let chunk = ((cfg.sessions as f64 * (cfg.lateness_ms / 2.0) / span_ms) as usize)
+        .clamp(connections, cfg.sessions.max(1));
+    let barrier = Arc::new(std::sync::Barrier::new(connections));
+    let lines = Arc::new(lines);
+    let started = Instant::now();
+    let senders: Vec<_> = (0..connections)
+        .map(|c| {
+            let lines = Arc::clone(&lines);
+            let barrier = Arc::clone(&barrier);
+            let addr = cfg.addr.clone();
+            let per_conn_rate = cfg.rate / connections as f64;
+            std::thread::spawn(move || -> io::Result<u64> {
+                let mut client = LiveClient::connect(&addr)?;
+                let start = Instant::now();
+                let mut sent = 0u64;
+                let total = lines.len();
+                let mut chunk_start = 0usize;
+                while chunk_start < total {
+                    let chunk_end = (chunk_start + chunk).min(total);
+                    for line in lines[chunk_start..chunk_end]
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| (chunk_start + i) % connections == c)
+                        .map(|(_, l)| l)
+                    {
+                        client.send_line(line)?;
+                        sent += 1;
+                        if per_conn_rate > 0.0 && sent.is_multiple_of(64) {
+                            let due = sent as f64 / per_conn_rate;
+                            let ahead = due - start.elapsed().as_secs_f64();
+                            if ahead > 0.0 {
+                                std::thread::sleep(Duration::from_secs_f64(ahead));
+                            }
+                        }
+                    }
+                    client.flush()?;
+                    barrier.wait();
+                    if c == 0 {
+                        wait_processed(&mut client, chunk_end as u64)?;
+                    }
+                    barrier.wait();
+                    chunk_start = chunk_end;
+                }
+                Ok(sent)
+            })
+        })
+        .collect();
+
+    let mut sent = 0u64;
+    for s in senders {
+        sent += s.join().expect("sender thread")?;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    stop.store(true, Ordering::Release);
+    let mut pings = pinger.join().expect("ping thread").unwrap_or_default();
+    pings.sort_by(f64::total_cmp);
+
+    // Data connections are closed; fetch the closing server state.
+    let mut control = LiveClient::connect(&cfg.addr)?;
+    let snapshot = if cfg.shutdown { control.shutdown()? } else { control.snapshot()? };
+
+    Ok(LoadReport {
+        target_rate: cfg.rate,
+        sessions: sent,
+        elapsed_s: elapsed,
+        achieved_sessions_per_sec: if elapsed > 0.0 { sent as f64 / elapsed } else { 0.0 },
+        pings: pings.len() as u64,
+        p50_ingest_latency_ms: percentile(&pings, 0.50),
+        p99_ingest_latency_ms: percentile(&pings, 0.99),
+        accepted: snapshot.accepted,
+        rejected: snapshot.rejected,
+        late: snapshot.late,
+        groups: snapshot.groups,
+        windows_closed: snapshot.windows_closed,
+        events_minrtt: snapshot.events_minrtt,
+        drained: snapshot.drained,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgeperf::core::HD_GOODPUT_BPS;
+    use edgeperf::live::{LiveConfig, LiveServer};
+    use edgeperf::obs::Metrics;
+    use edgeperf::serve::WireParser;
+
+    #[test]
+    fn loadgen_replays_into_a_live_server_without_drops() {
+        let server = LiveServer::start(
+            LiveConfig { workers: 2, queue_capacity: 512, ..LiveConfig::default() },
+            Arc::new(WireParser::new(HD_GOODPUT_BPS)),
+            Metrics::enabled(),
+        )
+        .expect("server starts");
+        let cfg = LoadgenConfig {
+            addr: server.addr().to_string(),
+            sessions: 2_000,
+            connections: 2,
+            groups: 16,
+            windows: 4,
+            ping_interval_ms: 1,
+            shutdown: true,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&cfg).expect("replay succeeds");
+        let final_snap = server.join();
+        assert!(report.drained);
+        assert_eq!(report.sessions, 2_000);
+        assert_eq!(report.accepted, 2_000, "every session ingested: {report:?}");
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.late, 0);
+        assert_eq!(report.groups, 16);
+        // 4 event-time windows on each of 2 worker rings.
+        assert!(report.windows_closed >= 8, "windows closed: {report:?}");
+        assert!(report.pings > 0);
+        assert!(report.p99_ingest_latency_ms >= report.p50_ingest_latency_ms);
+        assert_eq!(final_snap.accepted, 2_000);
+    }
+
+    #[test]
+    fn generated_lines_are_monotone_in_event_time() {
+        let cfg = LoadgenConfig { sessions: 100, ..LoadgenConfig::default() };
+        let lines = generate_lines(&cfg);
+        assert_eq!(lines.len(), 100);
+        let mut last = f64::NEG_INFINITY;
+        for line in &lines {
+            let w: WireSession = serde_json::from_str(line).expect("valid wire line");
+            assert!(w.ts_ms > last);
+            last = w.ts_ms;
+            assert!(!w.session.responses.is_empty());
+            assert!(w.session.responses.len() <= cfg.max_txns);
+        }
+    }
+}

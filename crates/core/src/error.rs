@@ -38,6 +38,15 @@ pub enum EdgeperfError {
         /// The parser's message.
         message: String,
     },
+    /// A live-ingest record arrived behind the stream watermark: its
+    /// window had already been closed and summarized, so the record can
+    /// no longer be folded in. Counted under `ingest.reject.late`.
+    LateRecord {
+        /// The record's event timestamp (ms).
+        ts_ms: f64,
+        /// The watermark at rejection time (ms).
+        watermark_ms: f64,
+    },
     /// An [`AnalysisConfig`]-style parameter was out of range.
     ///
     /// [`AnalysisConfig`]: https://docs.rs/edgeperf-analysis
@@ -58,6 +67,7 @@ impl EdgeperfError {
             EdgeperfError::InvalidMinRtt { .. } => "invalid_min_rtt",
             EdgeperfError::UnknownDuration => "unknown_duration",
             EdgeperfError::Json { .. } => "json",
+            EdgeperfError::LateRecord { .. } => "late",
             EdgeperfError::InvalidConfig { .. } => "invalid_config",
         }
     }
@@ -81,6 +91,9 @@ impl fmt::Display for EdgeperfError {
                  full_ack_ms"
             ),
             EdgeperfError::Json { message } => write!(f, "{message}"),
+            EdgeperfError::LateRecord { ts_ms, watermark_ms } => {
+                write!(f, "ts_ms {ts_ms} is behind the watermark {watermark_ms}")
+            }
             EdgeperfError::InvalidConfig { field, message } => {
                 write!(f, "invalid config: {field}: {message}")
             }
@@ -141,6 +154,10 @@ mod tests {
                 EdgeperfError::Json { message: "expected value at line 1".into() },
                 "expected value at line 1",
             ),
+            (
+                EdgeperfError::LateRecord { ts_ms: 1000.0, watermark_ms: 2500.0 },
+                "ts_ms 1000 is behind the watermark 2500",
+            ),
         ];
         for (err, expected) in cases {
             assert_eq!(err.to_string(), expected);
@@ -157,5 +174,6 @@ mod tests {
             EdgeperfError::NegativeTimestamp { field: "t".into(), value: -1.0 }.reason(),
             "negative_timestamp"
         );
+        assert_eq!(EdgeperfError::LateRecord { ts_ms: 0.0, watermark_ms: 1.0 }.reason(), "late");
     }
 }

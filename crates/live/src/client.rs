@@ -1,0 +1,110 @@
+//! Blocking client for the live server's line protocol.
+//!
+//! Used by the load generator, the CI smoke job and the agreement
+//! tests; also a reference implementation of the protocol for external
+//! tooling. Data lines are buffered (flushed before any command
+//! round-trip) so replay throughput is not bounded by per-line
+//! syscalls.
+
+use crate::server::{CellLine, LiveSnapshot};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A blocking connection to a [`crate::LiveServer`].
+pub struct LiveClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    line: String,
+}
+
+impl LiveClient {
+    /// Connect to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<LiveClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::with_capacity(1 << 18, stream.try_clone()?);
+        Ok(LiveClient { reader: BufReader::new(stream), writer, line: String::new() })
+    }
+
+    /// Enqueue one session record line (buffered; no response).
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Flush buffered record lines to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    fn round_trip(&mut self, command: &str) -> io::Result<String> {
+        self.writer.write_all(command.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> io::Result<String> {
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
+        }
+        Ok(self.line.trim_end().to_string())
+    }
+
+    /// Round-trip a `ping` through a worker queue. The elapsed time is
+    /// the end-to-end ingest latency: socket + parse + queue wait.
+    pub fn ping(&mut self) -> io::Result<Duration> {
+        let start = Instant::now();
+        let reply = self.round_trip("ping")?;
+        if reply != "pong" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, format!("ping: {reply}")));
+        }
+        Ok(start.elapsed())
+    }
+
+    /// Fetch the aggregate server snapshot.
+    pub fn snapshot(&mut self) -> io::Result<LiveSnapshot> {
+        let reply = self.round_trip("snapshot")?;
+        serde_json::from_str(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Fetch every retained closed cell.
+    pub fn cells(&mut self) -> io::Result<Vec<CellLine>> {
+        let header = self.round_trip("cells")?;
+        let count: usize = header
+            .strip_prefix("{\"cells\":")
+            .and_then(|s| s.strip_suffix('}'))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("cells: {header}"))
+            })?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = self.read_reply()?;
+            let cell: CellLine = serde_json::from_str(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            out.push(cell);
+        }
+        Ok(out)
+    }
+
+    /// Fetch the observability metrics snapshot as raw JSON.
+    pub fn metrics_json(&mut self) -> io::Result<String> {
+        self.round_trip("metrics")
+    }
+
+    /// Fetch the per-worker stats line as raw JSON.
+    pub fn stats_json(&mut self) -> io::Result<String> {
+        self.round_trip("stats")
+    }
+
+    /// Drain the server and return its final snapshot. Close every data
+    /// connection first: the drain force-closes other connections, and
+    /// any bytes still queued on their sockets are discarded by the OS.
+    pub fn shutdown(&mut self) -> io::Result<LiveSnapshot> {
+        let reply = self.round_trip("shutdown")?;
+        serde_json::from_str(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}

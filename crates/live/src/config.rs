@@ -1,0 +1,118 @@
+//! Live-server tunables.
+
+use edgeperf_analysis::AnalysisConfig;
+use edgeperf_core::EdgeperfError;
+
+/// Configuration of a [`crate::LiveServer`].
+///
+/// Defaults target the paper's parameters (15-minute windows, §3.3) with
+/// an allowed lateness of one minute; tests shrink both to keep replays
+/// fast.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Number of ingest worker threads (each owns a shard of the groups).
+    pub workers: usize,
+    /// Aggregation window length in milliseconds (15 minutes).
+    pub window_ms: f64,
+    /// Allowed event-time lateness: the watermark trails the maximum
+    /// observed timestamp by this much, and a window closes only when the
+    /// watermark passes its end.
+    pub lateness_ms: f64,
+    /// Bounded per-worker queue capacity (records). Readers block when a
+    /// queue is full — backpressure instead of unbounded memory.
+    pub queue_capacity: usize,
+    /// Closed windows retained for queries and baselines, per worker.
+    /// Older windows are evicted; memory stays bounded by
+    /// `groups × retention_windows` cells.
+    pub retention_windows: usize,
+    /// Statistical parameters shared with the offline pipeline.
+    pub analysis: AnalysisConfig,
+    /// MinRTT degradation threshold (ms): an event needs the CI lower
+    /// bound of (window − baseline) to clear this.
+    pub minrtt_threshold_ms: f64,
+    /// HDratio degradation threshold (ratio units, baseline − window).
+    pub hdratio_threshold: f64,
+    /// Watchdog deadline: a worker stuck on one message longer than this
+    /// many milliseconds is flagged `live.workers.slow`.
+    pub slow_worker_ms: u64,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            window_ms: 900_000.0,
+            lateness_ms: 60_000.0,
+            queue_capacity: 4_096,
+            retention_windows: 192,
+            analysis: AnalysisConfig::default(),
+            minrtt_threshold_ms: 5.0,
+            hdratio_threshold: 0.05,
+            slow_worker_ms: 5_000,
+        }
+    }
+}
+
+impl LiveConfig {
+    /// Reject configurations the server cannot run with.
+    pub fn validate(&self) -> Result<(), EdgeperfError> {
+        fn bad(field: &'static str, message: String) -> Result<(), EdgeperfError> {
+            Err(EdgeperfError::InvalidConfig { field, message })
+        }
+        if self.workers == 0 {
+            return bad("workers", "must be positive, got 0".to_string());
+        }
+        // NaN fails both checks: `is_nan` is spelled out so the negated
+        // float comparisons don't hide it.
+        if self.window_ms.is_nan() || self.window_ms <= 0.0 {
+            return bad("window_ms", format!("must be positive, got {}", self.window_ms));
+        }
+        if self.lateness_ms.is_nan() || self.lateness_ms < 0.0 {
+            return bad("lateness_ms", format!("must be non-negative, got {}", self.lateness_ms));
+        }
+        if self.queue_capacity == 0 {
+            return bad("queue_capacity", "must be positive, got 0".to_string());
+        }
+        if self.retention_windows == 0 {
+            return bad("retention_windows", "must be positive, got 0".to_string());
+        }
+        self.analysis.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_and_match_paper_window() {
+        let c = LiveConfig::default();
+        c.validate().expect("defaults are valid");
+        assert_eq!(c.window_ms, 15.0 * 60.0 * 1000.0);
+        assert_eq!(c.analysis.min_samples, 30);
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected_with_field_context() {
+        type Case = (fn(&mut LiveConfig), &'static str);
+        let cases: Vec<Case> = vec![
+            (|c| c.workers = 0, "workers"),
+            (|c| c.window_ms = 0.0, "window_ms"),
+            (|c| c.window_ms = f64::NAN, "window_ms"),
+            (|c| c.lateness_ms = -1.0, "lateness_ms"),
+            (|c| c.queue_capacity = 0, "queue_capacity"),
+            (|c| c.retention_windows = 0, "retention_windows"),
+        ];
+        for (mutate, field) in cases {
+            let mut c = LiveConfig::default();
+            mutate(&mut c);
+            match c.validate().expect_err(field) {
+                EdgeperfError::InvalidConfig { field: f, .. } => assert_eq!(f, field),
+                other => panic!("unexpected error for {field}: {other}"),
+            }
+        }
+    }
+}

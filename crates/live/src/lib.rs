@@ -1,0 +1,53 @@
+//! `edgeperf-live`: streaming session-ingest server with sliding
+//! 15-minute windows and online degradation detection.
+//!
+//! The offline pipeline replays a finished study; this crate serves the
+//! same estimator and statistics *while the data arrives*. A
+//! multi-threaded TCP server (no async runtime — `std::net` acceptor,
+//! one reader thread per connection, sharded bounded-queue workers)
+//! parses JSONL session records, folds them into a watermark-driven
+//! ring of event-time windows of per-group
+//! [`edgeperf_analysis::StreamingAggregation`] cells, and on window
+//! close computes MinRTT_P50 / HDratio_P50 with Price–Bonett CIs and
+//! feeds the degradation/classification machinery online.
+//!
+//! Module map:
+//!
+//! - [`config`]: [`LiveConfig`] — address, workers, window geometry,
+//!   lateness bound, queue capacity, retention, detection thresholds.
+//! - [`record`]: [`LiveRecord`] and the pluggable [`LineParser`] wire
+//!   trait (the umbrella `edgeperf` crate supplies the JSONL format).
+//! - [`window`]: [`WindowRing`] — the watermark, late-record rejection
+//!   ([`edgeperf_core::EdgeperfError::LateRecord`], counted, never
+//!   silent), and [`CellSummary`] with the same bit-exact statistics as
+//!   the offline streaming path.
+//! - [`detect`]: [`OnlineDetector`] — per-group baseline, degradation
+//!   events, episode tracking and temporal classes, computed as windows
+//!   close.
+//! - [`server`]: [`LiveServer`] / [`ServerHandle`], the line protocol,
+//!   backpressure, heartbeat supervision and graceful drain.
+//! - [`client`]: [`LiveClient`], the blocking protocol client used by
+//!   the load generator and the agreement tests.
+//!
+//! The cross-cutting invariant: a finite replay through the server is
+//! **bit-identical** to the offline [`edgeperf_analysis::StreamingDataset`]
+//! at any worker count, because groups are sharded by the same
+//! deterministic FxHash and each cell's digest therefore sees the same
+//! insertion sequence as the serial offline pass.
+
+pub mod client;
+pub mod config;
+pub mod detect;
+pub mod record;
+pub mod server;
+pub mod window;
+
+pub use client::LiveClient;
+pub use config::LiveConfig;
+pub use detect::{EpisodeChange, OnlineDetector};
+pub use record::{relationship_from_label, LineParser, LiveRecord};
+pub use server::{CellLine, ClassCount, LiveServer, LiveSnapshot, ReasonCount, ServerHandle};
+pub use window::{
+    compare_hdratio_summaries, compare_minrtt_summaries, CellKey, CellSummary, ClosedWindow,
+    LiveCell, WindowRing,
+};

@@ -1,0 +1,80 @@
+//! The live ingest record and the pluggable wire parser.
+
+use edgeperf_analysis::GroupKey;
+use edgeperf_core::EdgeperfError;
+use edgeperf_routing::Relationship;
+
+/// One measured session arriving over the wire: a
+/// [`edgeperf_analysis::SessionRecord`] plus the event timestamp the
+/// window assignment is derived from (the offline pipeline assigns
+/// window indices up front; the live server derives them from time).
+#[derive(Debug, Clone, Copy)]
+pub struct LiveRecord {
+    /// Event time in milliseconds since the stream epoch.
+    pub ts_ms: f64,
+    /// The user group the session belongs to.
+    pub group: GroupKey,
+    /// Rank of the pinned egress route (0 = policy-preferred).
+    pub route_rank: u8,
+    /// Relationship type of the pinned route.
+    pub relationship: Relationship,
+    /// The pinned route's AS path is longer than the preferred route's.
+    pub longer_path: bool,
+    /// The pinned route is prepended more than the preferred route.
+    pub more_prepended: bool,
+    /// Session MinRTT in milliseconds.
+    pub min_rtt_ms: f64,
+    /// Session HDratio, if any transaction could test for HD goodput.
+    pub hdratio: Option<f64>,
+    /// Response bytes carried (the session's traffic weight).
+    pub bytes: u64,
+}
+
+/// Parses one wire line into a [`LiveRecord`].
+///
+/// The server is generic over the wire format so the crate graph stays
+/// acyclic: the umbrella `edgeperf` crate implements this trait on top of
+/// its `ingest` module (typed-error JSONL parsing + the core estimator)
+/// and injects it into [`crate::LiveServer`].
+pub trait LineParser: Send + Sync + 'static {
+    /// Parse a line; errors are counted under `ingest.reject.<reason>`.
+    fn parse(&self, line: &str) -> Result<LiveRecord, EdgeperfError>;
+}
+
+impl<F> LineParser for F
+where
+    F: Fn(&str) -> Result<LiveRecord, EdgeperfError> + Send + Sync + 'static,
+{
+    fn parse(&self, line: &str) -> Result<LiveRecord, EdgeperfError> {
+        self(line)
+    }
+}
+
+/// Parse a relationship label as produced by [`Relationship::label`].
+pub fn relationship_from_label(s: &str) -> Result<Relationship, EdgeperfError> {
+    match s {
+        "private" => Ok(Relationship::PrivatePeer),
+        "public" => Ok(Relationship::PublicPeer),
+        "transit" => Ok(Relationship::Transit),
+        other => Err(EdgeperfError::Json { message: format!("unknown relationship `{other}`") }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relationship_labels_round_trip() {
+        for rel in [Relationship::PrivatePeer, Relationship::PublicPeer, Relationship::Transit] {
+            assert_eq!(relationship_from_label(rel.label()).unwrap(), rel);
+        }
+        assert!(relationship_from_label("imaginary").is_err());
+    }
+
+    #[test]
+    fn closures_are_parsers() {
+        let parser = |_: &str| Err(EdgeperfError::UnknownDuration);
+        assert!(LineParser::parse(&parser, "x").is_err());
+    }
+}

@@ -1,0 +1,954 @@
+//! The live ingest server: TCP acceptor, per-connection readers, and
+//! sharded bounded-queue workers.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! acceptor ──spawns──▶ reader (per connection)
+//!                        │ parse JSONL line (LineParser)
+//!                        │ shard = FxHash(group) % workers
+//!                        ▼
+//!              bounded sync_channel (backpressure)
+//!                        ▼
+//!                      worker w: WindowRing + OnlineDetector
+//!                        │ watermark passes window end
+//!                        ▼
+//!              closed cells (retained per worker) + episodes
+//! ```
+//!
+//! Every record of a user group flows through exactly one worker (groups
+//! are sharded by the deterministic FxHash), and one connection's records
+//! arrive in stream order — so per-cell digest insertion order is
+//! independent of the worker count, which is what makes live windows
+//! bit-identical to the offline [`edgeperf_analysis::StreamingDataset`].
+//!
+//! Queues are *bounded*: when a worker falls behind, readers block on
+//! `send` and TCP backpressure propagates to the client. Memory is
+//! bounded by queue capacity + open windows + retained closed windows.
+//!
+//! ## Line protocol
+//!
+//! Lines starting with `{` are session records (no per-line response —
+//! rejects are counted and sampled, never silently dropped). Anything
+//! else is a command with a one-line JSON (or `pong`) response:
+//!
+//! | command    | response |
+//! |------------|----------|
+//! | `ping`     | `pong` after a round-trip through a worker queue |
+//! | `snapshot` | aggregate [`LiveSnapshot`] |
+//! | `stats`    | per-worker queue depth / throughput |
+//! | `cells`    | `{"cells":N}` then N [`CellLine`] rows |
+//! | `metrics`  | the `edgeperf-obs` [`MetricsSnapshot`] as JSON |
+//! | `shutdown` | drains and replies with the final snapshot |
+//! | `quit`     | closes this connection |
+
+use crate::config::LiveConfig;
+use crate::detect::OnlineDetector;
+use crate::record::{LineParser, LiveRecord};
+use crate::window::{CellKey, CellSummary, ClosedWindow, WindowRing};
+use edgeperf_analysis::{DegradationMetric, FxHasher, GroupKey, TemporalClass};
+use edgeperf_core::EdgeperfError;
+use edgeperf_obs::{HeartbeatBoard, Metrics};
+use edgeperf_routing::{PopId, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Aggregate server state, as served by `snapshot` and returned on drain.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LiveSnapshot {
+    /// True only for the final snapshot after a clean drain.
+    #[serde(default)]
+    pub drained: bool,
+    /// Worker threads.
+    pub workers: u64,
+    /// Records ingested into windows.
+    pub accepted: u64,
+    /// Lines rejected (parse errors + late records).
+    pub rejected: u64,
+    /// Of the rejected, records behind the watermark (`ingest.reject.late`).
+    pub late: u64,
+    /// Distinct preferred-route user groups observed.
+    pub groups: u64,
+    /// Windows closed (summarized) so far.
+    pub windows_closed: u64,
+    /// Windows currently open across workers.
+    pub open_windows: u64,
+    /// Confident MinRTT degradation events.
+    pub events_minrtt: u64,
+    /// Confident HDratio degradation events.
+    pub events_hdratio: u64,
+    /// Degradation episodes opened.
+    pub episodes_opened: u64,
+    /// Degradation episodes currently open.
+    pub episodes_open: u64,
+    /// Reject counts by typed reason.
+    #[serde(default)]
+    pub reject_reasons: Vec<ReasonCount>,
+    /// MinRTT temporal-class histogram over groups.
+    #[serde(default)]
+    pub classes_minrtt: Vec<ClassCount>,
+}
+
+/// One `ingest.reject.<reason>` tally.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReasonCount {
+    /// Stable reason label ([`EdgeperfError::reason`]).
+    pub reason: String,
+    /// Rejected lines with this reason.
+    pub count: u64,
+}
+
+/// One temporal-class tally.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassCount {
+    /// Class label ([`TemporalClass::label`]).
+    pub class: String,
+    /// Groups currently in this class.
+    pub groups: u64,
+}
+
+/// One closed cell as served by the `cells` command — flat wire form of
+/// ([`CellKey`], [`CellSummary`]) with full `f64` round-trip precision
+/// (Rust's shortest-round-trip float formatting), so bit-identity can be
+/// asserted across the wire.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CellLine {
+    /// Window index.
+    pub window: u32,
+    /// Serving PoP.
+    pub pop: u16,
+    /// Client prefix base address.
+    pub prefix_base: u32,
+    /// Client prefix length.
+    pub prefix_len: u8,
+    /// Client country id.
+    pub country: u16,
+    /// Client continent id.
+    pub continent: u8,
+    /// Route rank (0 = preferred).
+    pub rank: u8,
+    /// Relationship label (`private` / `public` / `transit`).
+    pub relationship: String,
+    /// AS path longer than the preferred route's.
+    pub longer_path: bool,
+    /// More prepended than the preferred route.
+    pub more_prepended: bool,
+    /// Sessions recorded.
+    pub n: u64,
+    /// Sessions with an HDratio.
+    pub n_tested: u64,
+    /// Traffic bytes.
+    pub bytes: u64,
+    /// Median MinRTT (ms).
+    pub min_rtt_p50: f64,
+    /// Price–Bonett variance of the MinRTT median.
+    pub min_rtt_var: Option<f64>,
+    /// Median HDratio.
+    pub hdratio_p50: Option<f64>,
+    /// Price–Bonett variance of the HDratio median.
+    pub hdratio_var: Option<f64>,
+}
+
+impl CellLine {
+    /// Flatten a closed cell for the wire.
+    pub fn new(window: u32, key: &CellKey, s: &CellSummary) -> CellLine {
+        let (group, rank) = key;
+        CellLine {
+            window,
+            pop: group.pop.0,
+            prefix_base: group.prefix.base,
+            prefix_len: group.prefix.len,
+            country: group.country,
+            continent: group.continent,
+            rank: *rank,
+            relationship: s.relationship.label().to_string(),
+            longer_path: s.longer_path,
+            more_prepended: s.more_prepended,
+            n: s.n as u64,
+            n_tested: s.n_tested as u64,
+            bytes: s.bytes,
+            min_rtt_p50: s.min_rtt_p50,
+            min_rtt_var: s.min_rtt_var,
+            hdratio_p50: s.hdratio_p50,
+            hdratio_var: s.hdratio_var,
+        }
+    }
+
+    /// The cell's group key.
+    pub fn group(&self) -> GroupKey {
+        GroupKey {
+            pop: PopId(self.pop),
+            prefix: Prefix::new(self.prefix_base, self.prefix_len),
+            country: self.country,
+            continent: self.continent,
+        }
+    }
+}
+
+enum WorkerMsg {
+    /// A batch of parsed records (readers coalesce up to
+    /// [`RECORD_BATCH`] per worker to amortize channel costs).
+    Records(Vec<LiveRecord>),
+    Ping(Sender<()>),
+    Snapshot(Sender<WorkerSnap>),
+    Cells(Sender<Vec<CellLine>>),
+}
+
+/// Records a reader coalesces per worker before a channel send. Queue
+/// capacity is counted in batches, so worst-case queued records per
+/// worker is `queue_capacity * RECORD_BATCH`.
+const RECORD_BATCH: usize = 64;
+
+/// Point-in-time view of one worker, produced on request or at drain.
+#[derive(Debug, Clone, Default)]
+struct WorkerSnap {
+    processed: u64,
+    groups: usize,
+    open_windows: usize,
+    windows_closed: u64,
+    events: [u64; 2],
+    episodes_opened: u64,
+    episodes_open: usize,
+    class_counts_minrtt: [u64; 5],
+}
+
+fn class_slot(class: TemporalClass) -> usize {
+    match class {
+        TemporalClass::Ignored => 0,
+        TemporalClass::Uneventful => 1,
+        TemporalClass::Continuous => 2,
+        TemporalClass::Diurnal => 3,
+        TemporalClass::Episodic => 4,
+    }
+}
+
+const CLASS_LABELS: [&str; 5] = ["ignored", "uneventful", "continuous", "diurnal", "episodic"];
+
+/// State shared by the acceptor, readers, workers and the supervisor.
+struct Shared {
+    config: LiveConfig,
+    /// The actually-bound listen address (resolves `:0` binds) — the
+    /// drain wake-up connection must target this, not `config.addr`.
+    bound_addr: SocketAddr,
+    metrics: Metrics,
+    board: HeartbeatBoard,
+    draining: AtomicBool,
+    supervisor_stop: AtomicBool,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    late: AtomicU64,
+    queue_depths: Vec<AtomicUsize>,
+    reject_reasons: Mutex<BTreeMap<&'static str, u64>>,
+    /// Bounded sample of recent reject messages (triage without logs).
+    reject_log: Mutex<VecDeque<String>>,
+    senders: Mutex<Option<Vec<SyncSender<WorkerMsg>>>>,
+    /// Final per-worker reports, filled as workers drain.
+    reports: Mutex<Vec<WorkerSnap>>,
+    reports_ready: Condvar,
+    final_snapshot: Mutex<Option<LiveSnapshot>>,
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    conn_seq: AtomicU64,
+    reader_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn reject(&self, context: &str, err: &EdgeperfError) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        let reason = err.reason();
+        if reason == "late" {
+            self.late.fetch_add(1, Ordering::Relaxed);
+        }
+        self.metrics.counter(&format!("ingest.reject.{reason}")).inc();
+        *self.reject_reasons.lock().expect("reject map").entry(reason).or_insert(0) += 1;
+        let mut log = self.reject_log.lock().expect("reject log");
+        if log.len() >= 256 {
+            log.pop_front();
+        }
+        log.push_back(format!("{context}: {err}"));
+    }
+
+    fn snapshot_from(&self, per_worker: &[WorkerSnap], drained: bool) -> LiveSnapshot {
+        let mut snap = LiveSnapshot {
+            drained,
+            workers: self.config.workers as u64,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            late: self.late.load(Ordering::Relaxed),
+            ..LiveSnapshot::default()
+        };
+        let mut classes = [0u64; 5];
+        for w in per_worker {
+            snap.groups += w.groups as u64;
+            snap.windows_closed += w.windows_closed;
+            snap.open_windows += w.open_windows as u64;
+            snap.events_minrtt += w.events[0];
+            snap.events_hdratio += w.events[1];
+            snap.episodes_opened += w.episodes_opened;
+            snap.episodes_open += w.episodes_open as u64;
+            for (i, c) in w.class_counts_minrtt.iter().enumerate() {
+                classes[i] += c;
+            }
+        }
+        snap.reject_reasons = self
+            .reject_reasons
+            .lock()
+            .expect("reject map")
+            .iter()
+            .map(|(reason, count)| ReasonCount { reason: reason.to_string(), count: *count })
+            .collect();
+        snap.classes_minrtt = CLASS_LABELS
+            .iter()
+            .zip(classes)
+            .filter(|&(_, n)| n > 0)
+            .map(|(label, n)| ClassCount { class: label.to_string(), groups: n })
+            .collect();
+        snap
+    }
+}
+
+/// Deterministic group → worker shard (same FxHash as the offline sinks).
+fn shard_of(group: &GroupKey, workers: usize) -> usize {
+    let mut h = FxHasher::default();
+    group.hash(&mut h);
+    (h.finish() as usize) % workers
+}
+
+/// A running [`LiveServer`]: the bound address plus every thread handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound listen address (resolves `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until a client drains the server (the `shutdown` command),
+    /// join every thread, and return the final snapshot.
+    pub fn join(mut self) -> LiveSnapshot {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for h in self.shared.reader_handles.lock().expect("reader handles").drain(..) {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.supervisor_stop.store(true, Ordering::Release);
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        self.shared.final_snapshot.lock().expect("final snapshot").clone().unwrap_or_default()
+    }
+
+    /// Convenience for tests and embedders: issue `shutdown` from here
+    /// and join. Returns the final (drained) snapshot.
+    pub fn shutdown_and_join(self) -> std::io::Result<LiveSnapshot> {
+        let mut client = crate::client::LiveClient::connect(self.addr)?;
+        let snap = client.shutdown()?;
+        let joined = self.join();
+        // Prefer the snapshot the server handed the draining client; the
+        // joined one is identical but may be missing if another client
+        // raced the drain.
+        Ok(if snap.drained { snap } else { joined })
+    }
+}
+
+/// The live session-ingest server. See the module docs.
+pub struct LiveServer;
+
+impl LiveServer {
+    /// Validate `config`, bind, and start every thread. The wire format
+    /// is supplied by `parser`; pipeline metrics land in `metrics`.
+    pub fn start(
+        config: LiveConfig,
+        parser: Arc<dyn LineParser>,
+        metrics: Metrics,
+    ) -> Result<ServerHandle, EdgeperfError> {
+        config.validate()?;
+        let listener = TcpListener::bind(&config.addr).map_err(|e| {
+            EdgeperfError::InvalidConfig { field: "addr", message: format!("{}: {e}", config.addr) }
+        })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| EdgeperfError::InvalidConfig { field: "addr", message: e.to_string() })?;
+        let workers = config.workers;
+        let shared = Arc::new(Shared {
+            bound_addr: addr,
+            board: HeartbeatBoard::new(workers),
+            metrics,
+            draining: AtomicBool::new(false),
+            supervisor_stop: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            late: AtomicU64::new(0),
+            queue_depths: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+            reject_reasons: Mutex::new(BTreeMap::new()),
+            reject_log: Mutex::new(VecDeque::new()),
+            senders: Mutex::new(None),
+            reports: Mutex::new(Vec::new()),
+            reports_ready: Condvar::new(),
+            final_snapshot: Mutex::new(None),
+            conns: Mutex::new(Vec::new()),
+            conn_seq: AtomicU64::new(0),
+            reader_handles: Mutex::new(Vec::new()),
+            config,
+        });
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        let mut senders = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = sync_channel(shared.config.queue_capacity);
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("live-worker-{w}"))
+                    .spawn(move || worker_loop(w, &shared, rx))
+                    .expect("spawn worker"),
+            );
+        }
+        *shared.senders.lock().expect("senders") = Some(senders);
+
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("live-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared))
+                .expect("spawn supervisor")
+        };
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let parser = Arc::clone(&parser);
+            std::thread::Builder::new()
+                .name("live-acceptor".to_string())
+                .spawn(move || acceptor_loop(listener, &shared, parser))
+                .expect("spawn acceptor")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            supervisor: Some(supervisor),
+        })
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>, parser: Arc<dyn LineParser>) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Protocol replies are tiny; without this every command
+        // round-trip stalls on Nagle + delayed ACKs (~40 ms).
+        let _ = stream.set_nodelay(true);
+        let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conns").push((id, clone));
+        }
+        let shared_cloned = Arc::clone(shared);
+        let parser = Arc::clone(&parser);
+        let handle = std::thread::Builder::new()
+            .name(format!("live-reader-{id}"))
+            .spawn(move || {
+                reader_loop(id, stream, &shared_cloned, parser);
+                shared_cloned.conns.lock().expect("conns").retain(|(cid, _)| *cid != id);
+            })
+            .expect("spawn reader");
+        shared.reader_handles.lock().expect("reader handles").push(handle);
+    }
+}
+
+fn reader_loop(id: u64, stream: TcpStream, shared: &Arc<Shared>, parser: Arc<dyn LineParser>) {
+    let Ok(mut out) = stream.try_clone() else { return };
+    let senders = shared.senders.lock().expect("senders").clone();
+    let Some(mut senders) = senders else { return };
+    let workers = senders.len();
+    let lines_counter = shared.metrics.counter("ingest.lines");
+    let accepted_counter = shared.metrics.counter("live.accepted");
+    let mut reader = BufReader::with_capacity(1 << 16, stream);
+    let mut line = String::new();
+    let mut line_no = 0u64;
+    let mut rr = id as usize;
+    let mut batches: Vec<Vec<LiveRecord>> = (0..workers).map(|_| Vec::new()).collect();
+    'conn: loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.starts_with('{') {
+            line_no += 1;
+            lines_counter.inc();
+            match parser.parse(trimmed) {
+                Ok(rec) => {
+                    accepted_counter.inc();
+                    let w = shard_of(&rec.group, workers);
+                    batches[w].push(rec);
+                    if batches[w].len() >= RECORD_BATCH
+                        && !flush_batch(shared, &senders, &mut batches, w)
+                    {
+                        break 'conn;
+                    }
+                }
+                Err(err) => shared.reject(&format!("conn {id} line {line_no}"), &err),
+            }
+            // About to block on the socket: hand workers everything
+            // parsed so far, so a quiet connection never strands
+            // records in a partial batch (snapshots taken while the
+            // sender idles must observe them).
+            if reader.buffer().is_empty() {
+                for w in 0..workers {
+                    if !flush_batch(shared, &senders, &mut batches, w) {
+                        break 'conn;
+                    }
+                }
+            }
+            continue;
+        }
+        // Commands observe everything this connection sent before them.
+        for w in 0..workers {
+            if !flush_batch(shared, &senders, &mut batches, w) {
+                break 'conn;
+            }
+        }
+        let reply = match trimmed {
+            "ping" => {
+                rr = (rr + 1) % workers;
+                let (tx, rx) = channel();
+                shared.queue_depths[rr].fetch_add(1, Ordering::Relaxed);
+                if senders[rr].send(WorkerMsg::Ping(tx)).is_ok() {
+                    let _ = rx.recv();
+                    "pong".to_string()
+                } else {
+                    "gone".to_string()
+                }
+            }
+            "snapshot" => match query_workers(shared, &senders, WorkerMsg::Snapshot) {
+                Some(per_worker) => {
+                    let snap = shared.snapshot_from(&per_worker, false);
+                    serde_json::to_string(&snap).expect("snapshot serializes")
+                }
+                None => "{\"error\":\"draining\"}".to_string(),
+            },
+            "stats" => match query_workers(shared, &senders, WorkerMsg::Snapshot) {
+                Some(per_worker) => render_stats(shared, &per_worker),
+                None => "{\"error\":\"draining\"}".to_string(),
+            },
+            "cells" => {
+                let mut all: Vec<CellLine> = Vec::new();
+                for (w, tx) in senders.iter().enumerate() {
+                    let (reply_tx, reply_rx) = channel();
+                    shared.queue_depths[w].fetch_add(1, Ordering::Relaxed);
+                    if tx.send(WorkerMsg::Cells(reply_tx)).is_ok() {
+                        if let Ok(cells) = reply_rx.recv() {
+                            all.extend(cells);
+                        }
+                    }
+                }
+                let mut out = format!("{{\"cells\":{}}}\n", all.len());
+                for cell in &all {
+                    out.push_str(&serde_json::to_string(cell).expect("cell serializes"));
+                    out.push('\n');
+                }
+                out.pop();
+                out
+            }
+            "metrics" => {
+                serde_json::to_string(&shared.metrics.snapshot()).expect("metrics serialize")
+            }
+            "shutdown" => {
+                let snap = drain(shared, id, std::mem::take(&mut senders));
+                let reply = serde_json::to_string(&snap).expect("snapshot serializes");
+                let _ = out.write_all(reply.as_bytes());
+                let _ = out.write_all(b"\n");
+                break;
+            }
+            "quit" => break,
+            other => format!("{{\"error\":\"unknown command {}\"}}", other.replace('"', "'")),
+        };
+        if out.write_all(reply.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+            break;
+        }
+    }
+    // EOF / cut connection: hand the workers whatever is still batched.
+    // (After `shutdown`, every batch is already empty and `senders` was
+    // taken, so this is a no-op.)
+    for w in 0..workers {
+        if !flush_batch(shared, &senders, &mut batches, w) {
+            break;
+        }
+    }
+}
+
+/// Push a reader's coalesced batch for worker `w` onto its queue,
+/// keeping `queue_depths` (counted in records) in sync. `false` when the
+/// worker side is gone (server draining).
+fn flush_batch(
+    shared: &Shared,
+    senders: &[SyncSender<WorkerMsg>],
+    batches: &mut [Vec<LiveRecord>],
+    w: usize,
+) -> bool {
+    if batches[w].is_empty() {
+        return true;
+    }
+    let batch = std::mem::take(&mut batches[w]);
+    let len = batch.len();
+    shared.queue_depths[w].fetch_add(len, Ordering::Relaxed);
+    if senders[w].send(WorkerMsg::Records(batch)).is_err() {
+        shared.queue_depths[w].fetch_sub(len, Ordering::Relaxed);
+        return false;
+    }
+    true
+}
+
+/// Send `make(reply)` to every worker and collect the responses. `None`
+/// when the server is already draining.
+fn query_workers(
+    shared: &Shared,
+    senders: &[SyncSender<WorkerMsg>],
+    make: fn(Sender<WorkerSnap>) -> WorkerMsg,
+) -> Option<Vec<WorkerSnap>> {
+    let mut out = Vec::with_capacity(senders.len());
+    for (w, tx) in senders.iter().enumerate() {
+        let (reply_tx, reply_rx) = channel();
+        shared.queue_depths[w].fetch_add(1, Ordering::Relaxed);
+        if tx.send(make(reply_tx)).is_err() {
+            return None;
+        }
+        out.push(reply_rx.recv().ok()?);
+    }
+    Some(out)
+}
+
+fn render_stats(shared: &Shared, per_worker: &[WorkerSnap]) -> String {
+    let rows: Vec<String> = per_worker
+        .iter()
+        .enumerate()
+        .map(|(w, s)| {
+            format!(
+                "{{\"worker\":{w},\"processed\":{},\"queue_depth\":{},\"groups\":{},\
+                 \"open_windows\":{},\"windows_closed\":{}}}",
+                s.processed,
+                shared.queue_depths[w].load(Ordering::Relaxed),
+                s.groups,
+                s.open_windows,
+                s.windows_closed,
+            )
+        })
+        .collect();
+    format!("{{\"workers\":[{}]}}", rows.join(","))
+}
+
+/// Drain: stop the acceptor, cut other connections, drop every sender,
+/// wait for the workers to flush, and build the final snapshot.
+fn drain(shared: &Arc<Shared>, self_id: u64, senders: Vec<SyncSender<WorkerMsg>>) -> LiveSnapshot {
+    let first = !shared.draining.swap(true, Ordering::AcqRel);
+    if first {
+        // Wake the acceptor so it observes the flag.
+        let _ = TcpStream::connect(shared.bound_addr);
+        // Cut every other connection; their readers drain what they have
+        // already enqueued, then exit and release their senders.
+        for (cid, conn) in shared.conns.lock().expect("conns").iter() {
+            if *cid != self_id {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+        *shared.senders.lock().expect("senders") = None;
+    }
+    drop(senders);
+    let workers = shared.config.workers;
+    let mut reports = shared.reports.lock().expect("reports");
+    while reports.len() < workers {
+        reports = shared.reports_ready.wait(reports).expect("reports wait");
+    }
+    let snap = shared.snapshot_from(&reports, true);
+    drop(reports);
+    shared.supervisor_stop.store(true, Ordering::Release);
+    let mut slot = shared.final_snapshot.lock().expect("final snapshot");
+    if slot.is_none() {
+        *slot = Some(snap.clone());
+    }
+    snap
+}
+
+struct WorkerState {
+    ring: WindowRing,
+    detector: OnlineDetector,
+    closed: BTreeMap<u32, Vec<(CellKey, CellSummary)>>,
+    processed: u64,
+    windows_closed: u64,
+}
+
+impl WorkerState {
+    fn snap(&self) -> WorkerSnap {
+        let mut class_counts_minrtt = [0u64; 5];
+        for (_, class) in self.detector.classes(DegradationMetric::MinRtt) {
+            class_counts_minrtt[class_slot(class)] += 1;
+        }
+        WorkerSnap {
+            processed: self.processed,
+            groups: self.detector.group_count(),
+            open_windows: self.ring.open_windows(),
+            windows_closed: self.windows_closed,
+            events: [
+                self.detector.event_count(DegradationMetric::MinRtt),
+                self.detector.event_count(DegradationMetric::HdRatio),
+            ],
+            episodes_opened: self.detector.episodes_opened(),
+            episodes_open: self.detector.episodes_open(),
+            class_counts_minrtt,
+        }
+    }
+}
+
+fn worker_loop(w: usize, shared: &Arc<Shared>, rx: Receiver<WorkerMsg>) {
+    let cfg = &shared.config;
+    let mut state = WorkerState {
+        ring: WindowRing::new(cfg.window_ms, cfg.lateness_ms),
+        detector: OnlineDetector::new(
+            cfg.analysis,
+            cfg.minrtt_threshold_ms,
+            cfg.hdratio_threshold,
+            cfg.retention_windows,
+        ),
+        closed: BTreeMap::new(),
+        processed: 0,
+        windows_closed: 0,
+    };
+    let close_hist = shared.metrics.histogram("live.window_close_ns");
+    let depth_hist = shared.metrics.histogram("live.queue_depth");
+    let depth_gauge = shared.metrics.gauge(&format!("live.worker.{w}.queue_depth"));
+    let processed_gauge = shared.metrics.gauge(&format!("live.worker.{w}.processed"));
+    let windows_counter = shared.metrics.counter("live.windows.closed");
+    let events_minrtt = shared.metrics.counter("live.events.minrtt");
+    let events_hdratio = shared.metrics.counter("live.events.hdratio");
+    let episodes_opened = shared.metrics.counter("live.episodes.opened");
+    let episodes_closed = shared.metrics.counter("live.episodes.closed");
+    let counters =
+        (&windows_counter, &events_minrtt, &events_hdratio, &episodes_opened, &episodes_closed);
+
+    while let Ok(msg) = rx.recv() {
+        let cost = match &msg {
+            WorkerMsg::Records(batch) => batch.len(),
+            _ => 1,
+        };
+        let depth = shared.queue_depths[w].fetch_sub(cost, Ordering::Relaxed);
+        let token = shared.board.begin(w, state.processed as usize & 0xFFFF);
+        match msg {
+            WorkerMsg::Records(batch) => {
+                let mut accepted = 0u64;
+                for rec in batch {
+                    state.processed += 1;
+                    match state.ring.push(&rec) {
+                        Ok(closed) => {
+                            accepted += 1;
+                            for cw in closed {
+                                handle_close(shared, &mut state, cw, &close_hist, counters);
+                            }
+                        }
+                        Err(err) => shared.reject(&format!("worker {w}"), &err),
+                    }
+                }
+                shared.accepted.fetch_add(accepted, Ordering::Relaxed);
+                depth_hist.record(depth as u64);
+                depth_gauge.set(depth as f64);
+                processed_gauge.set(state.processed as f64);
+            }
+            WorkerMsg::Ping(reply) => {
+                let _ = reply.send(());
+            }
+            WorkerMsg::Snapshot(reply) => {
+                let _ = reply.send(state.snap());
+            }
+            WorkerMsg::Cells(reply) => {
+                let cells = state
+                    .closed
+                    .iter()
+                    .flat_map(|(window, cells)| {
+                        cells.iter().map(|(key, s)| CellLine::new(*window, key, s))
+                    })
+                    .collect();
+                let _ = reply.send(cells);
+            }
+        }
+        shared.board.finish(w);
+        let _ = token;
+    }
+
+    // Drain: every sender is gone. Flush the remaining windows, then
+    // publish the final report.
+    for cw in state.ring.force_close() {
+        handle_close(shared, &mut state, cw, &close_hist, counters);
+    }
+    processed_gauge.set(state.processed as f64);
+    depth_gauge.set(0.0);
+    let mut reports = shared.reports.lock().expect("reports");
+    reports.push(state.snap());
+    shared.reports_ready.notify_all();
+}
+
+type CloseCounters<'a> = (
+    &'a edgeperf_obs::Counter,
+    &'a edgeperf_obs::Counter,
+    &'a edgeperf_obs::Counter,
+    &'a edgeperf_obs::Counter,
+    &'a edgeperf_obs::Counter,
+);
+
+fn handle_close(
+    shared: &Shared,
+    state: &mut WorkerState,
+    cw: ClosedWindow,
+    close_hist: &edgeperf_obs::Histogram,
+    (windows, ev_minrtt, ev_hd, ep_opened, ep_closed): CloseCounters<'_>,
+) {
+    close_hist.time(|| {
+        let before = [
+            state.detector.event_count(DegradationMetric::MinRtt),
+            state.detector.event_count(DegradationMetric::HdRatio),
+        ];
+        let changes = state.detector.observe(&cw);
+        ev_minrtt.add(state.detector.event_count(DegradationMetric::MinRtt) - before[0]);
+        ev_hd.add(state.detector.event_count(DegradationMetric::HdRatio) - before[1]);
+        for c in &changes {
+            if c.opened {
+                ep_opened.inc();
+            } else {
+                ep_closed.inc();
+            }
+        }
+        state.windows_closed += 1;
+        windows.inc();
+        state.closed.insert(cw.index, cw.cells);
+        while state.closed.len() > shared.config.retention_windows {
+            state.closed.pop_first();
+        }
+    });
+}
+
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let deadline = Duration::from_millis(shared.config.slow_worker_ms);
+    let tick = Duration::from_millis((shared.config.slow_worker_ms / 4).clamp(10, 500));
+    let slow_gauge = shared.metrics.gauge("live.workers.slow");
+    let slow_marks = shared.metrics.counter("live.workers.slow_marks");
+    let mut last_slow = 0usize;
+    while !shared.supervisor_stop.load(Ordering::Acquire) {
+        let slow = shared.board.overdue(deadline).len();
+        slow_gauge.set(slow as f64);
+        if slow > last_slow {
+            slow_marks.add((slow - last_slow) as u64);
+        }
+        last_slow = slow;
+        std::thread::sleep(tick);
+    }
+    slow_gauge.set(0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_is_deterministic_and_group_stable() {
+        let g1 = GroupKey {
+            pop: PopId(1),
+            prefix: Prefix::new(0x0A000000, 16),
+            country: 2,
+            continent: 1,
+        };
+        let g2 = GroupKey { pop: PopId(2), ..g1 };
+        assert_eq!(shard_of(&g1, 4), shard_of(&g1, 4));
+        // Different worker counts re-shard, but stay in range.
+        for workers in 1..8 {
+            assert!(shard_of(&g1, workers) < workers);
+            assert!(shard_of(&g2, workers) < workers);
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = LiveSnapshot {
+            drained: true,
+            workers: 4,
+            accepted: 100,
+            rejected: 3,
+            late: 1,
+            groups: 7,
+            windows_closed: 12,
+            open_windows: 2,
+            events_minrtt: 5,
+            events_hdratio: 1,
+            episodes_opened: 2,
+            episodes_open: 1,
+            reject_reasons: vec![ReasonCount { reason: "late".to_string(), count: 1 }],
+            classes_minrtt: vec![ClassCount { class: "episodic".to_string(), groups: 2 }],
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: LiveSnapshot = serde_json::from_str(&json).unwrap();
+        assert!(back.drained);
+        assert_eq!(back.accepted, 100);
+        assert_eq!(back.late, 1);
+        assert_eq!(back.reject_reasons.len(), 1);
+        assert_eq!(back.reject_reasons[0].reason, "late");
+        assert_eq!(back.classes_minrtt[0].groups, 2);
+    }
+
+    #[test]
+    fn cell_line_preserves_f64_bits_through_json() {
+        let group = GroupKey {
+            pop: PopId(3),
+            prefix: Prefix::new(0x0A0B0000, 16),
+            country: 9,
+            continent: 4,
+        };
+        let line = CellLine {
+            window: 42,
+            pop: group.pop.0,
+            prefix_base: group.prefix.base,
+            prefix_len: group.prefix.len,
+            country: group.country,
+            continent: group.continent,
+            rank: 1,
+            relationship: "transit".to_string(),
+            longer_path: true,
+            more_prepended: false,
+            n: 1234,
+            n_tested: 900,
+            bytes: 5_000_000,
+            min_rtt_p50: 42.123456789012345,
+            min_rtt_var: Some(0.012_345_678_901_234_568),
+            hdratio_p50: Some(0.987654321098765),
+            hdratio_var: None,
+        };
+        let json = serde_json::to_string(&line).unwrap();
+        let back: CellLine = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, line);
+        assert_eq!(back.min_rtt_p50.to_bits(), line.min_rtt_p50.to_bits());
+        assert_eq!(back.min_rtt_var.unwrap().to_bits(), line.min_rtt_var.unwrap().to_bits());
+        assert_eq!(back.group(), group);
+    }
+}

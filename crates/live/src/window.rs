@@ -1,0 +1,446 @@
+//! Watermark-driven ring of sliding aggregation windows.
+//!
+//! Each ingest worker owns one [`WindowRing`]. Records carry event time;
+//! the ring assigns them to `floor(ts / window_ms)` windows whose
+//! per-(group, route-rank) cells are the same bounded-memory
+//! [`StreamingAggregation`] t-digest pairs the offline
+//! [`edgeperf_analysis::StreamingDataset`] uses — so a finite replay
+//! through the server reproduces the offline cells bit for bit.
+//!
+//! The *watermark* trails the maximum observed timestamp by the allowed
+//! lateness. A window closes when the watermark passes its end: its cells
+//! are flushed, summarized ([`CellSummary`]) and handed to the caller.
+//! Records addressed at an already-closed window are rejected with the
+//! typed [`EdgeperfError::LateRecord`] — never silently dropped.
+
+use crate::record::LiveRecord;
+use edgeperf_analysis::{
+    AnalysisConfig, CompareOutcome, FxHashMap, GroupKey, StreamingAggregation,
+};
+use edgeperf_core::EdgeperfError;
+use edgeperf_routing::Relationship;
+use edgeperf_stats::dist::norm_inv_cdf;
+use std::collections::BTreeMap;
+
+/// One (group, route-rank) cell address within a window.
+pub type CellKey = (GroupKey, u8);
+
+/// Live analogue of `edgeperf_analysis::sink::StreamingCell`: the digest
+/// pair plus the route annotations, accumulated with identical semantics
+/// (first record pins the relationship; path flags are OR-ed).
+#[derive(Debug, Clone)]
+pub struct LiveCell {
+    /// Metric sketches (MinRTT / HDratio digests + traffic bytes).
+    pub agg: StreamingAggregation,
+    /// Relationship of the route measured by this cell.
+    pub relationship: Relationship,
+    /// This route's AS path is longer than the preferred route's.
+    pub longer_path: bool,
+    /// This route is prepended more than the preferred route.
+    pub more_prepended: bool,
+}
+
+impl LiveCell {
+    fn new(relationship: Relationship) -> Self {
+        LiveCell {
+            agg: StreamingAggregation::new(),
+            relationship,
+            longer_path: false,
+            more_prepended: false,
+        }
+    }
+
+    fn push(&mut self, r: &LiveRecord) {
+        self.agg.push(r.min_rtt_ms, r.hdratio, r.bytes);
+        self.longer_path |= r.longer_path;
+        self.more_prepended |= r.more_prepended;
+    }
+}
+
+/// Plain-data summary of one flushed cell: everything the detector and
+/// the query protocol need, with the medians and Price–Bonett variances
+/// read from the digests through the exact same calls the offline
+/// streaming pipeline uses (hence bit-identical to it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSummary {
+    /// Sessions recorded.
+    pub n: usize,
+    /// Sessions with an HDratio.
+    pub n_tested: usize,
+    /// Traffic weight.
+    pub bytes: u64,
+    /// Median MinRTT (ms).
+    pub min_rtt_p50: f64,
+    /// Price–Bonett variance of the MinRTT median (None below 5 samples).
+    pub min_rtt_var: Option<f64>,
+    /// Median HDratio, if any session tested.
+    pub hdratio_p50: Option<f64>,
+    /// Price–Bonett variance of the HDratio median.
+    pub hdratio_var: Option<f64>,
+    /// Relationship of the route measured by this cell.
+    pub relationship: Relationship,
+    /// This route's AS path is longer than the preferred route's.
+    pub longer_path: bool,
+    /// This route is prepended more than the preferred route.
+    pub more_prepended: bool,
+}
+
+impl CellSummary {
+    /// Summarize a cell, flushing its digest buffers first.
+    pub fn from_cell(cell: &mut LiveCell) -> CellSummary {
+        cell.agg.flush();
+        Self::from_aggregation(&cell.agg, cell.relationship, cell.longer_path, cell.more_prepended)
+    }
+
+    /// Summarize an already-flushed aggregation (the offline comparator
+    /// path of the agreement tests).
+    pub fn from_aggregation(
+        agg: &StreamingAggregation,
+        relationship: Relationship,
+        longer_path: bool,
+        more_prepended: bool,
+    ) -> CellSummary {
+        CellSummary {
+            n: agg.n(),
+            n_tested: agg.n_tested(),
+            bytes: agg.bytes(),
+            min_rtt_p50: agg.min_rtt_p50(),
+            min_rtt_var: agg.min_rtt_median_variance(),
+            hdratio_p50: agg.hdratio_p50(),
+            hdratio_var: agg.hdratio_median_variance(),
+            relationship,
+            longer_path,
+            more_prepended,
+        }
+    }
+}
+
+/// MinRTT difference of medians `a − b` with the Price–Bonett z-CI, under
+/// the same validity rules — and the same arithmetic, hence bit-identical
+/// outcomes — as [`compare_minrtt_streaming`] on the underlying digests.
+pub fn compare_minrtt_summaries(
+    cfg: &AnalysisConfig,
+    a: &CellSummary,
+    b: &CellSummary,
+) -> CompareOutcome {
+    if a.n < cfg.min_samples || b.n < cfg.min_samples {
+        return CompareOutcome::Invalid;
+    }
+    let (Some(va), Some(vb)) = (a.min_rtt_var, b.min_rtt_var) else {
+        return CompareOutcome::Invalid;
+    };
+    ci(cfg, a.min_rtt_p50 - b.min_rtt_p50, va, vb, cfg.max_ci_width_minrtt_ms)
+}
+
+/// HDratio difference of medians `a − b` (validity gated on the tested
+/// session counts, matching the offline comparison's sample sizes).
+pub fn compare_hdratio_summaries(
+    cfg: &AnalysisConfig,
+    a: &CellSummary,
+    b: &CellSummary,
+) -> CompareOutcome {
+    if a.n_tested < cfg.min_samples || b.n_tested < cfg.min_samples {
+        return CompareOutcome::Invalid;
+    }
+    let (Some(pa), Some(pb)) = (a.hdratio_p50, b.hdratio_p50) else {
+        return CompareOutcome::Invalid;
+    };
+    let (Some(va), Some(vb)) = (a.hdratio_var, b.hdratio_var) else {
+        return CompareOutcome::Invalid;
+    };
+    ci(cfg, pa - pb, va, vb, cfg.max_ci_width_hdratio)
+}
+
+fn ci(cfg: &AnalysisConfig, diff: f64, va: f64, vb: f64, max_width: f64) -> CompareOutcome {
+    let z = norm_inv_cdf(0.5 + cfg.confidence / 2.0);
+    let half = z * (va + vb).sqrt();
+    if 2.0 * half >= max_width {
+        return CompareOutcome::Invalid;
+    }
+    CompareOutcome::Valid { diff, lo: diff - half, hi: diff + half }
+}
+
+/// One window the watermark has passed, ready for detection and queries.
+#[derive(Debug, Clone)]
+pub struct ClosedWindow {
+    /// Window index (`floor(ts / window_ms)`).
+    pub index: u32,
+    /// Cells in worker insertion order.
+    pub cells: Vec<(CellKey, CellSummary)>,
+}
+
+/// Cells of one still-open window, in insertion order.
+#[derive(Debug, Default)]
+struct OpenWindow {
+    cells: FxHashMap<CellKey, LiveCell>,
+    order: Vec<CellKey>,
+}
+
+impl OpenWindow {
+    fn push(&mut self, r: &LiveRecord) {
+        let key = (r.group, r.route_rank);
+        match self.cells.get_mut(&key) {
+            Some(cell) => cell.push(r),
+            None => {
+                let mut cell = LiveCell::new(r.relationship);
+                cell.push(r);
+                self.cells.insert(key, cell);
+                self.order.push(key);
+            }
+        }
+    }
+
+    fn close(mut self, index: u32) -> ClosedWindow {
+        let cells = self
+            .order
+            .iter()
+            .map(|key| {
+                let cell = self.cells.get_mut(key).expect("ordered key present");
+                (*key, CellSummary::from_cell(cell))
+            })
+            .collect();
+        ClosedWindow { index, cells }
+    }
+}
+
+/// Per-worker event-time windowing state; see the module docs.
+#[derive(Debug)]
+pub struct WindowRing {
+    window_ms: f64,
+    lateness_ms: f64,
+    max_ts_ms: f64,
+    /// Windows below this index are closed; records addressed at them are
+    /// late. Derived from the watermark by one rule (`floor(wm / window)`)
+    /// so the late check and the close sweep can never disagree.
+    closed_below: u32,
+    open: BTreeMap<u32, OpenWindow>,
+}
+
+impl WindowRing {
+    /// Empty ring. `window_ms` and `lateness_ms` as in
+    /// [`crate::LiveConfig`].
+    pub fn new(window_ms: f64, lateness_ms: f64) -> Self {
+        WindowRing {
+            window_ms,
+            lateness_ms,
+            max_ts_ms: -1.0,
+            closed_below: 0,
+            open: BTreeMap::new(),
+        }
+    }
+
+    /// Current watermark (ms); negative until the first record arrives.
+    pub fn watermark_ms(&self) -> f64 {
+        self.max_ts_ms - self.lateness_ms
+    }
+
+    /// Number of still-open windows (bounded by lateness / window + 2).
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Ingest one record. Returns the windows this record's timestamp
+    /// closed (usually none). Records behind the watermark — addressed at
+    /// an already-closed window — are rejected as
+    /// [`EdgeperfError::LateRecord`].
+    pub fn push(&mut self, r: &LiveRecord) -> Result<Vec<ClosedWindow>, EdgeperfError> {
+        if !r.ts_ms.is_finite() {
+            return Err(EdgeperfError::NonFinite { field: "ts_ms".to_string(), value: r.ts_ms });
+        }
+        if r.ts_ms < 0.0 {
+            return Err(EdgeperfError::NegativeTimestamp {
+                field: "ts_ms".to_string(),
+                value: r.ts_ms,
+            });
+        }
+        let index = (r.ts_ms / self.window_ms) as u32;
+        if index < self.closed_below {
+            return Err(EdgeperfError::LateRecord {
+                ts_ms: r.ts_ms,
+                watermark_ms: self.watermark_ms(),
+            });
+        }
+        self.open.entry(index).or_default().push(r);
+        if r.ts_ms > self.max_ts_ms {
+            self.max_ts_ms = r.ts_ms;
+            return Ok(self.advance());
+        }
+        Ok(Vec::new())
+    }
+
+    /// Close every window the watermark has passed.
+    fn advance(&mut self) -> Vec<ClosedWindow> {
+        let wm = self.watermark_ms();
+        if wm < 0.0 {
+            return Vec::new();
+        }
+        let boundary = (wm / self.window_ms) as u32;
+        if boundary <= self.closed_below {
+            return Vec::new();
+        }
+        self.closed_below = boundary;
+        let mut closed = Vec::new();
+        while let Some(entry) = self.open.first_entry() {
+            let index = *entry.key();
+            if index >= boundary {
+                break;
+            }
+            closed.push(entry.remove().close(index));
+        }
+        closed
+    }
+
+    /// Close every open window regardless of the watermark (drain path).
+    pub fn force_close(&mut self) -> Vec<ClosedWindow> {
+        let open = std::mem::take(&mut self.open);
+        if let Some(&last) = open.keys().next_back() {
+            self.closed_below = self.closed_below.max(last + 1);
+        }
+        open.into_iter().map(|(index, w)| w.close(index)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgeperf_analysis::compare_minrtt_streaming;
+    use edgeperf_routing::{PopId, Prefix};
+
+    fn rec(ts_ms: f64, prefix: u32, rank: u8, rtt: f64) -> LiveRecord {
+        LiveRecord {
+            ts_ms,
+            group: GroupKey {
+                pop: PopId(1),
+                prefix: Prefix::new(prefix << 16, 16),
+                country: 1,
+                continent: 0,
+            },
+            route_rank: rank,
+            relationship: if rank == 0 { Relationship::PrivatePeer } else { Relationship::Transit },
+            longer_path: rank > 0,
+            more_prepended: false,
+            min_rtt_ms: rtt,
+            hdratio: Some((rtt / 100.0).clamp(0.0, 1.0)),
+            bytes: 100,
+        }
+    }
+
+    #[test]
+    fn windows_close_when_watermark_passes() {
+        // 100 ms windows, 50 ms lateness.
+        let mut ring = WindowRing::new(100.0, 50.0);
+        assert!(ring.push(&rec(10.0, 1, 0, 40.0)).unwrap().is_empty());
+        assert!(ring.push(&rec(90.0, 1, 0, 41.0)).unwrap().is_empty());
+        // ts 120: watermark 70, window 0 still open.
+        assert!(ring.push(&rec(120.0, 1, 0, 42.0)).unwrap().is_empty());
+        assert_eq!(ring.open_windows(), 2);
+        // ts 160: watermark 110 passes window 0's end.
+        let closed = ring.push(&rec(160.0, 1, 0, 43.0)).unwrap();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].index, 0);
+        assert_eq!(closed[0].cells.len(), 1);
+        assert_eq!(closed[0].cells[0].1.n, 2);
+    }
+
+    #[test]
+    fn late_records_are_typed_rejects() {
+        let mut ring = WindowRing::new(100.0, 0.0);
+        ring.push(&rec(50.0, 1, 0, 40.0)).unwrap();
+        let closed = ring.push(&rec(250.0, 1, 0, 41.0)).unwrap();
+        assert_eq!(closed.len(), 1, "window 0 closed");
+        let err = ring.push(&rec(60.0, 1, 0, 42.0)).unwrap_err();
+        match err {
+            EdgeperfError::LateRecord { ts_ms, watermark_ms } => {
+                assert_eq!(ts_ms, 60.0);
+                assert_eq!(watermark_ms, 250.0);
+            }
+            other => panic!("expected LateRecord, got {other:?}"),
+        }
+        assert_eq!(err.reason(), "late");
+        // In-window disorder is fine: window 2 is still open, and 230 is
+        // behind the 250 maximum but not behind the watermark's windows.
+        assert!(ring.push(&rec(230.0, 1, 0, 42.0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_timestamps_are_rejected() {
+        let mut ring = WindowRing::new(100.0, 0.0);
+        assert_eq!(ring.push(&rec(-5.0, 1, 0, 40.0)).unwrap_err().reason(), "negative_timestamp");
+        assert_eq!(ring.push(&rec(f64::NAN, 1, 0, 40.0)).unwrap_err().reason(), "non_finite");
+    }
+
+    #[test]
+    fn cells_are_bit_identical_to_direct_aggregation() {
+        let mut ring = WindowRing::new(100.0, 0.0);
+        let mut direct = StreamingAggregation::new();
+        for i in 0..500 {
+            let r = rec(i as f64 * 0.1, 7, 0, 30.0 + (i % 41) as f64 * 0.7);
+            direct.push(r.min_rtt_ms, r.hdratio, r.bytes);
+            ring.push(&r).unwrap();
+        }
+        direct.flush();
+        let closed = ring.force_close();
+        assert_eq!(closed.len(), 1);
+        let (_, summary) = &closed[0].cells[0];
+        let expected =
+            CellSummary::from_aggregation(&direct, Relationship::PrivatePeer, false, false);
+        assert_eq!(summary.n, expected.n);
+        assert_eq!(summary.min_rtt_p50.to_bits(), expected.min_rtt_p50.to_bits());
+        assert_eq!(summary.min_rtt_var.unwrap().to_bits(), expected.min_rtt_var.unwrap().to_bits());
+        assert_eq!(summary.hdratio_p50.unwrap().to_bits(), expected.hdratio_p50.unwrap().to_bits());
+    }
+
+    #[test]
+    fn summary_comparisons_match_streaming_comparisons() {
+        let mut a = StreamingAggregation::new();
+        let mut b = StreamingAggregation::new();
+        for i in 0..200 {
+            let u = (i as f64 * 0.618_033_988_749).fract() - 0.5;
+            a.push(52.0 + 6.0 * u, Some((0.6 + 0.3 * u).clamp(0.0, 1.0)), 10);
+            b.push(44.0 + 6.0 * u, Some((0.9 + 0.1 * u).clamp(0.0, 1.0)), 10);
+        }
+        a.flush();
+        b.flush();
+        let cfg = AnalysisConfig::default();
+        let rel = Relationship::PrivatePeer;
+        let sa = CellSummary::from_aggregation(&a, rel, false, false);
+        let sb = CellSummary::from_aggregation(&b, rel, false, false);
+        let direct = compare_minrtt_streaming(&cfg, &a, &b);
+        let via_summary = compare_minrtt_summaries(&cfg, &sa, &sb);
+        match (direct, via_summary) {
+            (
+                CompareOutcome::Valid { diff: d1, lo: l1, hi: h1 },
+                CompareOutcome::Valid { diff: d2, lo: l2, hi: h2 },
+            ) => {
+                assert_eq!(d1.to_bits(), d2.to_bits());
+                assert_eq!(l1.to_bits(), l2.to_bits());
+                assert_eq!(h1.to_bits(), h2.to_bits());
+            }
+            other => panic!("expected both valid, got {other:?}"),
+        }
+        assert!(matches!(
+            compare_hdratio_summaries(&cfg, &sb, &sa),
+            CompareOutcome::Valid { diff, .. } if diff > 0.1
+        ));
+    }
+
+    #[test]
+    fn force_close_empties_the_ring_and_marks_windows_closed() {
+        let mut ring = WindowRing::new(100.0, 1_000.0);
+        ring.push(&rec(10.0, 1, 0, 40.0)).unwrap();
+        ring.push(&rec(310.0, 2, 1, 50.0)).unwrap();
+        let closed = ring.force_close();
+        assert_eq!(closed.len(), 2);
+        assert_eq!(ring.open_windows(), 0);
+        assert_eq!(ring.push(&rec(10.0, 1, 0, 40.0)).unwrap_err().reason(), "late");
+    }
+
+    #[test]
+    fn open_window_count_is_bounded_by_lateness() {
+        let mut ring = WindowRing::new(100.0, 250.0);
+        for i in 0..10_000 {
+            ring.push(&rec(i as f64 * 10.0, 1, 0, 40.0)).unwrap();
+            assert!(ring.open_windows() <= 5, "{} open at i={i}", ring.open_windows());
+        }
+    }
+}

@@ -4,7 +4,18 @@
 //! edgeperf estimate [--target-mbps F] [--metrics] [--quarantine-file PATH] [FILE]
 //!                                              JSONL sessions → JSONL verdicts
 //! edgeperf demo                                print a sample input line
+//! edgeperf serve [--addr A] [--workers N] [--window-ms F] [--lateness-ms F]
+//!                [--queue N] [--retention N] [--target-mbps F] [--metrics]
+//!                                              live session-ingest server
 //! ```
+//!
+//! `serve` starts the `edgeperf-live` TCP server: JSONL `WireSession`
+//! lines in, sliding event-time windows + online degradation detection
+//! inside, a line-protocol query interface out (`ping`, `snapshot`,
+//! `stats`, `cells`, `metrics`, `shutdown`). It prints
+//! `listening on ADDR` once bound and runs until a client sends
+//! `shutdown`, then drains, prints the final snapshot to stdout and
+//! exits.
 //!
 //! `--metrics` prints an ingest accounting table (lines evaluated, rejects
 //! by reason) to stderr after the run.
@@ -22,8 +33,11 @@
 
 use edgeperf::core::HD_GOODPUT_BPS;
 use edgeperf::ingest::{evaluate_jsonl_observed, quarantine_jsonl, sample_line};
+use edgeperf::live::{LiveConfig, LiveServer};
 use edgeperf::obs::{render_table, Metrics};
+use edgeperf::serve::WireParser;
 use std::io::Read;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -98,9 +112,48 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("serve") => {
+            let mut config =
+                LiveConfig { addr: "127.0.0.1:4620".to_string(), ..LiveConfig::default() };
+            let mut target = HD_GOODPUT_BPS;
+            let mut metrics = Metrics::disabled();
+            fn num(it: &mut dyn Iterator<Item = &String>, flag: &str) -> f64 {
+                it.next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+            }
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => {
+                        config.addr =
+                            it.next().cloned().unwrap_or_else(|| die("--addr needs an address"));
+                    }
+                    "--workers" => config.workers = num(&mut it, "--workers") as usize,
+                    "--window-ms" => config.window_ms = num(&mut it, "--window-ms"),
+                    "--lateness-ms" => config.lateness_ms = num(&mut it, "--lateness-ms"),
+                    "--queue" => config.queue_capacity = num(&mut it, "--queue") as usize,
+                    "--retention" => {
+                        config.retention_windows = num(&mut it, "--retention") as usize;
+                    }
+                    "--target-mbps" => target = num(&mut it, "--target-mbps") * 1e6,
+                    "--metrics" => metrics = Metrics::enabled(),
+                    other => die(&format!("unknown argument {other}")),
+                }
+            }
+            let parser = Arc::new(WireParser::new(target));
+            let handle = LiveServer::start(config, parser, metrics.clone())
+                .unwrap_or_else(|e| die(&format!("serve: {e}")));
+            println!("listening on {}", handle.addr());
+            let snapshot = handle.join();
+            println!("{}", serde_json::to_string(&snapshot).unwrap());
+            if metrics.is_enabled() {
+                eprint!("{}", render_table(&metrics.snapshot()));
+            }
+        }
         _ => {
             eprintln!(
-                "usage: edgeperf estimate [--target-mbps F] [--metrics] [--quarantine-file PATH] [FILE] | edgeperf demo"
+                "usage: edgeperf estimate [--target-mbps F] [--metrics] [--quarantine-file PATH] [FILE] | edgeperf serve [--addr A] [--workers N] | edgeperf demo"
             );
             std::process::exit(2);
         }

@@ -25,6 +25,10 @@
 //!   routing-opportunity detection, temporal classification.
 //! - [`obs`] — pipeline observability: the lock-light metrics registry,
 //!   phase spans, and JSON-serializable snapshots behind `--metrics-json`.
+//! - [`live`] — the streaming session-ingest server (`edgeperf serve`):
+//!   sliding event-time windows over the same estimator and statistics,
+//!   with online degradation detection. The wire format lives in
+//!   [`serve`].
 //!
 //! ## Quickstart
 //!
@@ -51,9 +55,11 @@
 //! ```
 
 pub mod ingest;
+pub mod serve;
 
 pub use edgeperf_analysis as analysis;
 pub use edgeperf_core as core;
+pub use edgeperf_live as live;
 pub use edgeperf_netsim as netsim;
 pub use edgeperf_obs as obs;
 pub use edgeperf_routing as routing;

@@ -1,0 +1,159 @@
+//! The `edgeperf serve` wire format: the bridge between the typed-error
+//! JSONL ingest (this crate's [`crate::ingest`]) and the live server
+//! (`edgeperf-live`).
+//!
+//! A wire line is one [`WireSession`] per line: the raw socket-statistics
+//! session ([`SessionIn`], exactly as accepted by `edgeperf estimate`)
+//! plus the event timestamp and routing annotations the live windowing
+//! needs. [`WireParser`] runs the core estimator on each line — the same
+//! `SessionIn::evaluate` the offline CLI uses — and yields the
+//! `LiveRecord` the server folds into its windows, so live summaries are
+//! produced by the very same estimator code path.
+
+use crate::ingest::SessionIn;
+use edgeperf_analysis::GroupKey;
+use edgeperf_core::EdgeperfError;
+use edgeperf_live::{relationship_from_label, LiveRecord};
+use edgeperf_routing::{PopId, Prefix};
+use serde::{Deserialize, Serialize};
+
+/// One session on the wire: event time + routing annotations + the raw
+/// estimator input.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireSession {
+    /// Event time in milliseconds since the stream epoch.
+    pub ts_ms: f64,
+    /// Serving PoP id.
+    pub pop: u16,
+    /// Client BGP prefix base address.
+    pub prefix_base: u32,
+    /// Client BGP prefix length.
+    pub prefix_len: u8,
+    /// Client country id.
+    pub country: u16,
+    /// Client continent id.
+    pub continent: u8,
+    /// Rank of the pinned egress route (0 = policy-preferred).
+    #[serde(default)]
+    pub route_rank: u8,
+    /// Relationship label: `private`, `public` or `transit`.
+    pub relationship: String,
+    /// The pinned route's AS path is longer than the preferred route's.
+    #[serde(default)]
+    pub longer_path: bool,
+    /// The pinned route is prepended more than the preferred route.
+    #[serde(default)]
+    pub more_prepended: bool,
+    /// The captured socket statistics, as in `edgeperf estimate` input.
+    pub session: SessionIn,
+}
+
+impl WireSession {
+    /// The group key encoded in this line.
+    pub fn group(&self) -> GroupKey {
+        GroupKey {
+            pop: PopId(self.pop),
+            prefix: Prefix::new(self.prefix_base, self.prefix_len),
+            country: self.country,
+            continent: self.continent,
+        }
+    }
+
+    /// Serialize to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("wire session serializes")
+    }
+}
+
+/// [`edgeperf_live::LineParser`] over the JSONL wire format: parse,
+/// run the core HDratio/MinRTT estimator, reject with the same typed
+/// errors (and therefore the same `ingest.reject.<reason>` labels) as
+/// the offline path.
+pub struct WireParser {
+    /// HD goodput target in bits per second.
+    pub target_bps: f64,
+}
+
+impl WireParser {
+    /// Parser evaluating sessions at `target_bps`.
+    pub fn new(target_bps: f64) -> WireParser {
+        WireParser { target_bps }
+    }
+
+    /// Parse and evaluate one wire line.
+    pub fn parse_line(&self, line: &str) -> Result<LiveRecord, EdgeperfError> {
+        let wire: WireSession = serde_json::from_str(line)
+            .map_err(|e| EdgeperfError::Json { message: e.to_string() })?;
+        let relationship = relationship_from_label(&wire.relationship)?;
+        let verdict = wire.session.evaluate(self.target_bps)?;
+        let bytes = wire.session.responses.iter().map(|r| r.bytes).sum();
+        Ok(LiveRecord {
+            ts_ms: wire.ts_ms,
+            group: wire.group(),
+            route_rank: wire.route_rank,
+            relationship,
+            longer_path: wire.longer_path,
+            more_prepended: wire.more_prepended,
+            min_rtt_ms: verdict.min_rtt_ms,
+            hdratio: verdict.hdratio,
+            bytes,
+        })
+    }
+}
+
+impl edgeperf_live::LineParser for WireParser {
+    fn parse(&self, line: &str) -> Result<LiveRecord, EdgeperfError> {
+        self.parse_line(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::sample_line;
+    use edgeperf_core::HD_GOODPUT_BPS;
+    use edgeperf_routing::Relationship;
+
+    fn wire(ts_ms: f64) -> WireSession {
+        WireSession {
+            ts_ms,
+            pop: 3,
+            prefix_base: 0x0A000000,
+            prefix_len: 16,
+            country: 7,
+            continent: 2,
+            route_rank: 0,
+            relationship: "private".to_string(),
+            longer_path: false,
+            more_prepended: false,
+            session: serde_json::from_str(&sample_line()).unwrap(),
+        }
+    }
+
+    #[test]
+    fn wire_lines_round_trip_through_the_parser() {
+        let w = wire(1234.5);
+        let parser = WireParser::new(HD_GOODPUT_BPS);
+        let rec = parser.parse_line(&w.to_line()).unwrap();
+        assert_eq!(rec.ts_ms, 1234.5);
+        assert_eq!(rec.group, w.group());
+        assert_eq!(rec.relationship, Relationship::PrivatePeer);
+        assert_eq!(rec.min_rtt_ms, 60.0);
+        assert_eq!(rec.hdratio, Some(1.0));
+        assert_eq!(rec.bytes, 36_000);
+    }
+
+    #[test]
+    fn estimator_rejects_flow_through_with_typed_reasons() {
+        let parser = WireParser::new(HD_GOODPUT_BPS);
+        assert_eq!(parser.parse_line("not json").unwrap_err().reason(), "json");
+
+        let mut w = wire(0.0);
+        w.relationship = "imaginary".to_string();
+        assert_eq!(parser.parse_line(&w.to_line()).unwrap_err().reason(), "json");
+
+        let mut w = wire(0.0);
+        w.session.min_rtt_ms = -1.0;
+        assert_eq!(parser.parse_line(&w.to_line()).unwrap_err().reason(), "invalid_min_rtt");
+    }
+}
