@@ -1,25 +1,35 @@
 //! `loadgen` — replay simulated workload sessions into `edgeperf serve`.
 //!
 //! ```text
-//! loadgen --addr HOST:PORT [--rate F] [--sessions N] [--connections N]
-//!         [--groups N] [--windows N] [--window-ms F] [--max-txns N]
-//!         [--seed N] [--shutdown] [--expect-clean] [--json PATH]
+//! loadgen --addr HOST:PORT [--wire jsonl|binary] [--rate F] [--sessions N]
+//!         [--connections N] [--groups N] [--windows N] [--window-ms F]
+//!         [--lateness-ms F] [--max-txns N] [--seed N] [--shutdown]
+//!         [--expect-clean] [--json PATH]
+//! loadgen --suite [--sessions N] ... [--expect-clean] [--json PATH]
 //! ```
 //!
 //! Prints the [`edgeperf_bench::loadgen::LoadReport`] as JSON on stdout;
 //! `--json PATH` also writes it to a file (the tracked `BENCH_live.json`).
+//! `--wire binary` negotiates the length-prefixed binary frame format
+//! (the estimator runs locally; the server skips JSON entirely).
 //! `--shutdown` drains the server at the end of the replay.
 //! `--expect-clean` exits non-zero unless every session was ingested
 //! (no rejects, no late drops, groups observed, clean drain when
 //! `--shutdown` was given) — the CI smoke assertion.
+//!
+//! `--suite` ignores `--addr`/`--shutdown` and self-hosts servers
+//! in-process instead: one headline run per wire mode plus a binary
+//! worker-count sweep, reported as a combined
+//! [`edgeperf_bench::loadgen::SuiteReport`].
 
-use edgeperf_bench::loadgen::{run, LoadgenConfig};
+use edgeperf_bench::loadgen::{run, run_suite, LoadReport, LoadgenConfig, WireMode};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = LoadgenConfig::default();
     let mut json_path: Option<String> = None;
     let mut expect_clean = false;
+    let mut suite = false;
     fn num(it: &mut dyn Iterator<Item = &String>, flag: &str) -> f64 {
         it.next()
             .and_then(|s| s.parse().ok())
@@ -31,18 +41,27 @@ fn main() {
             "--addr" => {
                 cfg.addr = it.next().cloned().unwrap_or_else(|| die("--addr needs an address"));
             }
+            "--wire" => {
+                cfg.wire = it
+                    .next()
+                    .and_then(|s| WireMode::parse(s))
+                    .unwrap_or_else(|| die("--wire needs `jsonl` or `binary`"));
+            }
             "--rate" => cfg.rate = num(&mut it, "--rate"),
             "--sessions" => cfg.sessions = num(&mut it, "--sessions") as usize,
             "--connections" => cfg.connections = num(&mut it, "--connections") as usize,
             "--groups" => cfg.groups = num(&mut it, "--groups") as usize,
             "--windows" => cfg.windows = num(&mut it, "--windows") as u32,
             "--window-ms" => cfg.window_ms = num(&mut it, "--window-ms"),
+            "--lateness-ms" => cfg.lateness_ms = num(&mut it, "--lateness-ms"),
+            "--target-bps" => cfg.target_bps = num(&mut it, "--target-bps"),
             "--max-txns" => cfg.max_txns = num(&mut it, "--max-txns") as usize,
             "--seed" => cfg.seed = num(&mut it, "--seed") as u64,
             "--ping-interval-ms" => {
                 cfg.ping_interval_ms = num(&mut it, "--ping-interval-ms") as u64
             }
             "--shutdown" => cfg.shutdown = true,
+            "--suite" => suite = true,
             "--expect-clean" => expect_clean = true,
             "--json" => {
                 json_path = Some(it.next().cloned().unwrap_or_else(|| die("--json needs a path")));
@@ -51,22 +70,44 @@ fn main() {
         }
     }
 
+    if suite {
+        let report = run_suite(&cfg).unwrap_or_else(|e| die(&format!("suite: {e}")));
+        emit(&serde_json::to_string_pretty(&report).expect("suite serializes"), &json_path);
+        if expect_clean {
+            check_clean(&report.jsonl, true);
+            check_clean(&report.binary, true);
+            for point in &report.binary_scaling {
+                if point.rejected != 0 || point.accepted != report.sessions {
+                    die(&format!("scaling run was not clean: {point:?}"));
+                }
+            }
+        }
+        return;
+    }
+
     let report = run(&cfg).unwrap_or_else(|e| die(&format!("replay against {}: {e}", cfg.addr)));
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    emit(&serde_json::to_string_pretty(&report).expect("report serializes"), &json_path);
+    if expect_clean {
+        check_clean(&report, cfg.shutdown);
+    }
+}
+
+fn emit(json: &str, json_path: &Option<String>) {
     println!("{json}");
     if let Some(path) = json_path {
-        std::fs::write(&path, format!("{json}\n"))
+        std::fs::write(path, format!("{json}\n"))
             .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
     }
-    if expect_clean {
-        let clean = report.accepted == report.sessions
-            && report.rejected == 0
-            && report.late == 0
-            && report.groups > 0
-            && (!cfg.shutdown || report.drained);
-        if !clean {
-            die(&format!("replay was not clean: {report:?}"));
-        }
+}
+
+fn check_clean(report: &LoadReport, drained_expected: bool) {
+    let clean = report.accepted == report.sessions
+        && report.rejected == 0
+        && report.late == 0
+        && report.groups > 0
+        && (!drained_expected || report.drained);
+    if !clean {
+        die(&format!("replay was not clean: {report:?}"));
     }
 }
 

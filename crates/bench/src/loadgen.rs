@@ -2,30 +2,71 @@
 //!
 //! Replays simulated workload sessions (from `edgeperf-workload`'s
 //! session planner, so the transaction mixture matches the paper's
-//! traffic shape) over TCP as `WireSession` JSONL, paced to a target
-//! rate across several connections, while a dedicated control
-//! connection pings through the worker queues to measure end-to-end
-//! ingest latency. The resulting [`LoadReport`] is the tracked
+//! traffic shape) over TCP — as `WireSession` JSONL or, with
+//! [`WireMode::Binary`], as the length-prefixed binary frames of
+//! `edgeperf_live::frame` — paced to a target rate across several
+//! connections, while a dedicated control connection pings through the
+//! worker queues to measure end-to-end ingest latency. The resulting
+//! [`LoadReport`] (or the self-hosted [`SuiteReport`] comparing both
+//! wire modes and sweeping worker counts) is the tracked
 //! `BENCH_live.json` artifact.
+//!
+//! In binary mode the generator runs the core estimator *locally*
+//! ([`edgeperf::serve::record_from_wire`], the same function the
+//! server's JSONL path calls) and ships the resulting `f64` bits verbatim
+//! in little-endian frames — which is why binary-ingested cells are
+//! bit-identical to JSONL-ingested ones.
 
 use edgeperf::ingest::{ResponseIn, SessionIn};
-use edgeperf::serve::WireSession;
-use edgeperf_core::MILLISECOND;
-use edgeperf_live::LiveClient;
+use edgeperf::serve::{WireParser, WireSession};
+use edgeperf_core::{HD_GOODPUT_BPS, MILLISECOND};
+use edgeperf_live::{encode_frame, preamble, LiveClient, LiveConfig, LiveServer};
+use edgeperf_obs::Metrics;
 use edgeperf_workload::WorkloadConfig;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
-use std::io;
+use std::io::{self, BufWriter, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Wire format of the replay's data connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// `WireSession` JSONL lines (the default wire format).
+    Jsonl,
+    /// Length-prefixed binary frames (`edgeperf_live::frame`).
+    Binary,
+}
+
+impl WireMode {
+    /// Stable label, as reported in [`LoadReport::wire`].
+    pub fn label(self) -> &'static str {
+        match self {
+            WireMode::Jsonl => "jsonl",
+            WireMode::Binary => "binary",
+        }
+    }
+
+    /// Parse a `--wire` argument.
+    pub fn parse(s: &str) -> Option<WireMode> {
+        match s {
+            "jsonl" => Some(WireMode::Jsonl),
+            "binary" => Some(WireMode::Binary),
+            _ => None,
+        }
+    }
+}
 
 /// Knobs for one load run.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
     /// Server address.
     pub addr: String,
+    /// Wire format for the data connections.
+    pub wire: WireMode,
     /// Target send rate in sessions/s (0 = unthrottled).
     pub rate: f64,
     /// Total sessions to replay.
@@ -47,6 +88,10 @@ pub struct LoadgenConfig {
     /// the replay is chunked so cross-connection event-time skew stays
     /// within half this bound, guaranteeing a late-free replay.
     pub lateness_ms: f64,
+    /// HD goodput target (bps) for the local estimator pass in binary
+    /// mode; must match the server's target so both wire formats yield
+    /// the same records.
+    pub target_bps: f64,
     /// Workload/rng seed.
     pub seed: u64,
     /// Ping cadence on the control connection (ms).
@@ -59,6 +104,7 @@ impl Default for LoadgenConfig {
     fn default() -> LoadgenConfig {
         LoadgenConfig {
             addr: "127.0.0.1:4620".to_string(),
+            wire: WireMode::Jsonl,
             rate: 0.0,
             sessions: 100_000,
             connections: 4,
@@ -68,6 +114,7 @@ impl Default for LoadgenConfig {
             window_ms: 900_000.0,
             max_txns: 6,
             lateness_ms: 60_000.0,
+            target_bps: HD_GOODPUT_BPS,
             seed: 7,
             ping_interval_ms: 10,
             shutdown: false,
@@ -78,6 +125,9 @@ impl Default for LoadgenConfig {
 /// What a load run achieved, plus the server's closing snapshot.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LoadReport {
+    /// Wire format the data connections used (`jsonl` / `binary`).
+    #[serde(default)]
+    pub wire: String,
     /// Configured target rate (sessions/s; 0 = unthrottled).
     pub target_rate: f64,
     /// Sessions replayed.
@@ -170,6 +220,35 @@ pub fn generate_lines(cfg: &LoadgenConfig) -> Vec<String> {
         .collect()
 }
 
+/// Pre-render the replay as raw socket payloads for `cfg.wire`: JSONL
+/// lines with their trailing newline, or binary frames produced by
+/// running the estimator locally on the very same generated sessions.
+pub fn render_payloads(cfg: &LoadgenConfig, lines: &[String]) -> io::Result<Vec<Vec<u8>>> {
+    match cfg.wire {
+        WireMode::Jsonl => Ok(lines
+            .iter()
+            .map(|l| {
+                let mut bytes = Vec::with_capacity(l.len() + 1);
+                bytes.extend_from_slice(l.as_bytes());
+                bytes.push(b'\n');
+                bytes
+            })
+            .collect()),
+        WireMode::Binary => {
+            let parser = WireParser::new(cfg.target_bps);
+            lines
+                .iter()
+                .map(|l| {
+                    parser
+                        .parse_line(l)
+                        .map(|rec| encode_frame(&rec).to_vec())
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+                })
+                .collect()
+        }
+    }
+}
+
 /// Poll `snapshot` until the server has accounted for `expected` lines
 /// (ingested or rejected), i.e. every byte sent so far is processed.
 fn wait_processed(client: &mut LiveClient, expected: u64) -> io::Result<()> {
@@ -200,6 +279,8 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// Run one replay against a live server and collect the report.
 pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
     let lines = generate_lines(cfg);
+    let payloads = render_payloads(cfg, &lines)?;
+    drop(lines);
     let connections = cfg.connections.max(1);
 
     // Ping sampler on its own connection: each round-trip rides a worker
@@ -235,29 +316,39 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
     let chunk = ((cfg.sessions as f64 * (cfg.lateness_ms / 2.0) / span_ms) as usize)
         .clamp(connections, cfg.sessions.max(1));
     let barrier = Arc::new(std::sync::Barrier::new(connections));
-    let lines = Arc::new(lines);
+    let payloads = Arc::new(payloads);
     let started = Instant::now();
     let senders: Vec<_> = (0..connections)
         .map(|c| {
-            let lines = Arc::clone(&lines);
+            let payloads = Arc::clone(&payloads);
             let barrier = Arc::clone(&barrier);
             let addr = cfg.addr.clone();
             let per_conn_rate = cfg.rate / connections as f64;
+            let wire = cfg.wire;
             std::thread::spawn(move || -> io::Result<u64> {
-                let mut client = LiveClient::connect(&addr)?;
+                let stream = TcpStream::connect(&addr)?;
+                stream.set_nodelay(true)?;
+                let mut out = BufWriter::with_capacity(1 << 18, stream);
+                if wire == WireMode::Binary {
+                    out.write_all(&preamble())?;
+                }
+                // The leader polls replay progress on a dedicated
+                // control connection: binary data connections carry no
+                // commands, and the snapshot counters are global anyway.
+                let mut control = if c == 0 { Some(LiveClient::connect(&addr)?) } else { None };
                 let start = Instant::now();
                 let mut sent = 0u64;
-                let total = lines.len();
+                let total = payloads.len();
                 let mut chunk_start = 0usize;
                 while chunk_start < total {
                     let chunk_end = (chunk_start + chunk).min(total);
-                    for line in lines[chunk_start..chunk_end]
+                    for payload in payloads[chunk_start..chunk_end]
                         .iter()
                         .enumerate()
                         .filter(|(i, _)| (chunk_start + i) % connections == c)
-                        .map(|(_, l)| l)
+                        .map(|(_, p)| p)
                     {
-                        client.send_line(line)?;
+                        out.write_all(payload)?;
                         sent += 1;
                         if per_conn_rate > 0.0 && sent.is_multiple_of(64) {
                             let due = sent as f64 / per_conn_rate;
@@ -267,10 +358,10 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
                             }
                         }
                     }
-                    client.flush()?;
+                    out.flush()?;
                     barrier.wait();
-                    if c == 0 {
-                        wait_processed(&mut client, chunk_end as u64)?;
+                    if let Some(control) = control.as_mut() {
+                        wait_processed(control, chunk_end as u64)?;
                     }
                     barrier.wait();
                     chunk_start = chunk_end;
@@ -295,6 +386,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
     let snapshot = if cfg.shutdown { control.shutdown()? } else { control.snapshot()? };
 
     Ok(LoadReport {
+        wire: cfg.wire.label().to_string(),
         target_rate: cfg.rate,
         sessions: sent,
         elapsed_s: elapsed,
@@ -312,13 +404,105 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
     })
 }
 
+/// One worker-count point of the binary scaling sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Server ingest worker threads.
+    pub workers: u64,
+    /// Sessions per second actually sustained.
+    pub achieved_sessions_per_sec: f64,
+    /// Wall-clock replay time (s).
+    pub elapsed_s: f64,
+    /// Server: records folded into windows.
+    pub accepted: u64,
+    /// Server: rejected records (must be 0 for a clean sweep).
+    pub rejected: u64,
+}
+
+/// Combined wire-format comparison: one headline run per mode plus a
+/// binary worker-count sweep, all against self-hosted in-process
+/// servers over real loopback TCP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Sessions replayed per run.
+    pub sessions: u64,
+    /// Parallel data connections per run.
+    pub connections: u64,
+    /// Server workers for the headline runs.
+    pub server_workers: u64,
+    /// Headline JSONL run.
+    pub jsonl: LoadReport,
+    /// Headline binary run (same sessions, same server geometry).
+    pub binary: LoadReport,
+    /// `binary.achieved_sessions_per_sec / jsonl.achieved_sessions_per_sec`.
+    pub binary_speedup: f64,
+    /// Binary throughput at [`SCALING_WORKERS`] worker counts.
+    pub binary_scaling: Vec<ScalingPoint>,
+}
+
+/// Worker counts swept by [`run_suite`]'s binary scaling pass.
+pub const SCALING_WORKERS: [usize; 3] = [1, 4, 16];
+
+/// Server workers for the suite's headline JSONL-vs-binary comparison.
+pub const SUITE_WORKERS: usize = 4;
+
+/// Start an in-process [`LiveServer`] matching `cfg`'s window geometry,
+/// replay into it over loopback TCP, drain it, and report.
+pub fn run_hosted(cfg: &LoadgenConfig, wire: WireMode, workers: usize) -> io::Result<LoadReport> {
+    let server = LiveServer::start(
+        LiveConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            window_ms: cfg.window_ms,
+            lateness_ms: cfg.lateness_ms,
+            ..LiveConfig::default()
+        },
+        Arc::new(WireParser::new(cfg.target_bps)),
+        Metrics::enabled(),
+    )
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let run_cfg =
+        LoadgenConfig { addr: server.addr().to_string(), wire, shutdown: true, ..cfg.clone() };
+    let report = run(&run_cfg)?;
+    let _ = server.join();
+    Ok(report)
+}
+
+/// Run the full self-hosted comparison suite (see [`SuiteReport`]).
+/// `cfg.addr` is ignored; each run gets a fresh ephemeral-port server.
+pub fn run_suite(cfg: &LoadgenConfig) -> io::Result<SuiteReport> {
+    let jsonl = run_hosted(cfg, WireMode::Jsonl, SUITE_WORKERS)?;
+    let binary = run_hosted(cfg, WireMode::Binary, SUITE_WORKERS)?;
+    let mut binary_scaling = Vec::with_capacity(SCALING_WORKERS.len());
+    for &workers in &SCALING_WORKERS {
+        let r = run_hosted(cfg, WireMode::Binary, workers)?;
+        binary_scaling.push(ScalingPoint {
+            workers: workers as u64,
+            achieved_sessions_per_sec: r.achieved_sessions_per_sec,
+            elapsed_s: r.elapsed_s,
+            accepted: r.accepted,
+            rejected: r.rejected,
+        });
+    }
+    let binary_speedup = if jsonl.achieved_sessions_per_sec > 0.0 {
+        binary.achieved_sessions_per_sec / jsonl.achieved_sessions_per_sec
+    } else {
+        0.0
+    };
+    Ok(SuiteReport {
+        sessions: cfg.sessions as u64,
+        connections: cfg.connections.max(1) as u64,
+        server_workers: SUITE_WORKERS as u64,
+        jsonl,
+        binary,
+        binary_speedup,
+        binary_scaling,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use edgeperf::core::HD_GOODPUT_BPS;
-    use edgeperf::live::{LiveConfig, LiveServer};
-    use edgeperf::obs::Metrics;
-    use edgeperf::serve::WireParser;
 
     #[test]
     fn loadgen_replays_into_a_live_server_without_drops() {
@@ -351,6 +535,27 @@ mod tests {
         assert!(report.pings > 0);
         assert!(report.p99_ingest_latency_ms >= report.p50_ingest_latency_ms);
         assert_eq!(final_snap.accepted, 2_000);
+    }
+
+    #[test]
+    fn loadgen_replays_binary_frames_without_drops() {
+        let cfg = LoadgenConfig {
+            sessions: 2_000,
+            connections: 2,
+            groups: 16,
+            windows: 4,
+            ping_interval_ms: 1,
+            ..LoadgenConfig::default()
+        };
+        let report = run_hosted(&cfg, WireMode::Binary, 2).expect("binary replay succeeds");
+        assert_eq!(report.wire, "binary");
+        assert!(report.drained);
+        assert_eq!(report.sessions, 2_000);
+        assert_eq!(report.accepted, 2_000, "every frame ingested: {report:?}");
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.late, 0);
+        assert_eq!(report.groups, 16);
+        assert!(report.windows_closed >= 8, "windows closed: {report:?}");
     }
 
     #[test]

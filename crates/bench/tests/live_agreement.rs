@@ -1,6 +1,7 @@
 //! Live/offline agreement: a finite replay through `edgeperf serve`
 //! yields window medians and Price–Bonett variances **bit-identical** to
-//! the offline streaming pipeline, at parallelism 1 and 4.
+//! the offline streaming pipeline, at parallelism 1 and 4 — over the
+//! JSONL wire *and* over the binary frame wire.
 //!
 //! Why this holds: records are sharded to workers by group hash, so every
 //! record of a group flows through one worker in connection order, and
@@ -8,7 +9,9 @@
 //! sequence a serial offline [`WindowRing`] sees. A single client
 //! connection preserves the global order. The `cells` wire format prints
 //! floats with shortest-round-trip precision, so the assertion survives
-//! the JSON hop.
+//! the JSON hop. On the binary path, the client runs the same estimator
+//! locally and frames carry raw little-endian f64 bits, so the identity
+//! extends across the frame codec too.
 //!
 //! Also covers the late-record path end to end: a record behind the
 //! watermark must surface as a typed `late` reject in the snapshot, the
@@ -19,7 +22,7 @@ use std::sync::Arc;
 
 use edgeperf::core::HD_GOODPUT_BPS;
 use edgeperf::ingest::{ResponseIn, SessionIn};
-use edgeperf::live::{CellLine, LiveClient, LiveConfig, LiveServer, WindowRing};
+use edgeperf::live::{BinarySender, CellLine, LiveClient, LiveConfig, LiveServer, WindowRing};
 use edgeperf::obs::Metrics;
 use edgeperf::serve::{WireParser, WireSession};
 use edgeperf_bench::loadgen::{generate_lines, LoadgenConfig};
@@ -76,6 +79,45 @@ fn live_cells(lines: &[String], workers: usize) -> Vec<CellLine> {
     cells
 }
 
+/// Replay the same lines over one *binary* connection: run the estimator
+/// locally (the same `record_from_wire` the server's JSONL path uses),
+/// encode each record as a frame, and fetch the closed cells over a
+/// separate JSONL control connection.
+fn live_cells_binary(lines: &[String], parser: &WireParser, workers: usize) -> Vec<CellLine> {
+    let server = LiveServer::start(
+        config(workers),
+        Arc::new(WireParser::new(HD_GOODPUT_BPS)),
+        Metrics::enabled(),
+    )
+    .expect("server starts");
+    let mut sender = BinarySender::connect(server.addr()).expect("binary connect");
+    for line in lines {
+        let rec = parser.parse_line(line).expect("local parse");
+        sender.send(&rec).expect("send frame");
+    }
+    sender.finish().expect("finish");
+    // Binary connections carry no commands; poll a control connection
+    // until the server has folded in every frame.
+    let mut control = LiveClient::connect(server.addr()).expect("control connect");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let snap = control.snapshot().expect("snapshot");
+        if snap.accepted + snap.rejected >= lines.len() as u64 {
+            assert_eq!(snap.accepted, lines.len() as u64, "every frame ingested: {snap:?}");
+            assert_eq!(snap.rejected, 0, "{snap:?}");
+            assert_eq!(snap.late, 0, "{snap:?}");
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "server stuck: {snap:?}");
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let cells = control.cells().expect("cells");
+    let snap = control.shutdown().expect("shutdown");
+    assert!(snap.drained);
+    let _ = server.join();
+    cells
+}
+
 type SortKey = (u32, u16, u32, u8, u16, u8, u8);
 
 fn sort_key(c: &CellLine) -> SortKey {
@@ -122,6 +164,35 @@ fn live_replay_matches_offline_windows_bit_for_bit() {
         let mut live = live_cells(&lines, workers);
         live.sort_by_key(sort_key);
         assert_bit_identical(&live, &offline);
+    }
+}
+
+#[test]
+fn binary_replay_matches_jsonl_and_offline_bit_for_bit() {
+    let gen = LoadgenConfig {
+        sessions: 4_000,
+        groups: 16,
+        windows: 6,
+        window_ms: WINDOW_MS,
+        max_txns: 3,
+        ..LoadgenConfig::default()
+    };
+    let lines = generate_lines(&gen);
+    let parser = WireParser::new(HD_GOODPUT_BPS);
+
+    let mut offline = offline_cells(&lines, &parser);
+    offline.sort_by_key(sort_key);
+    assert!(offline.len() >= 5 * 16, "only {} offline cells closed", offline.len());
+
+    for workers in [1usize, 4] {
+        let mut jsonl = live_cells(&lines, workers);
+        jsonl.sort_by_key(sort_key);
+        let mut binary = live_cells_binary(&lines, &parser, workers);
+        binary.sort_by_key(sort_key);
+        // Binary-ingested cells equal JSONL-ingested cells equal the
+        // offline reference, to the bit, at this worker count.
+        assert_bit_identical(&binary, &jsonl);
+        assert_bit_identical(&binary, &offline);
     }
 }
 

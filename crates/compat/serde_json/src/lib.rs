@@ -73,11 +73,17 @@ fn write_escaped(s: &str, out: &mut String) {
 
 fn write_number(n: f64, out: &mut String) {
     if !n.is_finite() {
-        // JSON has no NaN/Inf; serialize as null like serde_json does
-        // for Option-less floats is an error there, but null is the
-        // safest representable fallback here.
+        // JSON has no representation for NaN or ±∞. Upstream serde_json
+        // makes serializing them a hard error; this stand-in writes
+        // `null` instead — the only representable fallback — so snapshot
+        // writers never abort mid-document. Readers must treat a `null`
+        // where a number was expected as "value was not finite".
         out.push_str("null");
-    } else if n == n.trunc() && n.abs() < 1e15 {
+    } else if n == n.trunc() && n.abs() < 1e15 && !(n == 0.0 && n.is_sign_negative()) {
+        // Integral fast path. -0.0 compares equal to 0.0 and would print
+        // as `0`, destroying the sign bit that `f64::to_bits` snapshot
+        // round-trips depend on; route it through float formatting
+        // (which prints `-0`) instead.
         out.push_str(&format!("{}", n as i64));
     } else {
         out.push_str(&format!("{n}"));
@@ -246,9 +252,13 @@ impl<'a> Parser<'a> {
         // Integers dominate real documents and parse several times
         // faster than the general float path; i64 → f64 is exact for
         // anything under 2^53, and longer digit strings fall through.
+        // `-0` must not take it: 0i64 as f64 is +0.0, which would strip
+        // the sign bit the writer just preserved.
         if integral && text.len() < 16 {
             if let Ok(i) = text.parse::<i64>() {
-                return Ok(Value::Num(i as f64));
+                if i != 0 || !text.starts_with('-') {
+                    return Ok(Value::Num(i as f64));
+                }
             }
         }
         text.parse::<f64>()
@@ -475,6 +485,38 @@ mod tests {
     fn integers_print_without_decimal() {
         assert_eq!(to_string(&Value::Num(42.0)).unwrap(), "42");
         assert_eq!(to_string(&Value::Num(1.5)).unwrap(), "1.5");
+    }
+
+    /// -0.0 used to hit the integral fast path and print as `0`, and
+    /// `-0` used to parse through the i64 fast path as +0.0 — either
+    /// direction destroyed the sign bit that `f64::to_bits` snapshot
+    /// round-trips are gated on.
+    #[test]
+    fn negative_zero_round_trips_bit_exactly() {
+        let neg = -0.0f64;
+        assert_eq!(to_string(&Value::Num(neg)).unwrap(), "-0");
+        let back: f64 = from_str("-0").unwrap();
+        assert_eq!(back.to_bits(), neg.to_bits());
+        let back: f64 = from_str(&to_string(&neg).unwrap()).unwrap();
+        assert_eq!(back.to_bits(), neg.to_bits());
+        // Positive zero is unaffected by the carve-out.
+        assert_eq!(to_string(&Value::Num(0.0)).unwrap(), "0");
+        let back: f64 = from_str("0").unwrap();
+        assert_eq!(back.to_bits(), 0.0f64.to_bits());
+        // Non-integral spellings of -0 keep the sign through the float path.
+        let back: f64 = from_str("-0.0").unwrap();
+        assert_eq!(back.to_bits(), neg.to_bits());
+        let back: f64 = from_str("-0e3").unwrap();
+        assert_eq!(back.to_bits(), neg.to_bits());
+    }
+
+    /// JSON cannot carry NaN/±∞; the writer falls back to `null` (see
+    /// `write_number`) rather than erroring like upstream serde_json.
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(to_string(&Value::Num(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&Value::Num(f64::INFINITY)).unwrap(), "null");
+        assert_eq!(to_string(&Value::Num(f64::NEG_INFINITY)).unwrap(), "null");
     }
 
     #[test]

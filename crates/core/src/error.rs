@@ -47,6 +47,25 @@ pub enum EdgeperfError {
         /// The watermark at rejection time (ms).
         watermark_ms: f64,
     },
+    /// A live-ingest timestamp maps to a window index beyond the ring's
+    /// `u32` index space (`floor(ts / window) > u32::MAX`). The old code
+    /// saturated the cast, silently collapsing every far-future record
+    /// into one never-closing window; now the record is rejected at the
+    /// point of ingest. Counted under `ingest.reject.window_overflow`.
+    WindowOverflow {
+        /// The record's event timestamp (ms).
+        ts_ms: f64,
+        /// The ring's window length (ms).
+        window_ms: f64,
+    },
+    /// A binary wire frame could not be decoded (bad preamble, short
+    /// length prefix, or invalid packed fields). Unlike per-line JSONL
+    /// errors there is no way to resynchronize a corrupt binary stream,
+    /// so the connection is closed after counting the reject.
+    Frame {
+        /// What was wrong with the frame.
+        message: String,
+    },
     /// An [`AnalysisConfig`]-style parameter was out of range.
     ///
     /// [`AnalysisConfig`]: https://docs.rs/edgeperf-analysis
@@ -68,6 +87,8 @@ impl EdgeperfError {
             EdgeperfError::UnknownDuration => "unknown_duration",
             EdgeperfError::Json { .. } => "json",
             EdgeperfError::LateRecord { .. } => "late",
+            EdgeperfError::WindowOverflow { .. } => "window_overflow",
+            EdgeperfError::Frame { .. } => "frame",
             EdgeperfError::InvalidConfig { .. } => "invalid_config",
         }
     }
@@ -94,6 +115,13 @@ impl fmt::Display for EdgeperfError {
             EdgeperfError::LateRecord { ts_ms, watermark_ms } => {
                 write!(f, "ts_ms {ts_ms} is behind the watermark {watermark_ms}")
             }
+            EdgeperfError::WindowOverflow { ts_ms, window_ms } => {
+                write!(
+                    f,
+                    "ts_ms {ts_ms} maps past the window-index horizon ({window_ms} ms windows)"
+                )
+            }
+            EdgeperfError::Frame { message } => write!(f, "binary frame: {message}"),
             EdgeperfError::InvalidConfig { field, message } => {
                 write!(f, "invalid config: {field}: {message}")
             }
@@ -158,6 +186,14 @@ mod tests {
                 EdgeperfError::LateRecord { ts_ms: 1000.0, watermark_ms: 2500.0 },
                 "ts_ms 1000 is behind the watermark 2500",
             ),
+            (
+                EdgeperfError::WindowOverflow { ts_ms: 4.0e15, window_ms: 900000.0 },
+                "ts_ms 4000000000000000 maps past the window-index horizon (900000 ms windows)",
+            ),
+            (
+                EdgeperfError::Frame { message: "length prefix 3 below minimum 44".into() },
+                "binary frame: length prefix 3 below minimum 44",
+            ),
         ];
         for (err, expected) in cases {
             assert_eq!(err.to_string(), expected);
@@ -175,5 +211,10 @@ mod tests {
             "negative_timestamp"
         );
         assert_eq!(EdgeperfError::LateRecord { ts_ms: 0.0, watermark_ms: 1.0 }.reason(), "late");
+        assert_eq!(
+            EdgeperfError::WindowOverflow { ts_ms: 0.0, window_ms: 1.0 }.reason(),
+            "window_overflow"
+        );
+        assert_eq!(EdgeperfError::Frame { message: String::new() }.reason(), "frame");
     }
 }

@@ -6,6 +6,8 @@
 //! round-trip) so replay throughput is not bounded by per-line
 //! syscalls.
 
+use crate::frame::{encode_frame, preamble};
+use crate::record::LiveRecord;
 use crate::server::{CellLine, LiveSnapshot};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -106,5 +108,41 @@ impl LiveClient {
     pub fn shutdown(&mut self) -> io::Result<LiveSnapshot> {
         let reply = self.round_trip("shutdown")?;
         serde_json::from_str(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// A data-only binary-mode connection to a [`crate::LiveServer`].
+///
+/// Sends the [`crate::frame`] preamble on connect and then encodes each
+/// record as one length-prefixed frame into a buffered writer. Binary
+/// connections carry no commands — pair with a [`LiveClient`] control
+/// connection for `snapshot` / `shutdown` round-trips.
+pub struct BinarySender {
+    out: BufWriter<TcpStream>,
+}
+
+impl BinarySender {
+    /// Connect and negotiate binary mode.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<BinarySender> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut out = BufWriter::with_capacity(1 << 18, stream);
+        out.write_all(&preamble())?;
+        Ok(BinarySender { out })
+    }
+
+    /// Enqueue one record (buffered; no response).
+    pub fn send(&mut self, record: &LiveRecord) -> io::Result<()> {
+        self.out.write_all(&encode_frame(record))
+    }
+
+    /// Flush buffered frames to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Flush and close the connection.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.out.flush()
     }
 }

@@ -37,6 +37,11 @@ pub struct LiveConfig {
     /// Watchdog deadline: a worker stuck on one message longer than this
     /// many milliseconds is flagged `live.workers.slow`.
     pub slow_worker_ms: u64,
+    /// Per-connection read buffer size in bytes: the `BufReader`
+    /// capacity in JSONL mode and the reusable [`crate::FrameDecoder`]
+    /// buffer in binary mode. One allocation per connection, reused for
+    /// every record.
+    pub read_buffer_bytes: usize,
 }
 
 impl Default for LiveConfig {
@@ -52,6 +57,7 @@ impl Default for LiveConfig {
             minrtt_threshold_ms: 5.0,
             hdratio_threshold: 0.05,
             slow_worker_ms: 5_000,
+            read_buffer_bytes: 1 << 16,
         }
     }
 }
@@ -79,6 +85,9 @@ impl LiveConfig {
         if self.retention_windows == 0 {
             return bad("retention_windows", "must be positive, got 0".to_string());
         }
+        if self.read_buffer_bytes == 0 {
+            return bad("read_buffer_bytes", "must be positive, got 0".to_string());
+        }
         self.analysis.validate()
     }
 }
@@ -105,6 +114,7 @@ mod tests {
             (|c| c.lateness_ms = -1.0, "lateness_ms"),
             (|c| c.queue_capacity = 0, "queue_capacity"),
             (|c| c.retention_windows = 0, "retention_windows"),
+            (|c| c.read_buffer_bytes = 0, "read_buffer_bytes"),
         ];
         for (mutate, field) in cases {
             let mut c = LiveConfig::default();

@@ -258,7 +258,10 @@ fn push_status(
     if statuses.is_empty() {
         *start = window;
     }
-    let next = *start + statuses.len() as u32;
+    // Checked conversion (not a cast): the deque is retention-bounded,
+    // and window indices near u32::MAX must not overflow the add.
+    let len = u32::try_from(statuses.len()).unwrap_or(u32::MAX);
+    let next = start.saturating_add(len);
     if window >= next {
         for _ in next..window {
             statuses.push_back(WindowStatus::NoTraffic);

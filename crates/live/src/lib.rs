@@ -17,6 +17,9 @@
 //!   lateness bound, queue capacity, retention, detection thresholds.
 //! - [`record`]: [`LiveRecord`] and the pluggable [`LineParser`] wire
 //!   trait (the umbrella `edgeperf` crate supplies the JSONL format).
+//! - [`frame`]: the length-prefixed binary wire format — preamble
+//!   negotiation, bit-exact little-endian frame codec, and the
+//!   zero-allocation incremental [`FrameDecoder`].
 //! - [`window`]: [`WindowRing`] — the watermark, late-record rejection
 //!   ([`edgeperf_core::EdgeperfError::LateRecord`], counted, never
 //!   silent), and [`CellSummary`] with the same bit-exact statistics as
@@ -38,13 +41,18 @@
 pub mod client;
 pub mod config;
 pub mod detect;
+pub mod frame;
 pub mod record;
 pub mod server;
 pub mod window;
 
-pub use client::LiveClient;
+pub use client::{BinarySender, LiveClient};
 pub use config::LiveConfig;
 pub use detect::{EpisodeChange, OnlineDetector};
+pub use frame::{
+    decode_body, encode_frame, parse_preamble, preamble, FrameDecoder, FRAME_BODY_LEN, FRAME_MAGIC,
+    FRAME_VERSION, FRAME_WIRE_LEN, PREAMBLE_LEN,
+};
 pub use record::{relationship_from_label, LineParser, LiveRecord};
 pub use server::{CellLine, ClassCount, LiveServer, LiveSnapshot, ReasonCount, ServerHandle};
 pub use window::{

@@ -26,6 +26,18 @@
 //! `send` and TCP backpressure propagates to the client. Memory is
 //! bounded by queue capacity + open windows + retained closed windows.
 //!
+//! ## Wire negotiation
+//!
+//! A connection's very first bytes pick its wire format. The 8-byte
+//! binary preamble (magic `EPB1`, see [`crate::frame`]) switches the
+//! connection to length-prefixed binary frames decoded zero-copy from a
+//! reusable per-connection buffer; anything else — in particular the
+//! `{` opening every JSONL record — leaves it in line mode. Binary
+//! connections are data-only (no commands; clients issue `snapshot` /
+//! `shutdown` over a separate JSONL connection), and a malformed frame
+//! closes the connection after a typed reject, because a corrupt binary
+//! stream has no newline to resynchronize on.
+//!
 //! ## Line protocol
 //!
 //! Lines starting with `{` are session records (no per-line response —
@@ -44,6 +56,7 @@
 
 use crate::config::LiveConfig;
 use crate::detect::OnlineDetector;
+use crate::frame::{parse_preamble, FrameDecoder, FRAME_MAGIC, PREAMBLE_LEN};
 use crate::record::{LineParser, LiveRecord};
 use crate::window::{CellKey, CellSummary, ClosedWindow, WindowRing};
 use edgeperf_analysis::{DegradationMetric, FxHasher, GroupKey, TemporalClass};
@@ -53,7 +66,7 @@ use edgeperf_routing::{PopId, Prefix};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Cursor, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
@@ -480,11 +493,114 @@ fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>, parser: Arc<dyn Li
 fn reader_loop(id: u64, stream: TcpStream, shared: &Arc<Shared>, parser: Arc<dyn LineParser>) {
     let Ok(mut out) = stream.try_clone() else { return };
     let senders = shared.senders.lock().expect("senders").clone();
-    let Some(mut senders) = senders else { return };
+    let Some(senders) = senders else { return };
+    // Wire negotiation: sniff the first bytes against the binary magic.
+    // The comparison is incremental, so a JSONL client's `{` (or any
+    // other first byte) commits to line mode after one read — we never
+    // wait for 8 bytes that will not come.
+    let mut pre = [0u8; PREAMBLE_LEN];
+    let mut got = 0usize;
+    let mut magic_possible = true;
+    while magic_possible && got < PREAMBLE_LEN {
+        match (&stream).read(&mut pre[got..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                got += n;
+                let cmp = got.min(FRAME_MAGIC.len());
+                magic_possible = pre[..cmp] == FRAME_MAGIC[..cmp];
+            }
+            Err(_) => return,
+        }
+    }
+    if magic_possible && got == PREAMBLE_LEN {
+        match parse_preamble(&pre) {
+            Ok(body_len) => binary_reader_loop(id, stream, body_len, shared, senders),
+            Err(err) => shared.reject(&format!("conn {id} preamble"), &err),
+        }
+        return;
+    }
+    // Line mode: hand the already-consumed sniff bytes back to the
+    // parser by chaining them in front of the socket.
+    let reader = BufReader::with_capacity(
+        shared.config.read_buffer_bytes,
+        Cursor::new(pre[..got].to_vec()).chain(stream),
+    );
+    line_reader_loop(id, reader, &mut out, shared, parser, senders);
+}
+
+/// Binary-mode connection: decode length-prefixed frames from a
+/// reusable buffer and shard them exactly like parsed JSONL records.
+/// Data-only — the first malformed frame (or EOF) ends the connection.
+fn binary_reader_loop(
+    id: u64,
+    mut stream: TcpStream,
+    body_len: usize,
+    shared: &Arc<Shared>,
+    senders: Vec<SyncSender<WorkerMsg>>,
+) {
+    let workers = senders.len();
+    let frames_counter = shared.metrics.counter("ingest.frames");
+    let accepted_counter = shared.metrics.counter("live.accepted");
+    let mut decoder = FrameDecoder::new(body_len, shared.config.read_buffer_bytes);
+    let mut frame_no = 0u64;
+    let mut batches: Vec<Vec<LiveRecord>> = (0..workers).map(|_| Vec::new()).collect();
+    'conn: loop {
+        let writable = decoder.writable();
+        let writable_len = writable.len();
+        let n = match stream.read(writable) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        decoder.advance(n, writable_len);
+        loop {
+            match decoder.next_record() {
+                Ok(Some(rec)) => {
+                    frame_no += 1;
+                    frames_counter.inc();
+                    accepted_counter.inc();
+                    let w = shard_of(&rec.group, workers);
+                    batches[w].push(rec);
+                    if batches[w].len() >= RECORD_BATCH
+                        && !flush_batch(shared, &senders, &mut batches, w)
+                    {
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    shared.reject(&format!("conn {id} frame {}", frame_no + 1), &err);
+                    break 'conn;
+                }
+            }
+        }
+        // About to block on the socket: hand workers everything decoded
+        // so far (same invariant as the line path — a quiet connection
+        // never strands records in a partial batch).
+        for w in 0..workers {
+            if !flush_batch(shared, &senders, &mut batches, w) {
+                break 'conn;
+            }
+        }
+    }
+    for w in 0..workers {
+        if !flush_batch(shared, &senders, &mut batches, w) {
+            break;
+        }
+    }
+}
+
+/// JSONL-mode connection: the line protocol (records + commands).
+fn line_reader_loop<R: Read>(
+    id: u64,
+    mut reader: BufReader<R>,
+    out: &mut TcpStream,
+    shared: &Arc<Shared>,
+    parser: Arc<dyn LineParser>,
+    mut senders: Vec<SyncSender<WorkerMsg>>,
+) {
     let workers = senders.len();
     let lines_counter = shared.metrics.counter("ingest.lines");
     let accepted_counter = shared.metrics.counter("live.accepted");
-    let mut reader = BufReader::with_capacity(1 << 16, stream);
     let mut line = String::new();
     let mut line_no = 0u64;
     let mut rr = id as usize;

@@ -253,7 +253,18 @@ impl WindowRing {
                 value: r.ts_ms,
             });
         }
-        let index = (r.ts_ms / self.window_ms) as u32;
+        // Window indices live in `u32` (ClosedWindow, the protocol, the
+        // offline SessionRecord all agree); a saturating `as` cast here
+        // used to collapse every far-future timestamp into window
+        // u32::MAX — one never-closing window silently absorbing bad
+        // telemetry. Compute in u64 and reject the unrepresentable.
+        let index64 = (r.ts_ms / self.window_ms) as u64;
+        let Ok(index) = u32::try_from(index64) else {
+            return Err(EdgeperfError::WindowOverflow {
+                ts_ms: r.ts_ms,
+                window_ms: self.window_ms,
+            });
+        };
         if index < self.closed_below {
             return Err(EdgeperfError::LateRecord {
                 ts_ms: r.ts_ms,
@@ -274,7 +285,10 @@ impl WindowRing {
         if wm < 0.0 {
             return Vec::new();
         }
-        let boundary = (wm / self.window_ms) as u32;
+        // The watermark trails max_ts, whose index was proven to fit in
+        // `push` — but compute in u64 anyway so a saturate can never
+        // silently reappear here if that invariant shifts.
+        let boundary = u32::try_from((wm / self.window_ms) as u64).unwrap_or(u32::MAX);
         if boundary <= self.closed_below {
             return Vec::new();
         }
@@ -294,7 +308,7 @@ impl WindowRing {
     pub fn force_close(&mut self) -> Vec<ClosedWindow> {
         let open = std::mem::take(&mut self.open);
         if let Some(&last) = open.keys().next_back() {
-            self.closed_below = self.closed_below.max(last + 1);
+            self.closed_below = self.closed_below.max(last.saturating_add(1));
         }
         open.into_iter().map(|(index, w)| w.close(index)).collect()
     }
@@ -367,6 +381,37 @@ mod tests {
         let mut ring = WindowRing::new(100.0, 0.0);
         assert_eq!(ring.push(&rec(-5.0, 1, 0, 40.0)).unwrap_err().reason(), "negative_timestamp");
         assert_eq!(ring.push(&rec(f64::NAN, 1, 0, 40.0)).unwrap_err().reason(), "non_finite");
+    }
+
+    /// The old saturating u32 cast mapped every timestamp past the
+    /// u32 window horizon into window u32::MAX — a single never-closing
+    /// window silently swallowing far-future telemetry. Indices at the
+    /// horizon still work; beyond it the push is a typed reject.
+    #[test]
+    fn window_indices_beyond_the_u32_horizon_are_typed_rejects() {
+        let window_ms = 100.0;
+        let mut ring = WindowRing::new(window_ms, 0.0);
+        // Highest representable window index: still accepted.
+        let horizon_ts = u32::MAX as f64 * window_ms;
+        assert!(ring.push(&rec(horizon_ts, 1, 0, 40.0)).is_ok());
+        // One window past the horizon: rejected, never saturated.
+        let over_ts = (u32::MAX as f64 + 1.0) * window_ms;
+        let err = ring.push(&rec(over_ts, 1, 0, 41.0)).unwrap_err();
+        match err {
+            EdgeperfError::WindowOverflow { ts_ms, window_ms: w } => {
+                assert_eq!(ts_ms, over_ts);
+                assert_eq!(w, window_ms);
+            }
+            other => panic!("expected WindowOverflow, got {other:?}"),
+        }
+        assert_eq!(err.reason(), "window_overflow");
+        // Far-future garbage (the motivating case: corrupt epoch units).
+        assert_eq!(ring.push(&rec(1.0e18, 1, 0, 42.0)).unwrap_err().reason(), "window_overflow");
+        // The ring still closes and drains normally afterwards.
+        let closed = ring.force_close();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].index, u32::MAX);
+        assert_eq!(ring.open_windows(), 0);
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //! `serve` starts the `edgeperf-live` TCP server: JSONL `WireSession`
 //! lines in, sliding event-time windows + online degradation detection
 //! inside, a line-protocol query interface out (`ping`, `snapshot`,
-//! `stats`, `cells`, `metrics`, `shutdown`). It prints
-//! `listening on ADDR` once bound and runs until a client sends
-//! `shutdown`, then drains, prints the final snapshot to stdout and
-//! exits.
+//! `stats`, `cells`, `metrics`, `shutdown`). A connection whose first
+//! bytes are the `EPB1` preamble switches to the compact binary frame
+//! format instead (see `edgeperf_live::frame`; data-only, used by
+//! `loadgen --wire binary`). The server prints `listening on ADDR` once
+//! bound and runs until a client sends `shutdown`, then drains, prints
+//! the final snapshot to stdout and exits.
 //!
 //! `--metrics` prints an ingest accounting table (lines evaluated, rejects
 //! by reason) to stderr after the run.

@@ -65,6 +65,32 @@ impl WireSession {
     }
 }
 
+/// Run the core estimator on an already-parsed [`WireSession`] and build
+/// the [`LiveRecord`] the live server windows.
+///
+/// This is *the* estimator entry point for both wire formats: the JSONL
+/// path reaches it through [`WireParser::parse_line`], and a binary
+/// client (the load generator's `--wire binary` mode) calls it locally
+/// before encoding frames — which is exactly why binary-ingested cells
+/// stay bit-identical to JSONL-ingested ones: the f64s come from the
+/// same code on either side of the socket.
+pub fn record_from_wire(wire: &WireSession, target_bps: f64) -> Result<LiveRecord, EdgeperfError> {
+    let relationship = relationship_from_label(&wire.relationship)?;
+    let verdict = wire.session.evaluate(target_bps)?;
+    let bytes = wire.session.responses.iter().map(|r| r.bytes).sum();
+    Ok(LiveRecord {
+        ts_ms: wire.ts_ms,
+        group: wire.group(),
+        route_rank: wire.route_rank,
+        relationship,
+        longer_path: wire.longer_path,
+        more_prepended: wire.more_prepended,
+        min_rtt_ms: verdict.min_rtt_ms,
+        hdratio: verdict.hdratio,
+        bytes,
+    })
+}
+
 /// [`edgeperf_live::LineParser`] over the JSONL wire format: parse,
 /// run the core HDratio/MinRTT estimator, reject with the same typed
 /// errors (and therefore the same `ingest.reject.<reason>` labels) as
@@ -84,20 +110,7 @@ impl WireParser {
     pub fn parse_line(&self, line: &str) -> Result<LiveRecord, EdgeperfError> {
         let wire: WireSession = serde_json::from_str(line)
             .map_err(|e| EdgeperfError::Json { message: e.to_string() })?;
-        let relationship = relationship_from_label(&wire.relationship)?;
-        let verdict = wire.session.evaluate(self.target_bps)?;
-        let bytes = wire.session.responses.iter().map(|r| r.bytes).sum();
-        Ok(LiveRecord {
-            ts_ms: wire.ts_ms,
-            group: wire.group(),
-            route_rank: wire.route_rank,
-            relationship,
-            longer_path: wire.longer_path,
-            more_prepended: wire.more_prepended,
-            min_rtt_ms: verdict.min_rtt_ms,
-            hdratio: verdict.hdratio,
-            bytes,
-        })
+        record_from_wire(&wire, self.target_bps)
     }
 }
 

@@ -1,0 +1,132 @@
+//! Property tests for the vendored JSON parser/writer: numbers and
+//! strings must survive a serialize → parse round trip with value
+//! equality, and finite floats with **bit** equality (`f64::to_bits`) —
+//! the discipline every snapshot/agreement test in this workspace is
+//! gated on.
+//!
+//! The hot edges exercised deliberately:
+//! - the integral/float boundary at 2^53 (where f64 stops representing
+//!   consecutive integers exactly),
+//! - the 15–16 digit writer/parser integer fast-path cutoffs
+//!   (`write_number`'s `abs < 1e15`, the parser's `len < 16` i64 path),
+//! - negative zero (must print `-0` and parse back sign-preserving),
+//! - escape sequences including `\uXXXX` and surrogate pairs.
+
+use proptest::prelude::*;
+use serde_json::{from_str, parse, to_string, Value};
+
+fn assert_num_round_trip(x: f64) {
+    let text = to_string(&Value::Num(x)).expect("number serializes");
+    if !x.is_finite() {
+        // Documented fallback: JSON has no NaN/±∞, the writer emits null.
+        assert_eq!(text, "null");
+        return;
+    }
+    let back: f64 = from_str(&text).expect("number parses");
+    assert_eq!(
+        back.to_bits(),
+        x.to_bits(),
+        "bit drift: {x:?} printed as {text} parsed as {back:?}"
+    );
+    // And through the Value tree (the path every struct field takes).
+    match parse(&text).expect("value parses") {
+        Value::Num(n) => assert_eq!(n.to_bits(), x.to_bits()),
+        other => panic!("number parsed as {other:?}"),
+    }
+}
+
+proptest! {
+    /// Uniform-over-bit-patterns doubles: normals, subnormals, zeros,
+    /// NaNs and infinities all flow through the writer without panicking,
+    /// and every finite one round-trips bit-exactly.
+    #[test]
+    fn arbitrary_f64_bit_patterns_round_trip(bits in any::<u64>()) {
+        assert_num_round_trip(f64::from_bits(bits));
+        assert_num_round_trip(-f64::from_bits(bits));
+    }
+
+    /// Consecutive integers straddling 2^53: above it, `x as i64` and the
+    /// float formatter must still agree on the (now even-only) values the
+    /// f64 actually holds.
+    #[test]
+    fn integers_at_the_2_pow_53_boundary_round_trip(offset in 0u64..128) {
+        let base = (1u64 << 53) - 64;
+        let x = (base + offset) as f64;
+        assert_num_round_trip(x);
+        assert_num_round_trip(-x);
+    }
+
+    /// 14–17 digit integers bracket both fast-path cutoffs: the writer's
+    /// `abs < 1e15` integral check and the parser's `len < 16` i64 path.
+    #[test]
+    fn integer_fast_path_edges_round_trip(
+        mag in prop::sample::select(vec![1e13, 1e14, 1e15, 1e16]),
+        frac in 0.0f64..1.0,
+        negate in any::<bool>(),
+    ) {
+        let x = (mag + frac * mag).trunc();
+        assert_num_round_trip(if negate { -x } else { x });
+    }
+
+    /// Scientific-notation spellings parse to the same f64 the standard
+    /// library parses (the parser must not mangle exponents).
+    #[test]
+    fn scientific_notation_matches_std_parse(
+        mantissa in -9_007_199_254_740_992.0f64..9_007_199_254_740_992.0,
+        exp in -200i32..200,
+    ) {
+        let text = format!("{mantissa}e{exp}");
+        let expected: f64 = text.parse().expect("std parses");
+        if !expected.is_finite() {
+            return; // overflows to inf: not representable JSON output
+        }
+        let got: f64 = from_str(&text).expect("parser accepts");
+        assert_eq!(got.to_bits(), expected.to_bits(), "{text}");
+    }
+
+    /// Strings built from escape-heavy alphabets (quotes, backslashes,
+    /// control characters, multi-byte UTF-8, astral-plane emoji) survive
+    /// write → parse with value equality.
+    #[test]
+    fn escape_heavy_strings_round_trip(
+        chars in prop::collection::vec(
+            prop::sample::select(vec![
+                'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t',
+                '\u{0}', '\u{1}', '\u{8}', '\u{c}', '\u{1f}', '\u{7f}',
+                'é', 'Ω', '中', '\u{fffd}', '😀', '𝕏',
+            ]),
+            0..48,
+        ),
+    ) {
+        let s: String = chars.into_iter().collect();
+        let text = to_string(&s).expect("string serializes");
+        let back: String = from_str(&text).expect("string parses");
+        assert_eq!(back, s);
+        // Keys take the same writer/parser path as values.
+        let obj = Value::Object(vec![(s.clone(), Value::Str(s.clone()))]);
+        let obj_text = to_string(&obj).expect("object serializes");
+        assert_eq!(parse(&obj_text).expect("object parses"), obj);
+    }
+
+    /// Every `\uXXXX` escape of a non-surrogate BMP scalar decodes to
+    /// that exact character.
+    #[test]
+    fn bmp_unicode_escapes_decode(cp in 0x20u32..0xD800, high in any::<bool>()) {
+        let cp = if high { cp + (0xE000 - 0x20).min(0x10000 - cp - 1) } else { cp };
+        let cp = if (0xD800..0xE000).contains(&cp) { 0x40 } else { cp };
+        let expected = char::from_u32(cp).expect("non-surrogate scalar");
+        let text = format!("\"\\u{cp:04x}\"");
+        let back: String = from_str(&text).expect("escape parses");
+        assert_eq!(back, expected.to_string(), "{text}");
+    }
+
+    /// Every astral-plane scalar round-trips through its surrogate pair.
+    #[test]
+    fn surrogate_pair_escapes_decode(cp in 0x1_0000u32..0x11_0000) {
+        let expected = char::from_u32(cp).expect("astral scalar");
+        let off = cp - 0x10000;
+        let text = format!("\"\\u{:04x}\\u{:04x}\"", 0xD800 + (off >> 10), 0xDC00 + (off & 0x3FF));
+        let back: String = from_str(&text).expect("pair parses");
+        assert_eq!(back, expected.to_string(), "{text}");
+    }
+}
