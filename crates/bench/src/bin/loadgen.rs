@@ -6,6 +6,7 @@
 //!         [--lateness-ms F] [--max-txns N] [--seed N] [--shutdown]
 //!         [--expect-clean] [--json PATH]
 //! loadgen --suite [--sessions N] ... [--expect-clean] [--json PATH]
+//! loadgen --profile [--workers N] [--sessions N] ... [--json PATH]
 //! ```
 //!
 //! Prints the [`edgeperf_bench::loadgen::LoadReport`] as JSON on stdout;
@@ -19,10 +20,15 @@
 //!
 //! `--suite` ignores `--addr`/`--shutdown` and self-hosts servers
 //! in-process instead: one headline run per wire mode plus a binary
-//! worker-count sweep, reported as a combined
-//! [`edgeperf_bench::loadgen::SuiteReport`].
+//! connections × workers scaling grid and a per-stage profile,
+//! reported as a combined [`edgeperf_bench::loadgen::SuiteReport`].
+//!
+//! `--profile` runs only the per-stage breakdown (decode /
+//! route+enqueue / window-apply) without any server, reported as a
+//! [`edgeperf_bench::stage_profile::StageProfile`].
 
 use edgeperf_bench::loadgen::{run, run_suite, LoadReport, LoadgenConfig, WireMode};
+use edgeperf_bench::stage_profile::profile_stages;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +36,8 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut expect_clean = false;
     let mut suite = false;
+    let mut profile = false;
+    let mut profile_workers = 4usize;
     fn num(it: &mut dyn Iterator<Item = &String>, flag: &str) -> f64 {
         it.next()
             .and_then(|s| s.parse().ok())
@@ -62,12 +70,21 @@ fn main() {
             }
             "--shutdown" => cfg.shutdown = true,
             "--suite" => suite = true,
+            "--profile" => profile = true,
+            "--workers" => profile_workers = num(&mut it, "--workers") as usize,
             "--expect-clean" => expect_clean = true,
             "--json" => {
                 json_path = Some(it.next().cloned().unwrap_or_else(|| die("--json needs a path")));
             }
             other => die(&format!("unknown argument {other}")),
         }
+    }
+
+    if profile {
+        let report =
+            profile_stages(&cfg, profile_workers).unwrap_or_else(|e| die(&format!("profile: {e}")));
+        emit(&serde_json::to_string_pretty(&report).expect("profile serializes"), &json_path);
+        return;
     }
 
     if suite {

@@ -14,6 +14,7 @@ pub mod fig5;
 pub mod loadgen;
 pub mod naive;
 pub mod pipeline_bench;
+pub mod stage_profile;
 pub mod study;
 pub mod validation;
 pub mod workload_figs;

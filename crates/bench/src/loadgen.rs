@@ -138,9 +138,11 @@ pub struct LoadReport {
     pub achieved_sessions_per_sec: f64,
     /// Ping round-trips measured during the replay.
     pub pings: u64,
-    /// Median ingest latency (socket + parse + queue wait), ms.
+    /// Median control-path round-trip, ms. Pings ride each worker's
+    /// control channel, which bypasses the record lanes — so this
+    /// measures command responsiveness under load, not queue wait.
     pub p50_ingest_latency_ms: f64,
-    /// p99 ingest latency, ms.
+    /// p99 control-path round-trip, ms.
     pub p99_ingest_latency_ms: f64,
     /// Server: records folded into windows.
     pub accepted: u64,
@@ -404,12 +406,17 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
     })
 }
 
-/// One worker-count point of the binary scaling sweep.
+/// One (connections, workers) point of the binary scaling grid.
+/// Throughput is **aggregate** across connections — the number a whole
+/// node sustains, not a per-connection figure.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScalingPoint {
+    /// Parallel data connections (0 in reports from before the grid).
+    #[serde(default)]
+    pub connections: u64,
     /// Server ingest worker threads.
     pub workers: u64,
-    /// Sessions per second actually sustained.
+    /// Aggregate sessions per second actually sustained.
     pub achieved_sessions_per_sec: f64,
     /// Wall-clock replay time (s).
     pub elapsed_s: f64,
@@ -420,8 +427,9 @@ pub struct ScalingPoint {
 }
 
 /// Combined wire-format comparison: one headline run per mode plus a
-/// binary worker-count sweep, all against self-hosted in-process
-/// servers over real loopback TCP.
+/// binary connections × workers grid, all against self-hosted
+/// in-process servers over real loopback TCP, and a per-stage profile
+/// of the ingest hot path.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SuiteReport {
     /// Sessions replayed per run.
@@ -430,21 +438,38 @@ pub struct SuiteReport {
     pub connections: u64,
     /// Server workers for the headline runs.
     pub server_workers: u64,
+    /// Logical cores on the measuring host (0 in reports from before
+    /// this field). Multi-worker speedups are only physically possible
+    /// when this exceeds 1 — read the scaling grid against it.
+    #[serde(default)]
+    pub host_cores: u64,
     /// Headline JSONL run.
     pub jsonl: LoadReport,
     /// Headline binary run (same sessions, same server geometry).
     pub binary: LoadReport,
     /// `binary.achieved_sessions_per_sec / jsonl.achieved_sessions_per_sec`.
     pub binary_speedup: f64,
-    /// Binary throughput at [`SCALING_WORKERS`] worker counts.
+    /// Aggregate binary throughput over the
+    /// [`SCALING_CONNECTIONS`] × [`SCALING_WORKERS`] grid.
     pub binary_scaling: Vec<ScalingPoint>,
+    /// Decode / route+enqueue / window-apply breakdown.
+    #[serde(default)]
+    pub stage_profile: crate::stage_profile::StageProfile,
 }
 
 /// Worker counts swept by [`run_suite`]'s binary scaling pass.
 pub const SCALING_WORKERS: [usize; 3] = [1, 4, 16];
 
+/// Connection counts swept by [`run_suite`]'s binary scaling pass.
+pub const SCALING_CONNECTIONS: [usize; 2] = [1, 4];
+
 /// Server workers for the suite's headline JSONL-vs-binary comparison.
 pub const SUITE_WORKERS: usize = 4;
+
+/// Logical cores available to this process.
+pub fn host_cores() -> u64 {
+    std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1)
+}
 
 /// Start an in-process [`LiveServer`] matching `cfg`'s window geometry,
 /// replay into it over loopback TCP, drain it, and report.
@@ -473,30 +498,37 @@ pub fn run_hosted(cfg: &LoadgenConfig, wire: WireMode, workers: usize) -> io::Re
 pub fn run_suite(cfg: &LoadgenConfig) -> io::Result<SuiteReport> {
     let jsonl = run_hosted(cfg, WireMode::Jsonl, SUITE_WORKERS)?;
     let binary = run_hosted(cfg, WireMode::Binary, SUITE_WORKERS)?;
-    let mut binary_scaling = Vec::with_capacity(SCALING_WORKERS.len());
-    for &workers in &SCALING_WORKERS {
-        let r = run_hosted(cfg, WireMode::Binary, workers)?;
-        binary_scaling.push(ScalingPoint {
-            workers: workers as u64,
-            achieved_sessions_per_sec: r.achieved_sessions_per_sec,
-            elapsed_s: r.elapsed_s,
-            accepted: r.accepted,
-            rejected: r.rejected,
-        });
+    let mut binary_scaling = Vec::with_capacity(SCALING_CONNECTIONS.len() * SCALING_WORKERS.len());
+    for &connections in &SCALING_CONNECTIONS {
+        for &workers in &SCALING_WORKERS {
+            let grid_cfg = LoadgenConfig { connections, ..cfg.clone() };
+            let r = run_hosted(&grid_cfg, WireMode::Binary, workers)?;
+            binary_scaling.push(ScalingPoint {
+                connections: connections as u64,
+                workers: workers as u64,
+                achieved_sessions_per_sec: r.achieved_sessions_per_sec,
+                elapsed_s: r.elapsed_s,
+                accepted: r.accepted,
+                rejected: r.rejected,
+            });
+        }
     }
     let binary_speedup = if jsonl.achieved_sessions_per_sec > 0.0 {
         binary.achieved_sessions_per_sec / jsonl.achieved_sessions_per_sec
     } else {
         0.0
     };
+    let stage_profile = crate::stage_profile::profile_stages(cfg, SUITE_WORKERS)?;
     Ok(SuiteReport {
         sessions: cfg.sessions as u64,
         connections: cfg.connections.max(1) as u64,
         server_workers: SUITE_WORKERS as u64,
+        host_cores: host_cores(),
         jsonl,
         binary,
         binary_speedup,
         binary_scaling,
+        stage_profile,
     })
 }
 

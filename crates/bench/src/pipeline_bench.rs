@@ -138,11 +138,14 @@ pub struct StreamingAgreement {
 /// within a few percent of the disabled one.
 #[derive(Debug, Clone, Serialize)]
 pub struct MetricsOverhead {
-    /// End-to-end study wall time with metrics disabled (seconds).
+    /// Best end-to-end study wall time with metrics disabled (seconds).
     pub study_sec_disabled: f64,
-    /// Same study with counters, histograms, and spans recording.
+    /// Best same study with counters, histograms, and spans recording.
     pub study_sec_enabled: f64,
-    /// `(enabled / disabled − 1) · 100` (target: < 3%).
+    /// Median of the paired per-iteration `enabled / disabled` ratios,
+    /// as `(ratio − 1) · 100` (gate: |overhead| < 3%). Paired and
+    /// warmed up so machine noise cancels instead of landing on one
+    /// side and masquerading as a speedup.
     pub overhead_pct: f64,
 }
 
@@ -411,21 +414,40 @@ pub fn run_observed(opts: &BenchOptions, metrics: &Metrics) -> PipelineBenchRepo
         run_study_observed(&world, &study, &mut sink, m);
         t.elapsed().as_secs_f64()
     };
-    // Interleave disabled/enabled repeats so clock-speed drift hits both
-    // sides equally, and take the best of each.
-    let study_iters = if opts.quick { 1 } else { 3 };
+    // Run-to-run noise on a loaded machine is larger than the effect
+    // being measured, and best-of-N puts all the bad luck on whichever
+    // side never catches a quiet window (an earlier version reported a
+    // −8% "overhead" that way). One untimed warm-up settles caches and
+    // the allocator, then each iteration times disabled and enabled
+    // back to back — alternating which runs first, so a monotone
+    // machine trend (frequency scaling, cache warming) cancels instead
+    // of always favouring the second side — and the overhead is the
+    // median of the paired ratios; the reported seconds are still the
+    // best of each.
+    let study_iters = if opts.quick { 1 } else { 9 };
     let recorder = if metrics.is_enabled() { metrics.clone() } else { Metrics::enabled() };
-    let mut disabled_sec = elapsed;
+    study_once(&Metrics::disabled());
+    let mut disabled_sec = f64::INFINITY;
     let mut enabled_sec = f64::INFINITY;
+    let mut metric_ratios = Vec::with_capacity(study_iters);
     for i in 0..study_iters {
-        disabled_sec = disabled_sec.min(study_once(&Metrics::disabled()));
         let m = if i + 1 == study_iters { recorder.clone() } else { Metrics::enabled() };
-        enabled_sec = enabled_sec.min(study_once(&m));
+        let (d, e) = if i % 2 == 0 {
+            let d = study_once(&Metrics::disabled());
+            (d, study_once(&m))
+        } else {
+            let e = study_once(&m);
+            (study_once(&Metrics::disabled()), e)
+        };
+        disabled_sec = disabled_sec.min(d);
+        enabled_sec = enabled_sec.min(e);
+        metric_ratios.push(e / d.max(1e-9));
     }
+    metric_ratios.sort_unstable_by(f64::total_cmp);
     let metrics_overhead = MetricsOverhead {
         study_sec_disabled: disabled_sec,
         study_sec_enabled: enabled_sec,
-        overhead_pct: (enabled_sec / disabled_sec.max(1e-9) - 1.0) * 100.0,
+        overhead_pct: (metric_ratios[metric_ratios.len() / 2] - 1.0) * 100.0,
     };
 
     // Supervisor overhead: the same fault-free study through the raw
@@ -527,7 +549,7 @@ pub fn render(r: &PipelineBenchReport) -> String {
         r.streaming.records_per_sec, r.streaming.delta_p50, r.streaming.delta_p80
     ));
     out.push_str(&format!(
-        "observability: study {:.2}s → {:.2}s with metrics recording  ({:+.2}%, target < 3%)\n",
+        "observability: study {:.2}s → {:.2}s with metrics recording  (median {:+.2}%, target |x| < 3%)\n",
         r.metrics_overhead.study_sec_disabled,
         r.metrics_overhead.study_sec_enabled,
         r.metrics_overhead.overhead_pct

@@ -1,0 +1,274 @@
+//! Per-stage throughput profile of the live ingest hot path.
+//!
+//! The server pipeline has three serial stages per record — decode the
+//! wire frame, route it to a worker lane (shard + batch + SPSC
+//! enqueue), and apply it to the window ring — and a whole-pipeline
+//! number cannot say which one is the wall. This module times each
+//! stage in isolation over the *same* generated replay the loadgen
+//! suite uses:
+//!
+//! - **decode**: the real [`FrameDecoder`] over the concatenated binary
+//!   frames, fed in `read_buffer`-sized slices exactly as the socket
+//!   path does (minus the syscall).
+//! - **route + enqueue**: [`edgeperf_live::shard_of`] plus the real
+//!   per-worker [`edgeperf_live::spsc`] lanes — batching, blocking
+//!   backpressure, batch recycling and doorbells included — with one
+//!   discarding consumer thread per worker.
+//! - **window apply**: a serial [`WindowRing`] pass (per-worker apply
+//!   cost; workers run this concurrently in the server).
+//!
+//! The result rides along in `BENCH_live.json` so a throughput
+//! regression comes with the stage that caused it.
+
+use edgeperf::serve::WireParser;
+use edgeperf_live::{
+    encode_frame, shard_of, spsc, FrameDecoder, LiveRecord, Waiter, WindowRing, FRAME_BODY_LEN,
+};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::loadgen::{generate_lines, LoadgenConfig};
+
+/// Records per coalesced batch — matches the server's batch size.
+const BATCH: usize = 64;
+
+/// Data-ring slots per lane — matches the server's default
+/// `queue_capacity / batch` geometry.
+const LANE_SLOTS: usize = 64;
+
+/// One stage's measured cost.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Wall-clock for the whole pass (s).
+    pub elapsed_s: f64,
+    /// Nanoseconds per record.
+    pub ns_per_record: f64,
+    /// Records per second.
+    pub records_per_sec: f64,
+}
+
+impl StageTiming {
+    fn from_elapsed(records: usize, elapsed_s: f64) -> StageTiming {
+        let n = records.max(1) as f64;
+        StageTiming {
+            elapsed_s,
+            ns_per_record: elapsed_s * 1e9 / n,
+            records_per_sec: if elapsed_s > 0.0 { n / elapsed_s } else { 0.0 },
+        }
+    }
+}
+
+/// Per-stage breakdown of the live ingest hot path (see module docs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Records each stage processed.
+    pub sessions: u64,
+    /// Worker lanes in the route stage.
+    pub workers: u64,
+    /// Binary frame decode ([`FrameDecoder`]).
+    pub decode: StageTiming,
+    /// Shard + batch + SPSC enqueue, with live consumer threads.
+    pub route_enqueue: StageTiming,
+    /// Serial window-ring apply (per-worker cost).
+    pub window_apply: StageTiming,
+}
+
+/// Generate `cfg`'s replay and time each pipeline stage over it.
+pub fn profile_stages(cfg: &LoadgenConfig, workers: usize) -> io::Result<StageProfile> {
+    let workers = workers.max(1);
+    let lines = generate_lines(cfg);
+    let parser = WireParser::new(cfg.target_bps);
+    let records: Vec<LiveRecord> = lines
+        .iter()
+        .map(|l| {
+            parser
+                .parse_line(l)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        })
+        .collect::<io::Result<_>>()?;
+    drop(lines);
+    let mut wire = Vec::with_capacity(records.len() * (FRAME_BODY_LEN + 4));
+    for rec in &records {
+        wire.extend_from_slice(&encode_frame(rec));
+    }
+
+    let decode = time_decode(&wire, records.len())?;
+    let route_enqueue = time_route(&records, workers);
+    let window_apply = time_apply(&records, cfg);
+    Ok(StageProfile {
+        sessions: records.len() as u64,
+        workers: workers as u64,
+        decode,
+        route_enqueue,
+        window_apply,
+    })
+}
+
+/// Stage 1: frame decode from an in-memory byte stream, chunked like
+/// the socket read loop.
+fn time_decode(wire: &[u8], expected: usize) -> io::Result<StageTiming> {
+    let mut decoder = FrameDecoder::new(FRAME_BODY_LEN, 1 << 16);
+    let mut decoded = 0usize;
+    let mut off = 0usize;
+    let started = Instant::now();
+    while off < wire.len() {
+        let writable = decoder.writable();
+        let writable_len = writable.len();
+        let n = writable_len.min(wire.len() - off);
+        writable[..n].copy_from_slice(&wire[off..off + n]);
+        off += n;
+        decoder.advance(n, writable_len);
+        loop {
+            match decoder.next_record() {
+                Ok(Some(rec)) => {
+                    std::hint::black_box(&rec);
+                    decoded += 1;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    if decoded != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("decoded {decoded} of {expected} frames"),
+        ));
+    }
+    Ok(StageTiming::from_elapsed(decoded, elapsed))
+}
+
+/// Stage 2: shard, batch, and push every record through real SPSC
+/// lanes to discarding consumers, full backpressure and recycling
+/// protocol included. Timed from first push to last consumer join, so
+/// it reflects hand-off throughput, not just producer-side cost.
+fn time_route(records: &[LiveRecord], workers: usize) -> StageTiming {
+    struct LaneHalf {
+        data: edgeperf_live::Producer<Vec<LiveRecord>>,
+        recycle: edgeperf_live::Consumer<Vec<LiveRecord>>,
+        producer_bell: Arc<Waiter>,
+        consumer_bell: Arc<Waiter>,
+        batch: Vec<LiveRecord>,
+    }
+    let mut lanes = Vec::with_capacity(workers);
+    let mut consumers = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (data_tx, mut data_rx) = spsc::<Vec<LiveRecord>>(LANE_SLOTS);
+        let (mut recycle_tx, recycle_rx) = spsc::<Vec<LiveRecord>>(LANE_SLOTS + 2);
+        let producer_bell = Arc::new(Waiter::default());
+        let consumer_bell = Arc::new(Waiter::default());
+        lanes.push(LaneHalf {
+            data: data_tx,
+            recycle: recycle_rx,
+            producer_bell: Arc::clone(&producer_bell),
+            consumer_bell: Arc::clone(&consumer_bell),
+            batch: Vec::with_capacity(BATCH),
+        });
+        consumers.push(std::thread::spawn(move || -> u64 {
+            let mut seen = 0u64;
+            loop {
+                consumer_bell.wait_until(|| !data_rx.is_empty() || data_rx.is_closed());
+                let closed = data_rx.is_closed();
+                match data_rx.try_pop() {
+                    Some(mut batch) => {
+                        seen += batch.len() as u64;
+                        std::hint::black_box(&batch);
+                        batch.clear();
+                        let _ = recycle_tx.try_push(batch);
+                        producer_bell.notify();
+                    }
+                    None if closed => break,
+                    None => {}
+                }
+            }
+            seen
+        }));
+    }
+
+    fn flush(lane: &mut LaneHalf) {
+        if lane.batch.is_empty() {
+            return;
+        }
+        let next = match lane.recycle.try_pop() {
+            Some(mut spent) => {
+                spent.clear();
+                spent
+            }
+            None => Vec::with_capacity(BATCH),
+        };
+        let mut batch = std::mem::replace(&mut lane.batch, next);
+        loop {
+            match lane.data.try_push(batch) {
+                Ok(()) => break,
+                Err(back) => {
+                    batch = back;
+                    lane.producer_bell.wait_until(|| lane.data.has_space());
+                }
+            }
+        }
+        lane.consumer_bell.notify();
+    }
+
+    let started = Instant::now();
+    for rec in records {
+        let w = shard_of(&rec.group, workers);
+        let lane = &mut lanes[w];
+        lane.batch.push(*rec);
+        if lane.batch.len() >= BATCH {
+            flush(lane);
+        }
+    }
+    for lane in &mut lanes {
+        flush(lane);
+    }
+    // Close the data rings and wake the consumers so they drain + exit.
+    let bells: Vec<Arc<Waiter>> = lanes.iter().map(|l| Arc::clone(&l.consumer_bell)).collect();
+    drop(lanes);
+    for bell in &bells {
+        bell.notify();
+    }
+    let mut seen = 0u64;
+    for c in consumers {
+        seen += c.join().expect("route consumer");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(seen as usize, records.len(), "route stage lost records");
+    StageTiming::from_elapsed(records.len(), elapsed)
+}
+
+/// Stage 3: serial window-ring apply (what one worker does with its
+/// shard, measured over the full replay).
+fn time_apply(records: &[LiveRecord], cfg: &LoadgenConfig) -> StageTiming {
+    let mut ring = WindowRing::new(cfg.window_ms, cfg.lateness_ms);
+    let started = Instant::now();
+    for rec in records {
+        if let Ok(closed) = ring.push(rec) {
+            std::hint::black_box(&closed);
+        }
+    }
+    std::hint::black_box(&ring.force_close());
+    let elapsed = started.elapsed().as_secs_f64();
+    StageTiming::from_elapsed(records.len(), elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_profile_covers_every_record() {
+        let cfg = LoadgenConfig { sessions: 1_500, groups: 16, windows: 4, ..Default::default() };
+        let profile = profile_stages(&cfg, 2).expect("profile runs");
+        assert_eq!(profile.sessions, 1_500);
+        assert_eq!(profile.workers, 2);
+        for stage in [&profile.decode, &profile.route_enqueue, &profile.window_apply] {
+            assert!(stage.records_per_sec > 0.0, "stage has throughput: {profile:?}");
+            assert!(stage.ns_per_record > 0.0);
+        }
+    }
+}

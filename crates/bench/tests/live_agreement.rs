@@ -1,6 +1,6 @@
 //! Live/offline agreement: a finite replay through `edgeperf serve`
 //! yields window medians and Price–Bonett variances **bit-identical** to
-//! the offline streaming pipeline, at parallelism 1 and 4 — over the
+//! the offline streaming pipeline, at parallelism 1, 4, and 16 — over the
 //! JSONL wire *and* over the binary frame wire.
 //!
 //! Why this holds: records are sharded to workers by group hash, so every
@@ -160,7 +160,7 @@ fn live_replay_matches_offline_windows_bit_for_bit() {
     // least one rank-0 cell per group in each.
     assert!(offline.len() >= 5 * 16, "only {} offline cells closed", offline.len());
 
-    for workers in [1usize, 4] {
+    for workers in [1usize, 4, 16] {
         let mut live = live_cells(&lines, workers);
         live.sort_by_key(sort_key);
         assert_bit_identical(&live, &offline);
@@ -184,7 +184,7 @@ fn binary_replay_matches_jsonl_and_offline_bit_for_bit() {
     offline.sort_by_key(sort_key);
     assert!(offline.len() >= 5 * 16, "only {} offline cells closed", offline.len());
 
-    for workers in [1usize, 4] {
+    for workers in [1usize, 4, 16] {
         let mut jsonl = live_cells(&lines, workers);
         jsonl.sort_by_key(sort_key);
         let mut binary = live_cells_binary(&lines, &parser, workers);

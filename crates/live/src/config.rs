@@ -20,8 +20,11 @@ pub struct LiveConfig {
     /// observed timestamp by this much, and a window closes only when the
     /// watermark passes its end.
     pub lateness_ms: f64,
-    /// Bounded per-worker queue capacity (records). Readers block when a
-    /// queue is full — backpressure instead of unbounded memory.
+    /// Bounded per-lane queue capacity (records). Each connection owns
+    /// one SPSC lane per worker sized to hold about this many records
+    /// (rounded to whole batches, then to a power of two of ring
+    /// slots); a reader blocks when a lane is full — backpressure
+    /// instead of unbounded memory.
     pub queue_capacity: usize,
     /// Closed windows retained for queries and baselines, per worker.
     /// Older windows are evicted; memory stays bounded by

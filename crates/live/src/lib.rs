@@ -27,6 +27,8 @@
 //! - [`detect`]: [`OnlineDetector`] — per-group baseline, degradation
 //!   events, episode tracking and temporal classes, computed as windows
 //!   close.
+//! - [`queue`]: the lock-free bounded SPSC ring ([`spsc`]) and
+//!   spin-then-park [`Waiter`] backing the reader → worker fan-out.
 //! - [`server`]: [`LiveServer`] / [`ServerHandle`], the line protocol,
 //!   backpressure, heartbeat supervision and graceful drain.
 //! - [`client`]: [`LiveClient`], the blocking protocol client used by
@@ -42,6 +44,7 @@ pub mod client;
 pub mod config;
 pub mod detect;
 pub mod frame;
+pub mod queue;
 pub mod record;
 pub mod server;
 pub mod window;
@@ -53,8 +56,11 @@ pub use frame::{
     decode_body, encode_frame, parse_preamble, preamble, FrameDecoder, FRAME_BODY_LEN, FRAME_MAGIC,
     FRAME_VERSION, FRAME_WIRE_LEN, PREAMBLE_LEN,
 };
+pub use queue::{spsc, Consumer, Producer, Waiter};
 pub use record::{relationship_from_label, LineParser, LiveRecord};
-pub use server::{CellLine, ClassCount, LiveServer, LiveSnapshot, ReasonCount, ServerHandle};
+pub use server::{
+    shard_of, CellLine, ClassCount, LiveServer, LiveSnapshot, ReasonCount, ServerHandle,
+};
 pub use window::{
     compare_hdratio_summaries, compare_minrtt_summaries, CellKey, CellSummary, ClosedWindow,
     LiveCell, WindowRing,

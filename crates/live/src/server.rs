@@ -1,30 +1,51 @@
 //! The live ingest server: TCP acceptor, per-connection readers, and
-//! sharded bounded-queue workers.
+//! sharded workers fed through lock-free SPSC lanes.
 //!
 //! ## Architecture
 //!
 //! ```text
 //! acceptor ──spawns──▶ reader (per connection)
-//!                        │ parse JSONL line (LineParser)
+//!                        │ parse JSONL line / decode binary frame
 //!                        │ shard = FxHash(group) % workers
 //!                        ▼
-//!              bounded sync_channel (backpressure)
-//!                        ▼
-//!                      worker w: WindowRing + OnlineDetector
-//!                        │ watermark passes window end
-//!                        ▼
-//!              closed cells (retained per worker) + episodes
+//!        SPSC lane (reader, worker): bounded batch ring ──▶ worker w
+//!                        ▲                                   │
+//!                        └───── recycle ring (spent Vecs) ───┘
 //! ```
+//!
+//! Each connection owns one [`crate::queue::spsc`] lane per worker: a
+//! bounded single-producer/single-consumer batch ring paired with a
+//! reverse ring that carries spent batch `Vec`s back to the reader, so
+//! steady-state ingest takes no locks and performs zero allocations per
+//! batch. When a lane fills, the reader spins briefly then parks until
+//! the worker frees a slot — the PR-5 "block, never drop" backpressure
+//! semantics, without the `sync_channel` lock hand-off that made worker
+//! counts *anti*-scale (see `queue.rs` docs and `BENCH_live.json`).
 //!
 //! Every record of a user group flows through exactly one worker (groups
 //! are sharded by the deterministic FxHash), and one connection's records
-//! arrive in stream order — so per-cell digest insertion order is
-//! independent of the worker count, which is what makes live windows
-//! bit-identical to the offline [`edgeperf_analysis::StreamingDataset`].
+//! arrive in stream order — the per-lane FIFO preserves it — so per-cell
+//! digest insertion order is independent of the worker count, which is
+//! what makes live windows bit-identical to the offline
+//! [`edgeperf_analysis::StreamingDataset`].
 //!
-//! Queues are *bounded*: when a worker falls behind, readers block on
-//! `send` and TCP backpressure propagates to the client. Memory is
-//! bounded by queue capacity + open windows + retained closed windows.
+//! ## Control plane
+//!
+//! Commands (`ping`, `snapshot`, …) bypass the record lanes entirely:
+//! each worker owns an unbounded mpsc control channel drained once per
+//! scheduling round, so a full data ring never blocks a `ping`. Commands
+//! that report state still observe everything their own connection sent
+//! first — the reader flushes its partial batches and waits until each
+//! lane's applied counter catches up to its pushed counter.
+//!
+//! ## Statistics
+//!
+//! Accept/reject tallies are sharded into per-reader and per-worker
+//! cells (relaxed atomic counters plus a rarely-touched reason map) and
+//! rolled up only when a snapshot is taken. A reader folds its cell into
+//! a retired-total *before* closing its lanes, and workers exit only
+//! after every lane is closed and drained — so the final drained
+//! snapshot is exact, not approximate.
 //!
 //! ## Wire negotiation
 //!
@@ -46,7 +67,7 @@
 //!
 //! | command    | response |
 //! |------------|----------|
-//! | `ping`     | `pong` after a round-trip through a worker queue |
+//! | `ping`     | `pong` after a round-trip through a worker's control channel |
 //! | `snapshot` | aggregate [`LiveSnapshot`] |
 //! | `stats`    | per-worker queue depth / throughput |
 //! | `cells`    | `{"cells":N}` then N [`CellLine`] rows |
@@ -57,6 +78,7 @@
 use crate::config::LiveConfig;
 use crate::detect::OnlineDetector;
 use crate::frame::{parse_preamble, FrameDecoder, FRAME_MAGIC, PREAMBLE_LEN};
+use crate::queue::{spsc, Consumer, Producer, Waiter};
 use crate::record::{LineParser, LiveRecord};
 use crate::window::{CellKey, CellSummary, ClosedWindow, WindowRing};
 use edgeperf_analysis::{DegradationMetric, FxHasher, GroupKey, TemporalClass};
@@ -68,8 +90,8 @@ use std::collections::{BTreeMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::io::{BufRead, BufReader, Cursor, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -206,24 +228,33 @@ impl CellLine {
     }
 }
 
-enum WorkerMsg {
-    /// A batch of parsed records (readers coalesce up to
-    /// [`RECORD_BATCH`] per worker to amortize channel costs).
-    Records(Vec<LiveRecord>),
+/// A coalesced run of parsed records — the unit carried by data lanes
+/// and recycled back through the reverse ring.
+type Batch = Vec<LiveRecord>;
+
+/// Control-plane messages, delivered over each worker's unbounded mpsc
+/// channel so they never queue behind (or block on) full record lanes.
+enum ControlMsg {
     Ping(Sender<()>),
     Snapshot(Sender<WorkerSnap>),
     Cells(Sender<Vec<CellLine>>),
 }
 
-/// Records a reader coalesces per worker before a channel send. Queue
-/// capacity is counted in batches, so worst-case queued records per
-/// worker is `queue_capacity * RECORD_BATCH`.
+/// Records a reader coalesces per worker before pushing a batch onto the
+/// lane. [`LiveConfig::queue_capacity`] is counted in records and
+/// converted to `queue_capacity / RECORD_BATCH` ring slots, so worst-case
+/// queued records per lane stays ≈ `queue_capacity`.
 const RECORD_BATCH: usize = 64;
+
+/// Batches a worker takes from one lane before moving to the next —
+/// bounds per-lane burst so one hot connection cannot starve the rest.
+const BATCHES_PER_LANE_ROUND: usize = 4;
 
 /// Point-in-time view of one worker, produced on request or at drain.
 #[derive(Debug, Clone, Default)]
 struct WorkerSnap {
     processed: u64,
+    queue_depth: usize,
     groups: usize,
     open_windows: usize,
     windows_closed: u64,
@@ -245,6 +276,193 @@ fn class_slot(class: TemporalClass) -> usize {
 
 const CLASS_LABELS: [&str; 5] = ["ignored", "uneventful", "continuous", "diurnal", "episodic"];
 
+/// One shard of the accept/reject accounting. Each reader and each
+/// worker owns a cell; totals exist only at snapshot time
+/// ([`Shared::stat_totals`]), so the hot path touches thread-local
+/// cache lines instead of a global `Mutex<BTreeMap>`.
+#[derive(Default)]
+struct StatCell {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    late: AtomicU64,
+    /// Reason → count. A mutex, but per-cell and only on the reject
+    /// path, which is rare by construction.
+    reasons: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+/// Rolled-up accept/reject totals (also the retirement accumulator for
+/// readers that have come and gone).
+#[derive(Default)]
+struct StatTotals {
+    accepted: u64,
+    rejected: u64,
+    late: u64,
+    reasons: BTreeMap<&'static str, u64>,
+}
+
+impl StatTotals {
+    fn add_cell(&mut self, cell: &StatCell) {
+        self.accepted += cell.accepted.load(Ordering::Relaxed);
+        self.rejected += cell.rejected.load(Ordering::Relaxed);
+        self.late += cell.late.load(Ordering::Relaxed);
+        for (reason, n) in cell.reasons.lock().expect("reason map").iter() {
+            *self.reasons.entry(reason).or_insert(0) += n;
+        }
+    }
+}
+
+/// Live reader cells plus the folded totals of retired ones. A reader
+/// folds its cell into `retired` *before* closing its lanes (see
+/// [`ReaderLanes::retire`]), so a drained snapshot — taken only after
+/// every lane closed — always sees complete reject counts.
+#[derive(Default)]
+struct ReaderStats {
+    active: Vec<Arc<StatCell>>,
+    retired: StatTotals,
+}
+
+/// Worker-side rendezvous: new lanes arrive through `incoming`
+/// (versioned so the worker only takes the lock when something
+/// changed), and `bell`/`seq` are the doorbell producers ring after
+/// pushing work.
+#[derive(Default)]
+struct WorkerHub {
+    bell: Waiter,
+    /// Bumped on every doorbell ring; the worker parks until it moves.
+    seq: AtomicU64,
+    /// Bumped when `incoming` gains lanes.
+    version: AtomicU64,
+    incoming: Mutex<Vec<LaneRx>>,
+}
+
+impl WorkerHub {
+    /// Publish progress (a pushed batch, a closed lane, a control
+    /// message) and wake the worker if it is parked.
+    fn ring(&self) {
+        self.seq.fetch_add(1, Ordering::Release);
+        self.bell.notify();
+    }
+}
+
+/// Reader-side end of one (reader, worker) lane.
+struct LaneTx {
+    data: Producer<Batch>,
+    /// Spent batch `Vec`s coming back from the worker.
+    recycle: Consumer<Batch>,
+    /// Parked-producer doorbell; the worker rings it after freeing a
+    /// slot or applying a batch.
+    bell: Arc<Waiter>,
+    /// Records the worker has fully applied from this lane.
+    applied: Arc<AtomicU64>,
+    hub: Arc<WorkerHub>,
+    /// Records pushed onto the lane so far (`applied` chases this).
+    pushed: u64,
+    /// The partial batch being coalesced.
+    batch: Batch,
+}
+
+impl LaneTx {
+    /// Push the coalesced batch, blocking (spin-then-park) while the
+    /// ring is full — backpressure, never drops. Steady state this is a
+    /// recycle pop, a slot write, and one release store.
+    fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let next = match self.recycle.try_pop() {
+            Some(mut spent) => {
+                spent.clear();
+                spent
+            }
+            None => Vec::with_capacity(RECORD_BATCH),
+        };
+        let mut batch = std::mem::replace(&mut self.batch, next);
+        self.pushed += batch.len() as u64;
+        loop {
+            if self.data.is_abandoned() {
+                // Worker gone (panic); nothing will ever drain the lane.
+                return;
+            }
+            match self.data.try_push(batch) {
+                Ok(()) => break,
+                Err(back) => {
+                    batch = back;
+                    self.bell.wait_until(|| self.data.has_space() || self.data.is_abandoned());
+                }
+            }
+        }
+        self.hub.ring();
+    }
+}
+
+/// Worker-side end of one (reader, worker) lane.
+struct LaneRx {
+    data: Consumer<Batch>,
+    recycle: Producer<Batch>,
+    bell: Arc<Waiter>,
+    applied: Arc<AtomicU64>,
+}
+
+/// Everything a reader owns: one lane per worker plus its stat cell.
+#[derive(Default)]
+struct ReaderLanes {
+    lanes: Vec<LaneTx>,
+    cell: Arc<StatCell>,
+}
+
+impl ReaderLanes {
+    /// Shard a record to its worker's lane, flushing at the batch size.
+    fn route(&mut self, rec: LiveRecord) {
+        let w = shard_of(&rec.group, self.lanes.len());
+        let lane = &mut self.lanes[w];
+        lane.batch.push(rec);
+        if lane.batch.len() >= RECORD_BATCH {
+            lane.flush();
+        }
+    }
+
+    /// Hand workers every partial batch (called before blocking on the
+    /// socket, so a quiet connection never strands records).
+    fn flush_all(&mut self) {
+        for lane in &mut self.lanes {
+            lane.flush();
+        }
+    }
+
+    /// Flush, then wait until the workers have applied everything this
+    /// connection pushed — the "commands observe everything this
+    /// connection sent before them" barrier.
+    fn sync(&mut self) {
+        self.flush_all();
+        for lane in &self.lanes {
+            if lane.applied.load(Ordering::Acquire) >= lane.pushed {
+                continue;
+            }
+            lane.bell.wait_until(|| {
+                lane.applied.load(Ordering::Acquire) >= lane.pushed || lane.data.is_abandoned()
+            });
+        }
+    }
+
+    /// Reader is done: flush stragglers, fold the stat cell into the
+    /// retired totals, and only then close the lanes. Workers treat a
+    /// closed, drained lane as gone, and may exit once all lanes are —
+    /// the fold-before-close order is what makes the final snapshot
+    /// exact.
+    fn retire(mut self, shared: &Shared) {
+        self.flush_all();
+        {
+            let mut stats = shared.reader_stats.lock().expect("reader stats");
+            stats.active.retain(|c| !Arc::ptr_eq(c, &self.cell));
+            stats.retired.add_cell(&self.cell);
+        }
+        self.lanes.clear();
+        for hub in &shared.hubs {
+            hub.ring();
+        }
+    }
+}
+
 /// State shared by the acceptor, readers, workers and the supervisor.
 struct Shared {
     config: LiveConfig,
@@ -255,14 +473,17 @@ struct Shared {
     board: HeartbeatBoard,
     draining: AtomicBool,
     supervisor_stop: AtomicBool,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    late: AtomicU64,
-    queue_depths: Vec<AtomicUsize>,
-    reject_reasons: Mutex<BTreeMap<&'static str, u64>>,
+    /// One rendezvous per worker; readers register lanes here.
+    hubs: Vec<Arc<WorkerHub>>,
+    /// One stat cell per worker (accepts, late/overflow rejects).
+    worker_stats: Vec<Arc<StatCell>>,
+    /// Reader stat cells, live and retired.
+    reader_stats: Mutex<ReaderStats>,
     /// Bounded sample of recent reject messages (triage without logs).
     reject_log: Mutex<VecDeque<String>>,
-    senders: Mutex<Option<Vec<SyncSender<WorkerMsg>>>>,
+    /// Control senders, one per worker; `None` once draining. Doubles
+    /// as the "is the server accepting lanes" gate for readers.
+    router: Mutex<Option<Vec<Sender<ControlMsg>>>>,
     /// Final per-worker reports, filled as workers drain.
     reports: Mutex<Vec<WorkerSnap>>,
     reports_ready: Condvar,
@@ -273,14 +494,16 @@ struct Shared {
 }
 
 impl Shared {
-    fn reject(&self, context: &str, err: &EdgeperfError) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+    /// Count a reject into `cell` (the caller's shard) plus the global
+    /// metrics counter and the sampled log.
+    fn reject(&self, cell: &StatCell, context: &str, err: &EdgeperfError) {
         let reason = err.reason();
+        cell.rejected.fetch_add(1, Ordering::Relaxed);
         if reason == "late" {
-            self.late.fetch_add(1, Ordering::Relaxed);
+            cell.late.fetch_add(1, Ordering::Relaxed);
         }
         self.metrics.counter(&format!("ingest.reject.{reason}")).inc();
-        *self.reject_reasons.lock().expect("reject map").entry(reason).or_insert(0) += 1;
+        *cell.reasons.lock().expect("reason map").entry(reason).or_insert(0) += 1;
         let mut log = self.reject_log.lock().expect("reject log");
         if log.len() >= 256 {
             log.pop_front();
@@ -288,13 +511,36 @@ impl Shared {
         log.push_back(format!("{context}: {err}"));
     }
 
+    /// Roll the sharded stat cells up into totals. Exact for any
+    /// quiescent cell (its owner stopped pushing); approximate only in
+    /// the benign snapshot-during-traffic sense the old global counters
+    /// had too.
+    fn stat_totals(&self) -> StatTotals {
+        let mut totals = StatTotals::default();
+        for cell in &self.worker_stats {
+            totals.add_cell(cell);
+        }
+        let readers = self.reader_stats.lock().expect("reader stats");
+        for cell in &readers.active {
+            totals.add_cell(cell);
+        }
+        totals.accepted += readers.retired.accepted;
+        totals.rejected += readers.retired.rejected;
+        totals.late += readers.retired.late;
+        for (reason, n) in &readers.retired.reasons {
+            *totals.reasons.entry(reason).or_insert(0) += n;
+        }
+        totals
+    }
+
     fn snapshot_from(&self, per_worker: &[WorkerSnap], drained: bool) -> LiveSnapshot {
+        let totals = self.stat_totals();
         let mut snap = LiveSnapshot {
             drained,
             workers: self.config.workers as u64,
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            late: self.late.load(Ordering::Relaxed),
+            accepted: totals.accepted,
+            rejected: totals.rejected,
+            late: totals.late,
             ..LiveSnapshot::default()
         };
         let mut classes = [0u64; 5];
@@ -310,10 +556,8 @@ impl Shared {
                 classes[i] += c;
             }
         }
-        snap.reject_reasons = self
-            .reject_reasons
-            .lock()
-            .expect("reject map")
+        snap.reject_reasons = totals
+            .reasons
             .iter()
             .map(|(reason, count)| ReasonCount { reason: reason.to_string(), count: *count })
             .collect();
@@ -327,11 +571,59 @@ impl Shared {
     }
 }
 
-/// Deterministic group → worker shard (same FxHash as the offline sinks).
-fn shard_of(group: &GroupKey, workers: usize) -> usize {
+/// Deterministic group → worker shard (same FxHash as the offline
+/// sinks). Public so the bench crate's per-stage profile can time the
+/// real routing function.
+pub fn shard_of(group: &GroupKey, workers: usize) -> usize {
     let mut h = FxHasher::default();
     group.hash(&mut h);
     (h.finish() as usize) % workers
+}
+
+/// Open one lane per worker for a new connection, plus its stat cell.
+/// `None` once the server is draining (the router is gone).
+fn register_reader(shared: &Arc<Shared>) -> Option<ReaderLanes> {
+    let router = shared.router.lock().expect("router");
+    router.as_ref()?;
+    let batch_slots = shared.config.queue_capacity.div_ceil(RECORD_BATCH).max(1);
+    let mut lanes = Vec::with_capacity(shared.hubs.len());
+    for hub in &shared.hubs {
+        let (data_tx, data_rx) = spsc::<Batch>(batch_slots);
+        // +2 so a worker returning a spent Vec while the reader holds
+        // one in flight still finds a slot in the common case; overflow
+        // just drops the Vec (allocation, not correctness).
+        let (recycle_tx, recycle_rx) = spsc::<Batch>(batch_slots + 2);
+        let bell = Arc::new(Waiter::default());
+        let applied = Arc::new(AtomicU64::new(0));
+        hub.incoming.lock().expect("incoming lanes").push(LaneRx {
+            data: data_rx,
+            recycle: recycle_tx,
+            bell: Arc::clone(&bell),
+            applied: Arc::clone(&applied),
+        });
+        hub.version.fetch_add(1, Ordering::Release);
+        lanes.push(LaneTx {
+            data: data_tx,
+            recycle: recycle_rx,
+            bell,
+            applied,
+            hub: Arc::clone(hub),
+            pushed: 0,
+            batch: Vec::with_capacity(RECORD_BATCH),
+        });
+    }
+    let cell = Arc::new(StatCell::default());
+    shared.reader_stats.lock().expect("reader stats").active.push(Arc::clone(&cell));
+    drop(router);
+    for hub in &shared.hubs {
+        hub.ring();
+    }
+    Some(ReaderLanes { lanes, cell })
+}
+
+/// Clone worker `w`'s control sender, if the server is still routing.
+fn control_sender(shared: &Shared, w: usize) -> Option<Sender<ControlMsg>> {
+    shared.router.lock().expect("router").as_ref().map(|senders| senders[w].clone())
 }
 
 /// A running [`LiveServer`]: the bound address plus every thread handle.
@@ -406,13 +698,11 @@ impl LiveServer {
             metrics,
             draining: AtomicBool::new(false),
             supervisor_stop: AtomicBool::new(false),
-            accepted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            late: AtomicU64::new(0),
-            queue_depths: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
-            reject_reasons: Mutex::new(BTreeMap::new()),
+            hubs: (0..workers).map(|_| Arc::new(WorkerHub::default())).collect(),
+            worker_stats: (0..workers).map(|_| Arc::new(StatCell::default())).collect(),
+            reader_stats: Mutex::new(ReaderStats::default()),
             reject_log: Mutex::new(VecDeque::new()),
-            senders: Mutex::new(None),
+            router: Mutex::new(None),
             reports: Mutex::new(Vec::new()),
             reports_ready: Condvar::new(),
             final_snapshot: Mutex::new(None),
@@ -423,19 +713,20 @@ impl LiveServer {
         });
 
         let mut worker_handles = Vec::with_capacity(workers);
-        let mut senders = Vec::with_capacity(workers);
+        let mut control_senders = Vec::with_capacity(workers);
         for w in 0..workers {
-            let (tx, rx) = sync_channel(shared.config.queue_capacity);
-            senders.push(tx);
+            let (control_tx, control_rx) = channel();
+            control_senders.push(control_tx);
+            let hub = Arc::clone(&shared.hubs[w]);
             let shared = Arc::clone(&shared);
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("live-worker-{w}"))
-                    .spawn(move || worker_loop(w, &shared, rx))
+                    .spawn(move || worker_loop(w, &shared, &hub, &control_rx))
                     .expect("spawn worker"),
             );
         }
-        *shared.senders.lock().expect("senders") = Some(senders);
+        *shared.router.lock().expect("router") = Some(control_senders);
 
         let supervisor = {
             let shared = Arc::clone(&shared);
@@ -492,8 +783,7 @@ fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>, parser: Arc<dyn Li
 
 fn reader_loop(id: u64, stream: TcpStream, shared: &Arc<Shared>, parser: Arc<dyn LineParser>) {
     let Ok(mut out) = stream.try_clone() else { return };
-    let senders = shared.senders.lock().expect("senders").clone();
-    let Some(senders) = senders else { return };
+    let Some(mut lanes) = register_reader(shared) else { return };
     // Wire negotiation: sniff the first bytes against the binary magic.
     // The comparison is incremental, so a JSONL client's `{` (or any
     // other first byte) commits to line mode after one read — we never
@@ -509,14 +799,18 @@ fn reader_loop(id: u64, stream: TcpStream, shared: &Arc<Shared>, parser: Arc<dyn
                 let cmp = got.min(FRAME_MAGIC.len());
                 magic_possible = pre[..cmp] == FRAME_MAGIC[..cmp];
             }
-            Err(_) => return,
+            Err(_) => {
+                lanes.retire(shared);
+                return;
+            }
         }
     }
     if magic_possible && got == PREAMBLE_LEN {
         match parse_preamble(&pre) {
-            Ok(body_len) => binary_reader_loop(id, stream, body_len, shared, senders),
-            Err(err) => shared.reject(&format!("conn {id} preamble"), &err),
+            Ok(body_len) => binary_reader_loop(id, stream, body_len, shared, &mut lanes),
+            Err(err) => shared.reject(&lanes.cell, &format!("conn {id} preamble"), &err),
         }
+        lanes.retire(shared);
         return;
     }
     // Line mode: hand the already-consumed sniff bytes back to the
@@ -525,7 +819,8 @@ fn reader_loop(id: u64, stream: TcpStream, shared: &Arc<Shared>, parser: Arc<dyn
         shared.config.read_buffer_bytes,
         Cursor::new(pre[..got].to_vec()).chain(stream),
     );
-    line_reader_loop(id, reader, &mut out, shared, parser, senders);
+    line_reader_loop(id, reader, &mut out, shared, parser, &mut lanes);
+    lanes.retire(shared);
 }
 
 /// Binary-mode connection: decode length-prefixed frames from a
@@ -536,15 +831,13 @@ fn binary_reader_loop(
     mut stream: TcpStream,
     body_len: usize,
     shared: &Arc<Shared>,
-    senders: Vec<SyncSender<WorkerMsg>>,
+    lanes: &mut ReaderLanes,
 ) {
-    let workers = senders.len();
     let frames_counter = shared.metrics.counter("ingest.frames");
     let accepted_counter = shared.metrics.counter("live.accepted");
     let mut decoder = FrameDecoder::new(body_len, shared.config.read_buffer_bytes);
     let mut frame_no = 0u64;
-    let mut batches: Vec<Vec<LiveRecord>> = (0..workers).map(|_| Vec::new()).collect();
-    'conn: loop {
+    loop {
         let writable = decoder.writable();
         let writable_len = writable.len();
         let n = match stream.read(writable) {
@@ -558,34 +851,19 @@ fn binary_reader_loop(
                     frame_no += 1;
                     frames_counter.inc();
                     accepted_counter.inc();
-                    let w = shard_of(&rec.group, workers);
-                    batches[w].push(rec);
-                    if batches[w].len() >= RECORD_BATCH
-                        && !flush_batch(shared, &senders, &mut batches, w)
-                    {
-                        break 'conn;
-                    }
+                    lanes.route(rec);
                 }
                 Ok(None) => break,
                 Err(err) => {
-                    shared.reject(&format!("conn {id} frame {}", frame_no + 1), &err);
-                    break 'conn;
+                    shared.reject(&lanes.cell, &format!("conn {id} frame {}", frame_no + 1), &err);
+                    return;
                 }
             }
         }
         // About to block on the socket: hand workers everything decoded
         // so far (same invariant as the line path — a quiet connection
         // never strands records in a partial batch).
-        for w in 0..workers {
-            if !flush_batch(shared, &senders, &mut batches, w) {
-                break 'conn;
-            }
-        }
-    }
-    for w in 0..workers {
-        if !flush_batch(shared, &senders, &mut batches, w) {
-            break;
-        }
+        lanes.flush_all();
     }
 }
 
@@ -596,16 +874,15 @@ fn line_reader_loop<R: Read>(
     out: &mut TcpStream,
     shared: &Arc<Shared>,
     parser: Arc<dyn LineParser>,
-    mut senders: Vec<SyncSender<WorkerMsg>>,
+    lanes: &mut ReaderLanes,
 ) {
-    let workers = senders.len();
+    let workers = shared.config.workers;
     let lines_counter = shared.metrics.counter("ingest.lines");
     let accepted_counter = shared.metrics.counter("live.accepted");
     let mut line = String::new();
     let mut line_no = 0u64;
     let mut rr = id as usize;
-    let mut batches: Vec<Vec<LiveRecord>> = (0..workers).map(|_| Vec::new()).collect();
-    'conn: loop {
+    loop {
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) | Err(_) => break,
@@ -621,64 +898,59 @@ fn line_reader_loop<R: Read>(
             match parser.parse(trimmed) {
                 Ok(rec) => {
                     accepted_counter.inc();
-                    let w = shard_of(&rec.group, workers);
-                    batches[w].push(rec);
-                    if batches[w].len() >= RECORD_BATCH
-                        && !flush_batch(shared, &senders, &mut batches, w)
-                    {
-                        break 'conn;
-                    }
+                    lanes.route(rec);
                 }
-                Err(err) => shared.reject(&format!("conn {id} line {line_no}"), &err),
+                Err(err) => shared.reject(&lanes.cell, &format!("conn {id} line {line_no}"), &err),
             }
             // About to block on the socket: hand workers everything
             // parsed so far, so a quiet connection never strands
             // records in a partial batch (snapshots taken while the
             // sender idles must observe them).
             if reader.buffer().is_empty() {
-                for w in 0..workers {
-                    if !flush_batch(shared, &senders, &mut batches, w) {
-                        break 'conn;
-                    }
-                }
+                lanes.flush_all();
             }
             continue;
         }
-        // Commands observe everything this connection sent before them.
-        for w in 0..workers {
-            if !flush_batch(shared, &senders, &mut batches, w) {
-                break 'conn;
-            }
+        // State-reporting commands observe everything this connection
+        // sent before them; `ping` and `metrics` skip the barrier so
+        // they stay responsive even while this connection's own lanes
+        // are backed up.
+        if matches!(trimmed, "snapshot" | "stats" | "cells") {
+            lanes.sync();
         }
         let reply = match trimmed {
             "ping" => {
                 rr = (rr + 1) % workers;
-                let (tx, rx) = channel();
-                shared.queue_depths[rr].fetch_add(1, Ordering::Relaxed);
-                if senders[rr].send(WorkerMsg::Ping(tx)).is_ok() {
-                    let _ = rx.recv();
-                    "pong".to_string()
-                } else {
-                    "gone".to_string()
+                let mut reply = "gone".to_string();
+                if let Some(tx) = control_sender(shared, rr) {
+                    let (reply_tx, reply_rx) = channel();
+                    if tx.send(ControlMsg::Ping(reply_tx)).is_ok() {
+                        shared.hubs[rr].ring();
+                        if reply_rx.recv().is_ok() {
+                            reply = "pong".to_string();
+                        }
+                    }
                 }
+                reply
             }
-            "snapshot" => match query_workers(shared, &senders, WorkerMsg::Snapshot) {
+            "snapshot" => match query_workers(shared, ControlMsg::Snapshot) {
                 Some(per_worker) => {
                     let snap = shared.snapshot_from(&per_worker, false);
                     serde_json::to_string(&snap).expect("snapshot serializes")
                 }
                 None => "{\"error\":\"draining\"}".to_string(),
             },
-            "stats" => match query_workers(shared, &senders, WorkerMsg::Snapshot) {
-                Some(per_worker) => render_stats(shared, &per_worker),
+            "stats" => match query_workers(shared, ControlMsg::Snapshot) {
+                Some(per_worker) => render_stats(&per_worker),
                 None => "{\"error\":\"draining\"}".to_string(),
             },
             "cells" => {
                 let mut all: Vec<CellLine> = Vec::new();
-                for (w, tx) in senders.iter().enumerate() {
+                for w in 0..workers {
+                    let Some(tx) = control_sender(shared, w) else { continue };
                     let (reply_tx, reply_rx) = channel();
-                    shared.queue_depths[w].fetch_add(1, Ordering::Relaxed);
-                    if tx.send(WorkerMsg::Cells(reply_tx)).is_ok() {
+                    if tx.send(ControlMsg::Cells(reply_tx)).is_ok() {
+                        shared.hubs[w].ring();
                         if let Ok(cells) = reply_rx.recv() {
                             all.extend(cells);
                         }
@@ -696,7 +968,7 @@ fn line_reader_loop<R: Read>(
                 serde_json::to_string(&shared.metrics.snapshot()).expect("metrics serialize")
             }
             "shutdown" => {
-                let snap = drain(shared, id, std::mem::take(&mut senders));
+                let snap = drain(shared, id, std::mem::take(lanes));
                 let reply = serde_json::to_string(&snap).expect("snapshot serializes");
                 let _ = out.write_all(reply.as_bytes());
                 let _ = out.write_all(b"\n");
@@ -709,58 +981,29 @@ fn line_reader_loop<R: Read>(
             break;
         }
     }
-    // EOF / cut connection: hand the workers whatever is still batched.
-    // (After `shutdown`, every batch is already empty and `senders` was
-    // taken, so this is a no-op.)
-    for w in 0..workers {
-        if !flush_batch(shared, &senders, &mut batches, w) {
-            break;
-        }
-    }
+    // EOF / cut connection: the caller retires the lanes, which flushes
+    // whatever is still batched. (After `shutdown`, `lanes` was taken
+    // and retirement is a no-op.)
 }
 
-/// Push a reader's coalesced batch for worker `w` onto its queue,
-/// keeping `queue_depths` (counted in records) in sync. `false` when the
-/// worker side is gone (server draining).
-fn flush_batch(
-    shared: &Shared,
-    senders: &[SyncSender<WorkerMsg>],
-    batches: &mut [Vec<LiveRecord>],
-    w: usize,
-) -> bool {
-    if batches[w].is_empty() {
-        return true;
-    }
-    let batch = std::mem::take(&mut batches[w]);
-    let len = batch.len();
-    shared.queue_depths[w].fetch_add(len, Ordering::Relaxed);
-    if senders[w].send(WorkerMsg::Records(batch)).is_err() {
-        shared.queue_depths[w].fetch_sub(len, Ordering::Relaxed);
-        return false;
-    }
-    true
-}
-
-/// Send `make(reply)` to every worker and collect the responses. `None`
-/// when the server is already draining.
+/// Send `make(reply)` to every worker over the control channels and
+/// collect the responses. `None` when the server is already draining.
 fn query_workers(
     shared: &Shared,
-    senders: &[SyncSender<WorkerMsg>],
-    make: fn(Sender<WorkerSnap>) -> WorkerMsg,
+    make: fn(Sender<WorkerSnap>) -> ControlMsg,
 ) -> Option<Vec<WorkerSnap>> {
+    let senders = shared.router.lock().expect("router").clone()?;
     let mut out = Vec::with_capacity(senders.len());
     for (w, tx) in senders.iter().enumerate() {
         let (reply_tx, reply_rx) = channel();
-        shared.queue_depths[w].fetch_add(1, Ordering::Relaxed);
-        if tx.send(make(reply_tx)).is_err() {
-            return None;
-        }
+        tx.send(make(reply_tx)).ok()?;
+        shared.hubs[w].ring();
         out.push(reply_rx.recv().ok()?);
     }
     Some(out)
 }
 
-fn render_stats(shared: &Shared, per_worker: &[WorkerSnap]) -> String {
+fn render_stats(per_worker: &[WorkerSnap]) -> String {
     let rows: Vec<String> = per_worker
         .iter()
         .enumerate()
@@ -768,34 +1011,37 @@ fn render_stats(shared: &Shared, per_worker: &[WorkerSnap]) -> String {
             format!(
                 "{{\"worker\":{w},\"processed\":{},\"queue_depth\":{},\"groups\":{},\
                  \"open_windows\":{},\"windows_closed\":{}}}",
-                s.processed,
-                shared.queue_depths[w].load(Ordering::Relaxed),
-                s.groups,
-                s.open_windows,
-                s.windows_closed,
+                s.processed, s.queue_depth, s.groups, s.open_windows, s.windows_closed,
             )
         })
         .collect();
     format!("{{\"workers\":[{}]}}", rows.join(","))
 }
 
-/// Drain: stop the acceptor, cut other connections, drop every sender,
-/// wait for the workers to flush, and build the final snapshot.
-fn drain(shared: &Arc<Shared>, self_id: u64, senders: Vec<SyncSender<WorkerMsg>>) -> LiveSnapshot {
+/// Drain: stop the acceptor, cut other connections, drop the control
+/// router, retire the caller's lanes, wait for the workers to flush,
+/// and build the final snapshot.
+fn drain(shared: &Arc<Shared>, self_id: u64, lanes: ReaderLanes) -> LiveSnapshot {
     let first = !shared.draining.swap(true, Ordering::AcqRel);
     if first {
         // Wake the acceptor so it observes the flag.
         let _ = TcpStream::connect(shared.bound_addr);
-        // Cut every other connection; their readers drain what they have
-        // already enqueued, then exit and release their senders.
+        // Cut every other connection; their readers drain what they
+        // have already batched, then retire (fold stats, close lanes).
         for (cid, conn) in shared.conns.lock().expect("conns").iter() {
             if *cid != self_id {
                 let _ = conn.shutdown(Shutdown::Both);
             }
         }
-        *shared.senders.lock().expect("senders") = None;
+        // Drop the control senders: workers treat a disconnected
+        // control channel + no lanes as the exit condition, and readers
+        // can no longer register lanes.
+        *shared.router.lock().expect("router") = None;
+        for hub in &shared.hubs {
+            hub.ring();
+        }
     }
-    drop(senders);
+    lanes.retire(shared);
     let workers = shared.config.workers;
     let mut reports = shared.reports.lock().expect("reports");
     while reports.len() < workers {
@@ -820,13 +1066,14 @@ struct WorkerState {
 }
 
 impl WorkerState {
-    fn snap(&self) -> WorkerSnap {
+    fn snap(&self, queue_depth: usize) -> WorkerSnap {
         let mut class_counts_minrtt = [0u64; 5];
         for (_, class) in self.detector.classes(DegradationMetric::MinRtt) {
             class_counts_minrtt[class_slot(class)] += 1;
         }
         WorkerSnap {
             processed: self.processed,
+            queue_depth,
             groups: self.detector.group_count(),
             open_windows: self.ring.open_windows(),
             windows_closed: self.windows_closed,
@@ -841,7 +1088,12 @@ impl WorkerState {
     }
 }
 
-fn worker_loop(w: usize, shared: &Arc<Shared>, rx: Receiver<WorkerMsg>) {
+fn worker_loop(
+    w: usize,
+    shared: &Arc<Shared>,
+    hub: &Arc<WorkerHub>,
+    control: &Receiver<ControlMsg>,
+) {
     let cfg = &shared.config;
     let mut state = WorkerState {
         ring: WindowRing::new(cfg.window_ms, cfg.lateness_ms),
@@ -855,6 +1107,7 @@ fn worker_loop(w: usize, shared: &Arc<Shared>, rx: Receiver<WorkerMsg>) {
         processed: 0,
         windows_closed: 0,
     };
+    let cell = Arc::clone(&shared.worker_stats[w]);
     let close_hist = shared.metrics.histogram("live.window_close_ns");
     let depth_hist = shared.metrics.histogram("live.queue_depth");
     let depth_gauge = shared.metrics.gauge(&format!("live.worker.{w}.queue_depth"));
@@ -867,64 +1120,165 @@ fn worker_loop(w: usize, shared: &Arc<Shared>, rx: Receiver<WorkerMsg>) {
     let counters =
         (&windows_counter, &events_minrtt, &events_hdratio, &episodes_opened, &episodes_closed);
 
-    while let Ok(msg) = rx.recv() {
-        let cost = match &msg {
-            WorkerMsg::Records(batch) => batch.len(),
-            _ => 1,
-        };
-        let depth = shared.queue_depths[w].fetch_sub(cost, Ordering::Relaxed);
-        let token = shared.board.begin(w, state.processed as usize & 0xFFFF);
-        match msg {
-            WorkerMsg::Records(batch) => {
-                let mut accepted = 0u64;
-                for rec in batch {
-                    state.processed += 1;
-                    match state.ring.push(&rec) {
-                        Ok(closed) => {
-                            accepted += 1;
-                            for cw in closed {
-                                handle_close(shared, &mut state, cw, &close_hist, counters);
-                            }
-                        }
-                        Err(err) => shared.reject(&format!("worker {w}"), &err),
-                    }
+    let mut lanes: Vec<LaneRx> = Vec::new();
+    // u64::MAX forces the first iteration to absorb pre-registered lanes.
+    let mut seen_version = u64::MAX;
+    let mut control_dead = false;
+    loop {
+        // The doorbell sequence is read *before* scanning: anything rung
+        // after this load is caught by the park condition below.
+        let seq = hub.seq.load(Ordering::Acquire);
+        let version = hub.version.load(Ordering::Acquire);
+        if version != seen_version {
+            lanes.append(&mut hub.incoming.lock().expect("incoming lanes"));
+            seen_version = version;
+        }
+        let mut progress = false;
+        // Control bypass: drained every round, never behind record lanes.
+        loop {
+            match control.try_recv() {
+                Ok(msg) => {
+                    progress = true;
+                    handle_control(&state, &lanes, msg);
                 }
-                shared.accepted.fetch_add(accepted, Ordering::Relaxed);
-                depth_hist.record(depth as u64);
-                depth_gauge.set(depth as f64);
-                processed_gauge.set(state.processed as f64);
-            }
-            WorkerMsg::Ping(reply) => {
-                let _ = reply.send(());
-            }
-            WorkerMsg::Snapshot(reply) => {
-                let _ = reply.send(state.snap());
-            }
-            WorkerMsg::Cells(reply) => {
-                let cells = state
-                    .closed
-                    .iter()
-                    .flat_map(|(window, cells)| {
-                        cells.iter().map(|(key, s)| CellLine::new(*window, key, s))
-                    })
-                    .collect();
-                let _ = reply.send(cells);
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    control_dead = true;
+                    break;
+                }
             }
         }
-        shared.board.finish(w);
-        let _ = token;
+        // Round-robin over lanes, a bounded burst from each.
+        let mut i = 0;
+        while i < lanes.len() {
+            let mut taken = 0usize;
+            let mut remove = false;
+            loop {
+                if taken == BATCHES_PER_LANE_ROUND {
+                    break;
+                }
+                // closed must be read before the pop: closed + empty
+                // means drained for good.
+                let closed = lanes[i].data.is_closed();
+                match lanes[i].data.try_pop() {
+                    Some(batch) => {
+                        apply_batch(
+                            w,
+                            shared,
+                            &mut state,
+                            &mut lanes[i],
+                            batch,
+                            &cell,
+                            &close_hist,
+                            counters,
+                        );
+                        progress = true;
+                        taken += 1;
+                    }
+                    None => {
+                        remove = closed;
+                        break;
+                    }
+                }
+            }
+            if remove {
+                lanes.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if progress {
+            let depth: usize = lanes.iter().map(|l| l.data.len()).sum();
+            depth_hist.record(depth as u64);
+            depth_gauge.set(depth as f64);
+            processed_gauge.set(state.processed as f64);
+            continue;
+        }
+        if control_dead
+            && shared.draining.load(Ordering::Acquire)
+            && lanes.is_empty()
+            && hub.version.load(Ordering::Acquire) == seen_version
+        {
+            break;
+        }
+        hub.bell.wait_until(|| {
+            hub.seq.load(Ordering::Acquire) != seq
+                || hub.version.load(Ordering::Acquire) != seen_version
+        });
     }
 
-    // Drain: every sender is gone. Flush the remaining windows, then
-    // publish the final report.
+    // Drain: every lane closed and drained, control router gone. Flush
+    // the remaining windows, then publish the final report.
     for cw in state.ring.force_close() {
         handle_close(shared, &mut state, cw, &close_hist, counters);
     }
     processed_gauge.set(state.processed as f64);
     depth_gauge.set(0.0);
     let mut reports = shared.reports.lock().expect("reports");
-    reports.push(state.snap());
+    reports.push(state.snap(0));
     shared.reports_ready.notify_all();
+}
+
+fn handle_control(state: &WorkerState, lanes: &[LaneRx], msg: ControlMsg) {
+    match msg {
+        ControlMsg::Ping(reply) => {
+            let _ = reply.send(());
+        }
+        ControlMsg::Snapshot(reply) => {
+            let depth = lanes.iter().map(|l| l.data.len()).sum();
+            let _ = reply.send(state.snap(depth));
+        }
+        ControlMsg::Cells(reply) => {
+            let cells = state
+                .closed
+                .iter()
+                .flat_map(|(window, cells)| {
+                    cells.iter().map(|(key, s)| CellLine::new(*window, key, s))
+                })
+                .collect();
+            let _ = reply.send(cells);
+        }
+    }
+}
+
+/// Apply one batch from `lane` into the window ring, then hand the
+/// spent `Vec` back through the recycle ring and publish progress
+/// (applied counter + lane doorbell) so a parked or syncing reader
+/// resumes.
+#[allow(clippy::too_many_arguments)]
+fn apply_batch(
+    w: usize,
+    shared: &Shared,
+    state: &mut WorkerState,
+    lane: &mut LaneRx,
+    mut batch: Batch,
+    cell: &StatCell,
+    close_hist: &edgeperf_obs::Histogram,
+    counters: CloseCounters<'_>,
+) {
+    let token = shared.board.begin(w, state.processed as usize & 0xFFFF);
+    let n = batch.len() as u64;
+    let mut accepted = 0u64;
+    for rec in batch.drain(..) {
+        state.processed += 1;
+        match state.ring.push(&rec) {
+            Ok(closed) => {
+                accepted += 1;
+                for cw in closed {
+                    handle_close(shared, state, cw, close_hist, counters);
+                }
+            }
+            Err(err) => shared.reject(cell, &format!("worker {w}"), &err),
+        }
+    }
+    cell.accepted.fetch_add(accepted, Ordering::Relaxed);
+    // Return the drained Vec for reuse; a full recycle ring just drops
+    // it (the reader will allocate a fresh one).
+    let _ = lane.recycle.try_push(batch);
+    lane.applied.fetch_add(n, Ordering::Release);
+    lane.bell.notify();
+    shared.board.finish(w);
+    let _ = token;
 }
 
 type CloseCounters<'a> = (
@@ -1066,5 +1420,27 @@ mod tests {
         assert_eq!(back.min_rtt_p50.to_bits(), line.min_rtt_p50.to_bits());
         assert_eq!(back.min_rtt_var.unwrap().to_bits(), line.min_rtt_var.unwrap().to_bits());
         assert_eq!(back.group(), group);
+    }
+
+    #[test]
+    fn stat_cells_roll_up_exactly() {
+        let a = StatCell::default();
+        let b = StatCell::default();
+        a.accepted.fetch_add(10, Ordering::Relaxed);
+        a.rejected.fetch_add(2, Ordering::Relaxed);
+        a.late.fetch_add(1, Ordering::Relaxed);
+        *a.reasons.lock().unwrap().entry("late").or_insert(0) += 1;
+        *a.reasons.lock().unwrap().entry("parse").or_insert(0) += 1;
+        b.accepted.fetch_add(5, Ordering::Relaxed);
+        b.rejected.fetch_add(1, Ordering::Relaxed);
+        *b.reasons.lock().unwrap().entry("late").or_insert(0) += 1;
+        let mut totals = StatTotals::default();
+        totals.add_cell(&a);
+        totals.add_cell(&b);
+        assert_eq!(totals.accepted, 15);
+        assert_eq!(totals.rejected, 3);
+        assert_eq!(totals.late, 1);
+        assert_eq!(totals.reasons["late"], 2);
+        assert_eq!(totals.reasons["parse"], 1);
     }
 }
