@@ -43,6 +43,7 @@ pub mod figures;
 pub mod hash;
 pub mod opportunity;
 pub mod record;
+pub mod segment;
 pub mod sink;
 pub mod streaming;
 pub mod tables;
@@ -57,6 +58,10 @@ pub use degradation::{degradation_events, DegradationMetric, WindowAssessment, W
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use opportunity::{opportunity_events, OpportunityMetric};
 pub use record::{GroupKey, SessionRecord};
+pub use segment::{
+    atomic_write, cell_sort_key, decode_segment, encode_segment, sort_cells, stage, staging_path,
+    window_span, WindowCell, SEGMENT_MAGIC, SEGMENT_VERSION,
+};
 pub use sink::{
     RecordShard, RecordSink, SinkStats, StreamingCell, StreamingDataset, StreamingGroupData,
 };

@@ -4,9 +4,12 @@
 //! loadgen --addr HOST:PORT [--wire jsonl|binary] [--rate F] [--sessions N]
 //!         [--connections N] [--groups N] [--windows N] [--window-ms F]
 //!         [--lateness-ms F] [--max-txns N] [--seed N] [--shutdown]
+//!         [--query-from N] [--query-until N]
 //!         [--expect-clean] [--json PATH]
 //! loadgen --suite [--sessions N] ... [--expect-clean] [--json PATH]
 //! loadgen --profile [--workers N] [--sessions N] ... [--json PATH]
+//! loadgen --long-horizon [--windows N] [--retention N] [--spill-dir DIR]
+//!         [--expect-clean] [--json PATH]
 //! ```
 //!
 //! Prints the [`edgeperf_bench::loadgen::LoadReport`] as JSON on stdout;
@@ -18,17 +21,37 @@
 //! (no rejects, no late drops, groups observed, clean drain when
 //! `--shutdown` was given) — the CI smoke assertion.
 //!
+//! `--query-from` / `--query-until` issue a window-range `cells` query
+//! after the replay (and before any `--shutdown` drain) — the smoke for
+//! the tiered window store's historical query path. With
+//! `--expect-clean` the query must return at least one cell.
+//!
 //! `--suite` ignores `--addr`/`--shutdown` and self-hosts servers
 //! in-process instead: one headline run per wire mode plus a binary
-//! connections × workers scaling grid and a per-stage profile,
-//! reported as a combined [`edgeperf_bench::loadgen::SuiteReport`].
+//! connections × workers scaling grid, a per-stage profile, and a
+//! long-horizon pass through the tiered window store, reported as a
+//! combined [`edgeperf_bench::loadgen::SuiteReport`].
 //!
 //! `--profile` runs only the per-stage breakdown (decode /
 //! route+enqueue / window-apply) without any server, reported as a
 //! [`edgeperf_bench::stage_profile::StageProfile`].
+//!
+//! `--long-horizon` self-hosts the tiered-store comparison on its own:
+//! replay `--windows` of event time into a server that spills past
+//! `--retention` windows (segments under `--spill-dir`, a throwaway
+//! temp directory by default), replay the same sessions into an all-RAM
+//! control, and report the
+//! [`edgeperf_bench::loadgen::LongHorizonReport`]. With
+//! `--expect-clean` the merged disk+RAM query must be bit-identical to
+//! the control and something must actually have spilled.
 
-use edgeperf_bench::loadgen::{run, run_suite, LoadReport, LoadgenConfig, WireMode};
+use edgeperf_bench::loadgen::{
+    run, run_long_horizon, run_suite, LoadReport, LoadgenConfig, WireMode, LONG_HORIZON_RETENTION,
+    LONG_HORIZON_WINDOWS,
+};
 use edgeperf_bench::stage_profile::profile_stages;
+use edgeperf_live::{CellQuery, LiveClient};
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +61,11 @@ fn main() {
     let mut suite = false;
     let mut profile = false;
     let mut profile_workers = 4usize;
+    let mut long_horizon = false;
+    let mut retention = LONG_HORIZON_RETENTION;
+    let mut spill_dir: Option<PathBuf> = None;
+    let mut query_from: Option<u32> = None;
+    let mut query_until: Option<u32> = None;
     fn num(it: &mut dyn Iterator<Item = &String>, flag: &str) -> f64 {
         it.next()
             .and_then(|s| s.parse().ok())
@@ -72,6 +100,15 @@ fn main() {
             "--suite" => suite = true,
             "--profile" => profile = true,
             "--workers" => profile_workers = num(&mut it, "--workers") as usize,
+            "--long-horizon" => long_horizon = true,
+            "--retention" => retention = num(&mut it, "--retention") as usize,
+            "--spill-dir" => {
+                spill_dir = Some(PathBuf::from(
+                    it.next().cloned().unwrap_or_else(|| die("--spill-dir needs a path")),
+                ));
+            }
+            "--query-from" => query_from = Some(num(&mut it, "--query-from") as u32),
+            "--query-until" => query_until = Some(num(&mut it, "--query-until") as u32),
             "--expect-clean" => expect_clean = true,
             "--json" => {
                 json_path = Some(it.next().cloned().unwrap_or_else(|| die("--json needs a path")));
@@ -84,6 +121,34 @@ fn main() {
         let report =
             profile_stages(&cfg, profile_workers).unwrap_or_else(|e| die(&format!("profile: {e}")));
         emit(&serde_json::to_string_pretty(&report).expect("profile serializes"), &json_path);
+        return;
+    }
+
+    if long_horizon {
+        if cfg.windows == LoadgenConfig::default().windows {
+            cfg.windows = LONG_HORIZON_WINDOWS;
+        }
+        let (dir, throwaway) = match spill_dir {
+            Some(dir) => (dir, false),
+            None => (
+                std::env::temp_dir().join(format!("edgeperf-long-horizon-{}", std::process::id())),
+                true,
+            ),
+        };
+        let result = run_long_horizon(&cfg, retention, &dir);
+        if throwaway {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let report = result.unwrap_or_else(|e| die(&format!("long-horizon: {e}")));
+        emit(&serde_json::to_string_pretty(&report).expect("report serializes"), &json_path);
+        if expect_clean
+            && !(report.bit_identical
+                && report.spilled_windows > 0
+                && report.segments > 0
+                && report.full_range_cells > 0)
+        {
+            die(&format!("long-horizon run was not clean: {report:?}"));
+        }
         return;
     }
 
@@ -102,7 +167,38 @@ fn main() {
         return;
     }
 
-    let report = run(&cfg).unwrap_or_else(|e| die(&format!("replay against {}: {e}", cfg.addr)));
+    // A range query must run before any drain: replay with shutdown
+    // deferred, query, then drain explicitly.
+    let wants_query = query_from.is_some() || query_until.is_some();
+    let mut run_cfg = cfg.clone();
+    if wants_query {
+        run_cfg.shutdown = false;
+    }
+    let mut report =
+        run(&run_cfg).unwrap_or_else(|e| die(&format!("replay against {}: {e}", cfg.addr)));
+    if wants_query {
+        let mut client = LiveClient::connect(&cfg.addr)
+            .unwrap_or_else(|e| die(&format!("connect {}: {e}", cfg.addr)));
+        let query = CellQuery {
+            from_window: query_from,
+            until_window: query_until,
+            ..CellQuery::default()
+        };
+        let rows = client.cells_query(&query).unwrap_or_else(|e| die(&format!("cells query: {e}")));
+        eprintln!(
+            "loadgen: cells query from={} until={} returned {} cells",
+            query_from.map_or("start".to_string(), |w| w.to_string()),
+            query_until.map_or("end".to_string(), |w| w.to_string()),
+            rows.len()
+        );
+        if expect_clean && rows.is_empty() {
+            die("range query returned no cells");
+        }
+        if cfg.shutdown {
+            let snapshot = client.shutdown().unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+            report.drained = snapshot.drained;
+        }
+    }
     emit(&serde_json::to_string_pretty(&report).expect("report serializes"), &json_path);
     if expect_clean {
         check_clean(&report, cfg.shutdown);

@@ -20,7 +20,9 @@
 use edgeperf::ingest::{ResponseIn, SessionIn};
 use edgeperf::serve::{WireParser, WireSession};
 use edgeperf_core::{HD_GOODPUT_BPS, MILLISECOND};
-use edgeperf_live::{encode_frame, preamble, LiveClient, LiveConfig, LiveServer};
+use edgeperf_live::{
+    encode_frame, preamble, CellLine, CellQuery, LiveClient, ServeBuilder, ServerHandle,
+};
 use edgeperf_obs::Metrics;
 use edgeperf_workload::WorkloadConfig;
 use rand::{Rng, SeedableRng};
@@ -28,6 +30,7 @@ use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufWriter, Write};
 use std::net::TcpStream;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -455,7 +458,177 @@ pub struct SuiteReport {
     /// Decode / route+enqueue / window-apply breakdown.
     #[serde(default)]
     pub stage_profile: crate::stage_profile::StageProfile,
+    /// Long-horizon replay through the tiered window store (absent in
+    /// reports from before the store existed).
+    #[serde(default)]
+    pub long_horizon: Option<LongHorizonReport>,
 }
+
+/// What a long-horizon (multi-day event time) replay through the tiered
+/// window store achieved, against an identical all-in-RAM control run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LongHorizonReport {
+    /// Event-time windows the replay spanned.
+    pub windows: u64,
+    /// Sessions replayed into each server.
+    pub sessions: u64,
+    /// RAM retention of the spilling server (windows per worker); every
+    /// older window lived only on disk at query time.
+    pub retention_windows: u64,
+    /// Segments on disk after the replay (post-compaction).
+    pub segments: u64,
+    /// Windows spilled past the retention horizon.
+    pub spilled_windows: u64,
+    /// Cells written into segments.
+    pub spilled_cells: u64,
+    /// Background compaction passes that ran.
+    pub compactions: u64,
+    /// Total bytes of live segments on disk.
+    pub store_bytes: u64,
+    /// Cells returned by the full-range query (disk + RAM merged).
+    pub full_range_cells: u64,
+    /// Cells returned by the historical half-horizon query (disk only).
+    pub historical_cells: u64,
+    /// Latency of the full-range `cells` query, ms.
+    pub full_query_ms: f64,
+    /// Latency of the historical range query, ms.
+    pub historical_query_ms: f64,
+    /// Process peak RSS (`VmHWM`, kB) right after the spilling replay.
+    pub peak_rss_spill_kb: u64,
+    /// Process peak RSS (kB) after the all-RAM control replay ran in
+    /// the same process. `VmHWM` is monotonic, so this only exceeds
+    /// [`LongHorizonReport::peak_rss_spill_kb`] if holding the whole
+    /// horizon in RAM pushed the high-water mark beyond the spill run.
+    pub peak_rss_all_ram_kb: u64,
+    /// Full-range query rows from the spilling server are byte-for-byte
+    /// identical (same serialized `f64` bits, same order) to the
+    /// all-RAM control server's.
+    pub bit_identical: bool,
+}
+
+/// Read a kB-denominated field (`VmHWM`, `VmRSS`, ...) from
+/// `/proc/self/status`. Returns 0 where procfs is unavailable.
+pub fn proc_status_kb(field: &str) -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with(field))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Stream every payload down one data connection, then block until the
+/// server has processed them all. A single connection delivers in
+/// order, so the replay is late-free by construction and needs none of
+/// [`run`]'s cross-connection chunk barriers.
+fn replay_single_connection(
+    addr: std::net::SocketAddr,
+    payloads: &[Vec<u8>],
+    wire: WireMode,
+) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut out = BufWriter::with_capacity(1 << 18, stream);
+    if wire == WireMode::Binary {
+        out.write_all(&preamble())?;
+    }
+    for payload in payloads {
+        out.write_all(payload)?;
+    }
+    out.flush()?;
+    drop(out);
+    let mut control = LiveClient::connect(addr)?;
+    wait_processed(&mut control, payloads.len() as u64)
+}
+
+fn render_rows(rows: &[CellLine]) -> Vec<String> {
+    rows.iter().map(|c| serde_json::to_string(c).expect("cell line serializes")).collect()
+}
+
+fn timed_cells(client: &mut LiveClient, query: &CellQuery) -> io::Result<(Vec<CellLine>, f64)> {
+    let start = Instant::now();
+    let rows = client.cells_query(query)?;
+    Ok((rows, start.elapsed().as_secs_f64() * 1e3))
+}
+
+/// Replay a long event-time horizon twice — once into a server whose
+/// RAM retention is a small fraction of the horizon (everything older
+/// spills to columnar segments under `spill_dir`), once into an all-RAM
+/// control — and prove the disk+RAM merged query path returns
+/// bit-identical rows while peak RSS stays bounded.
+pub fn run_long_horizon(
+    cfg: &LoadgenConfig,
+    retention_windows: usize,
+    spill_dir: &Path,
+) -> io::Result<LongHorizonReport> {
+    let lines = generate_lines(cfg);
+    let payloads = render_payloads(cfg, &lines)?;
+    drop(lines);
+    let parser = Arc::new(WireParser::new(cfg.target_bps));
+    let full = CellQuery { from_window: Some(0), ..CellQuery::default() };
+    let horizon_mid = cfg.windows / 2;
+    let historical = CellQuery { until_window: Some(horizon_mid), ..full };
+
+    // Pass 1: tiered server. Aggressive compaction thresholds so a
+    // bench-sized replay exercises the compactor, not just the spiller.
+    let spill_server = hosted_builder(cfg, SUITE_WORKERS)
+        .retention_windows(retention_windows)
+        .spill_dir(spill_dir)
+        .compact_min_segments(8)
+        .compact_batch(4)
+        .start(Arc::clone(&parser) as Arc<dyn edgeperf_live::LineParser>)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    replay_single_connection(spill_server.addr(), &payloads, cfg.wire)?;
+    let peak_rss_spill_kb = proc_status_kb("VmHWM:");
+    let mut control = LiveClient::connect(spill_server.addr())?;
+    let store = control.store_stats()?;
+    let (spilled_rows, full_query_ms) = timed_cells(&mut control, &full)?;
+    let (historical_rows, historical_query_ms) = timed_cells(&mut control, &historical)?;
+    control.shutdown()?;
+    drop(control);
+    let _ = spill_server.join();
+
+    // Pass 2: all-RAM control with retention covering the whole horizon.
+    let ram_server: ServerHandle = hosted_builder(cfg, SUITE_WORKERS)
+        .retention_windows(cfg.windows as usize + 4)
+        .start(parser)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    replay_single_connection(ram_server.addr(), &payloads, cfg.wire)?;
+    let mut control = LiveClient::connect(ram_server.addr())?;
+    let (ram_rows, _) = timed_cells(&mut control, &full)?;
+    control.shutdown()?;
+    drop(control);
+    let _ = ram_server.join();
+
+    Ok(LongHorizonReport {
+        windows: u64::from(cfg.windows),
+        sessions: payloads.len() as u64,
+        retention_windows: retention_windows as u64,
+        segments: store.segments,
+        spilled_windows: store.spilled_windows,
+        spilled_cells: store.spilled_cells,
+        compactions: store.compactions,
+        store_bytes: store.bytes,
+        full_range_cells: spilled_rows.len() as u64,
+        historical_cells: historical_rows.len() as u64,
+        full_query_ms,
+        historical_query_ms,
+        peak_rss_spill_kb,
+        peak_rss_all_ram_kb: proc_status_kb("VmHWM:"),
+        bit_identical: render_rows(&spilled_rows) == render_rows(&ram_rows),
+    })
+}
+
+/// Event-time windows for the suite's long-horizon pass: 10 days of the
+/// paper's 15-minute windows.
+pub const LONG_HORIZON_WINDOWS: u32 = 960;
+
+/// RAM retention (windows per worker) for the suite's long-horizon
+/// pass — under 1% of the horizon stays in memory.
+pub const LONG_HORIZON_RETENTION: usize = 8;
 
 /// Worker counts swept by [`run_suite`]'s binary scaling pass.
 pub const SCALING_WORKERS: [usize; 3] = [1, 4, 16];
@@ -471,21 +644,24 @@ pub fn host_cores() -> u64 {
     std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1)
 }
 
-/// Start an in-process [`LiveServer`] matching `cfg`'s window geometry,
-/// replay into it over loopback TCP, drain it, and report.
+/// The [`ServeBuilder`] every self-hosted server starts from: ephemeral
+/// loopback port, `cfg`'s window geometry, metrics enabled.
+fn hosted_builder(cfg: &LoadgenConfig, workers: usize) -> ServeBuilder {
+    ServeBuilder::new()
+        .addr("127.0.0.1:0")
+        .workers(workers)
+        .window_ms(cfg.window_ms)
+        .lateness_ms(cfg.lateness_ms)
+        .metrics(&Metrics::enabled())
+}
+
+/// Start an in-process [`edgeperf_live::LiveServer`] matching `cfg`'s
+/// window geometry, replay into it over loopback TCP, drain it, and
+/// report.
 pub fn run_hosted(cfg: &LoadgenConfig, wire: WireMode, workers: usize) -> io::Result<LoadReport> {
-    let server = LiveServer::start(
-        LiveConfig {
-            addr: "127.0.0.1:0".to_string(),
-            workers,
-            window_ms: cfg.window_ms,
-            lateness_ms: cfg.lateness_ms,
-            ..LiveConfig::default()
-        },
-        Arc::new(WireParser::new(cfg.target_bps)),
-        Metrics::enabled(),
-    )
-    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let server = hosted_builder(cfg, workers)
+        .start(Arc::new(WireParser::new(cfg.target_bps)))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     let run_cfg =
         LoadgenConfig { addr: server.addr().to_string(), wire, shutdown: true, ..cfg.clone() };
     let report = run(&run_cfg)?;
@@ -519,6 +695,21 @@ pub fn run_suite(cfg: &LoadgenConfig) -> io::Result<SuiteReport> {
         0.0
     };
     let stage_profile = crate::stage_profile::profile_stages(cfg, SUITE_WORKERS)?;
+
+    // Long-horizon pass: 10 days of event time through the tiered
+    // store, against an all-RAM control. Scoped to a throwaway spill
+    // directory; session count capped so the suite stays minutes-scale.
+    let horizon_cfg = LoadgenConfig {
+        sessions: cfg.sessions.min(24_000),
+        windows: LONG_HORIZON_WINDOWS,
+        connections: 1,
+        ..cfg.clone()
+    };
+    let spill_dir =
+        std::env::temp_dir().join(format!("edgeperf-long-horizon-{}", std::process::id()));
+    let long_horizon = run_long_horizon(&horizon_cfg, LONG_HORIZON_RETENTION, &spill_dir)?;
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
     Ok(SuiteReport {
         sessions: cfg.sessions as u64,
         connections: cfg.connections.max(1) as u64,
@@ -529,6 +720,7 @@ pub fn run_suite(cfg: &LoadgenConfig) -> io::Result<SuiteReport> {
         binary_speedup,
         binary_scaling,
         stage_profile,
+        long_horizon: Some(long_horizon),
     })
 }
 
@@ -538,12 +730,12 @@ mod tests {
 
     #[test]
     fn loadgen_replays_into_a_live_server_without_drops() {
-        let server = LiveServer::start(
-            LiveConfig { workers: 2, queue_capacity: 512, ..LiveConfig::default() },
-            Arc::new(WireParser::new(HD_GOODPUT_BPS)),
-            Metrics::enabled(),
-        )
-        .expect("server starts");
+        let server = ServeBuilder::new()
+            .workers(2)
+            .queue_capacity(512)
+            .metrics(&Metrics::enabled())
+            .start(Arc::new(WireParser::new(HD_GOODPUT_BPS)))
+            .expect("server starts");
         let cfg = LoadgenConfig {
             addr: server.addr().to_string(),
             sessions: 2_000,
@@ -588,6 +780,28 @@ mod tests {
         assert_eq!(report.late, 0);
         assert_eq!(report.groups, 16);
         assert!(report.windows_closed >= 8, "windows closed: {report:?}");
+    }
+
+    #[test]
+    fn long_horizon_spill_matches_all_ram_bit_for_bit() {
+        let cfg = LoadgenConfig {
+            sessions: 3_000,
+            connections: 1,
+            groups: 16,
+            windows: 48,
+            ..LoadgenConfig::default()
+        };
+        let spill_dir =
+            std::env::temp_dir().join(format!("edgeperf-loadgen-horizon-{}", std::process::id()));
+        let report = run_long_horizon(&cfg, 4, &spill_dir).expect("long-horizon run");
+        std::fs::remove_dir_all(&spill_dir).expect("spill dir cleanup");
+        assert!(report.bit_identical, "spilled query drifted from RAM: {report:?}");
+        assert!(report.spilled_windows > 0, "nothing spilled: {report:?}");
+        assert!(report.segments > 0);
+        assert!(report.full_range_cells > 0);
+        assert!(report.historical_cells > 0);
+        assert!(report.historical_cells <= report.full_range_cells);
+        assert!(report.peak_rss_spill_kb > 0, "procfs RSS available on CI hosts");
     }
 
     #[test]

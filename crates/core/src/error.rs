@@ -66,6 +66,14 @@ pub enum EdgeperfError {
         /// What was wrong with the frame.
         message: String,
     },
+    /// An on-disk window segment failed validation (bad magic or
+    /// version, truncation, checksum mismatch, invalid packed fields).
+    /// Segments are written atomically, so this indicates external
+    /// corruption — the store surfaces it instead of serving bad cells.
+    Segment {
+        /// What was wrong with the segment.
+        message: String,
+    },
     /// An [`AnalysisConfig`]-style parameter was out of range.
     ///
     /// [`AnalysisConfig`]: https://docs.rs/edgeperf-analysis
@@ -89,6 +97,7 @@ impl EdgeperfError {
             EdgeperfError::LateRecord { .. } => "late",
             EdgeperfError::WindowOverflow { .. } => "window_overflow",
             EdgeperfError::Frame { .. } => "frame",
+            EdgeperfError::Segment { .. } => "segment",
             EdgeperfError::InvalidConfig { .. } => "invalid_config",
         }
     }
@@ -122,6 +131,7 @@ impl fmt::Display for EdgeperfError {
                 )
             }
             EdgeperfError::Frame { message } => write!(f, "binary frame: {message}"),
+            EdgeperfError::Segment { message } => write!(f, "window segment: {message}"),
             EdgeperfError::InvalidConfig { field, message } => {
                 write!(f, "invalid config: {field}: {message}")
             }
@@ -194,6 +204,10 @@ mod tests {
                 EdgeperfError::Frame { message: "length prefix 3 below minimum 44".into() },
                 "binary frame: length prefix 3 below minimum 44",
             ),
+            (
+                EdgeperfError::Segment { message: "checksum mismatch".into() },
+                "window segment: checksum mismatch",
+            ),
         ];
         for (err, expected) in cases {
             assert_eq!(err.to_string(), expected);
@@ -216,5 +230,6 @@ mod tests {
             "window_overflow"
         );
         assert_eq!(EdgeperfError::Frame { message: String::new() }.reason(), "frame");
+        assert_eq!(EdgeperfError::Segment { message: String::new() }.reason(), "segment");
     }
 }

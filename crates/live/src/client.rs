@@ -2,16 +2,25 @@
 //!
 //! Used by the load generator, the CI smoke job and the agreement
 //! tests; also a reference implementation of the protocol for external
-//! tooling. Data lines are buffered (flushed before any command
-//! round-trip) so replay throughput is not bounded by per-line
-//! syscalls.
+//! tooling. Command lines are produced by [`Request::wire_line`] and
+//! replies parsed by the [`crate::protocol`] helpers — the client never
+//! hand-rolls wire syntax, so it cannot drift from the server. Data
+//! lines are buffered (flushed before any command round-trip) so replay
+//! throughput is not bounded by per-line syscalls.
 
 use crate::frame::{encode_frame, preamble};
+use crate::protocol::{parse_cells_header, CellQuery, ProtocolError, Request, PROTOCOL_VERSION};
 use crate::record::LiveRecord;
 use crate::server::{CellLine, LiveSnapshot};
+use crate::store::StoreStats;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Rows preallocated from a `cells` header before rows actually arrive.
+/// The header is untrusted input: a malformed or hostile count must not
+/// translate into an unbounded upfront allocation.
+const MAX_PREALLOC_CELLS: usize = 1 << 16;
 
 /// A blocking connection to a [`crate::LiveServer`].
 pub struct LiveClient {
@@ -40,8 +49,8 @@ impl LiveClient {
         self.writer.flush()
     }
 
-    fn round_trip(&mut self, command: &str) -> io::Result<String> {
-        self.writer.write_all(command.as_bytes())?;
+    fn round_trip(&mut self, request: &Request) -> io::Result<String> {
+        self.writer.write_all(request.wire_line().as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         self.read_reply()
@@ -59,7 +68,7 @@ impl LiveClient {
     /// the end-to-end ingest latency: socket + parse + queue wait.
     pub fn ping(&mut self) -> io::Result<Duration> {
         let start = Instant::now();
-        let reply = self.round_trip("ping")?;
+        let reply = self.round_trip(&Request::Ping)?;
         if reply != "pong" {
             return Err(io::Error::new(io::ErrorKind::InvalidData, format!("ping: {reply}")));
         }
@@ -68,21 +77,28 @@ impl LiveClient {
 
     /// Fetch the aggregate server snapshot.
     pub fn snapshot(&mut self) -> io::Result<LiveSnapshot> {
-        let reply = self.round_trip("snapshot")?;
+        let reply = self.round_trip(&Request::Snapshot)?;
         serde_json::from_str(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
-    /// Fetch every retained closed cell.
+    /// Fetch every retained closed cell (RAM and, when the server
+    /// spills, the on-disk tier too).
     pub fn cells(&mut self) -> io::Result<Vec<CellLine>> {
-        let header = self.round_trip("cells")?;
-        let count: usize = header
-            .strip_prefix("{\"cells\":")
-            .and_then(|s| s.strip_suffix('}'))
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("cells: {header}"))
-            })?;
-        let mut out = Vec::with_capacity(count);
+        self.cells_query(&CellQuery::default())
+    }
+
+    /// Fetch the closed cells matching a window-range/group query.
+    pub fn cells_query(&mut self, query: &CellQuery) -> io::Result<Vec<CellLine>> {
+        let header = self.round_trip(&Request::Cells(*query))?;
+        let count = parse_cells_header(&header).map_err(|err| match err {
+            // Surface a server-side error reply as-is instead of
+            // wrapping it in "malformed header" noise.
+            ProtocolError::MalformedReply { ref got, .. } if got.starts_with("{\"error\"") => {
+                io::Error::other(got.clone())
+            }
+            err => err.into(),
+        })?;
+        let mut out = Vec::with_capacity(count.min(MAX_PREALLOC_CELLS));
         for _ in 0..count {
             let line = self.read_reply()?;
             let cell: CellLine = serde_json::from_str(&line)
@@ -92,21 +108,54 @@ impl LiveClient {
         Ok(out)
     }
 
+    /// Fetch the tiered window-store statistics. Errors with the
+    /// server's reply when no spill directory is configured.
+    pub fn store_stats(&mut self) -> io::Result<StoreStats> {
+        let reply = self.round_trip(&Request::Store)?;
+        if reply.starts_with("{\"error\"") {
+            return Err(io::Error::other(reply));
+        }
+        serde_json::from_str(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Fetch the server's protocol version and check it against this
+    /// client's [`PROTOCOL_VERSION`].
+    pub fn version(&mut self) -> io::Result<u32> {
+        let reply = self.round_trip(&Request::Version)?;
+        let version: u32 = reply
+            .strip_prefix("{\"protocol\":")
+            .and_then(|s| s.strip_suffix('}'))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::from(ProtocolError::MalformedReply {
+                    expected: "{\"protocol\":N}",
+                    got: reply.clone(),
+                })
+            })?;
+        if version != PROTOCOL_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server speaks protocol {version}, client speaks {PROTOCOL_VERSION}"),
+            ));
+        }
+        Ok(version)
+    }
+
     /// Fetch the observability metrics snapshot as raw JSON.
     pub fn metrics_json(&mut self) -> io::Result<String> {
-        self.round_trip("metrics")
+        self.round_trip(&Request::Metrics)
     }
 
     /// Fetch the per-worker stats line as raw JSON.
     pub fn stats_json(&mut self) -> io::Result<String> {
-        self.round_trip("stats")
+        self.round_trip(&Request::Stats)
     }
 
     /// Drain the server and return its final snapshot. Close every data
     /// connection first: the drain force-closes other connections, and
     /// any bytes still queued on their sockets are discarded by the OS.
     pub fn shutdown(&mut self) -> io::Result<LiveSnapshot> {
-        let reply = self.round_trip("shutdown")?;
+        let reply = self.round_trip(&Request::Shutdown)?;
         serde_json::from_str(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 }

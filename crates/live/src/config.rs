@@ -1,13 +1,20 @@
-//! Live-server tunables.
+//! Live-server tunables and the one sanctioned construction path.
 
+use crate::record::LineParser;
+use crate::server::{LiveServer, ServerHandle};
 use edgeperf_analysis::AnalysisConfig;
 use edgeperf_core::EdgeperfError;
+use edgeperf_obs::Metrics;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Configuration of a [`crate::LiveServer`].
 ///
 /// Defaults target the paper's parameters (15-minute windows, §3.3) with
 /// an allowed lateness of one minute; tests shrink both to keep replays
-/// fast.
+/// fast. Prefer building through [`ServeBuilder`] — struct literals
+/// scattered over callers is how config fields get missed when one is
+/// added.
 #[derive(Debug, Clone)]
 pub struct LiveConfig {
     /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
@@ -26,10 +33,22 @@ pub struct LiveConfig {
     /// slots); a reader blocks when a lane is full — backpressure
     /// instead of unbounded memory.
     pub queue_capacity: usize,
-    /// Closed windows retained for queries and baselines, per worker.
-    /// Older windows are evicted; memory stays bounded by
-    /// `groups × retention_windows` cells.
+    /// Closed windows retained in RAM for queries and baselines, per
+    /// worker. Older windows are evicted — into the tiered segment
+    /// store when [`spill_dir`](Self::spill_dir) is set, otherwise
+    /// dropped — so RAM stays bounded by
+    /// `groups × retention_windows` cells either way.
     pub retention_windows: usize,
+    /// Directory for the tiered window store. `None` (the default)
+    /// keeps the pre-spill behaviour: evicted windows are gone. With a
+    /// directory, evicted windows are written as columnar segments and
+    /// stay queryable through `cells from=… until=…`.
+    pub spill_dir: Option<PathBuf>,
+    /// Segment count at which the background compactor starts merging
+    /// (only meaningful with a spill directory).
+    pub compact_min_segments: usize,
+    /// Segments merged per compaction round.
+    pub compact_batch: usize,
     /// Statistical parameters shared with the offline pipeline.
     pub analysis: AnalysisConfig,
     /// MinRTT degradation threshold (ms): an event needs the CI lower
@@ -56,6 +75,9 @@ impl Default for LiveConfig {
             lateness_ms: 60_000.0,
             queue_capacity: 4_096,
             retention_windows: 192,
+            spill_dir: None,
+            compact_min_segments: 16,
+            compact_batch: 8,
             analysis: AnalysisConfig::default(),
             minrtt_threshold_ms: 5.0,
             hdratio_threshold: 0.05,
@@ -91,7 +113,163 @@ impl LiveConfig {
         if self.read_buffer_bytes == 0 {
             return bad("read_buffer_bytes", "must be positive, got 0".to_string());
         }
+        if self.spill_dir.as_ref().is_some_and(|d| d.as_os_str().is_empty()) {
+            return bad("spill_dir", "must not be an empty path".to_string());
+        }
+        if self.compact_min_segments < 2 {
+            return bad(
+                "compact_min_segments",
+                format!("must be at least 2, got {}", self.compact_min_segments),
+            );
+        }
+        if self.compact_batch < 2 {
+            return bad("compact_batch", format!("must be at least 2, got {}", self.compact_batch));
+        }
         self.analysis.validate()
+    }
+}
+
+/// The one construction path for a live server, mirroring
+/// [`StudyBuilder`] on the offline side: defaults first, consuming-self
+/// setters for what differs, then [`start`](ServeBuilder::start).
+///
+/// The CLI's `edgeperf serve`, the load generator's self-hosted suite
+/// servers and the live tests all build through here, so adding a config
+/// field means extending one builder instead of chasing struct literals
+/// across three crates.
+///
+/// ```no_run
+/// # use edgeperf_live::{ServeBuilder, LineParser, LiveRecord};
+/// # use edgeperf_core::EdgeperfError;
+/// # use std::sync::Arc;
+/// # struct P;
+/// # impl LineParser for P {
+/// #     fn parse(&self, _: &str) -> Result<LiveRecord, EdgeperfError> { unimplemented!() }
+/// # }
+/// let handle = ServeBuilder::new()
+///     .addr("127.0.0.1:0")
+///     .workers(4)
+///     .retention_windows(96)
+///     .spill_dir("/tmp/edgeperf-spill")
+///     .start(Arc::new(P))?;
+/// # Ok::<(), EdgeperfError>(())
+/// ```
+///
+/// [`StudyBuilder`]: https://docs.rs/edgeperf-bench
+#[derive(Debug, Clone, Default)]
+pub struct ServeBuilder {
+    config: LiveConfig,
+    metrics: Option<Metrics>,
+}
+
+impl ServeBuilder {
+    /// Start from [`LiveConfig::default`] (paper windowing, 4 workers,
+    /// ephemeral localhost bind, no spilling, disabled metrics).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Ingest worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Aggregation window length (ms).
+    pub fn window_ms(mut self, window_ms: f64) -> Self {
+        self.config.window_ms = window_ms;
+        self
+    }
+
+    /// Allowed event-time lateness (ms).
+    pub fn lateness_ms(mut self, lateness_ms: f64) -> Self {
+        self.config.lateness_ms = lateness_ms;
+        self
+    }
+
+    /// Bounded per-lane queue capacity (records).
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.config.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Closed windows retained in RAM per worker.
+    pub fn retention_windows(mut self, retention_windows: usize) -> Self {
+        self.config.retention_windows = retention_windows;
+        self
+    }
+
+    /// Spill evicted windows into the tiered segment store at `dir`.
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Segment count that triggers background compaction.
+    pub fn compact_min_segments(mut self, segments: usize) -> Self {
+        self.config.compact_min_segments = segments;
+        self
+    }
+
+    /// Segments merged per compaction round.
+    pub fn compact_batch(mut self, batch: usize) -> Self {
+        self.config.compact_batch = batch;
+        self
+    }
+
+    /// Statistical parameters shared with the offline pipeline.
+    pub fn analysis(mut self, analysis: AnalysisConfig) -> Self {
+        self.config.analysis = analysis;
+        self
+    }
+
+    /// MinRTT degradation threshold (ms).
+    pub fn minrtt_threshold_ms(mut self, threshold: f64) -> Self {
+        self.config.minrtt_threshold_ms = threshold;
+        self
+    }
+
+    /// HDratio degradation threshold.
+    pub fn hdratio_threshold(mut self, threshold: f64) -> Self {
+        self.config.hdratio_threshold = threshold;
+        self
+    }
+
+    /// Watchdog deadline for slow workers (ms).
+    pub fn slow_worker_ms(mut self, deadline_ms: u64) -> Self {
+        self.config.slow_worker_ms = deadline_ms;
+        self
+    }
+
+    /// Per-connection read buffer size (bytes).
+    pub fn read_buffer_bytes(mut self, bytes: usize) -> Self {
+        self.config.read_buffer_bytes = bytes;
+        self
+    }
+
+    /// Metrics handle the pipeline records into (default: disabled).
+    pub fn metrics(mut self, metrics: &Metrics) -> Self {
+        self.metrics = Some(metrics.clone());
+        self
+    }
+
+    /// The assembled configuration (not yet validated) — for callers
+    /// that need to inspect or persist it before starting.
+    pub fn config(&self) -> &LiveConfig {
+        &self.config
+    }
+
+    /// Validate, bind and start every server thread, with `parser`
+    /// supplying the line wire format.
+    pub fn start(self, parser: Arc<dyn LineParser>) -> Result<ServerHandle, EdgeperfError> {
+        let metrics = self.metrics.unwrap_or_else(Metrics::disabled);
+        LiveServer::start(self.config, parser, metrics)
     }
 }
 
@@ -105,6 +283,7 @@ mod tests {
         c.validate().expect("defaults are valid");
         assert_eq!(c.window_ms, 15.0 * 60.0 * 1000.0);
         assert_eq!(c.analysis.min_samples, 30);
+        assert!(c.spill_dir.is_none(), "spilling is opt-in");
     }
 
     #[test]
@@ -118,6 +297,9 @@ mod tests {
             (|c| c.queue_capacity = 0, "queue_capacity"),
             (|c| c.retention_windows = 0, "retention_windows"),
             (|c| c.read_buffer_bytes = 0, "read_buffer_bytes"),
+            (|c| c.spill_dir = Some(PathBuf::new()), "spill_dir"),
+            (|c| c.compact_min_segments = 1, "compact_min_segments"),
+            (|c| c.compact_batch = 0, "compact_batch"),
         ];
         for (mutate, field) in cases {
             let mut c = LiveConfig::default();
@@ -127,5 +309,40 @@ mod tests {
                 other => panic!("unexpected error for {field}: {other}"),
             }
         }
+    }
+
+    #[test]
+    fn builder_covers_every_field() {
+        let analysis = AnalysisConfig::default();
+        let b = ServeBuilder::new()
+            .addr("127.0.0.1:7")
+            .workers(9)
+            .window_ms(1_000.0)
+            .lateness_ms(50.0)
+            .queue_capacity(128)
+            .retention_windows(3)
+            .spill_dir("/tmp/x")
+            .compact_min_segments(5)
+            .compact_batch(3)
+            .analysis(analysis)
+            .minrtt_threshold_ms(7.0)
+            .hdratio_threshold(0.1)
+            .slow_worker_ms(123)
+            .read_buffer_bytes(4_096);
+        let c = b.config();
+        assert_eq!(c.addr, "127.0.0.1:7");
+        assert_eq!(c.workers, 9);
+        assert_eq!(c.window_ms, 1_000.0);
+        assert_eq!(c.lateness_ms, 50.0);
+        assert_eq!(c.queue_capacity, 128);
+        assert_eq!(c.retention_windows, 3);
+        assert_eq!(c.spill_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(c.compact_min_segments, 5);
+        assert_eq!(c.compact_batch, 3);
+        assert_eq!(c.minrtt_threshold_ms, 7.0);
+        assert_eq!(c.hdratio_threshold, 0.1);
+        assert_eq!(c.slow_worker_ms, 123);
+        assert_eq!(c.read_buffer_bytes, 4_096);
+        c.validate().expect("builder output validates");
     }
 }

@@ -29,7 +29,14 @@
 //!   close.
 //! - [`queue`]: the lock-free bounded SPSC ring ([`spsc`]) and
 //!   spin-then-park [`Waiter`] backing the reader → worker fan-out.
-//! - [`server`]: [`LiveServer`] / [`ServerHandle`], the line protocol,
+//! - [`protocol`]: the typed, versioned line protocol —
+//!   [`Request`]/[`Response`] and the one parse/render path shared by
+//!   server and client, byte-compatible with the legacy bare commands.
+//! - [`store`]: the tiered window store — [`SegmentStore`] spills
+//!   windows evicted past the RAM retention horizon into columnar
+//!   on-disk segments (manifest-tracked, crash-safe, background
+//!   compaction) that `cells` range queries merge back bit-identically.
+//! - [`server`]: [`LiveServer`] / [`ServerHandle`], request serving,
 //!   backpressure, heartbeat supervision and graceful drain.
 //! - [`client`]: [`LiveClient`], the blocking protocol client used by
 //!   the load generator and the agreement tests.
@@ -44,23 +51,30 @@ pub mod client;
 pub mod config;
 pub mod detect;
 pub mod frame;
+pub mod protocol;
 pub mod queue;
 pub mod record;
 pub mod server;
+pub mod store;
 pub mod window;
 
 pub use client::{BinarySender, LiveClient};
-pub use config::LiveConfig;
+pub use config::{LiveConfig, ServeBuilder};
 pub use detect::{EpisodeChange, OnlineDetector};
 pub use frame::{
     decode_body, encode_frame, parse_preamble, preamble, FrameDecoder, FRAME_BODY_LEN, FRAME_MAGIC,
     FRAME_VERSION, FRAME_WIRE_LEN, PREAMBLE_LEN,
+};
+pub use protocol::{
+    parse_cells_header, CellQuery, GroupFilter, ProtocolError, Request, Response, WorkerStatsLine,
+    PROTOCOL_VERSION,
 };
 pub use queue::{spsc, Consumer, Producer, Waiter};
 pub use record::{relationship_from_label, LineParser, LiveRecord};
 pub use server::{
     shard_of, CellLine, ClassCount, LiveServer, LiveSnapshot, ReasonCount, ServerHandle,
 };
+pub use store::{CrashPoint, SegmentMeta, SegmentStore, StoreStats};
 pub use window::{
     compare_hdratio_summaries, compare_minrtt_summaries, CellKey, CellSummary, ClosedWindow,
     LiveCell, WindowRing,

@@ -1,0 +1,622 @@
+//! The typed, versioned line protocol: one parse/render path shared by
+//! the server and the client.
+//!
+//! PR-5's dispatch matched raw command strings inline in the reader loop
+//! and the client re-parsed replies by hand — two copies of the wire
+//! format that could (and nearly did) drift. This module owns both
+//! directions instead: [`Request::parse`] is the only place command
+//! lines are interpreted, [`Request::wire_line`] is the only place they
+//! are produced, and [`Response::render`] is the only place replies are
+//! formatted. The server and [`crate::client::LiveClient`] both call
+//! into here, so a format change is one edit and the golden tests below
+//! pin the bytes.
+//!
+//! ## Compatibility
+//!
+//! Protocol version [`PROTOCOL_VERSION`] = 1 is the PR-5 line protocol,
+//! extended compatibly:
+//!
+//! - Every legacy bare command (`ping`, `snapshot`, `stats`, `cells`,
+//!   `metrics`, `shutdown`, `quit`) parses and renders **byte-identical**
+//!   replies — proven by `golden_*` tests against literal strings.
+//! - `cells` now accepts optional `key=value` arguments selecting a
+//!   window range and/or group: `cells from=120 until=240 pop=3
+//!   prefix=167772160/24 country=7 continent=2`. A bare `cells` is the
+//!   full unbounded query, exactly as before.
+//! - New commands: `version` reports the protocol version; `store`
+//!   reports tiered-store statistics ([`crate::store::StoreStats`]).
+//! - Anything else — including a legacy command trailed by arguments it
+//!   does not take — is [`ProtocolError::UnknownCommand`], rendered as
+//!   the same `{"error":"unknown command …"}` reply the stringly
+//!   dispatch produced.
+
+use crate::server::{CellLine, LiveSnapshot};
+use crate::store::StoreStats;
+use edgeperf_analysis::GroupKey;
+use std::fmt;
+
+/// Version of the line protocol this build speaks (`version` command).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Group predicate of a [`CellQuery`]: every present field must match.
+/// The default (all `None`) matches every group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupFilter {
+    /// Serving PoP.
+    pub pop: Option<u16>,
+    /// Client prefix as (base address, length).
+    pub prefix: Option<(u32, u8)>,
+    /// Client country id.
+    pub country: Option<u16>,
+    /// Client continent id.
+    pub continent: Option<u8>,
+}
+
+impl GroupFilter {
+    /// True when no field constrains the group.
+    pub fn is_all(&self) -> bool {
+        *self == GroupFilter::default()
+    }
+
+    /// Does `group` satisfy every present field?
+    pub fn matches(&self, group: &GroupKey) -> bool {
+        self.pop.is_none_or(|p| group.pop.0 == p)
+            && self
+                .prefix
+                .is_none_or(|(base, len)| group.prefix.base == base && group.prefix.len == len)
+            && self.country.is_none_or(|c| group.country == c)
+            && self.continent.is_none_or(|c| group.continent == c)
+    }
+}
+
+/// A time-range/group cell query. Window bounds are inclusive; `None`
+/// means unbounded on that side. The default selects everything — the
+/// legacy bare `cells`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellQuery {
+    /// First window index included.
+    pub from_window: Option<u32>,
+    /// Last window index included.
+    pub until_window: Option<u32>,
+    /// Group predicate.
+    pub group: GroupFilter,
+}
+
+impl CellQuery {
+    /// True when the query selects every retained cell (bare `cells`).
+    pub fn is_all(&self) -> bool {
+        *self == CellQuery::default()
+    }
+
+    /// Does window index `window` fall inside the range?
+    pub fn contains_window(&self, window: u32) -> bool {
+        self.from_window.is_none_or(|lo| window >= lo)
+            && self.until_window.is_none_or(|hi| window <= hi)
+    }
+
+    /// Does a cell at (`window`, `group`) satisfy the whole query?
+    pub fn matches(&self, window: u32, group: &GroupKey) -> bool {
+        self.contains_window(window) && self.group.matches(group)
+    }
+
+    fn parse_args(args: &[&str]) -> Result<CellQuery, ProtocolError> {
+        let mut q = CellQuery::default();
+        for arg in args {
+            let (key, value) = arg.split_once('=').ok_or_else(|| ProtocolError::BadArgument {
+                command: "cells",
+                argument: (*arg).to_string(),
+                message: "expected key=value".to_string(),
+            })?;
+            let bad = |message: String| ProtocolError::BadArgument {
+                command: "cells",
+                argument: (*arg).to_string(),
+                message,
+            };
+            match key {
+                "from" => {
+                    q.from_window =
+                        Some(value.parse().map_err(|_| bad(format!("bad window index {value}")))?)
+                }
+                "until" => {
+                    q.until_window =
+                        Some(value.parse().map_err(|_| bad(format!("bad window index {value}")))?)
+                }
+                "pop" => {
+                    q.group.pop =
+                        Some(value.parse().map_err(|_| bad(format!("bad pop id {value}")))?)
+                }
+                "prefix" => {
+                    let (base, len) = value
+                        .split_once('/')
+                        .ok_or_else(|| bad("expected prefix=BASE/LEN".to_string()))?;
+                    let base = base.parse().map_err(|_| bad(format!("bad prefix base {base}")))?;
+                    let len = len.parse().map_err(|_| bad(format!("bad prefix length {len}")))?;
+                    q.group.prefix = Some((base, len));
+                }
+                "country" => {
+                    q.group.country =
+                        Some(value.parse().map_err(|_| bad(format!("bad country id {value}")))?)
+                }
+                "continent" => {
+                    q.group.continent =
+                        Some(value.parse().map_err(|_| bad(format!("bad continent id {value}")))?)
+                }
+                other => return Err(bad(format!("unknown key {other}"))),
+            }
+        }
+        Ok(q)
+    }
+
+    fn render_args(&self, out: &mut String) {
+        use fmt::Write;
+        if let Some(w) = self.from_window {
+            write!(out, " from={w}").expect("write to string");
+        }
+        if let Some(w) = self.until_window {
+            write!(out, " until={w}").expect("write to string");
+        }
+        if let Some(p) = self.group.pop {
+            write!(out, " pop={p}").expect("write to string");
+        }
+        if let Some((base, len)) = self.group.prefix {
+            write!(out, " prefix={base}/{len}").expect("write to string");
+        }
+        if let Some(c) = self.group.country {
+            write!(out, " country={c}").expect("write to string");
+        }
+        if let Some(c) = self.group.continent {
+            write!(out, " continent={c}").expect("write to string");
+        }
+    }
+}
+
+/// Every command a client can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Control-plane liveness round-trip.
+    Ping,
+    /// Aggregate [`LiveSnapshot`].
+    Snapshot,
+    /// Per-worker statistics.
+    Stats,
+    /// Closed cells matching the query (RAM + spilled segments).
+    Cells(CellQuery),
+    /// Observability metrics snapshot.
+    Metrics,
+    /// Tiered window-store statistics.
+    Store,
+    /// Protocol version handshake.
+    Version,
+    /// Drain the server and reply with the final snapshot.
+    Shutdown,
+    /// Close this connection.
+    Quit,
+}
+
+impl Request {
+    /// Parse one non-record protocol line (already trimmed, `{`-free).
+    pub fn parse(line: &str) -> Result<Request, ProtocolError> {
+        let mut parts = line.split_whitespace();
+        let command = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        match (command, args.is_empty()) {
+            ("ping", true) => Ok(Request::Ping),
+            ("snapshot", true) => Ok(Request::Snapshot),
+            ("stats", true) => Ok(Request::Stats),
+            ("cells", _) => Ok(Request::Cells(CellQuery::parse_args(&args)?)),
+            ("metrics", true) => Ok(Request::Metrics),
+            ("store", true) => Ok(Request::Store),
+            ("version", true) => Ok(Request::Version),
+            ("shutdown", true) => Ok(Request::Shutdown),
+            ("quit", true) => Ok(Request::Quit),
+            // Legacy commands trailed by junk fall through here too, and
+            // render the exact reply the stringly dispatch gave them.
+            _ => Err(ProtocolError::UnknownCommand(line.to_string())),
+        }
+    }
+
+    /// Render the wire line for this request (no trailing newline).
+    /// `Request::parse(&req.wire_line())` round-trips for every request.
+    pub fn wire_line(&self) -> String {
+        match self {
+            Request::Ping => "ping".to_string(),
+            Request::Snapshot => "snapshot".to_string(),
+            Request::Stats => "stats".to_string(),
+            Request::Cells(q) => {
+                let mut out = "cells".to_string();
+                q.render_args(&mut out);
+                out
+            }
+            Request::Metrics => "metrics".to_string(),
+            Request::Store => "store".to_string(),
+            Request::Version => "version".to_string(),
+            Request::Shutdown => "shutdown".to_string(),
+            Request::Quit => "quit".to_string(),
+        }
+    }
+
+    /// Does this request require the read-your-own-writes barrier (sync
+    /// lanes before serving) like the legacy `snapshot`/`stats`/`cells`?
+    pub fn needs_sync(&self) -> bool {
+        matches!(self, Request::Snapshot | Request::Stats | Request::Cells(_) | Request::Store)
+    }
+}
+
+/// One row of the `stats` reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStatsLine {
+    /// Worker index.
+    pub worker: u64,
+    /// Records this worker folded into windows.
+    pub processed: u64,
+    /// Records currently queued on the worker's lanes.
+    pub queue_depth: u64,
+    /// Distinct groups this worker has seen.
+    pub groups: u64,
+    /// Windows currently open on this worker's ring.
+    pub open_windows: u64,
+    /// Windows this worker has closed.
+    pub windows_closed: u64,
+}
+
+/// Every reply the server can send. [`Response::render`] produces the
+/// exact bytes (sans trailing newline); multi-line replies (`cells`)
+/// embed interior newlines.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// `ping` succeeded.
+    Pong,
+    /// `ping` found no worker (server draining).
+    Gone,
+    /// Aggregate snapshot.
+    Snapshot(LiveSnapshot),
+    /// Per-worker statistics.
+    Stats(Vec<WorkerStatsLine>),
+    /// Cell header + rows.
+    Cells(Vec<CellLine>),
+    /// Pre-serialized metrics snapshot JSON.
+    Metrics(String),
+    /// Tiered store statistics; `None` when spilling is not configured.
+    Store(Option<StoreStats>),
+    /// Protocol version handshake.
+    Version,
+    /// The server is draining and cannot serve state queries.
+    Draining,
+    /// The tiered store failed to serve the query (I/O or corruption).
+    StoreError(String),
+    /// The request line did not parse.
+    Error(ProtocolError),
+}
+
+impl Response {
+    /// Render the reply bytes (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Response::Pong => "pong".to_string(),
+            Response::Gone => "gone".to_string(),
+            Response::Snapshot(snap) => serde_json::to_string(snap).expect("snapshot serializes"),
+            Response::Stats(rows) => {
+                let rows: Vec<String> = rows
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"worker\":{},\"processed\":{},\"queue_depth\":{},\"groups\":{},\
+                             \"open_windows\":{},\"windows_closed\":{}}}",
+                            s.worker,
+                            s.processed,
+                            s.queue_depth,
+                            s.groups,
+                            s.open_windows,
+                            s.windows_closed,
+                        )
+                    })
+                    .collect();
+                format!("{{\"workers\":[{}]}}", rows.join(","))
+            }
+            Response::Cells(cells) => {
+                let mut out = format!("{{\"cells\":{}}}", cells.len());
+                for cell in cells {
+                    out.push('\n');
+                    out.push_str(&serde_json::to_string(cell).expect("cell serializes"));
+                }
+                out
+            }
+            Response::Metrics(json) => json.clone(),
+            Response::Store(Some(stats)) => {
+                serde_json::to_string(stats).expect("store stats serialize")
+            }
+            Response::Store(None) => "{\"error\":\"no spill directory configured\"}".to_string(),
+            Response::Version => format!("{{\"protocol\":{PROTOCOL_VERSION}}}"),
+            Response::Draining => "{\"error\":\"draining\"}".to_string(),
+            Response::StoreError(message) => {
+                format!("{{\"error\":\"store: {}\"}}", message.replace('"', "'"))
+            }
+            Response::Error(err) => err.render(),
+        }
+    }
+}
+
+/// Parse the `{"cells":N}` header of a `cells` reply. The client used to
+/// hand-roll this (and fell into a panicky allocation path on garbage);
+/// now both sides share one strict parser with a typed error.
+pub fn parse_cells_header(header: &str) -> Result<usize, ProtocolError> {
+    header
+        .strip_prefix("{\"cells\":")
+        .and_then(|s| s.strip_suffix('}'))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ProtocolError::MalformedReply {
+            expected: "{\"cells\":N}",
+            got: header.to_string(),
+        })
+}
+
+/// What went wrong with a protocol line (either direction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The command word (or its argument shape) is not in the protocol.
+    UnknownCommand(String),
+    /// A recognized command carried an argument it cannot accept.
+    BadArgument {
+        /// The command being parsed.
+        command: &'static str,
+        /// The offending `key=value` token.
+        argument: String,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// A reply did not have the shape the protocol promises (client side).
+    MalformedReply {
+        /// The shape that was expected.
+        expected: &'static str,
+        /// The line actually received.
+        got: String,
+    },
+}
+
+impl ProtocolError {
+    /// Render the server's error reply for this parse failure.
+    /// Unknown commands keep the legacy `{"error":"unknown command …"}`
+    /// bytes (with `"` flattened to `'`, as before).
+    pub fn render(&self) -> String {
+        match self {
+            ProtocolError::UnknownCommand(line) => {
+                format!("{{\"error\":\"unknown command {}\"}}", line.replace('"', "'"))
+            }
+            ProtocolError::BadArgument { command, argument, message } => format!(
+                "{{\"error\":\"{command}: {}: {}\"}}",
+                argument.replace('"', "'"),
+                message.replace('"', "'")
+            ),
+            ProtocolError::MalformedReply { expected, got } => {
+                format!(
+                    "{{\"error\":\"malformed reply (expected {expected}): {}\"}}",
+                    got.replace('"', "'")
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownCommand(line) => write!(f, "unknown command {line}"),
+            ProtocolError::BadArgument { command, argument, message } => {
+                write!(f, "{command}: bad argument {argument}: {message}")
+            }
+            ProtocolError::MalformedReply { expected, got } => {
+                write!(f, "malformed reply (expected {expected}): {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ProtocolError> for std::io::Error {
+    fn from(err: ProtocolError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_bare_commands_parse() {
+        assert_eq!(Request::parse("ping"), Ok(Request::Ping));
+        assert_eq!(Request::parse("snapshot"), Ok(Request::Snapshot));
+        assert_eq!(Request::parse("stats"), Ok(Request::Stats));
+        assert_eq!(Request::parse("cells"), Ok(Request::Cells(CellQuery::default())));
+        assert_eq!(Request::parse("metrics"), Ok(Request::Metrics));
+        assert_eq!(Request::parse("shutdown"), Ok(Request::Shutdown));
+        assert_eq!(Request::parse("quit"), Ok(Request::Quit));
+        assert_eq!(Request::parse("store"), Ok(Request::Store));
+        assert_eq!(Request::parse("version"), Ok(Request::Version));
+    }
+
+    #[test]
+    fn cells_arguments_parse_and_roundtrip() {
+        let q = match Request::parse(
+            "cells from=120 until=240 pop=3 prefix=167772160/24 country=7 continent=2",
+        )
+        .expect("parses")
+        {
+            Request::Cells(q) => q,
+            other => panic!("expected cells, got {other:?}"),
+        };
+        assert_eq!(q.from_window, Some(120));
+        assert_eq!(q.until_window, Some(240));
+        assert_eq!(q.group.pop, Some(3));
+        assert_eq!(q.group.prefix, Some((167_772_160, 24)));
+        assert_eq!(q.group.country, Some(7));
+        assert_eq!(q.group.continent, Some(2));
+        assert!(!q.is_all());
+        // render → parse is the identity.
+        let line = Request::Cells(q).wire_line();
+        assert_eq!(Request::parse(&line), Ok(Request::Cells(q)));
+        // Every request round-trips through its own wire line.
+        for req in [
+            Request::Ping,
+            Request::Snapshot,
+            Request::Stats,
+            Request::Cells(CellQuery::default()),
+            Request::Metrics,
+            Request::Store,
+            Request::Version,
+            Request::Shutdown,
+            Request::Quit,
+        ] {
+            assert_eq!(Request::parse(&req.wire_line()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn bad_cells_arguments_are_typed() {
+        for line in [
+            "cells from=abc",
+            "cells nonsense",
+            "cells prefix=10.0.0.0",
+            "cells color=red",
+            "cells until=-3",
+        ] {
+            match Request::parse(line) {
+                Err(ProtocolError::BadArgument { command: "cells", .. }) => {}
+                other => panic!("{line}: expected BadArgument, got {other:?}"),
+            }
+        }
+        // Legacy commands trailed by junk are unknown, like the stringly
+        // dispatch treated them.
+        assert_eq!(
+            Request::parse("snapshot now"),
+            Err(ProtocolError::UnknownCommand("snapshot now".to_string()))
+        );
+    }
+
+    #[test]
+    fn query_matching_honours_range_and_group() {
+        let q = match Request::parse("cells from=2 until=4 pop=1").expect("parses") {
+            Request::Cells(q) => q,
+            other => panic!("{other:?}"),
+        };
+        let g1 = GroupKey {
+            pop: edgeperf_routing::PopId(1),
+            prefix: edgeperf_routing::Prefix::new(0x0A00_0000, 24),
+            country: 7,
+            continent: 2,
+        };
+        let g2 = GroupKey { pop: edgeperf_routing::PopId(2), ..g1 };
+        assert!(q.matches(2, &g1) && q.matches(4, &g1));
+        assert!(!q.matches(1, &g1) && !q.matches(5, &g1));
+        assert!(!q.matches(3, &g2));
+        assert!(CellQuery::default().matches(0, &g2));
+        assert!(CellQuery::default().matches(u32::MAX, &g1));
+    }
+
+    /// The legacy replies, pinned byte for byte. These strings are the
+    /// wire contract of protocol version 1 — if one of these assertions
+    /// fails, existing clients break.
+    #[test]
+    fn golden_simple_replies() {
+        assert_eq!(Response::Pong.render(), "pong");
+        assert_eq!(Response::Gone.render(), "gone");
+        assert_eq!(Response::Draining.render(), "{\"error\":\"draining\"}");
+        assert_eq!(
+            Response::Error(ProtocolError::UnknownCommand("bogus \"x\"".to_string())).render(),
+            "{\"error\":\"unknown command bogus 'x'\"}"
+        );
+        assert_eq!(Response::Version.render(), "{\"protocol\":1}");
+        assert_eq!(
+            Response::Metrics("{\"counters\":{}}".to_string()).render(),
+            "{\"counters\":{}}"
+        );
+    }
+
+    #[test]
+    fn golden_stats_reply() {
+        let rows = vec![
+            WorkerStatsLine {
+                worker: 0,
+                processed: 100,
+                queue_depth: 3,
+                groups: 7,
+                open_windows: 2,
+                windows_closed: 9,
+            },
+            WorkerStatsLine {
+                worker: 1,
+                processed: 50,
+                queue_depth: 0,
+                groups: 4,
+                open_windows: 1,
+                windows_closed: 5,
+            },
+        ];
+        assert_eq!(
+            Response::Stats(rows).render(),
+            "{\"workers\":[\
+             {\"worker\":0,\"processed\":100,\"queue_depth\":3,\"groups\":7,\"open_windows\":2,\"windows_closed\":9},\
+             {\"worker\":1,\"processed\":50,\"queue_depth\":0,\"groups\":4,\"open_windows\":1,\"windows_closed\":5}\
+             ]}"
+        );
+    }
+
+    #[test]
+    fn golden_cells_reply_and_header() {
+        assert_eq!(Response::Cells(Vec::new()).render(), "{\"cells\":0}");
+        let cell = CellLine {
+            window: 3,
+            pop: 1,
+            prefix_base: 167_772_160,
+            prefix_len: 24,
+            country: 7,
+            continent: 2,
+            rank: 0,
+            relationship: "private".to_string(),
+            longer_path: false,
+            more_prepended: false,
+            n: 10,
+            n_tested: 8,
+            bytes: 1_000,
+            min_rtt_p50: 42.5,
+            min_rtt_var: Some(0.25),
+            hdratio_p50: None,
+            hdratio_var: None,
+        };
+        let rendered = Response::Cells(vec![cell.clone()]).render();
+        let mut lines = rendered.lines();
+        assert_eq!(lines.next(), Some("{\"cells\":1}"));
+        let row = lines.next().expect("one row");
+        assert_eq!(lines.next(), None);
+        let back: CellLine = serde_json::from_str(row).expect("row parses");
+        assert_eq!(back, cell);
+        // Header parser: the strict shared path both sides use.
+        assert_eq!(parse_cells_header("{\"cells\":17}"), Ok(17));
+        for bad in ["{\"cells\":}", "{\"cells\":-1}", "cells 17", "{\"cell\":17}", ""] {
+            assert!(parse_cells_header(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn golden_snapshot_reply_matches_serde() {
+        let snap = LiveSnapshot { workers: 4, accepted: 10, ..LiveSnapshot::default() };
+        assert_eq!(
+            Response::Snapshot(snap.clone()).render(),
+            serde_json::to_string(&snap).unwrap()
+        );
+    }
+
+    #[test]
+    fn malformed_header_error_is_typed_not_panicky() {
+        let err = parse_cells_header("{\"cells\":18446744073709551616}").unwrap_err();
+        match &err {
+            ProtocolError::MalformedReply { expected, .. } => {
+                assert_eq!(*expected, "{\"cells\":N}");
+            }
+            other => panic!("expected MalformedReply, got {other:?}"),
+        }
+        let io: std::io::Error = err.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -63,23 +63,28 @@
 //!
 //! Lines starting with `{` are session records (no per-line response —
 //! rejects are counted and sampled, never silently dropped). Anything
-//! else is a command with a one-line JSON (or `pong`) response:
+//! else is a command line, parsed and rendered exclusively by the typed
+//! [`crate::protocol`] module (see its docs for the command table and
+//! the compatibility contract). The reader loop here owns *serving* a
+//! [`crate::protocol::Request`], never its wire syntax.
 //!
-//! | command    | response |
-//! |------------|----------|
-//! | `ping`     | `pong` after a round-trip through a worker's control channel |
-//! | `snapshot` | aggregate [`LiveSnapshot`] |
-//! | `stats`    | per-worker queue depth / throughput |
-//! | `cells`    | `{"cells":N}` then N [`CellLine`] rows |
-//! | `metrics`  | the `edgeperf-obs` [`MetricsSnapshot`] as JSON |
-//! | `shutdown` | drains and replies with the final snapshot |
-//! | `quit`     | closes this connection |
+//! ## Tiered window store
+//!
+//! With [`LiveConfig::spill_dir`] set, a closed window evicted past the
+//! RAM retention horizon is spilled into the
+//! [`crate::store::SegmentStore`] before eviction — every closed window
+//! is always queryable, from RAM or from disk. `cells` range queries
+//! merge both tiers, deduplicating windows present in each (the copies
+//! are bit-identical by construction), and a background compactor
+//! thread folds small spilled segments into larger time-sorted ones.
 
 use crate::config::LiveConfig;
 use crate::detect::OnlineDetector;
 use crate::frame::{parse_preamble, FrameDecoder, FRAME_MAGIC, PREAMBLE_LEN};
+use crate::protocol::{CellQuery, Request, Response, WorkerStatsLine};
 use crate::queue::{spsc, Consumer, Producer, Waiter};
 use crate::record::{LineParser, LiveRecord};
+use crate::store::{cell_line, SegmentStore};
 use crate::window::{CellKey, CellSummary, ClosedWindow, WindowRing};
 use edgeperf_analysis::{DegradationMetric, FxHasher, GroupKey, TemporalClass};
 use edgeperf_core::EdgeperfError;
@@ -237,7 +242,8 @@ type Batch = Vec<LiveRecord>;
 enum ControlMsg {
     Ping(Sender<()>),
     Snapshot(Sender<WorkerSnap>),
-    Cells(Sender<Vec<CellLine>>),
+    /// Closed cells from this worker's RAM tier matching the query.
+    Cells(CellQuery, Sender<Vec<CellLine>>),
 }
 
 /// Records a reader coalesces per worker before pushing a batch onto the
@@ -473,6 +479,8 @@ struct Shared {
     board: HeartbeatBoard,
     draining: AtomicBool,
     supervisor_stop: AtomicBool,
+    /// The tiered window store; `None` without a spill directory.
+    store: Option<Arc<SegmentStore>>,
     /// One rendezvous per worker; readers register lanes here.
     hubs: Vec<Arc<WorkerHub>>,
     /// One stat cell per worker (accepts, late/overflow rejects).
@@ -633,6 +641,7 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -656,6 +665,9 @@ impl ServerHandle {
         self.shared.supervisor_stop.store(true, Ordering::Release);
         if let Some(s) = self.supervisor.take() {
             let _ = s.join();
+        }
+        if let Some(c) = self.compactor.take() {
+            let _ = c.join();
         }
         self.shared.final_snapshot.lock().expect("final snapshot").clone().unwrap_or_default()
     }
@@ -685,6 +697,17 @@ impl LiveServer {
         metrics: Metrics,
     ) -> Result<ServerHandle, EdgeperfError> {
         config.validate()?;
+        // Open (and, on restart, recover) the tiered store before
+        // binding: a manifest problem should fail startup, not the
+        // first eviction.
+        let store = match &config.spill_dir {
+            Some(dir) => Some(Arc::new(SegmentStore::open(
+                dir,
+                config.compact_min_segments,
+                config.compact_batch,
+            )?)),
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr).map_err(|e| {
             EdgeperfError::InvalidConfig { field: "addr", message: format!("{}: {e}", config.addr) }
         })?;
@@ -693,6 +716,7 @@ impl LiveServer {
             .map_err(|e| EdgeperfError::InvalidConfig { field: "addr", message: e.to_string() })?;
         let workers = config.workers;
         let shared = Arc::new(Shared {
+            store,
             bound_addr: addr,
             board: HeartbeatBoard::new(workers),
             metrics,
@@ -736,6 +760,15 @@ impl LiveServer {
                 .expect("spawn supervisor")
         };
 
+        let compactor = shared.store.as_ref().map(|store| {
+            let store = Arc::clone(store);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("live-compactor".to_string())
+                .spawn(move || compactor_loop(&shared, &store))
+                .expect("spawn compactor")
+        });
+
         let acceptor = {
             let shared = Arc::clone(&shared);
             let parser = Arc::clone(&parser);
@@ -751,6 +784,7 @@ impl LiveServer {
             acceptor: Some(acceptor),
             workers: worker_handles,
             supervisor: Some(supervisor),
+            compactor,
         })
     }
 }
@@ -911,71 +945,79 @@ fn line_reader_loop<R: Read>(
             }
             continue;
         }
-        // State-reporting commands observe everything this connection
-        // sent before them; `ping` and `metrics` skip the barrier so
-        // they stay responsive even while this connection's own lanes
-        // are backed up.
-        if matches!(trimmed, "snapshot" | "stats" | "cells") {
-            lanes.sync();
-        }
-        let reply = match trimmed {
-            "ping" => {
-                rr = (rr + 1) % workers;
-                let mut reply = "gone".to_string();
-                if let Some(tx) = control_sender(shared, rr) {
-                    let (reply_tx, reply_rx) = channel();
-                    if tx.send(ControlMsg::Ping(reply_tx)).is_ok() {
-                        shared.hubs[rr].ring();
-                        if reply_rx.recv().is_ok() {
-                            reply = "pong".to_string();
+        // One parse path for every command line; syntax errors render
+        // their reply without touching any server state.
+        let reply = match Request::parse(trimmed) {
+            Err(err) => Response::Error(err).render(),
+            Ok(request) => {
+                // State-reporting commands observe everything this
+                // connection sent before them; `ping` and `metrics`
+                // skip the barrier so they stay responsive even while
+                // this connection's own lanes are backed up.
+                if request.needs_sync() {
+                    lanes.sync();
+                }
+                match request {
+                    Request::Ping => {
+                        rr = (rr + 1) % workers;
+                        let mut reply = Response::Gone;
+                        if let Some(tx) = control_sender(shared, rr) {
+                            let (reply_tx, reply_rx) = channel();
+                            if tx.send(ControlMsg::Ping(reply_tx)).is_ok() {
+                                shared.hubs[rr].ring();
+                                if reply_rx.recv().is_ok() {
+                                    reply = Response::Pong;
+                                }
+                            }
                         }
+                        reply.render()
                     }
-                }
-                reply
-            }
-            "snapshot" => match query_workers(shared, ControlMsg::Snapshot) {
-                Some(per_worker) => {
-                    let snap = shared.snapshot_from(&per_worker, false);
-                    serde_json::to_string(&snap).expect("snapshot serializes")
-                }
-                None => "{\"error\":\"draining\"}".to_string(),
-            },
-            "stats" => match query_workers(shared, ControlMsg::Snapshot) {
-                Some(per_worker) => render_stats(&per_worker),
-                None => "{\"error\":\"draining\"}".to_string(),
-            },
-            "cells" => {
-                let mut all: Vec<CellLine> = Vec::new();
-                for w in 0..workers {
-                    let Some(tx) = control_sender(shared, w) else { continue };
-                    let (reply_tx, reply_rx) = channel();
-                    if tx.send(ControlMsg::Cells(reply_tx)).is_ok() {
-                        shared.hubs[w].ring();
-                        if let Ok(cells) = reply_rx.recv() {
-                            all.extend(cells);
+                    Request::Snapshot => match query_workers(shared, ControlMsg::Snapshot) {
+                        Some(per_worker) => {
+                            Response::Snapshot(shared.snapshot_from(&per_worker, false)).render()
                         }
+                        None => Response::Draining.render(),
+                    },
+                    Request::Stats => match query_workers(shared, ControlMsg::Snapshot) {
+                        Some(per_worker) => Response::Stats(
+                            per_worker
+                                .iter()
+                                .enumerate()
+                                .map(|(w, s)| WorkerStatsLine {
+                                    worker: u64::try_from(w).expect("worker index fits u64"),
+                                    processed: s.processed,
+                                    queue_depth: u64::try_from(s.queue_depth)
+                                        .expect("usize fits u64"),
+                                    groups: u64::try_from(s.groups).expect("usize fits u64"),
+                                    open_windows: u64::try_from(s.open_windows)
+                                        .expect("usize fits u64"),
+                                    windows_closed: s.windows_closed,
+                                })
+                                .collect(),
+                        )
+                        .render(),
+                        None => Response::Draining.render(),
+                    },
+                    Request::Cells(query) => serve_cells(shared, &query).render(),
+                    Request::Metrics => Response::Metrics(
+                        serde_json::to_string(&shared.metrics.snapshot())
+                            .expect("metrics serialize"),
+                    )
+                    .render(),
+                    Request::Store => {
+                        Response::Store(shared.store.as_ref().map(|s| s.stats())).render()
                     }
+                    Request::Version => Response::Version.render(),
+                    Request::Shutdown => {
+                        let snap = drain(shared, id, std::mem::take(lanes));
+                        let reply = Response::Snapshot(snap).render();
+                        let _ = out.write_all(reply.as_bytes());
+                        let _ = out.write_all(b"\n");
+                        break;
+                    }
+                    Request::Quit => break,
                 }
-                let mut out = format!("{{\"cells\":{}}}\n", all.len());
-                for cell in &all {
-                    out.push_str(&serde_json::to_string(cell).expect("cell serializes"));
-                    out.push('\n');
-                }
-                out.pop();
-                out
             }
-            "metrics" => {
-                serde_json::to_string(&shared.metrics.snapshot()).expect("metrics serialize")
-            }
-            "shutdown" => {
-                let snap = drain(shared, id, std::mem::take(lanes));
-                let reply = serde_json::to_string(&snap).expect("snapshot serializes");
-                let _ = out.write_all(reply.as_bytes());
-                let _ = out.write_all(b"\n");
-                break;
-            }
-            "quit" => break,
-            other => format!("{{\"error\":\"unknown command {}\"}}", other.replace('"', "'")),
         };
         if out.write_all(reply.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
             break;
@@ -1003,19 +1045,56 @@ fn query_workers(
     Some(out)
 }
 
-fn render_stats(per_worker: &[WorkerSnap]) -> String {
-    let rows: Vec<String> = per_worker
-        .iter()
-        .enumerate()
-        .map(|(w, s)| {
-            format!(
-                "{{\"worker\":{w},\"processed\":{},\"queue_depth\":{},\"groups\":{},\
-                 \"open_windows\":{},\"windows_closed\":{}}}",
-                s.processed, s.queue_depth, s.groups, s.open_windows, s.windows_closed,
-            )
-        })
-        .collect();
-    format!("{{\"workers\":[{}]}}", rows.join(","))
+/// Canonical cell ordering for merged/filtered replies — the same
+/// (window, group, rank) key [`edgeperf_analysis::cell_sort_key`] gives
+/// segment rows, so disk- and RAM-sourced cells interleave one way.
+fn cell_line_sort_key(c: &CellLine) -> (u32, u16, u32, u8, u16, u8, u8) {
+    (c.window, c.pop, c.prefix_base, c.prefix_len, c.country, c.continent, c.rank)
+}
+
+/// Serve a `cells` query from the RAM tier (each worker filters its own
+/// closed map) merged with the spilled tier. Windows present in both —
+/// spilled but not yet evicted, or still inside the retention horizon on
+/// restart replays — are deduplicated preferring the RAM copy; the
+/// copies are bit-identical by construction, so preference is about
+/// avoiding double rows, not about which bits win.
+///
+/// Compatibility: a bare `cells` on a store-less server keeps the
+/// legacy reply bytes exactly — worker order, insertion order, no sort.
+/// Any filtered query, and any server with a store, sorts canonically
+/// so results are deterministic across worker counts and spill timing.
+fn serve_cells(shared: &Shared, query: &CellQuery) -> Response {
+    let mut all: Vec<CellLine> = Vec::new();
+    for w in 0..shared.config.workers {
+        let Some(tx) = control_sender(shared, w) else { continue };
+        let (reply_tx, reply_rx) = channel();
+        if tx.send(ControlMsg::Cells(*query, reply_tx)).is_ok() {
+            shared.hubs[w].ring();
+            if let Ok(cells) = reply_rx.recv() {
+                all.extend(cells);
+            }
+        }
+    }
+    let Some(store) = &shared.store else {
+        if !query.is_all() {
+            all.sort_by_key(cell_line_sort_key);
+        }
+        return Response::Cells(all);
+    };
+    match store.query(query) {
+        Ok(spilled) => {
+            let in_ram: std::collections::HashSet<_> = all.iter().map(cell_line_sort_key).collect();
+            all.extend(
+                spilled
+                    .iter()
+                    .map(cell_line)
+                    .filter(|line| !in_ram.contains(&cell_line_sort_key(line))),
+            );
+            all.sort_by_key(cell_line_sort_key);
+            Response::Cells(all)
+        }
+        Err(err) => Response::StoreError(err.to_string()),
+    }
 }
 
 /// Drain: stop the acceptor, cut other connections, drop the control
@@ -1228,12 +1307,16 @@ fn handle_control(state: &WorkerState, lanes: &[LaneRx], msg: ControlMsg) {
             let depth = lanes.iter().map(|l| l.data.len()).sum();
             let _ = reply.send(state.snap(depth));
         }
-        ControlMsg::Cells(reply) => {
+        ControlMsg::Cells(query, reply) => {
             let cells = state
                 .closed
                 .iter()
+                .filter(|(window, _)| query.contains_window(**window))
                 .flat_map(|(window, cells)| {
-                    cells.iter().map(|(key, s)| CellLine::new(*window, key, s))
+                    cells
+                        .iter()
+                        .filter(|((group, _), _)| query.group.matches(group))
+                        .map(|(key, s)| CellLine::new(*window, key, s))
                 })
                 .collect();
             let _ = reply.send(cells);
@@ -1314,10 +1397,51 @@ fn handle_close(
         state.windows_closed += 1;
         windows.inc();
         state.closed.insert(cw.index, cw.cells);
-        while state.closed.len() > shared.config.retention_windows {
-            state.closed.pop_first();
-        }
     });
+    // Eviction (and spilling) runs outside the close timing: disk I/O
+    // must never pollute the close-latency histogram. Spill-then-pop
+    // order keeps the invariant that every closed window is in RAM or
+    // on disk at all times — a query can at worst see both copies,
+    // which the merge path deduplicates (they are bit-identical).
+    while state.closed.len() > shared.config.retention_windows {
+        if let Some(store) = &shared.store {
+            let (&index, cells) = state.closed.first_key_value().expect("non-empty map");
+            if let Err(err) = store.spill_window(index, cells) {
+                shared.metrics.counter("store.spill_errors").inc();
+                let mut log = shared.reject_log.lock().expect("reject log");
+                if log.len() >= 256 {
+                    log.pop_front();
+                }
+                log.push_back(format!("spill window {index}: {err}"));
+            }
+        }
+        state.closed.pop_first();
+    }
+}
+
+/// Background compactor: folds small spilled segments into larger
+/// time-sorted ones whenever the store crosses its segment threshold.
+/// Each merge is one atomic manifest swap, so queries racing a
+/// compaction see either the small segments or the merged one — never
+/// both, never neither.
+fn compactor_loop(shared: &Arc<Shared>, store: &SegmentStore) {
+    let merges = shared.metrics.counter("store.compactions");
+    let errors = shared.metrics.counter("store.compact_errors");
+    let tick = Duration::from_millis(50);
+    while !shared.supervisor_stop.load(Ordering::Acquire) {
+        if !store.needs_compaction() {
+            std::thread::sleep(tick);
+            continue;
+        }
+        match store.compact_once() {
+            Ok(true) => merges.inc(),
+            Ok(false) => std::thread::sleep(tick),
+            Err(_) => {
+                errors.inc();
+                std::thread::sleep(tick);
+            }
+        }
+    }
 }
 
 fn supervisor_loop(shared: &Arc<Shared>) {

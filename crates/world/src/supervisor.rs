@@ -726,9 +726,10 @@ fn write_checkpoint<S: PersistentSink>(
     ]);
     let text = serde_json::to_string(&root).map_err(|e| fail(e.to_string()))?;
     std::fs::create_dir_all(dir).map_err(|e| fail(e.to_string()))?;
-    let tmp = dir.join("checkpoint.json.tmp");
-    std::fs::write(&tmp, text).map_err(|e| fail(e.to_string()))?;
-    std::fs::rename(&tmp, &path).map_err(|e| fail(e.to_string()))?;
+    // Shared tmp + rename discipline (edgeperf_analysis::segment): a
+    // crash mid-write leaves an orphan `.tmp`, never a torn checkpoint.
+    edgeperf_analysis::segment::atomic_write(&path, text.as_bytes())
+        .map_err(|e| fail(e.to_string()))?;
     Ok(())
 }
 

@@ -5,7 +5,9 @@
 //!                                              JSONL sessions → JSONL verdicts
 //! edgeperf demo                                print a sample input line
 //! edgeperf serve [--addr A] [--workers N] [--window-ms F] [--lateness-ms F]
-//!                [--queue N] [--retention N] [--target-mbps F] [--metrics]
+//!                [--queue N] [--retention N] [--spill-dir DIR]
+//!                [--compact-min N] [--compact-batch N]
+//!                [--target-mbps F] [--metrics]
 //!                                              live session-ingest server
 //! ```
 //!
@@ -18,6 +20,12 @@
 //! `loadgen --wire binary`). The server prints `listening on ADDR` once
 //! bound and runs until a client sends `shutdown`, then drains, prints
 //! the final snapshot to stdout and exits.
+//!
+//! `--spill-dir DIR` enables the tiered window store: windows evicted
+//! past `--retention` are spilled to columnar segments under DIR and
+//! stay queryable via `cells from=.. until=..` (see
+//! `edgeperf_live::store`). `--compact-min` / `--compact-batch` tune
+//! the background segment compactor.
 //!
 //! `--metrics` prints an ingest accounting table (lines evaluated, rejects
 //! by reason) to stderr after the run.
@@ -35,7 +43,7 @@
 
 use edgeperf::core::HD_GOODPUT_BPS;
 use edgeperf::ingest::{evaluate_jsonl_observed, quarantine_jsonl, sample_line};
-use edgeperf::live::{LiveConfig, LiveServer};
+use edgeperf::live::ServeBuilder;
 use edgeperf::obs::{render_table, Metrics};
 use edgeperf::serve::WireParser;
 use std::io::Read;
@@ -115,8 +123,7 @@ fn main() {
             }
         }
         Some("serve") => {
-            let mut config =
-                LiveConfig { addr: "127.0.0.1:4620".to_string(), ..LiveConfig::default() };
+            let mut builder = ServeBuilder::new().addr("127.0.0.1:4620");
             let mut target = HD_GOODPUT_BPS;
             let mut metrics = Metrics::disabled();
             fn num(it: &mut dyn Iterator<Item = &String>, flag: &str) -> f64 {
@@ -128,15 +135,30 @@ fn main() {
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--addr" => {
-                        config.addr =
+                        let addr =
                             it.next().cloned().unwrap_or_else(|| die("--addr needs an address"));
+                        builder = builder.addr(addr);
                     }
-                    "--workers" => config.workers = num(&mut it, "--workers") as usize,
-                    "--window-ms" => config.window_ms = num(&mut it, "--window-ms"),
-                    "--lateness-ms" => config.lateness_ms = num(&mut it, "--lateness-ms"),
-                    "--queue" => config.queue_capacity = num(&mut it, "--queue") as usize,
+                    "--workers" => builder = builder.workers(num(&mut it, "--workers") as usize),
+                    "--window-ms" => builder = builder.window_ms(num(&mut it, "--window-ms")),
+                    "--lateness-ms" => {
+                        builder = builder.lateness_ms(num(&mut it, "--lateness-ms"));
+                    }
+                    "--queue" => builder = builder.queue_capacity(num(&mut it, "--queue") as usize),
                     "--retention" => {
-                        config.retention_windows = num(&mut it, "--retention") as usize;
+                        builder = builder.retention_windows(num(&mut it, "--retention") as usize);
+                    }
+                    "--spill-dir" => {
+                        let dir =
+                            it.next().cloned().unwrap_or_else(|| die("--spill-dir needs a path"));
+                        builder = builder.spill_dir(dir);
+                    }
+                    "--compact-min" => {
+                        builder =
+                            builder.compact_min_segments(num(&mut it, "--compact-min") as usize);
+                    }
+                    "--compact-batch" => {
+                        builder = builder.compact_batch(num(&mut it, "--compact-batch") as usize);
                     }
                     "--target-mbps" => target = num(&mut it, "--target-mbps") * 1e6,
                     "--metrics" => metrics = Metrics::enabled(),
@@ -144,7 +166,9 @@ fn main() {
                 }
             }
             let parser = Arc::new(WireParser::new(target));
-            let handle = LiveServer::start(config, parser, metrics.clone())
+            let handle = builder
+                .metrics(&metrics)
+                .start(parser)
                 .unwrap_or_else(|e| die(&format!("serve: {e}")));
             println!("listening on {}", handle.addr());
             let snapshot = handle.join();
@@ -155,7 +179,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: edgeperf estimate [--target-mbps F] [--metrics] [--quarantine-file PATH] [FILE] | edgeperf serve [--addr A] [--workers N] | edgeperf demo"
+                "usage: edgeperf estimate [--target-mbps F] [--metrics] [--quarantine-file PATH] [FILE] | edgeperf serve [--addr A] [--workers N] [--spill-dir DIR] | edgeperf demo"
             );
             std::process::exit(2);
         }
