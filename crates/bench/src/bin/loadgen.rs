@@ -10,6 +10,9 @@
 //! loadgen --profile [--workers N] [--sessions N] ... [--json PATH]
 //! loadgen --long-horizon [--windows N] [--retention N] [--spill-dir DIR]
 //!         [--expect-clean] [--json PATH]
+//! loadgen --chaos PLAN [--wire jsonl|binary] [--workers N]
+//!         [--idle-timeout-ms N] [--retention N] [--spill-dir DIR]
+//!         [--expect-clean] [--json PATH]
 //! ```
 //!
 //! Prints the [`edgeperf_bench::loadgen::LoadReport`] as JSON on stdout;
@@ -36,6 +39,17 @@
 //! route+enqueue / window-apply) without any server, reported as a
 //! [`edgeperf_bench::stage_profile::StageProfile`].
 //!
+//! `--chaos PLAN` self-hosts a fault-injected server (the plan's worker
+//! panics and disk faults fire server-side; its disconnects, torn
+//! records and stalls fire client-side in the resume loop), replays
+//! with reconnect-and-resume, then proves the recovery exact against a
+//! fault-free control server, reported as a
+//! [`edgeperf_bench::loadgen::ChaosReport`]. `--spill-dir` (with
+//! `--retention`) routes the faulted server through the tiered store so
+//! `spillfail:`/`compactfail:` clauses have a disk to hit. With
+//! `--expect-clean` the run must ack every record exactly once, reject
+//! nothing, and be bit-identical to the control.
+//!
 //! `--long-horizon` self-hosts the tiered-store comparison on its own:
 //! replay `--windows` of event time into a server that spills past
 //! `--retention` windows (segments under `--spill-dir`, a throwaway
@@ -46,11 +60,11 @@
 //! the control and something must actually have spilled.
 
 use edgeperf_bench::loadgen::{
-    run, run_long_horizon, run_suite, LoadReport, LoadgenConfig, WireMode, LONG_HORIZON_RETENTION,
-    LONG_HORIZON_WINDOWS,
+    run, run_chaos, run_long_horizon, run_suite, ChaosRunOpts, LoadReport, LoadgenConfig, WireMode,
+    LONG_HORIZON_RETENTION, LONG_HORIZON_WINDOWS,
 };
 use edgeperf_bench::stage_profile::profile_stages;
-use edgeperf_live::{CellQuery, LiveClient};
+use edgeperf_live::{CellQuery, ChaosPlan, LiveClient};
 use std::path::PathBuf;
 
 fn main() {
@@ -62,6 +76,8 @@ fn main() {
     let mut profile = false;
     let mut profile_workers = 4usize;
     let mut long_horizon = false;
+    let mut chaos: Option<ChaosPlan> = None;
+    let mut idle_timeout_ms = 0u64;
     let mut retention = LONG_HORIZON_RETENTION;
     let mut spill_dir: Option<PathBuf> = None;
     let mut query_from: Option<u32> = None;
@@ -101,6 +117,12 @@ fn main() {
             "--profile" => profile = true,
             "--workers" => profile_workers = num(&mut it, "--workers") as usize,
             "--long-horizon" => long_horizon = true,
+            "--chaos" => {
+                let spec = it.next().cloned().unwrap_or_else(|| die("--chaos needs a plan"));
+                chaos =
+                    Some(ChaosPlan::parse(&spec).unwrap_or_else(|e| die(&format!("--chaos: {e}"))));
+            }
+            "--idle-timeout-ms" => idle_timeout_ms = num(&mut it, "--idle-timeout-ms") as u64,
             "--retention" => retention = num(&mut it, "--retention") as usize,
             "--spill-dir" => {
                 spill_dir = Some(PathBuf::from(
@@ -121,6 +143,28 @@ fn main() {
         let report =
             profile_stages(&cfg, profile_workers).unwrap_or_else(|e| die(&format!("profile: {e}")));
         emit(&serde_json::to_string_pretty(&report).expect("profile serializes"), &json_path);
+        return;
+    }
+
+    if let Some(plan) = chaos {
+        let opts = ChaosRunOpts {
+            workers: profile_workers,
+            idle_timeout_ms,
+            spill: spill_dir.map(|dir| (dir, retention)),
+            ..ChaosRunOpts::default()
+        };
+        let report = run_chaos(&cfg, &plan, &opts).unwrap_or_else(|e| die(&format!("chaos: {e}")));
+        emit(&serde_json::to_string_pretty(&report).expect("report serializes"), &json_path);
+        if expect_clean
+            && !(report.acked == report.sessions
+                && report.accepted == report.sessions
+                && report.rejected == 0
+                && report.worker_lost_records == 0
+                && report.windows_shed == 0
+                && report.bit_identical_to_clean)
+        {
+            die(&format!("chaos run was not clean: {report:?}"));
+        }
         return;
     }
 
@@ -161,6 +205,16 @@ fn main() {
             for point in &report.binary_scaling {
                 if point.rejected != 0 || point.accepted != report.sessions {
                     die(&format!("scaling run was not clean: {point:?}"));
+                }
+            }
+            if let Some(chaos) = &report.chaos {
+                if !(chaos.acked == chaos.sessions
+                    && chaos.accepted == chaos.sessions
+                    && chaos.rejected == 0
+                    && chaos.worker_lost_records == 0
+                    && chaos.bit_identical_to_clean)
+                {
+                    die(&format!("chaos recovery was not exact: {chaos:?}"));
                 }
             }
         }

@@ -21,7 +21,8 @@ use edgeperf::ingest::{ResponseIn, SessionIn};
 use edgeperf::serve::{WireParser, WireSession};
 use edgeperf_core::{HD_GOODPUT_BPS, MILLISECOND};
 use edgeperf_live::{
-    encode_frame, preamble, CellLine, CellQuery, LiveClient, ServeBuilder, ServerHandle,
+    encode_frame, preamble, replay_with_resume, CellLine, CellQuery, ChaosPlan, LiveClient,
+    LiveRecord, ResumeInput, RetryPolicy, ServeBuilder, ServerHandle, WireChaos,
 };
 use edgeperf_obs::Metrics;
 use edgeperf_workload::WorkloadConfig;
@@ -409,6 +410,202 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
     })
 }
 
+/// Geometry knobs for a [`run_chaos`] server pair (faulted + control).
+#[derive(Debug, Clone)]
+pub struct ChaosRunOpts {
+    /// Ingest worker threads.
+    pub workers: usize,
+    /// Server idle read deadline (ms; 0 = off). Combined with a chaos
+    /// stall longer than this, it exercises slow-client eviction and
+    /// the subsequent resume.
+    pub idle_timeout_ms: u64,
+    /// Spill the faulted server through a tiered store: `(dir,
+    /// retention_windows)`. Disk faults in the plan need this to have
+    /// anything to hit.
+    pub spill: Option<(std::path::PathBuf, usize)>,
+    /// Worker respawn budget before zombie mode.
+    pub max_worker_respawns: u32,
+}
+
+impl Default for ChaosRunOpts {
+    fn default() -> ChaosRunOpts {
+        ChaosRunOpts { workers: 4, idle_timeout_ms: 0, spill: None, max_worker_respawns: 8 }
+    }
+}
+
+/// What a chaos replay achieved: resume/retry traffic, server-side
+/// recovery accounting, and the bit-identity verdict against a
+/// fault-free control replay of the same sessions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// The canonical chaos plan that was injected.
+    pub plan: String,
+    /// Wire format of the data connection (`jsonl` / `binary`).
+    pub wire: String,
+    /// Sessions in the replay.
+    pub sessions: u64,
+    /// Final cumulative server ack (must equal `sessions`).
+    pub acked: u64,
+    /// Connections the resume loop opened.
+    pub connections: u64,
+    /// Reconnects after the first connection.
+    pub reconnects: u64,
+    /// Chaos-injected clean disconnects that fired.
+    pub injected_disconnects: u64,
+    /// Chaos-injected torn (mid-record) cuts that fired.
+    pub injected_torn: u64,
+    /// Chaos-injected stalls that fired.
+    pub injected_stalls: u64,
+    /// Server: records folded into windows (must equal `sessions`).
+    pub accepted: u64,
+    /// Server: rejected records (0 in a clean recovery).
+    pub rejected: u64,
+    /// Server: late records.
+    pub late: u64,
+    /// Server: worker panic recoveries.
+    pub worker_recovered: u64,
+    /// Server: records lost to dirty panics or zombie workers (0 when
+    /// chaos panics land on batch boundaries, as scripted ones do).
+    pub worker_lost_records: u64,
+    /// Server: truncated wire tails left unconsumed (and replayed).
+    pub truncated_tails: u64,
+    /// Server: connections evicted by idle/write deadlines.
+    pub conns_evicted: u64,
+    /// Store: spill attempts that failed (injected ENOSPC + real).
+    pub spill_errors: u64,
+    /// Store: windows shed past the 8× degraded retention cap (0 in a
+    /// lossless run).
+    pub windows_shed: u64,
+    /// Store: still degraded when the replay ended.
+    pub degraded_at_end: bool,
+    /// Canonically-sorted cells from the faulted server are
+    /// byte-identical (same serialized `f64` bits) to the fault-free
+    /// control server's.
+    pub bit_identical_to_clean: bool,
+    /// Wall-clock chaos replay time (s).
+    pub elapsed_s: f64,
+}
+
+fn metrics_counter(metrics_json: &str, name: &str) -> u64 {
+    let Ok(v) = serde_json::parse(metrics_json) else { return 0 };
+    match v.get("counters").and_then(|c| c.get(name)) {
+        Some(serde_json::Value::Num(n)) => *n as u64,
+        _ => 0,
+    }
+}
+
+/// Parse the replay into [`LiveRecord`]s with the same local estimator
+/// pass the binary wire ships (bit-identical to the server's JSONL
+/// parse by construction).
+fn parse_records(cfg: &LoadgenConfig, lines: &[String]) -> io::Result<Vec<LiveRecord>> {
+    let parser = WireParser::new(cfg.target_bps);
+    lines
+        .iter()
+        .map(|l| {
+            parser
+                .parse_line(l)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        })
+        .collect()
+}
+
+/// Replay `cfg.sessions` through a chaos-injected self-hosted server
+/// with [`replay_with_resume`], then through a fault-free control
+/// server, and prove the recovery was exact: every record applied
+/// exactly once (ack == sessions, rejected == 0) and the closed cells
+/// bit-identical to the fault-free run.
+///
+/// The same `plan` drives both sides of the fault surface: its wire
+/// faults fire client-side (disconnects, torn records, stalls) and its
+/// worker panics / disk faults fire server-side.
+pub fn run_chaos(
+    cfg: &LoadgenConfig,
+    plan: &ChaosPlan,
+    opts: &ChaosRunOpts,
+) -> io::Result<ChaosReport> {
+    let lines = generate_lines(cfg);
+    let records;
+    let input = match cfg.wire {
+        WireMode::Jsonl => ResumeInput::Lines(&lines),
+        WireMode::Binary => {
+            records = parse_records(cfg, &lines)?;
+            ResumeInput::Records(&records)
+        }
+    };
+    let parser = Arc::new(WireParser::new(cfg.target_bps));
+    let full = CellQuery { from_window: Some(0), ..CellQuery::default() };
+
+    // Faulted server: the plan's worker panics and disk faults inject
+    // server-side via the builder.
+    let mut builder = hosted_builder(cfg, opts.workers)
+        .chaos(plan.clone())
+        .idle_timeout_ms(opts.idle_timeout_ms)
+        .max_worker_respawns(opts.max_worker_respawns);
+    if let Some((dir, retention)) = &opts.spill {
+        builder = builder
+            .spill_dir(dir)
+            .retention_windows(*retention)
+            .compact_min_segments(8)
+            .compact_batch(4);
+    }
+    let server = builder
+        .start(Arc::clone(&parser) as Arc<dyn edgeperf_live::LineParser>)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let addr = server.addr();
+
+    let mut wire_chaos = WireChaos::new(plan);
+    let policy = RetryPolicy { seed: cfg.seed, ..RetryPolicy::default() };
+    let started = Instant::now();
+    let resume = replay_with_resume(addr, cfg.seed, input, &policy, &mut wire_chaos)?;
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut control = LiveClient::connect(addr)?;
+    let metrics_json = control.metrics_json()?;
+    let store_stats = control.store_stats().ok();
+    let (chaos_rows, _) = timed_cells(&mut control, &full)?;
+    let snapshot = control.shutdown()?;
+    drop(control);
+    let _ = server.join();
+
+    // Fault-free control: same sessions, same worker count, all-RAM
+    // retention so every window is queryable.
+    let clean_server = hosted_builder(cfg, opts.workers)
+        .retention_windows(cfg.windows as usize + 4)
+        .start(parser)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let mut no_chaos = WireChaos::new(&ChaosPlan::default());
+    replay_with_resume(clean_server.addr(), cfg.seed, input, &policy, &mut no_chaos)?;
+    let mut control = LiveClient::connect(clean_server.addr())?;
+    let (clean_rows, _) = timed_cells(&mut control, &full)?;
+    control.shutdown()?;
+    drop(control);
+    let _ = clean_server.join();
+
+    Ok(ChaosReport {
+        plan: plan.to_string(),
+        wire: cfg.wire.label().to_string(),
+        sessions: resume.total,
+        acked: resume.acked,
+        connections: u64::from(resume.connections),
+        reconnects: u64::from(resume.reconnects),
+        injected_disconnects: u64::from(resume.injected_disconnects),
+        injected_torn: u64::from(resume.injected_torn),
+        injected_stalls: u64::from(resume.injected_stalls),
+        accepted: snapshot.accepted,
+        rejected: snapshot.rejected,
+        late: snapshot.late,
+        worker_recovered: metrics_counter(&metrics_json, "worker.recovered"),
+        worker_lost_records: metrics_counter(&metrics_json, "worker.lost_records"),
+        truncated_tails: metrics_counter(&metrics_json, "ingest.truncated"),
+        conns_evicted: metrics_counter(&metrics_json, "live.conns.evicted"),
+        spill_errors: store_stats.as_ref().map_or(0, |s| s.spill_errors),
+        windows_shed: metrics_counter(&metrics_json, "store.windows_shed"),
+        degraded_at_end: store_stats.as_ref().is_some_and(|s| s.degraded),
+        bit_identical_to_clean: render_rows(&chaos_rows) == render_rows(&clean_rows),
+        elapsed_s,
+    })
+}
+
 /// One (connections, workers) point of the binary scaling grid.
 /// Throughput is **aggregate** across connections — the number a whole
 /// node sustains, not a per-connection figure.
@@ -462,6 +659,13 @@ pub struct SuiteReport {
     /// reports from before the store existed).
     #[serde(default)]
     pub long_horizon: Option<LongHorizonReport>,
+    /// Chaos recovery pass: a fixed-seed fault plan (wire cuts, torn
+    /// record, stall, worker panic, injected ENOSPC) replayed with
+    /// reconnect-and-resume, proving exactly-once recovery against a
+    /// fault-free control (absent in reports from before chaos
+    /// existed).
+    #[serde(default)]
+    pub chaos: Option<ChaosReport>,
 }
 
 /// What a long-horizon (multi-day event time) replay through the tiered
@@ -710,6 +914,31 @@ pub fn run_suite(cfg: &LoadgenConfig) -> io::Result<SuiteReport> {
     let long_horizon = run_long_horizon(&horizon_cfg, LONG_HORIZON_RETENTION, &spill_dir)?;
     let _ = std::fs::remove_dir_all(&spill_dir);
 
+    // Chaos recovery pass: the suite's standard fault plan — two wire
+    // cuts, a torn record, a worker panic, injected ENOSPC — replayed
+    // with reconnect-and-resume against a fault-free control. Session
+    // count capped: the pass proves exactness, not throughput.
+    let chaos_cfg = LoadgenConfig {
+        sessions: cfg.sessions.min(20_000),
+        windows: 12,
+        connections: 1,
+        ..cfg.clone()
+    };
+    let chaos_plan = ChaosPlan::parse(&format!(
+        "disconnect:500;torn:1200;stall:2500@400;panic:0@800;spillfail:0@3;seed:{}",
+        cfg.seed
+    ))
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let chaos_dir = std::env::temp_dir().join(format!("edgeperf-chaos-{}", std::process::id()));
+    let chaos_opts = ChaosRunOpts {
+        workers: SUITE_WORKERS,
+        idle_timeout_ms: 200,
+        spill: Some((chaos_dir.clone(), 2)),
+        ..ChaosRunOpts::default()
+    };
+    let chaos = run_chaos(&chaos_cfg, &chaos_plan, &chaos_opts)?;
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+
     Ok(SuiteReport {
         sessions: cfg.sessions as u64,
         connections: cfg.connections.max(1) as u64,
@@ -721,6 +950,7 @@ pub fn run_suite(cfg: &LoadgenConfig) -> io::Result<SuiteReport> {
         binary_scaling,
         stage_profile,
         long_horizon: Some(long_horizon),
+        chaos: Some(chaos),
     })
 }
 
@@ -802,6 +1032,34 @@ mod tests {
         assert!(report.historical_cells > 0);
         assert!(report.historical_cells <= report.full_range_cells);
         assert!(report.peak_rss_spill_kb > 0, "procfs RSS available on CI hosts");
+    }
+
+    #[test]
+    fn chaos_replay_recovers_exactly_and_matches_clean_run() {
+        let cfg = LoadgenConfig {
+            sessions: 2_000,
+            connections: 1,
+            groups: 16,
+            windows: 4,
+            seed: 7,
+            ..LoadgenConfig::default()
+        };
+        let plan = ChaosPlan::parse("disconnect:50;torn:120;stall:400@50;panic:0@300;seed:7")
+            .expect("valid plan");
+        let report =
+            run_chaos(&cfg, &plan, &ChaosRunOpts { workers: 2, ..ChaosRunOpts::default() })
+                .expect("chaos replay");
+        assert_eq!(report.acked, 2_000, "every record acked exactly once: {report:?}");
+        assert_eq!(report.accepted, 2_000, "no double-counts, no losses: {report:?}");
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.worker_lost_records, 0, "scripted panics are clean: {report:?}");
+        assert!(report.reconnects >= 2, "disconnect + torn both force reconnects: {report:?}");
+        assert_eq!(report.injected_disconnects, 1);
+        assert_eq!(report.injected_torn, 1);
+        assert_eq!(report.injected_stalls, 1);
+        assert_eq!(report.worker_recovered, 1, "worker 0 panicked once: {report:?}");
+        assert_eq!(report.truncated_tails, 1, "the torn record's tail was dropped: {report:?}");
+        assert!(report.bit_identical_to_clean, "chaos cells drifted from clean: {report:?}");
     }
 
     #[test]

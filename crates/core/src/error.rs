@@ -83,6 +83,16 @@ pub enum EdgeperfError {
         /// Why it was rejected.
         message: String,
     },
+    /// An OS thread could not be spawned (EMFILE / thread exhaustion).
+    /// The live server refuses the work that needed the thread instead
+    /// of panicking: a failed reader spawn drops that one connection
+    /// while the acceptor keeps accepting.
+    Spawn {
+        /// What the thread was for (`"worker"`, `"reader"`, ...).
+        what: &'static str,
+        /// The OS error message.
+        message: String,
+    },
 }
 
 impl EdgeperfError {
@@ -99,6 +109,7 @@ impl EdgeperfError {
             EdgeperfError::Frame { .. } => "frame",
             EdgeperfError::Segment { .. } => "segment",
             EdgeperfError::InvalidConfig { .. } => "invalid_config",
+            EdgeperfError::Spawn { .. } => "spawn",
         }
     }
 }
@@ -134,6 +145,9 @@ impl fmt::Display for EdgeperfError {
             EdgeperfError::Segment { message } => write!(f, "window segment: {message}"),
             EdgeperfError::InvalidConfig { field, message } => {
                 write!(f, "invalid config: {field}: {message}")
+            }
+            EdgeperfError::Spawn { what, message } => {
+                write!(f, "spawn {what} thread: {message}")
             }
         }
     }
@@ -208,6 +222,10 @@ mod tests {
                 EdgeperfError::Segment { message: "checksum mismatch".into() },
                 "window segment: checksum mismatch",
             ),
+            (
+                EdgeperfError::Spawn { what: "reader", message: "Resource exhausted".into() },
+                "spawn reader thread: Resource exhausted",
+            ),
         ];
         for (err, expected) in cases {
             assert_eq!(err.to_string(), expected);
@@ -231,5 +249,9 @@ mod tests {
         );
         assert_eq!(EdgeperfError::Frame { message: String::new() }.reason(), "frame");
         assert_eq!(EdgeperfError::Segment { message: String::new() }.reason(), "segment");
+        assert_eq!(
+            EdgeperfError::Spawn { what: "worker", message: String::new() }.reason(),
+            "spawn"
+        );
     }
 }

@@ -8,8 +8,11 @@
 //! lines are buffered (flushed before any command round-trip) so replay
 //! throughput is not bounded by per-line syscalls.
 
-use crate::frame::{encode_frame, preamble};
-use crate::protocol::{parse_cells_header, CellQuery, ProtocolError, Request, PROTOCOL_VERSION};
+use crate::chaos::{WireChaos, WireFault};
+use crate::frame::{encode_frame, hello_block, preamble, preamble_with_hello};
+use crate::protocol::{
+    parse_acked, parse_cells_header, CellQuery, ProtocolError, Request, PROTOCOL_VERSION,
+};
 use crate::record::LiveRecord;
 use crate::server::{CellLine, LiveSnapshot};
 use crate::store::StoreStats;
@@ -141,6 +144,30 @@ impl LiveClient {
         Ok(version)
     }
 
+    /// Set read/write deadlines on the underlying socket (`None`
+    /// clears them). With deadlines a dead or stalled server surfaces
+    /// as a timed-out [`io::Error`] instead of a hung client.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)
+    }
+
+    /// Announce a resume session (`hello <session> <epoch>`) and return
+    /// the server's cumulative ack — the record index to resume from.
+    pub fn hello(&mut self, session: u64, epoch: u64) -> io::Result<u64> {
+        let reply = self.round_trip(&Request::Hello { session, epoch })?;
+        parse_acked(&reply).map_err(io::Error::from)
+    }
+
+    /// Fetch the final ack for a session (`resume <session>`). The
+    /// server holds the reply until the session's previous connection
+    /// retires, so the returned count is exact, not racing.
+    pub fn resume_ack(&mut self, session: u64) -> io::Result<u64> {
+        let reply = self.round_trip(&Request::Resume { session })?;
+        parse_acked(&reply).map_err(io::Error::from)
+    }
+
     /// Fetch the observability metrics snapshot as raw JSON.
     pub fn metrics_json(&mut self) -> io::Result<String> {
         self.round_trip(&Request::Metrics)
@@ -180,6 +207,33 @@ impl BinarySender {
         Ok(BinarySender { out })
     }
 
+    /// Connect in binary mode with a resume session: the preamble's
+    /// hello flag plus the fixed-size hello block, answered by one
+    /// `{"acked":N}` line before any frames flow. Returns the sender
+    /// and the record index to resume from.
+    pub fn connect_resume<A: ToSocketAddrs>(
+        addr: A,
+        session: u64,
+        epoch: u64,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<(BinarySender, u64)> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        let mut ack_reader = BufReader::new(stream.try_clone()?);
+        let mut out = BufWriter::with_capacity(1 << 18, stream);
+        out.write_all(&preamble_with_hello())?;
+        out.write_all(&hello_block(session, epoch))?;
+        out.flush()?;
+        let mut line = String::new();
+        if ack_reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed during hello"));
+        }
+        let acked = parse_acked(line.trim_end()).map_err(io::Error::from)?;
+        Ok((BinarySender { out }, acked))
+    }
+
     /// Enqueue one record (buffered; no response).
     pub fn send(&mut self, record: &LiveRecord) -> io::Result<()> {
         self.out.write_all(&encode_frame(record))
@@ -193,5 +247,324 @@ impl BinarySender {
     /// Flush and close the connection.
     pub fn finish(mut self) -> io::Result<()> {
         self.out.flush()
+    }
+}
+
+/// Reconnect/backoff knobs for [`replay_with_resume`]. Backoff is
+/// exponential with deterministic jitter (seeded, so chaos runs
+/// replay identically), and `io_timeout` puts read/write deadlines on
+/// every data connection so a dead server fails fast instead of
+/// hanging the replay.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Consecutive no-progress failures tolerated before giving up.
+    pub max_attempts: u32,
+    /// First backoff; doubles per consecutive failure.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Jitter seed — same seed, same sleep schedule.
+    pub seed: u64,
+    /// Read/write deadline on data connections (`None` = never time out).
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            seed: 0x9E37_79B9_7F4A_7C15,
+            io_timeout: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// SplitMix64 step — the standard 64-bit mixer, deterministic jitter
+/// without pulling in an RNG crate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (1-based): exponential
+    /// from `base_backoff`, capped at `max_backoff`, jittered into
+    /// [50%, 100%] so synchronized clients fan out. Deterministic in
+    /// (`seed`, `salt`, `attempt`).
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self.base_backoff.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.max_backoff);
+        let mut state = self.seed ^ salt.wrapping_mul(0xA24B_AED4_963E_E407) ^ u64::from(attempt);
+        let jitter = splitmix64(&mut state) % 50; // percent to shave off
+        capped.mul_f64(1.0 - jitter as f64 / 100.0)
+    }
+}
+
+/// The payload [`replay_with_resume`] drives: pre-rendered JSONL lines
+/// (the line wire's record format lives outside this crate) or records
+/// for the binary frame wire.
+#[derive(Clone, Copy)]
+pub enum ResumeInput<'a> {
+    /// JSONL record lines, one record each, no trailing newline.
+    Lines(&'a [String]),
+    /// Records encoded as length-prefixed binary frames.
+    Records(&'a [LiveRecord]),
+}
+
+impl ResumeInput<'_> {
+    /// Records in the payload.
+    pub fn len(&self) -> usize {
+        match self {
+            ResumeInput::Lines(lines) => lines.len(),
+            ResumeInput::Records(records) => records.len(),
+        }
+    }
+
+    /// True when the payload holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What a [`replay_with_resume`] run did: how many connections it took,
+/// which chaos faults fired, and the final cumulative ack (equal to
+/// `total` on success).
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct ResumeReport {
+    /// Records in the input.
+    pub total: u64,
+    /// Final cumulative server ack.
+    pub acked: u64,
+    /// Connections opened (first + reconnects).
+    pub connections: u32,
+    /// Reconnects after the first connection.
+    pub reconnects: u32,
+    /// Chaos-injected clean disconnects.
+    pub injected_disconnects: u32,
+    /// Chaos-injected torn (mid-record) cuts.
+    pub injected_torn: u32,
+    /// Chaos-injected stalls.
+    pub injected_stalls: u32,
+}
+
+/// One live data connection of either wire, with its resume session
+/// already negotiated.
+enum ResumeConn {
+    Jsonl(LiveClient),
+    Binary(BinarySender),
+}
+
+impl ResumeConn {
+    fn open<A: ToSocketAddrs>(
+        addr: &A,
+        session: u64,
+        epoch: u64,
+        input: ResumeInput<'_>,
+        policy: &RetryPolicy,
+    ) -> io::Result<(ResumeConn, u64)> {
+        match input {
+            ResumeInput::Lines(_) => {
+                let mut client = LiveClient::connect(addr)?;
+                client.set_io_timeout(policy.io_timeout)?;
+                let acked = client.hello(session, epoch)?;
+                Ok((ResumeConn::Jsonl(client), acked))
+            }
+            ResumeInput::Records(_) => {
+                let (sender, acked) =
+                    BinarySender::connect_resume(addr, session, epoch, policy.io_timeout)?;
+                Ok((ResumeConn::Binary(sender), acked))
+            }
+        }
+    }
+
+    fn send(&mut self, input: ResumeInput<'_>, idx: u64) -> io::Result<()> {
+        match (self, input) {
+            (ResumeConn::Jsonl(client), ResumeInput::Lines(lines)) => {
+                client.send_line(&lines[idx as usize])
+            }
+            (ResumeConn::Binary(sender), ResumeInput::Records(records)) => {
+                sender.send(&records[idx as usize])
+            }
+            _ => Err(io::Error::other("resume wire/input mismatch")),
+        }
+    }
+
+    /// Write the first half of record `idx`'s wire bytes and flush —
+    /// a deterministic torn tail for chaos runs. The server must leave
+    /// the fragment unconsumed so the reconnect replays it whole.
+    fn send_torn(&mut self, input: ResumeInput<'_>, idx: u64) -> io::Result<()> {
+        match (self, input) {
+            (ResumeConn::Jsonl(client), ResumeInput::Lines(lines)) => {
+                let bytes = lines[idx as usize].as_bytes();
+                client.writer.write_all(&bytes[..bytes.len() / 2])?;
+                client.writer.flush()
+            }
+            (ResumeConn::Binary(sender), ResumeInput::Records(records)) => {
+                let frame = encode_frame(&records[idx as usize]);
+                sender.out.write_all(&frame[..frame.len() / 2])?;
+                sender.out.flush()
+            }
+            _ => Err(io::Error::other("resume wire/input mismatch")),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ResumeConn::Jsonl(client) => client.flush(),
+            ResumeConn::Binary(sender) => sender.flush(),
+        }
+    }
+}
+
+/// The final ack, fetched on a fresh control connection after the data
+/// connection dropped. The server publishes a session's ack only once
+/// the owning reader retires (post-sync), and `resume` waits for that —
+/// so the generous read deadline here must outlast the server's 10 s
+/// hand-off window.
+fn ack_after_retire<A: ToSocketAddrs>(addr: &A, session: u64) -> io::Result<u64> {
+    let mut control = LiveClient::connect(addr)?;
+    control.set_io_timeout(Some(Duration::from_secs(15)))?;
+    control.resume_ack(session)
+}
+
+/// Replay `input` into a live server with exactly-once resume: every
+/// record is applied exactly once even across disconnects, torn
+/// frames, stalls and server-side evictions. The ack protocol carries
+/// the proof — the server only acks *consumed* records after they are
+/// fully applied, and the client always resends from the ack.
+///
+/// `chaos` injects deterministic client-side wire faults (pass
+/// `WireChaos::new(&ChaosPlan::default())` for a fault-free replay).
+/// Fault cuts reconnect immediately; genuine errors back off
+/// exponentially per `policy` and give up after `policy.max_attempts`
+/// consecutive attempts without ack progress.
+pub fn replay_with_resume<A: ToSocketAddrs>(
+    addr: A,
+    session: u64,
+    input: ResumeInput<'_>,
+    policy: &RetryPolicy,
+    chaos: &mut WireChaos,
+) -> io::Result<ResumeReport> {
+    let total = input.len() as u64;
+    let mut report = ResumeReport { total, ..ResumeReport::default() };
+    let mut epoch: u64 = 0;
+    let mut failures: u32 = 0;
+    loop {
+        if report.connections > 0 {
+            report.reconnects += 1;
+        }
+        report.connections += 1;
+        let opened = ResumeConn::open(&addr, session, epoch, input, policy);
+        epoch = epoch.wrapping_add(1);
+        let (mut conn, acked) = match opened {
+            Ok(pair) => pair,
+            Err(e) => {
+                failures += 1;
+                if failures > policy.max_attempts {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.backoff(failures, session));
+                continue;
+            }
+        };
+        report.acked = report.acked.max(acked);
+        let mut idx = acked;
+        let mut chaos_cut = false;
+        let sent: io::Result<()> = loop {
+            if idx >= total {
+                break conn.flush();
+            }
+            match chaos.before_record(idx) {
+                Some(WireFault::Disconnect) => {
+                    // Clean close at a record boundary: flush complete
+                    // records, then drop the connection.
+                    report.injected_disconnects += 1;
+                    chaos_cut = true;
+                    break conn.flush();
+                }
+                Some(WireFault::Torn) => {
+                    report.injected_torn += 1;
+                    chaos_cut = true;
+                    break conn.send_torn(input, idx);
+                }
+                Some(WireFault::Stall(pause)) => {
+                    report.injected_stalls += 1;
+                    let _ = conn.flush();
+                    std::thread::sleep(pause);
+                }
+                None => {}
+            }
+            if let Err(e) = conn.send(input, idx) {
+                break Err(e);
+            }
+            idx += 1;
+        };
+        // Drop the data connection so the server-side reader retires
+        // (sync + ack publish), then read the authoritative ack.
+        drop(conn);
+        let acked_now = match ack_after_retire(&addr, session) {
+            Ok(a) => a,
+            Err(e) => {
+                failures += 1;
+                if failures > policy.max_attempts {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.backoff(failures, session));
+                continue;
+            }
+        };
+        let progressed = acked_now > report.acked;
+        report.acked = report.acked.max(acked_now);
+        if report.acked >= total {
+            return Ok(report);
+        }
+        if chaos_cut || progressed {
+            // Intentional cut or real progress: reconnect immediately.
+            failures = 0;
+        } else {
+            failures += 1;
+            if failures > policy.max_attempts {
+                return Err(sent.err().unwrap_or_else(|| {
+                    io::Error::other(format!("resume stuck at {}/{} records", report.acked, total))
+                }));
+            }
+            std::thread::sleep(policy.backoff(failures, session));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let policy = RetryPolicy::default();
+        let a = policy.backoff(1, 7);
+        let b = policy.backoff(1, 7);
+        assert_eq!(a, b, "same (seed, salt, attempt) must sleep identically");
+        for attempt in 1..10u32 {
+            let d = policy.backoff(attempt, 7);
+            assert!(d <= policy.max_backoff, "attempt {attempt}: {d:?} over cap");
+            // Jitter shaves at most 50%.
+            let floor = policy.base_backoff.mul_f64(0.5);
+            assert!(d >= floor.min(policy.max_backoff.mul_f64(0.5)), "attempt {attempt}: {d:?}");
+        }
+        // Different salts de-synchronize the schedule.
+        assert_ne!(policy.backoff(3, 1), policy.backoff(3, 2));
+    }
+
+    #[test]
+    fn resume_input_reports_length_for_both_wires() {
+        let lines = vec!["{}".to_string(); 3];
+        assert_eq!(ResumeInput::Lines(&lines).len(), 3);
+        assert!(!ResumeInput::Lines(&lines).is_empty());
+        let records: Vec<LiveRecord> = Vec::new();
+        assert!(ResumeInput::Records(&records).is_empty());
     }
 }

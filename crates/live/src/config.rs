@@ -64,6 +64,29 @@ pub struct LiveConfig {
     /// buffer in binary mode. One allocation per connection, reused for
     /// every record.
     pub read_buffer_bytes: usize,
+    /// Idle/read deadline per connection in milliseconds. A connection
+    /// that produces no bytes for this long is evicted (counted under
+    /// `live.conns.evicted`); clients with resume sessions reconnect
+    /// and continue. `0` (the default) disables the deadline.
+    pub idle_timeout_ms: u64,
+    /// Write deadline per connection in milliseconds: a reply write
+    /// blocked longer than this (slow-loris reader) evicts the
+    /// connection. `0` (the default) disables the deadline.
+    pub write_timeout_ms: u64,
+    /// Maximum simultaneous client connections. New connections beyond
+    /// the cap are refused (counted under `live.conns.refused`).
+    /// `0` (the default) means unlimited.
+    pub max_connections: usize,
+    /// Times a panicked ingest worker is respawned before its shard
+    /// goes into zombie mode (records drained and counted as rejected
+    /// with reason `worker_lost`, queries keep answering).
+    pub max_worker_respawns: u32,
+    /// Consecutive spill failures before the segment store enters
+    /// degraded (RAM-only retention) mode.
+    pub spill_fail_threshold: u32,
+    /// Deterministic fault-injection schedule (empty in production;
+    /// see [`crate::ChaosPlan`]).
+    pub chaos: crate::ChaosPlan,
 }
 
 impl Default for LiveConfig {
@@ -83,6 +106,12 @@ impl Default for LiveConfig {
             hdratio_threshold: 0.05,
             slow_worker_ms: 5_000,
             read_buffer_bytes: 1 << 16,
+            idle_timeout_ms: 0,
+            write_timeout_ms: 0,
+            max_connections: 0,
+            max_worker_respawns: 8,
+            spill_fail_threshold: 3,
+            chaos: crate::ChaosPlan::default(),
         }
     }
 }
@@ -124,6 +153,9 @@ impl LiveConfig {
         }
         if self.compact_batch < 2 {
             return bad("compact_batch", format!("must be at least 2, got {}", self.compact_batch));
+        }
+        if self.spill_fail_threshold == 0 {
+            return bad("spill_fail_threshold", "must be positive, got 0".to_string());
         }
         self.analysis.validate()
     }
@@ -253,6 +285,42 @@ impl ServeBuilder {
         self
     }
 
+    /// Idle/read deadline per connection (ms; 0 disables).
+    pub fn idle_timeout_ms(mut self, ms: u64) -> Self {
+        self.config.idle_timeout_ms = ms;
+        self
+    }
+
+    /// Write deadline per connection (ms; 0 disables).
+    pub fn write_timeout_ms(mut self, ms: u64) -> Self {
+        self.config.write_timeout_ms = ms;
+        self
+    }
+
+    /// Maximum simultaneous client connections (0 = unlimited).
+    pub fn max_connections(mut self, cap: usize) -> Self {
+        self.config.max_connections = cap;
+        self
+    }
+
+    /// Worker respawn budget before a shard goes zombie.
+    pub fn max_worker_respawns(mut self, budget: u32) -> Self {
+        self.config.max_worker_respawns = budget;
+        self
+    }
+
+    /// Consecutive spill failures before store degraded mode.
+    pub fn spill_fail_threshold(mut self, threshold: u32) -> Self {
+        self.config.spill_fail_threshold = threshold;
+        self
+    }
+
+    /// Deterministic fault-injection schedule.
+    pub fn chaos(mut self, plan: crate::ChaosPlan) -> Self {
+        self.config.chaos = plan;
+        self
+    }
+
     /// Metrics handle the pipeline records into (default: disabled).
     pub fn metrics(mut self, metrics: &Metrics) -> Self {
         self.metrics = Some(metrics.clone());
@@ -284,6 +352,9 @@ mod tests {
         assert_eq!(c.window_ms, 15.0 * 60.0 * 1000.0);
         assert_eq!(c.analysis.min_samples, 30);
         assert!(c.spill_dir.is_none(), "spilling is opt-in");
+        assert!(c.chaos.is_empty(), "fault injection is opt-in");
+        assert_eq!(c.idle_timeout_ms, 0, "deadlines are opt-in");
+        assert_eq!(c.max_connections, 0, "connection cap is opt-in");
     }
 
     #[test]
@@ -300,6 +371,7 @@ mod tests {
             (|c| c.spill_dir = Some(PathBuf::new()), "spill_dir"),
             (|c| c.compact_min_segments = 1, "compact_min_segments"),
             (|c| c.compact_batch = 0, "compact_batch"),
+            (|c| c.spill_fail_threshold = 0, "spill_fail_threshold"),
         ];
         for (mutate, field) in cases {
             let mut c = LiveConfig::default();
@@ -328,7 +400,13 @@ mod tests {
             .minrtt_threshold_ms(7.0)
             .hdratio_threshold(0.1)
             .slow_worker_ms(123)
-            .read_buffer_bytes(4_096);
+            .read_buffer_bytes(4_096)
+            .idle_timeout_ms(2_000)
+            .write_timeout_ms(1_500)
+            .max_connections(64)
+            .max_worker_respawns(2)
+            .spill_fail_threshold(5)
+            .chaos(crate::ChaosPlan::parse("disconnect:10;seed:7").expect("plan"));
         let c = b.config();
         assert_eq!(c.addr, "127.0.0.1:7");
         assert_eq!(c.workers, 9);
@@ -343,6 +421,12 @@ mod tests {
         assert_eq!(c.hdratio_threshold, 0.1);
         assert_eq!(c.slow_worker_ms, 123);
         assert_eq!(c.read_buffer_bytes, 4_096);
+        assert_eq!(c.idle_timeout_ms, 2_000);
+        assert_eq!(c.write_timeout_ms, 1_500);
+        assert_eq!(c.max_connections, 64);
+        assert_eq!(c.max_worker_respawns, 2);
+        assert_eq!(c.spill_fail_threshold, 5);
+        assert_eq!(c.chaos.to_string(), "disconnect:10;seed:7");
         c.validate().expect("builder output validates");
     }
 }

@@ -23,6 +23,14 @@
 //! with this decoder (forward compatibility). The server sends no
 //! acknowledgement — the first bytes commit the mode.
 //!
+//! Byte 6 is a flag byte (it was reserved-zero before the resume
+//! protocol, so old preambles still parse identically): bit 0
+//! ([`PREAMBLE_FLAG_HELLO`]) announces that a 20-byte hello block
+//! follows the preamble — magic `EPH1`, then session id and epoch as
+//! u64 LE ([`hello_block`]/[`parse_hello`]). The server replies
+//! `{"acked":N}\n` before any frames flow, and the client resumes its
+//! replay from record N (DESIGN.md §15). Byte 7 stays reserved-zero.
+//!
 //! ## Frame (1 + body-length bytes)
 //!
 //! A 1-byte body length prefix (redundantly repeated per frame so a
@@ -70,6 +78,12 @@ pub const PREAMBLE_LEN: usize = 8;
 pub const FRAME_BODY_LEN: usize = 44;
 /// On-wire length of a version-1 frame (length prefix + body).
 pub const FRAME_WIRE_LEN: usize = 1 + FRAME_BODY_LEN;
+/// Preamble flag (byte 6, bit 0): a hello block follows the preamble.
+pub const PREAMBLE_FLAG_HELLO: u8 = 0x01;
+/// First four bytes of the binary hello block.
+pub const HELLO_MAGIC: [u8; 4] = *b"EPH1";
+/// Total hello block length: magic + session u64 + epoch u64.
+pub const HELLO_LEN: usize = 20;
 
 const META_RELATIONSHIP_MASK: u8 = 0b0000_0011;
 const META_LONGER_PATH: u8 = 0b0000_0100;
@@ -87,9 +101,16 @@ pub fn preamble() -> [u8; PREAMBLE_LEN] {
     p
 }
 
-/// Validate a complete preamble and return the declared frame body
-/// length.
-pub fn parse_preamble(p: &[u8; PREAMBLE_LEN]) -> Result<usize, EdgeperfError> {
+/// The preamble variant announcing a hello block (resume protocol).
+pub fn preamble_with_hello() -> [u8; PREAMBLE_LEN] {
+    let mut p = preamble();
+    p[6] = PREAMBLE_FLAG_HELLO;
+    p
+}
+
+/// Validate a complete preamble. Returns the declared frame body length
+/// and whether a [`hello_block`] follows the preamble.
+pub fn parse_preamble(p: &[u8; PREAMBLE_LEN]) -> Result<(usize, bool), EdgeperfError> {
     debug_assert_eq!(p[..4], FRAME_MAGIC, "caller matches magic before parsing");
     if p[4] != FRAME_VERSION {
         return Err(EdgeperfError::Frame {
@@ -102,12 +123,33 @@ pub fn parse_preamble(p: &[u8; PREAMBLE_LEN]) -> Result<usize, EdgeperfError> {
             message: format!("declared body length {body_len} below minimum {FRAME_BODY_LEN}"),
         });
     }
-    if p[6] != 0 || p[7] != 0 {
+    if p[6] & !PREAMBLE_FLAG_HELLO != 0 || p[7] != 0 {
         return Err(EdgeperfError::Frame {
             message: format!("reserved preamble bytes nonzero ({}, {})", p[6], p[7]),
         });
     }
-    Ok(body_len)
+    Ok((body_len, p[6] & PREAMBLE_FLAG_HELLO != 0))
+}
+
+/// Encode the hello block: session id and reconnect epoch.
+pub fn hello_block(session: u64, epoch: u64) -> [u8; HELLO_LEN] {
+    let mut b = [0u8; HELLO_LEN];
+    b[..4].copy_from_slice(&HELLO_MAGIC);
+    b[4..12].copy_from_slice(&session.to_le_bytes());
+    b[12..20].copy_from_slice(&epoch.to_le_bytes());
+    b
+}
+
+/// Decode a hello block into `(session, epoch)`.
+pub fn parse_hello(b: &[u8; HELLO_LEN]) -> Result<(u64, u64), EdgeperfError> {
+    if b[..4] != HELLO_MAGIC {
+        return Err(EdgeperfError::Frame {
+            message: format!("bad hello magic {:02x}{:02x}{:02x}{:02x}", b[0], b[1], b[2], b[3]),
+        });
+    }
+    let session = u64::from_le_bytes(b[4..12].try_into().expect("8-byte slice"));
+    let epoch = u64::from_le_bytes(b[12..20].try_into().expect("8-byte slice"));
+    Ok((session, epoch))
 }
 
 fn relationship_code(rel: Relationship) -> u8 {
@@ -395,7 +437,7 @@ mod tests {
     fn preamble_parses_and_rejects() {
         let p = preamble();
         assert_eq!(p[..4], FRAME_MAGIC);
-        assert_eq!(parse_preamble(&p).unwrap(), FRAME_BODY_LEN);
+        assert_eq!(parse_preamble(&p).unwrap(), (FRAME_BODY_LEN, false));
 
         let mut bad = preamble();
         bad[4] = 9;
@@ -409,10 +451,28 @@ mod tests {
         reserved[7] = 1;
         assert_eq!(parse_preamble(&reserved).unwrap_err().reason(), "frame");
 
+        // Only bit 0 of the flag byte is defined.
+        let mut flags = preamble();
+        flags[6] = 0x02;
+        assert_eq!(parse_preamble(&flags).unwrap_err().reason(), "frame");
+
         // Forward compat: a longer declared body is fine.
         let mut longer = preamble();
         longer[5] = FRAME_BODY_LEN as u8 + 8;
-        assert_eq!(parse_preamble(&longer).unwrap(), FRAME_BODY_LEN + 8);
+        assert_eq!(parse_preamble(&longer).unwrap(), (FRAME_BODY_LEN + 8, false));
+    }
+
+    #[test]
+    fn hello_block_round_trips_and_rejects_bad_magic() {
+        let p = preamble_with_hello();
+        assert_eq!(parse_preamble(&p).unwrap(), (FRAME_BODY_LEN, true));
+        for (session, epoch) in [(0u64, 0u64), (7, 3), (u64::MAX, u64::MAX)] {
+            let b = hello_block(session, epoch);
+            assert_eq!(parse_hello(&b).unwrap(), (session, epoch));
+        }
+        let mut bad = hello_block(1, 1);
+        bad[0] = b'X';
+        assert_eq!(parse_hello(&bad).unwrap_err().reason(), "frame");
     }
 
     #[test]
@@ -519,5 +579,123 @@ mod tests {
         let mut f = encode_frame(&good);
         f[1..1 + 8].copy_from_slice(&f64::INFINITY.to_le_bytes());
         assert_eq!(corrupt(&mut f).reason(), "frame");
+    }
+
+    /// Property coverage for the decoder: arbitrary garbage, and valid
+    /// streams cut at every possible boundary, chaos-style.
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A structurally valid record derived deterministically from a
+        /// seed, with enough field variety to cover every meta-bit
+        /// combination and both hdratio arms.
+        fn record_from_seed(seed: u64) -> LiveRecord {
+            let rel = match seed % 3 {
+                0 => Relationship::PrivatePeer,
+                1 => Relationship::PublicPeer,
+                _ => Relationship::Transit,
+            };
+            LiveRecord {
+                ts_ms: (seed % 1_000_000) as f64 + 0.25,
+                group: GroupKey {
+                    pop: PopId((seed % 16) as u16),
+                    prefix: Prefix::new(
+                        u32::try_from((seed % 100) << 16).expect("fits in u32"),
+                        (seed % 33) as u8,
+                    ),
+                    country: (seed % 200) as u16,
+                    continent: (seed % 6) as u8,
+                },
+                route_rank: (seed % 3) as u8,
+                relationship: rel,
+                longer_path: seed % 2 == 1,
+                more_prepended: seed.is_multiple_of(7),
+                min_rtt_ms: 1.0 + (seed % 500) as f64 * 0.125,
+                hdratio: (seed % 4 != 1).then(|| (seed % 100) as f64 / 100.0),
+                bytes: seed.wrapping_mul(1_003),
+            }
+        }
+
+        /// Drain the decoder; panics bubble, errors are returned.
+        fn drain(dec: &mut FrameDecoder) -> Result<Vec<LiveRecord>, EdgeperfError> {
+            let mut out = Vec::new();
+            while let Some(r) = dec.next_record()? {
+                out.push(r);
+            }
+            Ok(out)
+        }
+
+        proptest! {
+            /// Arbitrary bytes, fed in arbitrary chunk sizes: the
+            /// decoder must never panic, and every outcome must be a
+            /// decoded frame or a typed reject reason — exactly the
+            /// labels `ingest.reject.<reason>` can take on this path.
+            #[test]
+            fn arbitrary_streams_never_panic_and_errors_are_typed(
+                bytes in prop::collection::vec(any::<u8>(), 0..600),
+                chunk in 1usize..80,
+            ) {
+                let mut dec = FrameDecoder::new(FRAME_BODY_LEN, 64);
+                'stream: for piece in bytes.chunks(chunk) {
+                    feed(&mut dec, piece);
+                    match drain(&mut dec) {
+                        Ok(_) => {}
+                        Err(e) => {
+                            prop_assert!(
+                                matches!(e.reason(), "frame" | "invalid_min_rtt" | "non_finite"),
+                                "untyped reject {e}"
+                            );
+                            // The server closes the connection here.
+                            break 'stream;
+                        }
+                    }
+                }
+            }
+
+            /// A valid frame stream truncated mid-frame and split into
+            /// two reads at an arbitrary boundary decodes exactly the
+            /// complete frames — bit-identically to an unsplit read —
+            /// and retains exactly the truncated tail as pending bytes.
+            #[test]
+            fn split_reads_decode_identically_to_whole_reads(
+                seeds in prop::collection::vec(any::<u64>(), 1..8),
+                cut in any::<u64>(),
+                truncate in 0usize..FRAME_WIRE_LEN,
+            ) {
+                let records: Vec<LiveRecord> =
+                    seeds.iter().map(|&s| record_from_seed(s)).collect();
+                let mut wire = Vec::new();
+                for r in &records {
+                    wire.extend_from_slice(&encode_frame(r));
+                }
+                wire.truncate(wire.len() - truncate);
+                let complete = wire.len() / FRAME_WIRE_LEN;
+                let tail = wire.len() % FRAME_WIRE_LEN;
+
+                // One whole read.
+                let mut whole = FrameDecoder::new(FRAME_BODY_LEN, 64);
+                feed(&mut whole, &wire);
+                let got_whole = drain(&mut whole).expect("valid stream");
+
+                // Two reads split at an arbitrary boundary, with the
+                // decoder drained in between (state must carry over).
+                let cut = usize::try_from(cut).unwrap_or(usize::MAX) % (wire.len() + 1);
+                let mut split = FrameDecoder::new(FRAME_BODY_LEN, 64);
+                feed(&mut split, &wire[..cut]);
+                let mut got_split = drain(&mut split).expect("valid prefix");
+                feed(&mut split, &wire[cut..]);
+                got_split.extend(drain(&mut split).expect("valid suffix"));
+
+                prop_assert_eq!(got_whole.len(), complete);
+                prop_assert_eq!(got_split.len(), complete);
+                prop_assert_eq!(whole.pending(), tail);
+                prop_assert_eq!(split.pending(), tail);
+                for ((a, b), want) in got_whole.iter().zip(&got_split).zip(&records) {
+                    assert_bit_identical(a, b);
+                    assert_bit_identical(a, want);
+                }
+            }
+        }
     }
 }

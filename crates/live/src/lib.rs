@@ -29,6 +29,10 @@
 //!   close.
 //! - [`queue`]: the lock-free bounded SPSC ring ([`spsc`]) and
 //!   spin-then-park [`Waiter`] backing the reader → worker fan-out.
+//! - [`chaos`]: [`ChaosPlan`] — deterministic, seeded wire/disk fault
+//!   injection (disconnects, torn frames, stalls, worker panics,
+//!   ENOSPC/EIO on spill and compaction), the live-tier sibling of the
+//!   offline supervisor's FaultPlan.
 //! - [`protocol`]: the typed, versioned line protocol —
 //!   [`Request`]/[`Response`] and the one parse/render path shared by
 //!   server and client, byte-compatible with the legacy bare commands.
@@ -47,6 +51,7 @@
 //! deterministic FxHash and each cell's digest therefore sees the same
 //! insertion sequence as the serial offline pass.
 
+pub mod chaos;
 pub mod client;
 pub mod config;
 pub mod detect;
@@ -58,23 +63,27 @@ pub mod server;
 pub mod store;
 pub mod window;
 
-pub use client::{BinarySender, LiveClient};
+pub use chaos::{ChaosPlan, ChaosPlanError, WireChaos, WireFault};
+pub use client::{
+    replay_with_resume, BinarySender, LiveClient, ResumeInput, ResumeReport, RetryPolicy,
+};
 pub use config::{LiveConfig, ServeBuilder};
 pub use detect::{EpisodeChange, OnlineDetector};
 pub use frame::{
-    decode_body, encode_frame, parse_preamble, preamble, FrameDecoder, FRAME_BODY_LEN, FRAME_MAGIC,
-    FRAME_VERSION, FRAME_WIRE_LEN, PREAMBLE_LEN,
+    decode_body, encode_frame, hello_block, parse_hello, parse_preamble, preamble,
+    preamble_with_hello, FrameDecoder, FRAME_BODY_LEN, FRAME_MAGIC, FRAME_VERSION, FRAME_WIRE_LEN,
+    HELLO_LEN, HELLO_MAGIC, PREAMBLE_FLAG_HELLO, PREAMBLE_LEN,
 };
 pub use protocol::{
-    parse_cells_header, CellQuery, GroupFilter, ProtocolError, Request, Response, WorkerStatsLine,
-    PROTOCOL_VERSION,
+    parse_acked, parse_cells_header, CellQuery, GroupFilter, ProtocolError, Request, Response,
+    WorkerStatsLine, PROTOCOL_VERSION,
 };
 pub use queue::{spsc, Consumer, Producer, Waiter};
 pub use record::{relationship_from_label, LineParser, LiveRecord};
 pub use server::{
     shard_of, CellLine, ClassCount, LiveServer, LiveSnapshot, ReasonCount, ServerHandle,
 };
-pub use store::{CrashPoint, SegmentMeta, SegmentStore, StoreStats};
+pub use store::{CrashPoint, SegmentMeta, SegmentStore, SpillOutcome, StoreStats};
 pub use window::{
     compare_hdratio_summaries, compare_minrtt_summaries, CellKey, CellSummary, ClosedWindow,
     LiveCell, WindowRing,

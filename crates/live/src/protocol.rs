@@ -24,7 +24,14 @@
 //!   prefix=167772160/24 country=7 continent=2`. A bare `cells` is the
 //!   full unbounded query, exactly as before.
 //! - New commands: `version` reports the protocol version; `store`
-//!   reports tiered-store statistics ([`crate::store::StoreStats`]).
+//!   reports tiered-store statistics ([`crate::store::StoreStats`],
+//!   which now includes `spill_errors` and `degraded` spill health).
+//! - Resume protocol (DESIGN.md §15): `hello SESSION EPOCH` declares a
+//!   resumable ingest session before records flow; the server replies
+//!   `{"acked":N}` with the cumulative count of records it has durably
+//!   consumed for that session, and the client replays from record N.
+//!   `resume SESSION` reads the same counter without opening an ingest
+//!   epoch (used for the final ack check). Unknown sessions ack 0.
 //! - Anything else — including a legacy command trailed by arguments it
 //!   does not take — is [`ProtocolError::UnknownCommand`], rendered as
 //!   the same `{"error":"unknown command …"}` reply the stringly
@@ -187,6 +194,20 @@ pub enum Request {
     Store,
     /// Protocol version handshake.
     Version,
+    /// Declare a resumable ingest session: subsequent records on this
+    /// connection belong to `session`, replayed at attempt `epoch`. The
+    /// reply acks how many records the server already consumed.
+    Hello {
+        /// Client-chosen session id (stable across reconnects).
+        session: u64,
+        /// Monotone attempt number (bumped on every reconnect).
+        epoch: u64,
+    },
+    /// Read a session's consumed-record ack without ingesting.
+    Resume {
+        /// The session id to look up.
+        session: u64,
+    },
     /// Drain the server and reply with the final snapshot.
     Shutdown,
     /// Close this connection.
@@ -207,6 +228,24 @@ impl Request {
             ("metrics", true) => Ok(Request::Metrics),
             ("store", true) => Ok(Request::Store),
             ("version", true) => Ok(Request::Version),
+            ("hello", false) if args.len() == 2 => {
+                let bad = |argument: &str, what: &str| ProtocolError::BadArgument {
+                    command: "hello",
+                    argument: argument.to_string(),
+                    message: format!("bad {what}"),
+                };
+                Ok(Request::Hello {
+                    session: args[0].parse().map_err(|_| bad(args[0], "session id"))?,
+                    epoch: args[1].parse().map_err(|_| bad(args[1], "epoch"))?,
+                })
+            }
+            ("resume", false) if args.len() == 1 => Ok(Request::Resume {
+                session: args[0].parse().map_err(|_| ProtocolError::BadArgument {
+                    command: "resume",
+                    argument: args[0].to_string(),
+                    message: "bad session id".to_string(),
+                })?,
+            }),
             ("shutdown", true) => Ok(Request::Shutdown),
             ("quit", true) => Ok(Request::Quit),
             // Legacy commands trailed by junk fall through here too, and
@@ -230,6 +269,8 @@ impl Request {
             Request::Metrics => "metrics".to_string(),
             Request::Store => "store".to_string(),
             Request::Version => "version".to_string(),
+            Request::Hello { session, epoch } => format!("hello {session} {epoch}"),
+            Request::Resume { session } => format!("resume {session}"),
             Request::Shutdown => "shutdown".to_string(),
             Request::Quit => "quit".to_string(),
         }
@@ -280,6 +321,12 @@ pub enum Response {
     Store(Option<StoreStats>),
     /// Protocol version handshake.
     Version,
+    /// Cumulative consumed-record count for a resume session
+    /// (`hello`/`resume` reply). Unknown sessions ack 0.
+    Acked(u64),
+    /// A `hello`/`resume` arrived while another connection still owns
+    /// the session and did not retire within the hand-off deadline.
+    SessionBusy,
     /// The server is draining and cannot serve state queries.
     Draining,
     /// The tiered store failed to serve the query (I/O or corruption).
@@ -327,6 +374,8 @@ impl Response {
             }
             Response::Store(None) => "{\"error\":\"no spill directory configured\"}".to_string(),
             Response::Version => format!("{{\"protocol\":{PROTOCOL_VERSION}}}"),
+            Response::Acked(n) => format!("{{\"acked\":{n}}}"),
+            Response::SessionBusy => "{\"error\":\"session busy\"}".to_string(),
             Response::Draining => "{\"error\":\"draining\"}".to_string(),
             Response::StoreError(message) => {
                 format!("{{\"error\":\"store: {}\"}}", message.replace('"', "'"))
@@ -347,6 +396,17 @@ pub fn parse_cells_header(header: &str) -> Result<usize, ProtocolError> {
         .ok_or_else(|| ProtocolError::MalformedReply {
             expected: "{\"cells\":N}",
             got: header.to_string(),
+        })
+}
+
+/// Parse the `{"acked":N}` reply to `hello`/`resume` (client side).
+pub fn parse_acked(line: &str) -> Result<u64, ProtocolError> {
+    line.strip_prefix("{\"acked\":")
+        .and_then(|s| s.strip_suffix('}'))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ProtocolError::MalformedReply {
+            expected: "{\"acked\":N}",
+            got: line.to_string(),
         })
 }
 
@@ -437,6 +497,30 @@ mod tests {
     }
 
     #[test]
+    fn resume_commands_parse_and_reject_bad_arguments() {
+        assert_eq!(
+            Request::parse("hello 12345 3"),
+            Ok(Request::Hello { session: 12_345, epoch: 3 })
+        );
+        assert_eq!(Request::parse("resume 12345"), Ok(Request::Resume { session: 12_345 }));
+        for line in ["hello 1 x", "hello x 1", "resume x", "resume -1"] {
+            match Request::parse(line) {
+                Err(ProtocolError::BadArgument { .. }) => {}
+                other => panic!("{line}: expected BadArgument, got {other:?}"),
+            }
+        }
+        // Wrong arity is an unknown command, like every other legacy
+        // command trailed by the wrong argument shape.
+        for line in ["hello", "hello 1", "hello 1 2 3", "resume", "resume 1 2"] {
+            assert_eq!(
+                Request::parse(line),
+                Err(ProtocolError::UnknownCommand(line.to_string())),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
     fn cells_arguments_parse_and_roundtrip() {
         let q = match Request::parse(
             "cells from=120 until=240 pop=3 prefix=167772160/24 country=7 continent=2",
@@ -465,6 +549,8 @@ mod tests {
             Request::Metrics,
             Request::Store,
             Request::Version,
+            Request::Hello { session: 7, epoch: 0 },
+            Request::Resume { session: u64::MAX },
             Request::Shutdown,
             Request::Quit,
         ] {
@@ -531,6 +617,50 @@ mod tests {
             Response::Metrics("{\"counters\":{}}".to_string()).render(),
             "{\"counters\":{}}"
         );
+        assert_eq!(Response::Acked(0).render(), "{\"acked\":0}");
+        assert_eq!(Response::Acked(99_000).render(), "{\"acked\":99000}");
+    }
+
+    /// The `store` reply including the degraded-mode health fields,
+    /// pinned byte for byte alongside the legacy goldens.
+    #[test]
+    fn golden_store_reply_carries_spill_health() {
+        let stats = StoreStats {
+            segments: 2,
+            cells: 26,
+            bytes: 2_048,
+            from_window: Some(3),
+            until_window: Some(4),
+            spilled_windows: 2,
+            spilled_cells: 26,
+            compactions: 0,
+            spill_errors: 5,
+            degraded: true,
+        };
+        assert_eq!(
+            Response::Store(Some(stats)).render(),
+            "{\"segments\":2,\"cells\":26,\"bytes\":2048,\"from_window\":3,\"until_window\":4,\
+             \"spilled_windows\":2,\"spilled_cells\":26,\"compactions\":0,\"spill_errors\":5,\
+             \"degraded\":true}"
+        );
+        assert_eq!(Response::Store(None).render(), "{\"error\":\"no spill directory configured\"}");
+        // Replies from servers predating the health fields still parse.
+        let legacy: StoreStats = serde_json::from_str(
+            "{\"segments\":1,\"cells\":9,\"bytes\":512,\"from_window\":1,\"until_window\":1,\
+             \"spilled_windows\":1,\"spilled_cells\":9,\"compactions\":0}",
+        )
+        .expect("legacy reply parses");
+        assert_eq!(legacy.spill_errors, 0);
+        assert!(!legacy.degraded);
+    }
+
+    #[test]
+    fn acked_header_parses_strictly() {
+        assert_eq!(parse_acked("{\"acked\":17}"), Ok(17));
+        assert_eq!(parse_acked("{\"acked\":0}"), Ok(0));
+        for bad in ["{\"acked\":}", "{\"acked\":-1}", "acked 17", "{\"ack\":17}", "", "pong"] {
+            assert!(parse_acked(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -80,26 +80,29 @@
 
 use crate::config::LiveConfig;
 use crate::detect::OnlineDetector;
-use crate::frame::{parse_preamble, FrameDecoder, FRAME_MAGIC, PREAMBLE_LEN};
+use crate::frame::{
+    parse_hello, parse_preamble, FrameDecoder, FRAME_MAGIC, HELLO_LEN, PREAMBLE_LEN,
+};
 use crate::protocol::{CellQuery, Request, Response, WorkerStatsLine};
 use crate::queue::{spsc, Consumer, Producer, Waiter};
 use crate::record::{LineParser, LiveRecord};
-use crate::store::{cell_line, SegmentStore};
+use crate::store::{cell_line, SegmentStore, SpillOutcome};
 use crate::window::{CellKey, CellSummary, ClosedWindow, WindowRing};
 use edgeperf_analysis::{DegradationMetric, FxHasher, GroupKey, TemporalClass};
 use edgeperf_core::EdgeperfError;
 use edgeperf_obs::{HeartbeatBoard, Metrics};
 use edgeperf_routing::{PopId, Prefix};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::io::{BufRead, BufReader, Cursor, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Aggregate server state, as served by `snapshot` and returned on drain.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -370,10 +373,13 @@ struct LaneTx {
 impl LaneTx {
     /// Push the coalesced batch, blocking (spin-then-park) while the
     /// ring is full — backpressure, never drops. Steady state this is a
-    /// recycle pop, a slot write, and one release store.
-    fn flush(&mut self) {
+    /// recycle pop, a slot write, and one release store. Returns the
+    /// number of records that could NOT be delivered because the worker
+    /// abandoned the lane for good — callers must account them as
+    /// rejects, never lose them silently.
+    fn flush(&mut self) -> u64 {
         if self.batch.is_empty() {
-            return;
+            return 0;
         }
         let next = match self.recycle.try_pop() {
             Some(mut spent) => {
@@ -386,8 +392,9 @@ impl LaneTx {
         self.pushed += batch.len() as u64;
         loop {
             if self.data.is_abandoned() {
-                // Worker gone (panic); nothing will ever drain the lane.
-                return;
+                // Worker gone for good; nothing will ever drain the
+                // lane. Report the loss so totals still add up.
+                return batch.len() as u64;
             }
             match self.data.try_push(batch) {
                 Ok(()) => break,
@@ -398,7 +405,18 @@ impl LaneTx {
             }
         }
         self.hub.ring();
+        0
     }
+}
+
+/// Fold records dropped by an abandoned lane into the reader's stat
+/// cell as `worker_lost` rejects (they were neither applied nor late).
+fn count_worker_lost(cell: &StatCell, dropped: u64) {
+    if dropped == 0 {
+        return;
+    }
+    cell.rejected.fetch_add(dropped, Ordering::Relaxed);
+    *cell.reasons.lock().expect("reason map").entry("worker_lost").or_insert(0) += dropped;
 }
 
 /// Worker-side end of one (reader, worker) lane.
@@ -423,7 +441,8 @@ impl ReaderLanes {
         let lane = &mut self.lanes[w];
         lane.batch.push(rec);
         if lane.batch.len() >= RECORD_BATCH {
-            lane.flush();
+            let dropped = lane.flush();
+            count_worker_lost(&self.cell, dropped);
         }
     }
 
@@ -431,7 +450,8 @@ impl ReaderLanes {
     /// socket, so a quiet connection never strands records).
     fn flush_all(&mut self) {
         for lane in &mut self.lanes {
-            lane.flush();
+            let dropped = lane.flush();
+            count_worker_lost(&self.cell, dropped);
         }
     }
 
@@ -499,6 +519,36 @@ struct Shared {
     conns: Mutex<Vec<(u64, TcpStream)>>,
     conn_seq: AtomicU64,
     reader_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Resume sessions: cumulative consumed-record acks per session id.
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    /// Signalled when a session's owning connection retires, releasing
+    /// `hello`/`resume` waiters.
+    sessions_cv: Condvar,
+}
+
+/// One resume session: the ack is the cumulative number of records the
+/// server has *consumed* (applied or rejected) across all epochs, and is
+/// only advanced after the owning reader's final [`ReaderLanes::sync`] —
+/// so a client resending from the ack can never double-count.
+#[derive(Default)]
+struct SessionEntry {
+    /// Highest epoch a `hello` announced.
+    epoch: u64,
+    /// Cumulative consumed records, published at reader retirement.
+    acked: u64,
+    /// A connection currently owns this session.
+    active: bool,
+}
+
+/// How long `hello`/`resume` wait for the previous epoch's connection
+/// to retire before giving up with `SessionBusy`.
+const SESSION_HANDOFF_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Per-connection resume bookkeeping while a session is attached.
+struct SessionCtx {
+    id: u64,
+    /// Records consumed on this connection (this epoch) so far.
+    consumed: u64,
 }
 
 impl Shared {
@@ -517,6 +567,59 @@ impl Shared {
             log.pop_front();
         }
         log.push_back(format!("{context}: {err}"));
+    }
+
+    /// Claim session `id` for the calling connection, waiting (bounded)
+    /// for a previous owner to retire so its ack is final. Returns the
+    /// cumulative ack to resume from; `None` if the hand-off timed out.
+    fn session_begin(&self, id: u64, epoch: u64) -> Option<u64> {
+        let deadline = Instant::now() + SESSION_HANDOFF_DEADLINE;
+        let mut map = self.sessions.lock().expect("sessions");
+        loop {
+            let entry = map.entry(id).or_default();
+            if !entry.active {
+                entry.active = true;
+                entry.epoch = entry.epoch.max(epoch);
+                return Some(entry.acked);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            map = self.sessions_cv.wait_timeout(map, deadline - now).expect("sessions wait").0;
+        }
+    }
+
+    /// Release session `id`, folding this connection's consumed count
+    /// into the cumulative ack. Callers must `sync()` their lanes first
+    /// so every acked record is actually applied.
+    fn session_end(&self, id: u64, consumed: u64) {
+        let mut map = self.sessions.lock().expect("sessions");
+        if let Some(entry) = map.get_mut(&id) {
+            entry.acked += consumed;
+            entry.active = false;
+        }
+        drop(map);
+        self.sessions_cv.notify_all();
+    }
+
+    /// The final ack for `id`, waiting (bounded) for an active owner to
+    /// retire first. Unknown sessions ack 0. `None` on timeout.
+    fn session_ack(&self, id: u64) -> Option<u64> {
+        let deadline = Instant::now() + SESSION_HANDOFF_DEADLINE;
+        let mut map = self.sessions.lock().expect("sessions");
+        loop {
+            match map.get(&id) {
+                Some(entry) if entry.active => {}
+                Some(entry) => return Some(entry.acked),
+                None => return Some(0),
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            map = self.sessions_cv.wait_timeout(map, deadline - now).expect("sessions wait").0;
+        }
     }
 
     /// Roll the sharded stat cells up into totals. Exact for any
@@ -701,11 +804,16 @@ impl LiveServer {
         // binding: a manifest problem should fail startup, not the
         // first eviction.
         let store = match &config.spill_dir {
-            Some(dir) => Some(Arc::new(SegmentStore::open(
-                dir,
-                config.compact_min_segments,
-                config.compact_batch,
-            )?)),
+            Some(dir) => {
+                let store = SegmentStore::open(
+                    dir,
+                    config.compact_min_segments,
+                    config.compact_batch,
+                    config.spill_fail_threshold,
+                )?;
+                store.set_chaos(config.chaos.clone());
+                Some(Arc::new(store))
+            }
             None => None,
         };
         let listener = TcpListener::bind(&config.addr).map_err(|e| {
@@ -733,8 +841,27 @@ impl LiveServer {
             conns: Mutex::new(Vec::new()),
             conn_seq: AtomicU64::new(0),
             reader_handles: Mutex::new(Vec::new()),
+            sessions: Mutex::new(HashMap::new()),
+            sessions_cv: Condvar::new(),
             config,
         });
+
+        // Thread spawns can fail (EAGAIN under thread/pid limits); a
+        // failure here aborts startup with a typed error and unwinds
+        // the workers already running instead of panicking.
+        let spawn_or_unwind = |what: &'static str,
+                               name: String,
+                               f: Box<dyn FnOnce() + Send>|
+         -> Result<JoinHandle<()>, EdgeperfError> {
+            std::thread::Builder::new().name(name).spawn(f).map_err(|e| {
+                shared.draining.store(true, Ordering::Release);
+                *shared.router.lock().expect("router") = None;
+                for hub in &shared.hubs {
+                    hub.ring();
+                }
+                EdgeperfError::Spawn { what, message: e.to_string() }
+            })
+        };
 
         let mut worker_handles = Vec::with_capacity(workers);
         let mut control_senders = Vec::with_capacity(workers);
@@ -742,40 +869,45 @@ impl LiveServer {
             let (control_tx, control_rx) = channel();
             control_senders.push(control_tx);
             let hub = Arc::clone(&shared.hubs[w]);
-            let shared = Arc::clone(&shared);
-            worker_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("live-worker-{w}"))
-                    .spawn(move || worker_loop(w, &shared, &hub, &control_rx))
-                    .expect("spawn worker"),
-            );
+            let shared_w = Arc::clone(&shared);
+            worker_handles.push(spawn_or_unwind(
+                "worker",
+                format!("live-worker-{w}"),
+                Box::new(move || worker_thread(w, &shared_w, &hub, &control_rx)),
+            )?);
         }
         *shared.router.lock().expect("router") = Some(control_senders);
 
         let supervisor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("live-supervisor".to_string())
-                .spawn(move || supervisor_loop(&shared))
-                .expect("spawn supervisor")
+            let shared_s = Arc::clone(&shared);
+            spawn_or_unwind(
+                "supervisor",
+                "live-supervisor".to_string(),
+                Box::new(move || supervisor_loop(&shared_s)),
+            )?
         };
 
-        let compactor = shared.store.as_ref().map(|store| {
-            let store = Arc::clone(store);
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("live-compactor".to_string())
-                .spawn(move || compactor_loop(&shared, &store))
-                .expect("spawn compactor")
-        });
+        let compactor = match shared.store.as_ref() {
+            Some(store) => {
+                let store = Arc::clone(store);
+                let shared_c = Arc::clone(&shared);
+                Some(spawn_or_unwind(
+                    "compactor",
+                    "live-compactor".to_string(),
+                    Box::new(move || compactor_loop(&shared_c, &store)),
+                )?)
+            }
+            None => None,
+        };
 
         let acceptor = {
-            let shared = Arc::clone(&shared);
+            let shared_a = Arc::clone(&shared);
             let parser = Arc::clone(&parser);
-            std::thread::Builder::new()
-                .name("live-acceptor".to_string())
-                .spawn(move || acceptor_loop(listener, &shared, parser))
-                .expect("spawn acceptor")
+            spawn_or_unwind(
+                "acceptor",
+                "live-acceptor".to_string(),
+                Box::new(move || acceptor_loop(listener, &shared_a, parser)),
+            )?
         };
 
         Ok(ServerHandle {
@@ -790,28 +922,65 @@ impl LiveServer {
 }
 
 fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>, parser: Arc<dyn LineParser>) {
+    let refused = shared.metrics.counter("live.conns.refused");
+    let spawn_errors = shared.metrics.counter("live.spawn_errors");
     for stream in listener.incoming() {
         if shared.draining.load(Ordering::Acquire) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Connection cap: refuse (close immediately) past the limit so
+        // a connection flood degrades politely instead of exhausting
+        // reader threads.
+        let cap = shared.config.max_connections;
+        if cap > 0 && shared.conns.lock().expect("conns").len() >= cap {
+            refused.inc();
+            drop(stream);
+            continue;
+        }
         // Protocol replies are tiny; without this every command
         // round-trip stalls on Nagle + delayed ACKs (~40 ms).
         let _ = stream.set_nodelay(true);
+        // Slow-client protection: a reader blocked on a dead or stalled
+        // peer times out and evicts instead of pinning a thread (and,
+        // for sessions, its ack hand-off) forever.
+        if shared.config.idle_timeout_ms > 0 {
+            let _ =
+                stream.set_read_timeout(Some(Duration::from_millis(shared.config.idle_timeout_ms)));
+        }
+        if shared.config.write_timeout_ms > 0 {
+            let _ = stream
+                .set_write_timeout(Some(Duration::from_millis(shared.config.write_timeout_ms)));
+        }
         let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
             shared.conns.lock().expect("conns").push((id, clone));
         }
         let shared_cloned = Arc::clone(shared);
         let parser = Arc::clone(&parser);
-        let handle = std::thread::Builder::new()
-            .name(format!("live-reader-{id}"))
-            .spawn(move || {
+        let spawned =
+            std::thread::Builder::new().name(format!("live-reader-{id}")).spawn(move || {
                 reader_loop(id, stream, &shared_cloned, parser);
                 shared_cloned.conns.lock().expect("conns").retain(|(cid, _)| *cid != id);
-            })
-            .expect("spawn reader");
-        shared.reader_handles.lock().expect("reader handles").push(handle);
+            });
+        match spawned {
+            Ok(handle) => shared.reader_handles.lock().expect("reader handles").push(handle),
+            Err(e) => {
+                // Reader spawn failed (EMFILE/EAGAIN): refuse this one
+                // connection — the dropped closure closes the stream —
+                // and keep accepting; a transient limit must not kill
+                // the acceptor.
+                let err = EdgeperfError::Spawn { what: "reader", message: e.to_string() };
+                spawn_errors.inc();
+                refused.inc();
+                shared.conns.lock().expect("conns").retain(|(cid, _)| *cid != id);
+                let mut log = shared.reject_log.lock().expect("reject log");
+                if log.len() >= 256 {
+                    log.pop_front();
+                }
+                log.push_back(format!("conn {id}: {err}"));
+            }
+        }
     }
 }
 
@@ -841,7 +1010,51 @@ fn reader_loop(id: u64, stream: TcpStream, shared: &Arc<Shared>, parser: Arc<dyn
     }
     if magic_possible && got == PREAMBLE_LEN {
         match parse_preamble(&pre) {
-            Ok(body_len) => binary_reader_loop(id, stream, body_len, shared, &mut lanes),
+            Ok((body_len, hello)) => {
+                let mut session: Option<SessionCtx> = None;
+                let mut admitted = true;
+                if hello {
+                    // The preamble announced a resume hello: read the
+                    // fixed-size block, claim the session, and ack the
+                    // resume point before any frames flow.
+                    let mut block = [0u8; HELLO_LEN];
+                    match (&stream).read_exact(&mut block) {
+                        Ok(()) => match parse_hello(&block) {
+                            Ok((sid, epoch)) => match shared.session_begin(sid, epoch) {
+                                Some(acked) => {
+                                    session = Some(SessionCtx { id: sid, consumed: 0 });
+                                    let reply = Response::Acked(acked).render();
+                                    if out.write_all(reply.as_bytes()).is_err()
+                                        || out.write_all(b"\n").is_err()
+                                    {
+                                        admitted = false;
+                                    }
+                                }
+                                None => {
+                                    let reply = Response::SessionBusy.render();
+                                    let _ = out.write_all(reply.as_bytes());
+                                    let _ = out.write_all(b"\n");
+                                    admitted = false;
+                                }
+                            },
+                            Err(err) => {
+                                shared.reject(&lanes.cell, &format!("conn {id} hello"), &err);
+                                admitted = false;
+                            }
+                        },
+                        Err(_) => admitted = false,
+                    }
+                }
+                if admitted {
+                    binary_reader_loop(id, stream, body_len, shared, &mut lanes, session.as_mut());
+                }
+                if let Some(sc) = session {
+                    // Publish the ack only after every routed record is
+                    // applied — the exactly-once guarantee.
+                    lanes.sync();
+                    shared.session_end(sc.id, sc.consumed);
+                }
+            }
             Err(err) => shared.reject(&lanes.cell, &format!("conn {id} preamble"), &err),
         }
         lanes.retire(shared);
@@ -853,19 +1066,29 @@ fn reader_loop(id: u64, stream: TcpStream, shared: &Arc<Shared>, parser: Arc<dyn
         shared.config.read_buffer_bytes,
         Cursor::new(pre[..got].to_vec()).chain(stream),
     );
-    line_reader_loop(id, reader, &mut out, shared, parser, &mut lanes);
+    let session = line_reader_loop(id, reader, &mut out, shared, parser, &mut lanes);
+    if let Some(sc) = session {
+        lanes.sync();
+        shared.session_end(sc.id, sc.consumed);
+    }
     lanes.retire(shared);
 }
 
 /// Binary-mode connection: decode length-prefixed frames from a
 /// reusable buffer and shard them exactly like parsed JSONL records.
 /// Data-only — the first malformed frame (or EOF) ends the connection.
+///
+/// With a resume `session`, every cleanly decoded frame counts toward
+/// the session's consumed total; a torn frame left pending at EOF is
+/// *not* consumed (counted under `ingest.truncated`), so the client
+/// resends it after reconnecting and nothing is lost or double-counted.
 fn binary_reader_loop(
     id: u64,
     mut stream: TcpStream,
     body_len: usize,
     shared: &Arc<Shared>,
     lanes: &mut ReaderLanes,
+    mut session: Option<&mut SessionCtx>,
 ) {
     let frames_counter = shared.metrics.counter("ingest.frames");
     let accepted_counter = shared.metrics.counter("live.accepted");
@@ -875,7 +1098,20 @@ fn binary_reader_loop(
         let writable = decoder.writable();
         let writable_len = writable.len();
         let n = match stream.read(writable) {
-            Ok(0) | Err(_) => break,
+            Ok(0) => {
+                // Give back the unused spare region so `pending()`
+                // below reflects only real (torn-frame) bytes.
+                decoder.advance(0, writable_len);
+                break;
+            }
+            Err(e) => {
+                decoder.advance(0, writable_len);
+                if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+                {
+                    shared.metrics.counter("live.conns.evicted").inc();
+                }
+                break;
+            }
             Ok(n) => n,
         };
         decoder.advance(n, writable_len);
@@ -885,6 +1121,9 @@ fn binary_reader_loop(
                     frame_no += 1;
                     frames_counter.inc();
                     accepted_counter.inc();
+                    if let Some(sc) = session.as_deref_mut() {
+                        sc.consumed += 1;
+                    }
                     lanes.route(rec);
                 }
                 Ok(None) => break,
@@ -899,9 +1138,16 @@ fn binary_reader_loop(
         // never strands records in a partial batch).
         lanes.flush_all();
     }
+    if decoder.pending() > 0 {
+        // Torn tail: a frame was cut mid-wire. Not consumed, not
+        // rejected — a resuming client replays it whole.
+        shared.metrics.counter("ingest.truncated").inc();
+    }
 }
 
 /// JSONL-mode connection: the line protocol (records + commands).
+/// Returns the attached resume session (if a `hello` arrived) so the
+/// caller can sync lanes and publish the final ack.
 fn line_reader_loop<R: Read>(
     id: u64,
     mut reader: BufReader<R>,
@@ -909,18 +1155,33 @@ fn line_reader_loop<R: Read>(
     shared: &Arc<Shared>,
     parser: Arc<dyn LineParser>,
     lanes: &mut ReaderLanes,
-) {
+) -> Option<SessionCtx> {
     let workers = shared.config.workers;
     let lines_counter = shared.metrics.counter("ingest.lines");
     let accepted_counter = shared.metrics.counter("live.accepted");
     let mut line = String::new();
     let mut line_no = 0u64;
     let mut rr = id as usize;
+    let mut session: Option<SessionCtx> = None;
     loop {
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
+            Ok(0) => break,
+            Err(e) => {
+                if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+                {
+                    shared.metrics.counter("live.conns.evicted").inc();
+                }
+                break;
+            }
             Ok(_) => {}
+        }
+        if session.is_some() && !line.ends_with('\n') {
+            // Truncated tail: the connection died mid-line. Under a
+            // resume session the partial record is neither consumed nor
+            // rejected — the client replays it whole after reconnect.
+            shared.metrics.counter("ingest.truncated").inc();
+            break;
         }
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -929,6 +1190,9 @@ fn line_reader_loop<R: Read>(
         if trimmed.starts_with('{') {
             line_no += 1;
             lines_counter.inc();
+            if let Some(sc) = session.as_mut() {
+                sc.consumed += 1;
+            }
             match parser.parse(trimmed) {
                 Ok(rec) => {
                     accepted_counter.inc();
@@ -958,6 +1222,25 @@ fn line_reader_loop<R: Read>(
                     lanes.sync();
                 }
                 match request {
+                    Request::Hello { session: sid, epoch } => {
+                        // Re-hello on a live connection hands the old
+                        // session back first so acks stay cumulative.
+                        if let Some(prev) = session.take() {
+                            lanes.sync();
+                            shared.session_end(prev.id, prev.consumed);
+                        }
+                        match shared.session_begin(sid, epoch) {
+                            Some(acked) => {
+                                session = Some(SessionCtx { id: sid, consumed: 0 });
+                                Response::Acked(acked).render()
+                            }
+                            None => Response::SessionBusy.render(),
+                        }
+                    }
+                    Request::Resume { session: sid } => match shared.session_ack(sid) {
+                        Some(acked) => Response::Acked(acked).render(),
+                        None => Response::SessionBusy.render(),
+                    },
                     Request::Ping => {
                         rr = (rr + 1) % workers;
                         let mut reply = Response::Gone;
@@ -1026,6 +1309,7 @@ fn line_reader_loop<R: Read>(
     // EOF / cut connection: the caller retires the lanes, which flushes
     // whatever is still batched. (After `shutdown`, `lanes` was taken
     // and retirement is a no-op.)
+    session
 }
 
 /// Send `make(reply)` to every worker over the control channels and
@@ -1167,25 +1451,152 @@ impl WorkerState {
     }
 }
 
-fn worker_loop(
+/// Everything a worker owns across panics. Held *outside* the
+/// [`catch_unwind`] in [`worker_thread`], so a respawn resumes with the
+/// same lanes and — when the panic hit a clean batch boundary — the
+/// same window state. Only a panic caught mid-apply (`inflight` set)
+/// forces a window-state rebuild.
+struct WorkerCtx {
+    state: WorkerState,
+    lanes: Vec<LaneRx>,
+    seen_version: u64,
+    control_dead: bool,
+    /// `processed` thresholds at which the chaos plan panics this
+    /// worker, ascending; each fires exactly once.
+    pending_panics: Vec<u64>,
+    /// Set while a batch is mid-apply: `(lane index, records)`. A panic
+    /// with this set means the window ring may be inconsistent.
+    inflight: Option<(usize, u64)>,
+    /// Respawn budget exhausted: drain lanes, count records as
+    /// `worker_lost` rejects, keep answering control and the drain
+    /// protocol — never strand a reader or the final snapshot.
+    zombie: bool,
+}
+
+/// Extract a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Worker thread entry: run [`worker_run`] under [`catch_unwind`] and
+/// respawn it in place (same thread, same [`WorkerCtx`]) after a panic,
+/// up to the configured budget; past the budget the worker degrades to
+/// zombie mode instead of stranding its readers.
+fn worker_thread(
     w: usize,
     shared: &Arc<Shared>,
     hub: &Arc<WorkerHub>,
     control: &Receiver<ControlMsg>,
 ) {
     let cfg = &shared.config;
-    let mut state = WorkerState {
-        ring: WindowRing::new(cfg.window_ms, cfg.lateness_ms),
-        detector: OnlineDetector::new(
+    let mut ctx = WorkerCtx {
+        state: WorkerState {
+            ring: WindowRing::new(cfg.window_ms, cfg.lateness_ms),
+            detector: OnlineDetector::new(
+                cfg.analysis,
+                cfg.minrtt_threshold_ms,
+                cfg.hdratio_threshold,
+                cfg.retention_windows,
+            ),
+            closed: BTreeMap::new(),
+            processed: 0,
+            windows_closed: 0,
+        },
+        lanes: Vec::new(),
+        // u64::MAX forces the first iteration to absorb pre-registered
+        // lanes.
+        seen_version: u64::MAX,
+        control_dead: false,
+        pending_panics: cfg.chaos.panics_for(w),
+        inflight: None,
+        zombie: false,
+    };
+    let mut respawns = 0u32;
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| worker_run(w, shared, hub, control, &mut ctx)));
+        match run {
+            Ok(()) => return,
+            Err(payload) => {
+                recover(w, shared, &mut ctx, &panic_message(payload.as_ref()));
+                if respawns >= shared.config.max_worker_respawns {
+                    ctx.zombie = true;
+                    shared.metrics.counter("worker.zombie").inc();
+                } else {
+                    respawns += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Post-panic repair, run between [`worker_run`] incarnations. A clean
+/// panic (batch boundary, `inflight` empty) needs nothing beyond
+/// accounting — all state survived in [`WorkerCtx`]. A dirty panic lost
+/// the mid-apply batch and may have left the ring inconsistent: account
+/// the records, unblock the syncing reader, and rebuild window state
+/// fresh (already-spilled segments are untouched and still serve
+/// queries).
+fn recover(w: usize, shared: &Arc<Shared>, ctx: &mut WorkerCtx, msg: &str) {
+    // Clear any heartbeat left open mid-batch so the supervisor does
+    // not flag the recovered worker as slow forever.
+    shared.board.finish(w);
+    shared.metrics.counter("worker.recovered").inc();
+    {
+        let mut log = shared.reject_log.lock().expect("reject log");
+        if log.len() >= 256 {
+            log.pop_front();
+        }
+        log.push_back(format!("worker {w} panicked: {msg}; recovered"));
+    }
+    if let Some((lane_idx, n)) = ctx.inflight.take() {
+        let cell = &shared.worker_stats[w];
+        shared.metrics.counter("worker.lost_records").add(n);
+        shared.metrics.counter("ingest.reject.worker_lost").add(n);
+        count_worker_lost(cell, n);
+        if let Some(lane) = ctx.lanes.get(lane_idx) {
+            lane.applied.fetch_add(n, Ordering::Release);
+            lane.bell.notify();
+        }
+        let lost = ctx.state.ring.open_windows() as u64;
+        shared.metrics.counter("worker.lost_windows").add(lost);
+        let cfg = &shared.config;
+        ctx.state.ring = WindowRing::new(cfg.window_ms, cfg.lateness_ms);
+        ctx.state.detector = OnlineDetector::new(
             cfg.analysis,
             cfg.minrtt_threshold_ms,
             cfg.hdratio_threshold,
             cfg.retention_windows,
-        ),
-        closed: BTreeMap::new(),
-        processed: 0,
-        windows_closed: 0,
-    };
+        );
+    }
+}
+
+/// Zombie mode: the respawn budget is gone. Batches are drained and
+/// counted as `worker_lost` rejects so readers (and resume acks) never
+/// block, but no window state is touched.
+fn discard_batch(shared: &Shared, lane: &mut LaneRx, mut batch: Batch, cell: &StatCell) {
+    let n = batch.len() as u64;
+    batch.clear();
+    count_worker_lost(cell, n);
+    shared.metrics.counter("ingest.reject.worker_lost").add(n);
+    shared.metrics.counter("worker.lost_records").add(n);
+    let _ = lane.recycle.try_push(batch);
+    lane.applied.fetch_add(n, Ordering::Release);
+    lane.bell.notify();
+}
+
+fn worker_run(
+    w: usize,
+    shared: &Arc<Shared>,
+    hub: &Arc<WorkerHub>,
+    control: &Receiver<ControlMsg>,
+    ctx: &mut WorkerCtx,
+) {
     let cell = Arc::clone(&shared.worker_stats[w]);
     let close_hist = shared.metrics.histogram("live.window_close_ns");
     let depth_hist = shared.metrics.histogram("live.queue_depth");
@@ -1199,18 +1610,25 @@ fn worker_loop(
     let counters =
         (&windows_counter, &events_minrtt, &events_hdratio, &episodes_opened, &episodes_closed);
 
-    let mut lanes: Vec<LaneRx> = Vec::new();
-    // u64::MAX forces the first iteration to absorb pre-registered lanes.
-    let mut seen_version = u64::MAX;
-    let mut control_dead = false;
     loop {
         // The doorbell sequence is read *before* scanning: anything rung
         // after this load is caught by the park condition below.
         let seq = hub.seq.load(Ordering::Acquire);
         let version = hub.version.load(Ordering::Acquire);
-        if version != seen_version {
-            lanes.append(&mut hub.incoming.lock().expect("incoming lanes"));
-            seen_version = version;
+        if version != ctx.seen_version {
+            ctx.lanes.append(&mut hub.incoming.lock().expect("incoming lanes"));
+            ctx.seen_version = version;
+        }
+        // Chaos: a scripted panic fires at a clean batch boundary, so
+        // recovery is lossless — it exercises the respawn and resume
+        // machinery without corrupting window state.
+        if !ctx.zombie {
+            if let Some(&at) = ctx.pending_panics.first() {
+                if ctx.state.processed >= at {
+                    ctx.pending_panics.remove(0);
+                    panic!("chaos: injected worker {w} panic at {at} records");
+                }
+            }
         }
         let mut progress = false;
         // Control bypass: drained every round, never behind record lanes.
@@ -1218,18 +1636,18 @@ fn worker_loop(
             match control.try_recv() {
                 Ok(msg) => {
                     progress = true;
-                    handle_control(&state, &lanes, msg);
+                    handle_control(&ctx.state, &ctx.lanes, msg);
                 }
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
-                    control_dead = true;
+                    ctx.control_dead = true;
                     break;
                 }
             }
         }
         // Round-robin over lanes, a bounded burst from each.
         let mut i = 0;
-        while i < lanes.len() {
+        while i < ctx.lanes.len() {
             let mut taken = 0usize;
             let mut remove = false;
             loop {
@@ -1238,19 +1656,25 @@ fn worker_loop(
                 }
                 // closed must be read before the pop: closed + empty
                 // means drained for good.
-                let closed = lanes[i].data.is_closed();
-                match lanes[i].data.try_pop() {
+                let closed = ctx.lanes[i].data.is_closed();
+                match ctx.lanes[i].data.try_pop() {
                     Some(batch) => {
-                        apply_batch(
-                            w,
-                            shared,
-                            &mut state,
-                            &mut lanes[i],
-                            batch,
-                            &cell,
-                            &close_hist,
-                            counters,
-                        );
+                        if ctx.zombie {
+                            discard_batch(shared, &mut ctx.lanes[i], batch, &cell);
+                        } else {
+                            ctx.inflight = Some((i, batch.len() as u64));
+                            apply_batch(
+                                w,
+                                shared,
+                                &mut ctx.state,
+                                &mut ctx.lanes[i],
+                                batch,
+                                &cell,
+                                &close_hist,
+                                counters,
+                            );
+                            ctx.inflight = None;
+                        }
                         progress = true;
                         taken += 1;
                     }
@@ -1261,40 +1685,42 @@ fn worker_loop(
                 }
             }
             if remove {
-                lanes.swap_remove(i);
+                ctx.lanes.swap_remove(i);
             } else {
                 i += 1;
             }
         }
         if progress {
-            let depth: usize = lanes.iter().map(|l| l.data.len()).sum();
+            let depth: usize = ctx.lanes.iter().map(|l| l.data.len()).sum();
             depth_hist.record(depth as u64);
             depth_gauge.set(depth as f64);
-            processed_gauge.set(state.processed as f64);
+            processed_gauge.set(ctx.state.processed as f64);
             continue;
         }
-        if control_dead
+        if ctx.control_dead
             && shared.draining.load(Ordering::Acquire)
-            && lanes.is_empty()
-            && hub.version.load(Ordering::Acquire) == seen_version
+            && ctx.lanes.is_empty()
+            && hub.version.load(Ordering::Acquire) == ctx.seen_version
         {
             break;
         }
         hub.bell.wait_until(|| {
             hub.seq.load(Ordering::Acquire) != seq
-                || hub.version.load(Ordering::Acquire) != seen_version
+                || hub.version.load(Ordering::Acquire) != ctx.seen_version
         });
     }
 
     // Drain: every lane closed and drained, control router gone. Flush
     // the remaining windows, then publish the final report.
-    for cw in state.ring.force_close() {
-        handle_close(shared, &mut state, cw, &close_hist, counters);
+    if !ctx.zombie {
+        for cw in ctx.state.ring.force_close() {
+            handle_close(shared, &mut ctx.state, cw, &close_hist, counters);
+        }
     }
-    processed_gauge.set(state.processed as f64);
+    processed_gauge.set(ctx.state.processed as f64);
     depth_gauge.set(0.0);
     let mut reports = shared.reports.lock().expect("reports");
-    reports.push(state.snap(0));
+    reports.push(ctx.state.snap(0));
     shared.reports_ready.notify_all();
 }
 
@@ -1403,19 +1829,44 @@ fn handle_close(
     // order keeps the invariant that every closed window is in RAM or
     // on disk at all times — a query can at worst see both copies,
     // which the merge path deduplicates (they are bit-identical).
-    while state.closed.len() > shared.config.retention_windows {
-        if let Some(store) = &shared.store {
-            let (&index, cells) = state.closed.first_key_value().expect("non-empty map");
-            if let Err(err) = store.spill_window(index, cells) {
-                shared.metrics.counter("store.spill_errors").inc();
-                let mut log = shared.reject_log.lock().expect("reject log");
-                if log.len() >= 256 {
-                    log.pop_front();
+    //
+    // Degraded mode: when the store is failing (or skipping while
+    // degraded), windows stay in RAM past the retention horizon so no
+    // data is dropped while the disk is sick. Retention is only allowed
+    // to balloon to 8× before the oldest windows are shed (counted,
+    // never silent) to bound memory.
+    let retention = shared.config.retention_windows;
+    while state.closed.len() > retention {
+        let Some(store) = &shared.store else {
+            state.closed.pop_first();
+            continue;
+        };
+        let (&index, cells) = state.closed.first_key_value().expect("non-empty map");
+        let outcome = store.spill_window(index, cells);
+        shared.metrics.gauge("store.degraded").set(u64::from(store.is_degraded()) as f64);
+        match outcome {
+            Ok(SpillOutcome::Spilled) => {
+                state.closed.pop_first();
+            }
+            other => {
+                if let Err(err) = other {
+                    shared.metrics.counter("store.spill_errors").inc();
+                    let mut log = shared.reject_log.lock().expect("reject log");
+                    if log.len() >= 256 {
+                        log.pop_front();
+                    }
+                    log.push_back(format!("spill window {index}: {err}"));
                 }
-                log.push_back(format!("spill window {index}: {err}"));
+                if state.closed.len() > retention.saturating_mul(8) {
+                    state.closed.pop_first();
+                    shared.metrics.counter("store.windows_shed").inc();
+                } else {
+                    // Keep the window in RAM; the next close retries
+                    // (or probes, if degraded).
+                    break;
+                }
             }
         }
-        state.closed.pop_first();
     }
 }
 

@@ -30,7 +30,31 @@
 //! server's background compactor thread) merges the smallest batch into
 //! one time-sorted segment — same codec, same manifest discipline —
 //! keeping segment count (and per-query open/decode work) bounded.
+//!
+//! ## Degraded mode
+//!
+//! A disk that starts failing (ENOSPC, EIO, a yanked volume) must not
+//! take the live tier down with it, and must not silently shed history
+//! either. After `spill_fail_threshold` *consecutive* spill failures
+//! the store enters **degraded** mode: spill attempts are skipped
+//! without touching the disk — the server keeps the evicted windows in
+//! RAM instead (RAM-only retention; see `server::handle_close`) — and
+//! every few skipped attempts one *probe* spill goes to disk anyway,
+//! with the skip run doubling after each failed probe
+//! ([`INITIAL_PROBE_SKIP`] → [`MAX_PROBE_SKIP`]). The first probe that
+//! succeeds clears degraded mode and the server's retained backlog
+//! drains through the normal eviction loop. The state is visible:
+//! [`StoreStats::spill_errors`] and [`StoreStats::degraded`] ride the
+//! `store` protocol reply, and the server mirrors them into the
+//! `store.spill_errors` / `store.degraded` metrics.
+//!
+//! Fault injection ([`SegmentStore::set_chaos`]) drives all of this
+//! deterministically: a [`ChaosPlan`]'s `spillfail`/`compactfail`/
+//! `spilldelay` clauses fire by 0-based operation index, so a test (or
+//! the CI chaos job) can script "spills 0–2 fail, then the disk heals"
+//! and assert the exact degraded/recovered sequence.
 
+use crate::chaos::ChaosPlan;
 use crate::protocol::CellQuery;
 use crate::server::CellLine;
 use crate::window::{CellKey, CellSummary};
@@ -137,6 +161,13 @@ pub struct StoreStats {
     pub spilled_cells: u64,
     /// Compaction merges since this store opened.
     pub compactions: u64,
+    /// Spill attempts that failed on disk (absent in replies from
+    /// before degraded mode existed).
+    #[serde(default)]
+    pub spill_errors: u64,
+    /// The store is currently in degraded (RAM-only retention) mode.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// Where an injected crash stops the store mid-operation. Test-only
@@ -155,6 +186,23 @@ pub enum CrashPoint {
     BeforeManifestRename,
 }
 
+/// What a spill attempt did (the `Ok` half; disk failures are `Err`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillOutcome {
+    /// The window is durably on disk (or was empty; nothing to write).
+    Spilled,
+    /// Degraded mode skipped the disk entirely: the caller must keep
+    /// the window in RAM and retry on a later eviction pass.
+    DegradedSkip,
+}
+
+/// Skipped spill attempts after entering degraded mode, before the
+/// first re-probe of the disk.
+const INITIAL_PROBE_SKIP: u64 = 2;
+
+/// Cap on the skip run between probes (each failed probe doubles it).
+const MAX_PROBE_SKIP: u64 = 64;
+
 /// In-memory mirror of the manifest plus session counters. Mutated only
 /// under the store lock, and only after the corresponding disk state is
 /// durable.
@@ -165,6 +213,22 @@ struct StoreState {
     spilled_windows: u64,
     spilled_cells: u64,
     compactions: u64,
+    /// Spill attempts that failed on disk (injected or real).
+    spill_errors: u64,
+    /// Consecutive spill failures; reset by any success.
+    consecutive_failures: u64,
+    /// Degraded (RAM-only retention) mode is active.
+    degraded: bool,
+    /// Skipped attempts remaining before the next probe.
+    skip_remaining: u64,
+    /// Length of the next skip run (doubles per failed probe).
+    probe_skip: u64,
+    /// Injected fault schedule (empty in production).
+    chaos: ChaosPlan,
+    /// Spill attempts that reached the disk path (chaos op index).
+    spill_ops: u64,
+    /// Compaction merges attempted (chaos op index).
+    compact_ops: u64,
 }
 
 /// The tiered window store. One per server, shared by every worker
@@ -175,6 +239,9 @@ pub struct SegmentStore {
     compact_min_segments: usize,
     /// Segments merged per compaction round.
     compact_batch: usize,
+    /// Consecutive spill failures that flip the store into degraded
+    /// (RAM-only retention) mode.
+    spill_fail_threshold: u64,
     state: Mutex<StoreState>,
     crash: Mutex<CrashPoint>,
 }
@@ -195,6 +262,7 @@ impl SegmentStore {
         dir: &Path,
         compact_min_segments: usize,
         compact_batch: usize,
+        spill_fail_threshold: u32,
     ) -> Result<SegmentStore, EdgeperfError> {
         std::fs::create_dir_all(dir).map_err(|e| io_err("create spill dir", dir, e))?;
         let manifest_path = dir.join(MANIFEST_FILE);
@@ -242,13 +310,31 @@ impl SegmentStore {
                 let _ = std::fs::remove_file(entry.path());
             }
         }
+        state.probe_skip = INITIAL_PROBE_SKIP;
         Ok(SegmentStore {
             dir: dir.to_path_buf(),
             compact_min_segments: compact_min_segments.max(2),
             compact_batch: compact_batch.max(2),
+            spill_fail_threshold: u64::from(spill_fail_threshold.max(1)),
             state: Mutex::new(state),
             crash: Mutex::new(CrashPoint::None),
         })
+    }
+
+    /// Arm a deterministic disk-fault schedule (`spillfail` /
+    /// `compactfail` / `spilldelay` clauses; the rest are ignored here).
+    pub fn set_chaos(&self, plan: ChaosPlan) {
+        self.state.lock().expect("store state").chaos = plan;
+    }
+
+    /// The store is currently in degraded (RAM-only retention) mode.
+    pub fn is_degraded(&self) -> bool {
+        self.state.lock().expect("store state").degraded
+    }
+
+    /// Spill attempts that failed on disk since this store opened.
+    pub fn spill_error_count(&self) -> u64 {
+        self.state.lock().expect("store state").spill_errors
     }
 
     /// The spill directory this store owns.
@@ -272,24 +358,72 @@ impl SegmentStore {
     /// Spill one evicted window. The cells arrive exactly as the
     /// worker's RAM map held them; they are sorted into canonical order
     /// and written as one segment, then the manifest commits it.
+    ///
+    /// In degraded mode most attempts return
+    /// [`SpillOutcome::DegradedSkip`] without touching the disk; the
+    /// caller must keep the window in RAM and offer it again on a later
+    /// eviction pass. Every `probe_skip`-th attempt goes to disk as a
+    /// probe — the first success clears degraded mode.
     pub fn spill_window(
         &self,
         index: u32,
         cells: &[(CellKey, CellSummary)],
-    ) -> Result<(), EdgeperfError> {
+    ) -> Result<SpillOutcome, EdgeperfError> {
         let mut rows: Vec<WindowCell> =
             cells.iter().map(|(key, s)| window_cell(index, key, s)).collect();
         sort_cells(&mut rows);
         let mut state = self.state.lock().expect("store state");
-        state.spilled_windows += 1;
         if rows.is_empty() {
-            return Ok(());
+            state.spilled_windows += 1;
+            return Ok(SpillOutcome::Spilled);
         }
-        let meta = self.write_segment(&mut state, rows)?;
+        if state.degraded && state.skip_remaining > 0 {
+            state.skip_remaining -= 1;
+            return Ok(SpillOutcome::DegradedSkip);
+        }
+        let op = state.spill_ops;
+        state.spill_ops += 1;
+        if let Some(delay) = state.chaos.spill_delay(op) {
+            std::thread::sleep(delay);
+        }
+        let result = if state.chaos.spill_fails(op) {
+            Err(corrupt(format!("injected ENOSPC (chaos, spill op {op})")))
+        } else {
+            self.spill_to_disk(&mut state, rows)
+        };
+        match result {
+            Ok(()) => {
+                state.spilled_windows += 1;
+                state.consecutive_failures = 0;
+                state.degraded = false;
+                state.probe_skip = INITIAL_PROBE_SKIP;
+                Ok(SpillOutcome::Spilled)
+            }
+            Err(e) => {
+                state.spill_errors += 1;
+                state.consecutive_failures += 1;
+                if state.degraded || state.consecutive_failures >= self.spill_fail_threshold {
+                    state.degraded = true;
+                    state.skip_remaining = state.probe_skip;
+                    state.probe_skip = (state.probe_skip * 2).min(MAX_PROBE_SKIP);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The disk half of a spill: durably place the segment, then commit
+    /// the manifest referencing it.
+    fn spill_to_disk(
+        &self,
+        state: &mut StoreState,
+        rows: Vec<WindowCell>,
+    ) -> Result<(), EdgeperfError> {
+        let meta = self.write_segment(state, rows)?;
         state.spilled_cells += meta.cells;
         let mut segments = state.segments.clone();
         segments.push(meta);
-        self.commit_manifest(&mut state, segments)
+        self.commit_manifest(state, segments)
     }
 
     /// Encode and durably place one segment file (staged, then renamed).
@@ -367,6 +501,8 @@ impl SegmentStore {
             spilled_windows: state.spilled_windows,
             spilled_cells: state.spilled_cells,
             compactions: state.compactions,
+            spill_errors: state.spill_errors,
+            degraded: state.degraded,
             ..StoreStats::default()
         };
         for meta in &state.segments {
@@ -394,6 +530,11 @@ impl SegmentStore {
         let mut state = self.state.lock().expect("store state");
         if state.segments.len() < self.compact_min_segments {
             return Ok(false);
+        }
+        let op = state.compact_ops;
+        state.compact_ops += 1;
+        if state.chaos.compact_fails(op) {
+            return Err(corrupt(format!("injected EIO (chaos, compaction op {op})")));
         }
         // Victims: the smallest segments by cell count (ties by id, so
         // the choice — and the merged output — is deterministic).
@@ -487,7 +628,7 @@ mod tests {
     #[test]
     fn spill_then_query_is_bit_identical() {
         let dir = tmpdir("roundtrip");
-        let store = SegmentStore::open(&dir, 8, 8).expect("opens");
+        let store = SegmentStore::open(&dir, 8, 8, 3).expect("opens");
         let w3 = window(3, 17);
         let w4 = window(4, 9);
         store.spill_window(3, &w3).expect("spills");
@@ -526,14 +667,14 @@ mod tests {
     fn reopen_replays_the_manifest_and_sweeps_orphans() {
         let dir = tmpdir("reopen");
         {
-            let store = SegmentStore::open(&dir, 8, 8).expect("opens");
+            let store = SegmentStore::open(&dir, 8, 8, 3).expect("opens");
             store.spill_window(1, &window(1, 5)).expect("spills");
             store.spill_window(2, &window(2, 6)).expect("spills");
         }
         // Fake crash leftovers: a staged tmp and an unreferenced segment.
         edgeperf_analysis::atomic_write(&dir.join("seg-00000099.seg"), b"torn").unwrap();
         edgeperf_analysis::stage(&dir.join("seg-00000100.seg"), b"staged").unwrap();
-        let store = SegmentStore::open(&dir, 8, 8).expect("reopens");
+        let store = SegmentStore::open(&dir, 8, 8, 3).expect("reopens");
         assert!(!dir.join("seg-00000099.seg").exists(), "orphan segment swept");
         assert!(!dir.join("seg-00000100.seg.tmp").exists(), "orphan tmp swept");
         assert_eq!(store.query(&CellQuery::default()).expect("queries").len(), 11);
@@ -554,7 +695,7 @@ mod tests {
             let dir = tmpdir(&format!("crash-{point:?}"));
             let cells_before;
             {
-                let store = SegmentStore::open(&dir, 8, 8).expect("opens");
+                let store = SegmentStore::open(&dir, 8, 8, 3).expect("opens");
                 store.spill_window(1, &window(1, 4)).expect("spills");
                 cells_before = store.query(&CellQuery::default()).expect("queries").len();
                 store.inject_crash(point);
@@ -563,7 +704,7 @@ mod tests {
             // Recovery: the manifest must parse, reference only intact
             // files, and still serve everything it committed before the
             // crash. The interrupted spill is simply absent.
-            let store = SegmentStore::open(&dir, 8, 8)
+            let store = SegmentStore::open(&dir, 8, 8, 3)
                 .unwrap_or_else(|e| panic!("{point:?}: recovery failed: {e}"));
             let after = store.query(&CellQuery::default()).expect("queries");
             assert_eq!(after.len(), cells_before, "{point:?}");
@@ -585,7 +726,7 @@ mod tests {
     #[test]
     fn compaction_merges_small_segments_and_preserves_cells() {
         let dir = tmpdir("compact");
-        let store = SegmentStore::open(&dir, 4, 4).expect("opens");
+        let store = SegmentStore::open(&dir, 4, 4, 3).expect("opens");
         for w in 0..6u32 {
             store.spill_window(w, &window(u64::from(w), 3)).expect("spills");
         }
@@ -614,7 +755,7 @@ mod tests {
         assert!(!store.compact_once().expect("no-op"));
         // Reopen still serves the merged state.
         drop(store);
-        let store = SegmentStore::open(&dir, 4, 4).expect("reopens");
+        let store = SegmentStore::open(&dir, 4, 4, 3).expect("reopens");
         assert_eq!(store.query(&CellQuery::default()).expect("queries").len(), before.len());
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -622,12 +763,87 @@ mod tests {
     #[test]
     fn empty_windows_are_counted_but_not_written() {
         let dir = tmpdir("empty");
-        let store = SegmentStore::open(&dir, 8, 8).expect("opens");
+        let store = SegmentStore::open(&dir, 8, 8, 3).expect("opens");
         store.spill_window(9, &[]).expect("spills nothing");
         let stats = store.stats();
         assert_eq!(stats.spilled_windows, 1);
         assert_eq!(stats.segments, 0);
         assert!(store.query(&CellQuery::default()).expect("queries").is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn consecutive_failures_enter_degraded_mode_and_a_probe_recovers() {
+        let dir = tmpdir("degraded");
+        let store = SegmentStore::open(&dir, 8, 8, 3).expect("opens");
+        store.set_chaos(ChaosPlan::parse("spillfail:0@3").expect("plan"));
+        for op in 0..3u64 {
+            assert!(!store.is_degraded(), "not degraded before op {op}");
+            let err = store.spill_window(1, &window(1, 4)).expect_err("injected");
+            assert!(err.to_string().contains("injected ENOSPC"), "op {op}: {err}");
+        }
+        assert!(store.is_degraded(), "threshold 3 reached");
+        assert_eq!(store.spill_error_count(), 3);
+        // Two skipped attempts before the first probe — no disk contact.
+        for _ in 0..2 {
+            assert_eq!(
+                store.spill_window(2, &window(2, 4)).expect("skips"),
+                SpillOutcome::DegradedSkip
+            );
+        }
+        // The probe reaches the (now healthy) disk and clears degraded.
+        assert_eq!(store.spill_window(3, &window(3, 4)).expect("probes"), SpillOutcome::Spilled);
+        assert!(!store.is_degraded());
+        let stats = store.stats();
+        assert_eq!(stats.spill_errors, 3);
+        assert!(!stats.degraded);
+        assert_eq!(stats.spilled_windows, 1, "only the successful spill counts");
+        assert_eq!(stats.segments, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_probes_double_the_skip_run() {
+        let dir = tmpdir("probe-doubling");
+        let store = SegmentStore::open(&dir, 8, 8, 1).expect("opens");
+        store.set_chaos(ChaosPlan::parse("spillfail:0@2").expect("plan"));
+        // Op 0 fails → degraded at threshold 1, first skip run of 2.
+        store.spill_window(1, &window(1, 3)).expect_err("fails");
+        assert!(store.is_degraded());
+        for _ in 0..2 {
+            assert_eq!(
+                store.spill_window(1, &window(1, 3)).expect("skips"),
+                SpillOutcome::DegradedSkip
+            );
+        }
+        // The probe (op 1) fails too → the skip run doubles to 4.
+        store.spill_window(1, &window(1, 3)).expect_err("probe fails");
+        for _ in 0..4 {
+            assert_eq!(
+                store.spill_window(1, &window(1, 3)).expect("skips"),
+                SpillOutcome::DegradedSkip
+            );
+        }
+        // The next probe (op 2) is past the fault window and recovers.
+        assert_eq!(store.spill_window(1, &window(1, 3)).expect("probes"), SpillOutcome::Spilled);
+        assert!(!store.is_degraded());
+        assert_eq!(store.spill_error_count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_faults_are_injected_by_op_index() {
+        let dir = tmpdir("compactfail");
+        let store = SegmentStore::open(&dir, 4, 4, 3).expect("opens");
+        store.set_chaos(ChaosPlan::parse("compactfail:0").expect("plan"));
+        for w in 0..4u32 {
+            store.spill_window(w, &window(u64::from(w), 3)).expect("spills");
+        }
+        let err = store.compact_once().expect_err("injected");
+        assert!(err.to_string().contains("injected EIO"), "{err}");
+        // The next attempt (op 1) is past the fault window and succeeds.
+        assert!(store.compact_once().expect("compacts"));
+        assert_eq!(store.stats().compactions, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

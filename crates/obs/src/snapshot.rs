@@ -281,4 +281,16 @@ mod tests {
             assert!(table.contains(key), "missing {key} in:\n{table}");
         }
     }
+
+    /// Spill health rides the generic counter/gauge sections: operators
+    /// watching the table see degraded mode without scraping JSON.
+    #[test]
+    fn render_table_surfaces_spill_health() {
+        let m = Metrics::enabled();
+        m.counter("store.spill_errors").add(5);
+        m.gauge("store.degraded").set(1.0);
+        let table = render_table(&m.snapshot());
+        assert!(table.contains("store.spill_errors"), "in:\n{table}");
+        assert!(table.contains("store.degraded"), "in:\n{table}");
+    }
 }

@@ -7,6 +7,9 @@
 //! edgeperf serve [--addr A] [--workers N] [--window-ms F] [--lateness-ms F]
 //!                [--queue N] [--retention N] [--spill-dir DIR]
 //!                [--compact-min N] [--compact-batch N]
+//!                [--idle-timeout-ms N] [--write-timeout-ms N]
+//!                [--max-conns N] [--max-respawns N]
+//!                [--spill-fail-threshold N] [--chaos PLAN]
 //!                [--target-mbps F] [--metrics]
 //!                                              live session-ingest server
 //! ```
@@ -27,6 +30,18 @@
 //! `edgeperf_live::store`). `--compact-min` / `--compact-batch` tune
 //! the background segment compactor.
 //!
+//! Robustness knobs: `--idle-timeout-ms` / `--write-timeout-ms` set
+//! per-connection socket deadlines (0 = off; a timed-out connection is
+//! evicted and counted under `live.conns.evicted`; a resuming client
+//! replays its unacked tail). `--max-conns` caps concurrent
+//! connections (excess are refused, the acceptor keeps running).
+//! `--max-respawns` bounds per-worker panic recoveries before the
+//! worker degrades to a draining zombie. `--spill-fail-threshold` is
+//! the consecutive-spill-failure count that flips the tiered store
+//! into degraded (RAM-only) retention. `--chaos PLAN` injects the
+//! deterministic server-side faults of an `edgeperf_live::ChaosPlan`
+//! (worker panics, spill/compaction failures) — testing only.
+//!
 //! `--metrics` prints an ingest accounting table (lines evaluated, rejects
 //! by reason) to stderr after the run.
 //!
@@ -43,7 +58,7 @@
 
 use edgeperf::core::HD_GOODPUT_BPS;
 use edgeperf::ingest::{evaluate_jsonl_observed, quarantine_jsonl, sample_line};
-use edgeperf::live::ServeBuilder;
+use edgeperf::live::{ChaosPlan, ServeBuilder};
 use edgeperf::obs::{render_table, Metrics};
 use edgeperf::serve::WireParser;
 use std::io::Read;
@@ -159,6 +174,31 @@ fn main() {
                     }
                     "--compact-batch" => {
                         builder = builder.compact_batch(num(&mut it, "--compact-batch") as usize);
+                    }
+                    "--idle-timeout-ms" => {
+                        builder = builder.idle_timeout_ms(num(&mut it, "--idle-timeout-ms") as u64);
+                    }
+                    "--write-timeout-ms" => {
+                        builder =
+                            builder.write_timeout_ms(num(&mut it, "--write-timeout-ms") as u64);
+                    }
+                    "--max-conns" => {
+                        builder = builder.max_connections(num(&mut it, "--max-conns") as usize);
+                    }
+                    "--max-respawns" => {
+                        builder =
+                            builder.max_worker_respawns(num(&mut it, "--max-respawns") as u32);
+                    }
+                    "--spill-fail-threshold" => {
+                        builder = builder
+                            .spill_fail_threshold(num(&mut it, "--spill-fail-threshold") as u32);
+                    }
+                    "--chaos" => {
+                        let spec =
+                            it.next().cloned().unwrap_or_else(|| die("--chaos needs a plan"));
+                        let plan = ChaosPlan::parse(&spec)
+                            .unwrap_or_else(|e| die(&format!("--chaos: {e}")));
+                        builder = builder.chaos(plan);
                     }
                     "--target-mbps" => target = num(&mut it, "--target-mbps") * 1e6,
                     "--metrics" => metrics = Metrics::enabled(),
