@@ -13,6 +13,9 @@
 //! loadgen --chaos PLAN [--wire jsonl|binary] [--workers N]
 //!         [--idle-timeout-ms N] [--retention N] [--spill-dir DIR]
 //!         [--expect-clean] [--json PATH]
+//! loadgen --fleet ADDR | --fleet-pops N [--workers N]
+//!         [--fleet-chaos PLAN] [--sessions N] [--groups N] [--windows N]
+//!         [--window-ms F] [--lateness-ms F] [--expect-clean] [--json PATH]
 //! ```
 //!
 //! Prints the [`edgeperf_bench::loadgen::LoadReport`] as JSON on stdout;
@@ -50,6 +53,20 @@
 //! `--expect-clean` the run must ack every record exactly once, reject
 //! nothing, and be bit-identical to the control.
 //!
+//! `--fleet ADDR` replays a catchment-partitioned workload through the
+//! multi-PoP coordinator listening on `ADDR` (started with `edgeperf
+//! fleet`); `--fleet-pops N` self-hosts an N-PoP fleet in-process
+//! instead. Either way each group's records go to the PoP the anycast
+//! catchment homes them on, the merged `fleet cells` view is compared
+//! f64-bit-identically against a fault-free single-node control, and
+//! the run is reported as a
+//! [`edgeperf_bench::fleet_run::FleetReport`]. `--fleet-chaos PLAN`
+//! (grammar `kill:POP@RECORDS;seed:S`) kills a PoP mid-replay and
+//! proves exactly-once failover. With `--expect-clean` every record
+//! must be acked and accepted exactly once fleet-wide, nothing
+//! rejected or late, every planned kill fired (re-homing at least one
+//! group), and the merged view bit-identical to the control.
+//!
 //! `--long-horizon` self-hosts the tiered-store comparison on its own:
 //! replay `--windows` of event time into a server that spills past
 //! `--retention` windows (segments under `--spill-dir`, a throwaway
@@ -59,11 +76,13 @@
 //! `--expect-clean` the merged disk+RAM query must be bit-identical to
 //! the control and something must actually have spilled.
 
+use edgeperf_bench::fleet_run::{run_fleet, run_fleet_at, FleetRunOpts};
 use edgeperf_bench::loadgen::{
     run, run_chaos, run_long_horizon, run_suite, ChaosRunOpts, LoadReport, LoadgenConfig, WireMode,
     LONG_HORIZON_RETENTION, LONG_HORIZON_WINDOWS,
 };
 use edgeperf_bench::stage_profile::profile_stages;
+use edgeperf_fleet::FleetChaosPlan;
 use edgeperf_live::{CellQuery, ChaosPlan, LiveClient};
 use std::path::PathBuf;
 
@@ -77,6 +96,9 @@ fn main() {
     let mut profile_workers = 4usize;
     let mut long_horizon = false;
     let mut chaos: Option<ChaosPlan> = None;
+    let mut fleet_addr: Option<String> = None;
+    let mut fleet_pops: Option<u16> = None;
+    let mut fleet_chaos = FleetChaosPlan::default();
     let mut idle_timeout_ms = 0u64;
     let mut retention = LONG_HORIZON_RETENTION;
     let mut spill_dir: Option<PathBuf> = None;
@@ -122,6 +144,16 @@ fn main() {
                 chaos =
                     Some(ChaosPlan::parse(&spec).unwrap_or_else(|e| die(&format!("--chaos: {e}"))));
             }
+            "--fleet" => {
+                fleet_addr =
+                    Some(it.next().cloned().unwrap_or_else(|| die("--fleet needs an address")));
+            }
+            "--fleet-pops" => fleet_pops = Some(num(&mut it, "--fleet-pops") as u16),
+            "--fleet-chaos" => {
+                let spec = it.next().cloned().unwrap_or_else(|| die("--fleet-chaos needs a plan"));
+                fleet_chaos = FleetChaosPlan::parse(&spec)
+                    .unwrap_or_else(|e| die(&format!("--fleet-chaos: {e}")));
+            }
             "--idle-timeout-ms" => idle_timeout_ms = num(&mut it, "--idle-timeout-ms") as u64,
             "--retention" => retention = num(&mut it, "--retention") as usize,
             "--spill-dir" => {
@@ -164,6 +196,34 @@ fn main() {
                 && report.bit_identical_to_clean)
         {
             die(&format!("chaos run was not clean: {report:?}"));
+        }
+        return;
+    }
+
+    if fleet_addr.is_some() || fleet_pops.is_some() {
+        let opts = FleetRunOpts {
+            pops: fleet_pops.unwrap_or(FleetRunOpts::default().pops),
+            workers: profile_workers,
+            plan: fleet_chaos,
+        };
+        let planned_kills = opts.plan.kills.len() as u64;
+        let report = match &fleet_addr {
+            Some(addr) => run_fleet_at(addr, &cfg, &opts)
+                .unwrap_or_else(|e| die(&format!("fleet replay against {addr}: {e}"))),
+            None => run_fleet(&cfg, &opts).unwrap_or_else(|e| die(&format!("fleet: {e}"))),
+        };
+        emit(&serde_json::to_string_pretty(&report).expect("report serializes"), &json_path);
+        if expect_clean
+            && !(report.acked == report.sessions
+                && report.accepted == report.sessions
+                && report.rejected == 0
+                && report.late == 0
+                && report.drained
+                && report.kills == planned_kills
+                && (report.kills == 0 || report.rehomed_groups > 0)
+                && report.bit_identical_to_single_node)
+        {
+            die(&format!("fleet run was not clean: {report:?}"));
         }
         return;
     }

@@ -1,0 +1,490 @@
+//! Fleet load generation: catchment-routed, chunk-barriered replay
+//! across a multi-PoP fleet, with mid-run PoP failover, proven
+//! bit-identical to a single-node control run.
+//!
+//! Routing mirrors anycast: each user group's client key is homed via
+//! the coordinator's `home` command, and the group's full record
+//! substream is replayed straight to that PoP's ingest socket over the
+//! PR 9 exactly-once session protocol ([`replay_with_resume`]). The
+//! replay is chunked on global event time — all streams quiesce at
+//! each boundary before any advances — so cross-PoP skew stays within
+//! half the lateness bound and nothing is ever late.
+//!
+//! **Failover.** A [`FleetChaosPlan`] kill fires at a chunk barrier:
+//! the coordinator stops the PoP (its un-drained state is discarded)
+//! and re-homes its catchment; for every survivor inheriting groups
+//! the replayer opens a *new* session whose payload is the inherited
+//! groups' full substream from record zero. The server acks zero for
+//! an unknown session, so resume naturally replays everything, and the
+//! new home rebuilds exactly the per-group insertion sequences a
+//! single-node run would have seen. The lateness budget that makes the
+//! catch-up safe: a kill at event time `T` is only valid while
+//! `T <= lateness/2`, because the survivors' watermark at the kill
+//! barrier is then `<= T + lateness/2 - lateness <= 0` — older than
+//! every inherited record.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+use edgeperf::serve::WireParser;
+use edgeperf_fleet::{ClientKey, Fleet, FleetChaosPlan, FleetClient, FleetConfig};
+use edgeperf_live::{
+    cell_line_sort_key, replay_with_resume, CellLine, CellQuery, ChaosPlan, LiveClient,
+    ResumeInput, RetryPolicy, WireChaos,
+};
+use edgeperf_obs::Metrics;
+use serde::{Deserialize, Serialize};
+
+use crate::loadgen::{generate_lines, hosted_builder, render_rows, LoadgenConfig};
+
+/// Fleet-run shape: how many PoPs to host and what to break.
+#[derive(Debug, Clone)]
+pub struct FleetRunOpts {
+    /// PoPs in the fleet (self-hosted runs; external coordinators
+    /// report their own).
+    pub pops: u16,
+    /// Ingest workers per PoP.
+    pub workers: usize,
+    /// PoP kills to inject at chunk barriers.
+    pub plan: FleetChaosPlan,
+}
+
+impl Default for FleetRunOpts {
+    fn default() -> FleetRunOpts {
+        FleetRunOpts { pops: 2, workers: 2, plan: FleetChaosPlan::default() }
+    }
+}
+
+/// What a fleet replay achieved, fleet-wide.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// The canonical fleet chaos plan that was injected.
+    pub plan: String,
+    /// PoPs the fleet started with.
+    pub pops: u64,
+    /// PoPs still alive at the end.
+    pub alive_pops: u64,
+    /// Ingest workers per PoP.
+    pub workers: u64,
+    /// Sessions replayed.
+    pub sessions: u64,
+    /// Distinct user groups routed through the catchment.
+    pub groups: u64,
+    /// Final cumulative acks across live sessions (must equal
+    /// `sessions`: every record acked exactly once fleet-wide).
+    pub acked: u64,
+    /// Fleet-merged records folded into windows (must equal `sessions`).
+    pub accepted: u64,
+    /// Fleet-merged rejected records (0 in a clean run).
+    pub rejected: u64,
+    /// Fleet-merged late records (0 in a clean run).
+    pub late: u64,
+    /// Every alive PoP drained cleanly at shutdown.
+    pub drained: bool,
+    /// PoP kills that fired.
+    pub kills: u64,
+    /// Client keys the coordinator re-homed across all kills.
+    pub rehomed_groups: u64,
+    /// Replay sessions opened (initial per-PoP streams + failover
+    /// catch-up streams).
+    pub streams: u64,
+    /// Coordinator fan-out connections opened (reuse makes this small).
+    pub fanout_connects: u64,
+    /// Coordinator fan-out reconnects after transport errors.
+    pub fanout_reconnects: u64,
+    /// Last fleet cells merge latency, ms.
+    pub merge_ms: f64,
+    /// Rows in the fleet-merged full-range cells view.
+    pub fleet_cells: u64,
+    /// Final per-PoP catchment share over observed client keys.
+    pub catchment_share: Vec<f64>,
+    /// Fleet-merged cells are f64-bit-identical (and byte-identical
+    /// when serialized) to a single-node control over the same records.
+    pub bit_identical_to_single_node: bool,
+    /// Wall-clock replay time (s), excluding the control run.
+    pub elapsed_s: f64,
+}
+
+/// One replay session: a (pop, session-id) pair carrying the global
+/// record indices homed there, replayed as growing prefixes.
+struct Stream {
+    addr: String,
+    session: u64,
+    /// Ascending global record indices this stream carries.
+    indices: Vec<usize>,
+    /// The wire lines at those indices, in the same order.
+    lines: Vec<String>,
+    /// Lines already replayed and acked (a prefix length).
+    sent: usize,
+    /// Last cumulative ack from the server.
+    acked: u64,
+    pop: u16,
+}
+
+/// The client key [`generate_lines`] encodes for group `g` — the
+/// catchment input. Prefix ↔ group is 1:1, which is what makes each
+/// group's whole insertion sequence live on exactly one PoP at a time.
+fn group_key(g: usize) -> ClientKey {
+    ClientKey {
+        prefix_base: 0x0A00_0000 + ((g as u32) << 8),
+        prefix_len: 24,
+        country: (g % 40) as u16,
+        continent: (g % 6) as u8,
+    }
+}
+
+fn session_id(seed: u64, generation: u64, pop: u16) -> u64 {
+    (seed << 20) ^ (generation << 10) ^ u64::from(pop)
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, msg)
+}
+
+fn metrics_gauge(metrics_json: &str, name: &str) -> f64 {
+    let Ok(v) = serde_json::parse(metrics_json) else { return 0.0 };
+    match v.get("gauges").and_then(|g| g.get(name)) {
+        Some(serde_json::Value::Num(n)) => *n,
+        _ => 0.0,
+    }
+}
+
+fn opt_bits(v: Option<f64>) -> Option<u64> {
+    v.map(f64::to_bits)
+}
+
+/// Strict f64-bit-identity between two canonical cell sequences: same
+/// keys in the same order, every float field equal under
+/// [`f64::to_bits`], and byte-identical serialized rows.
+fn cells_bit_identical(a: &[CellLine], b: &[CellLine]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|(x, y)| {
+            cell_line_sort_key(x) == cell_line_sort_key(y)
+                && x.relationship == y.relationship
+                && x.longer_path == y.longer_path
+                && x.more_prepended == y.more_prepended
+                && x.n == y.n
+                && x.n_tested == y.n_tested
+                && x.bytes == y.bytes
+                && x.min_rtt_p50.to_bits() == y.min_rtt_p50.to_bits()
+                && opt_bits(x.min_rtt_var) == opt_bits(y.min_rtt_var)
+                && opt_bits(x.hdratio_p50) == opt_bits(y.hdratio_p50)
+                && opt_bits(x.hdratio_var) == opt_bits(y.hdratio_var)
+        })
+        && render_rows(a) == render_rows(b)
+}
+
+/// Single-node control: the same lines into one server, then the
+/// canonical `digest` export (sorted cells + accepted under one sync
+/// barrier). The fleet view must match this bit-for-bit.
+fn run_control(
+    cfg: &LoadgenConfig,
+    workers: usize,
+    lines: &[String],
+    policy: &RetryPolicy,
+) -> io::Result<(u64, Vec<CellLine>)> {
+    let server = hosted_builder(cfg, workers)
+        .retention_windows(cfg.windows as usize + 4)
+        .start(Arc::new(WireParser::new(cfg.target_bps)))
+        .map_err(|e| invalid(e.to_string()))?;
+    let mut wire = WireChaos::new(&ChaosPlan::default());
+    replay_with_resume(
+        server.addr(),
+        session_id(cfg.seed, 0, u16::MAX),
+        ResumeInput::Lines(lines),
+        policy,
+        &mut wire,
+    )?;
+    let mut client = LiveClient::connect(server.addr())?;
+    let full = CellQuery { from_window: Some(0), ..CellQuery::default() };
+    let (accepted, rows) = client.digest_query(&full)?;
+    client.shutdown()?;
+    drop(client);
+    let _ = server.join();
+    Ok((accepted, rows))
+}
+
+/// Self-host a fleet matching `cfg`'s geometry, replay through it (see
+/// [`run_fleet_at`]), and shut it down.
+pub fn run_fleet(cfg: &LoadgenConfig, opts: &FleetRunOpts) -> io::Result<FleetReport> {
+    let fleet_cfg = FleetConfig {
+        pops: opts.pops,
+        workers: opts.workers,
+        addr: "127.0.0.1:0".to_string(),
+        window_ms: cfg.window_ms,
+        lateness_ms: cfg.lateness_ms,
+        retention_windows: cfg.windows as usize + 4,
+        seed: cfg.seed,
+    };
+    let handle =
+        Fleet::start(&fleet_cfg, Arc::new(WireParser::new(cfg.target_bps)), &Metrics::enabled())
+            .map_err(|e| invalid(e.to_string()))?;
+    let report = run_fleet_at(&handle.addr().to_string(), cfg, opts);
+    if report.is_err() {
+        // A successful run ends with `fleet shutdown`; on the error
+        // paths the coordinator is still accepting, so drain it here or
+        // the join below would block forever.
+        if let Ok(mut coord) = FleetClient::connect(handle.addr()) {
+            let _ = coord.shutdown();
+        }
+    }
+    let _ = handle.join();
+    report
+}
+
+/// Replay `cfg.sessions` through the fleet behind the coordinator at
+/// `addr`: home every group, stream each PoP's substream under the
+/// exactly-once session protocol with global chunk barriers, fire the
+/// plan's kills at barriers, fail over, and verify the merged fleet
+/// view against a single-node control. Always ends with
+/// `fleet shutdown`.
+pub fn run_fleet_at(
+    addr: &str,
+    cfg: &LoadgenConfig,
+    opts: &FleetRunOpts,
+) -> io::Result<FleetReport> {
+    let lines = generate_lines(cfg);
+    let sessions = cfg.sessions;
+    let groups = cfg.groups.max(1);
+    let span_ms = f64::from(cfg.windows) * cfg.window_ms;
+    let per_record_ms = span_ms / sessions.max(1) as f64;
+
+    // Failover lateness budget (module docs): a kill at event time T
+    // is only recoverable while T <= lateness/2.
+    let kills = opts.plan.kills_sorted();
+    for kill in &kills {
+        let ts = kill.after_records as f64 * per_record_ms;
+        if kill.after_records >= sessions as u64 || ts > cfg.lateness_ms / 2.0 {
+            return Err(invalid(format!(
+                "kill of PoP {} at record {} (event time {ts:.0} ms) breaks the failover \
+                 budget: kills must land before {} records (lateness/2 = {:.0} ms)",
+                kill.pop,
+                kill.after_records,
+                (cfg.lateness_ms / 2.0 / per_record_ms) as u64,
+                cfg.lateness_ms / 2.0,
+            )));
+        }
+    }
+
+    let started = Instant::now();
+    let mut coord = FleetClient::connect(addr)?;
+    let pops_at_start = coord.pops()?.len() as u64;
+
+    // Home every group through the coordinator's catchment.
+    let mut group_home: Vec<u16> = Vec::with_capacity(groups);
+    let mut pop_addr: BTreeMap<u16, String> = BTreeMap::new();
+    for g in 0..groups {
+        let (pop, addr) = coord.home(&group_key(g))?;
+        group_home.push(pop);
+        pop_addr.insert(pop, addr);
+    }
+
+    // One initial stream per PoP that owns at least one group.
+    let mut streams: Vec<Stream> = Vec::new();
+    for (&pop, addr) in &pop_addr {
+        let indices: Vec<usize> = (0..sessions).filter(|i| group_home[i % groups] == pop).collect();
+        if indices.is_empty() {
+            continue;
+        }
+        let stream_lines = indices.iter().map(|&i| lines[i].clone()).collect();
+        streams.push(Stream {
+            addr: addr.clone(),
+            session: session_id(cfg.seed, 1, pop),
+            indices,
+            lines: stream_lines,
+            sent: 0,
+            acked: 0,
+            pop,
+        });
+    }
+    let mut total_streams = streams.len() as u64;
+
+    // Chunk the replay so each barrier-to-barrier stretch spans at most
+    // half the lateness bound in event time.
+    let chunk = ((cfg.lateness_ms / 2.0 / per_record_ms) as usize).max(1);
+    let policy = RetryPolicy { seed: cfg.seed, ..RetryPolicy::default() };
+    let mut no_chaos = WireChaos::new(&ChaosPlan::default());
+    let mut generation = 1u64;
+    let mut kills_fired = 0u64;
+    let mut rehomed_total = 0u64;
+    let mut kill_iter = kills.iter().peekable();
+    let mut b_prev = 0usize;
+    let mut boundaries: Vec<usize> = (1..sessions.div_ceil(chunk)).map(|k| k * chunk).collect();
+    boundaries.push(sessions);
+    for b in boundaries {
+        // Kills land on barriers: everything sent so far is acked and
+        // applied, so the re-homed substreams rebuild complete
+        // per-group sequences on their new home.
+        while let Some(kill) = kill_iter.peek() {
+            if kill.after_records as usize > b_prev {
+                break;
+            }
+            let report = coord
+                .kill(kill.pop)
+                .map_err(|e| invalid(format!("kill of PoP {}: {e}", kill.pop)))?;
+            kills_fired += 1;
+            rehomed_total += report.rehomed;
+            generation += 1;
+            streams.retain(|s| s.pop != kill.pop);
+            // Re-home the dead PoP's groups and open one catch-up
+            // session per inheriting survivor, carrying the full
+            // substream of every inherited group from record zero.
+            let mut inherited: BTreeMap<u16, Vec<usize>> = BTreeMap::new();
+            for (g, home) in group_home.iter_mut().enumerate() {
+                if *home != kill.pop {
+                    continue;
+                }
+                let (new_home, new_addr) = coord.home(&group_key(g))?;
+                *home = new_home;
+                pop_addr.insert(new_home, new_addr);
+                inherited.entry(new_home).or_default().push(g);
+            }
+            for (pop, inherited_groups) in inherited {
+                let indices: Vec<usize> =
+                    (0..sessions).filter(|i| inherited_groups.contains(&(i % groups))).collect();
+                let stream_lines = indices.iter().map(|&i| lines[i].clone()).collect();
+                let mut stream = Stream {
+                    addr: pop_addr[&pop].clone(),
+                    session: session_id(cfg.seed, generation, pop),
+                    indices,
+                    lines: stream_lines,
+                    sent: 0,
+                    acked: 0,
+                    pop,
+                };
+                // Catch the new session up to the barrier immediately:
+                // the survivors' watermark is still older than every
+                // inherited record (the budget check above).
+                replay_stream_to(&mut stream, b_prev, &policy, &mut no_chaos)?;
+                streams.push(stream);
+                total_streams += 1;
+            }
+            kill_iter.next();
+        }
+        for stream in &mut streams {
+            replay_stream_to(stream, b, &policy, &mut no_chaos)?;
+        }
+        b_prev = b;
+    }
+
+    let acked: u64 = streams.iter().map(|s| s.acked).sum();
+
+    // The merged fleet view, while windows are still live.
+    let full = CellQuery { from_window: Some(0), ..CellQuery::default() };
+    let fleet_rows = coord.cells(&full)?;
+    let pops_info = coord.pops()?;
+    let metrics_json = coord.metrics_json()?;
+
+    // Single-node control over the very same lines.
+    let (_, control_rows) = run_control(cfg, opts.workers, &lines, &policy)?;
+    let bit_identical = cells_bit_identical(&fleet_rows, &control_rows);
+
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let merged = coord.shutdown()?;
+
+    Ok(FleetReport {
+        plan: opts.plan.to_string(),
+        pops: pops_at_start,
+        alive_pops: pops_info.iter().filter(|p| p.alive).count() as u64,
+        workers: opts.workers as u64,
+        sessions: sessions as u64,
+        groups: groups as u64,
+        acked,
+        accepted: merged.accepted,
+        rejected: merged.rejected,
+        late: merged.late,
+        drained: merged.drained,
+        kills: kills_fired,
+        rehomed_groups: rehomed_total,
+        streams: total_streams,
+        fanout_connects: crate::loadgen::metrics_counter(&metrics_json, "fleet.fanout.connects"),
+        fanout_reconnects: crate::loadgen::metrics_counter(
+            &metrics_json,
+            "fleet.fanout.reconnects",
+        ),
+        merge_ms: metrics_gauge(&metrics_json, "fleet.merge.last_ms"),
+        fleet_cells: fleet_rows.len() as u64,
+        catchment_share: pops_info.iter().map(|p| p.share).collect(),
+        bit_identical_to_single_node: bit_identical,
+        elapsed_s,
+    })
+}
+
+/// Advance one stream to the global barrier `b`: replay the prefix of
+/// its lines whose global index is below `b` and block until the
+/// server acks (and has applied) all of it.
+fn replay_stream_to(
+    stream: &mut Stream,
+    b: usize,
+    policy: &RetryPolicy,
+    wire: &mut WireChaos,
+) -> io::Result<()> {
+    let k = stream.indices.partition_point(|&i| i < b);
+    if k <= stream.sent {
+        return Ok(());
+    }
+    let report = replay_with_resume(
+        &stream.addr,
+        stream.session,
+        ResumeInput::Lines(&stream.lines[..k]),
+        policy,
+        wire,
+    )?;
+    if report.acked != k as u64 {
+        return Err(io::Error::other(format!(
+            "stream for PoP {} quiesced at {} of {k} lines",
+            stream.pop, report.acked
+        )));
+    }
+    stream.sent = k;
+    stream.acked = report.acked;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_keys_match_the_generated_wire_lines() {
+        let cfg = LoadgenConfig { sessions: 32, groups: 8, ..LoadgenConfig::default() };
+        let lines = generate_lines(&cfg);
+        for (i, line) in lines.iter().enumerate() {
+            let key = group_key(i % cfg.groups);
+            assert!(
+                line.contains(&format!("\"prefix_base\":{}", key.prefix_base)),
+                "line {i} prefix mismatch: {line}"
+            );
+            assert!(
+                line.contains(&format!("\"country\":{}", key.country)),
+                "line {i} country mismatch"
+            );
+            assert!(
+                line.contains(&format!("\"continent\":{}", key.continent)),
+                "line {i} continent mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn the_failover_budget_is_enforced() {
+        let cfg = LoadgenConfig {
+            sessions: 3_000,
+            groups: 16,
+            windows: 6,
+            window_ms: 1_000.0,
+            lateness_ms: 2_100.0,
+            ..LoadgenConfig::default()
+        };
+        // span 6000 ms, 2 ms/record: lateness/2 = 1050 ms => 525 records.
+        let opts = FleetRunOpts {
+            plan: FleetChaosPlan::parse("kill:0@2000").unwrap(),
+            ..FleetRunOpts::default()
+        };
+        let err = run_fleet(&cfg, &opts).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("failover budget"), "{err}");
+    }
+}

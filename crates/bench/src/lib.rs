@@ -11,6 +11,7 @@ pub mod cc_compare;
 pub mod detector;
 pub mod fig4;
 pub mod fig5;
+pub mod fleet_run;
 pub mod loadgen;
 pub mod naive;
 pub mod pipeline_bench;

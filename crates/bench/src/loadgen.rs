@@ -486,7 +486,7 @@ pub struct ChaosReport {
     pub elapsed_s: f64,
 }
 
-fn metrics_counter(metrics_json: &str, name: &str) -> u64 {
+pub(crate) fn metrics_counter(metrics_json: &str, name: &str) -> u64 {
     let Ok(v) = serde_json::parse(metrics_json) else { return 0 };
     match v.get("counters").and_then(|c| c.get(name)) {
         Some(serde_json::Value::Num(n)) => *n as u64,
@@ -666,6 +666,12 @@ pub struct SuiteReport {
     /// existed).
     #[serde(default)]
     pub chaos: Option<ChaosReport>,
+    /// Multi-PoP fleet pass: a catchment-routed replay across a
+    /// self-hosted fleet with one mid-run PoP kill, proving fleet-wide
+    /// exactly-once accounting and bit-identity against a single-node
+    /// control (absent in reports from before the fleet tier existed).
+    #[serde(default)]
+    pub fleet: Option<crate::fleet_run::FleetReport>,
 }
 
 /// What a long-horizon (multi-day event time) replay through the tiered
@@ -728,7 +734,7 @@ pub fn proc_status_kb(field: &str) -> u64 {
 /// server has processed them all. A single connection delivers in
 /// order, so the replay is late-free by construction and needs none of
 /// [`run`]'s cross-connection chunk barriers.
-fn replay_single_connection(
+pub(crate) fn replay_single_connection(
     addr: std::net::SocketAddr,
     payloads: &[Vec<u8>],
     wire: WireMode,
@@ -748,11 +754,14 @@ fn replay_single_connection(
     wait_processed(&mut control, payloads.len() as u64)
 }
 
-fn render_rows(rows: &[CellLine]) -> Vec<String> {
+pub(crate) fn render_rows(rows: &[CellLine]) -> Vec<String> {
     rows.iter().map(|c| serde_json::to_string(c).expect("cell line serializes")).collect()
 }
 
-fn timed_cells(client: &mut LiveClient, query: &CellQuery) -> io::Result<(Vec<CellLine>, f64)> {
+pub(crate) fn timed_cells(
+    client: &mut LiveClient,
+    query: &CellQuery,
+) -> io::Result<(Vec<CellLine>, f64)> {
     let start = Instant::now();
     let rows = client.cells_query(query)?;
     Ok((rows, start.elapsed().as_secs_f64() * 1e3))
@@ -850,7 +859,7 @@ pub fn host_cores() -> u64 {
 
 /// The [`ServeBuilder`] every self-hosted server starts from: ephemeral
 /// loopback port, `cfg`'s window geometry, metrics enabled.
-fn hosted_builder(cfg: &LoadgenConfig, workers: usize) -> ServeBuilder {
+pub(crate) fn hosted_builder(cfg: &LoadgenConfig, workers: usize) -> ServeBuilder {
     ServeBuilder::new()
         .addr("127.0.0.1:0")
         .workers(workers)
@@ -939,6 +948,26 @@ pub fn run_suite(cfg: &LoadgenConfig) -> io::Result<SuiteReport> {
     let chaos = run_chaos(&chaos_cfg, &chaos_plan, &chaos_opts)?;
     let _ = std::fs::remove_dir_all(&chaos_dir);
 
+    // Fleet pass: 3 PoPs behind a catchment coordinator, one PoP killed
+    // an eighth of the way in (well inside the lateness/2 failover
+    // budget), verified bit-identical against a single-node control.
+    let fleet_cfg = LoadgenConfig {
+        sessions: cfg.sessions.min(20_000),
+        windows: 8,
+        window_ms: 60_000.0,
+        lateness_ms: 120_000.0,
+        connections: 1,
+        ..cfg.clone()
+    };
+    let fleet_plan = edgeperf_fleet::FleetChaosPlan::parse(&format!(
+        "kill:1@{};seed:{}",
+        fleet_cfg.sessions / 16,
+        cfg.seed
+    ))
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let fleet_opts = crate::fleet_run::FleetRunOpts { pops: 3, workers: 2, plan: fleet_plan };
+    let fleet = crate::fleet_run::run_fleet(&fleet_cfg, &fleet_opts)?;
+
     Ok(SuiteReport {
         sessions: cfg.sessions as u64,
         connections: cfg.connections.max(1) as u64,
@@ -951,6 +980,7 @@ pub fn run_suite(cfg: &LoadgenConfig) -> io::Result<SuiteReport> {
         stage_profile,
         long_horizon: Some(long_horizon),
         chaos: Some(chaos),
+        fleet: Some(fleet),
     })
 }
 

@@ -1,0 +1,164 @@
+//! Seeded fleet-level fault plans: PoP kills at deterministic points.
+//!
+//! The live tier's `ChaosPlan` injects wire/disk faults inside one
+//! node; a [`FleetChaosPlan`] operates one level up — it removes whole
+//! PoPs from the fleet at a deterministic record count, forcing the
+//! coordinator to re-home the dead PoP's catchment and the clients to
+//! resume on survivors. Same spec-string idiom as `ChaosPlan` so runs
+//! are reproducible from a single CLI flag.
+
+use std::fmt;
+
+/// Kill one PoP after the fleet has ingested a number of records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetKill {
+    /// The PoP to remove from the fleet.
+    pub pop: u16,
+    /// Fire once at least this many records have been replayed
+    /// fleet-wide (and quiesced — kills land on chunk barriers).
+    pub after_records: u64,
+}
+
+/// A deterministic fleet fault plan, parsed from a spec string.
+///
+/// Grammar (clauses separated by `;`):
+///
+/// - `kill:POP@RECORDS` — kill PoP `POP` once `RECORDS` records have
+///   been replayed; repeatable.
+/// - `seed:S` — plan seed (reserved for future randomized placement;
+///   recorded so reports pin the full plan).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetChaosPlan {
+    /// PoP kills, in spec order.
+    pub kills: Vec<FleetKill>,
+    /// Plan seed.
+    pub seed: u64,
+}
+
+/// A malformed fleet chaos spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetChaosPlanError(pub String);
+
+impl fmt::Display for FleetChaosPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fleet chaos plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for FleetChaosPlanError {}
+
+fn parse_u64(s: &str, clause: &str) -> Result<u64, FleetChaosPlanError> {
+    s.parse()
+        .map_err(|_| FleetChaosPlanError(format!("`{clause}`: expected an integer, got `{s}`")))
+}
+
+impl FleetChaosPlan {
+    /// Parse a spec string; the empty string is the empty plan.
+    pub fn parse(spec: &str) -> Result<FleetChaosPlan, FleetChaosPlanError> {
+        let mut plan = FleetChaosPlan::default();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (kind, body) = clause
+                .split_once(':')
+                .ok_or_else(|| FleetChaosPlanError(format!("`{clause}`: expected `kind:args`")))?;
+            match kind {
+                "kill" => {
+                    let (pop, after) = body.split_once('@').ok_or_else(|| {
+                        FleetChaosPlanError(format!("`{clause}`: expected `kill:POP@RECORDS`"))
+                    })?;
+                    plan.kills.push(FleetKill {
+                        pop: parse_u64(pop, clause)?.try_into().map_err(|_| {
+                            FleetChaosPlanError(format!("`{clause}`: PoP id out of range"))
+                        })?,
+                        after_records: parse_u64(after, clause)?,
+                    });
+                }
+                "seed" => plan.seed = parse_u64(body, clause)?,
+                other => return Err(FleetChaosPlanError(format!("unknown clause kind `{other}`"))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+
+    /// Kills ordered by firing point (stable on ties).
+    pub fn kills_sorted(&self) -> Vec<FleetKill> {
+        let mut kills = self.kills.clone();
+        kills.sort_by_key(|k| (k.after_records, k.pop));
+        kills
+    }
+}
+
+impl fmt::Display for FleetChaosPlan {
+    /// Canonical spec form — `parse(plan.to_string())` round-trips.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if !first {
+                write!(f, ";")?;
+            }
+            first = false;
+            Ok(())
+        };
+        for kill in &self.kills {
+            sep(f)?;
+            write!(f, "kill:{}@{}", kill.pop, kill.after_records)?;
+        }
+        if self.seed != 0 {
+            sep(f)?;
+            write!(f, "seed:{}", self.seed)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_the_empty_plan() {
+        let plan = FleetChaosPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan, FleetChaosPlan::default());
+        assert_eq!(plan.to_string(), "");
+    }
+
+    #[test]
+    fn full_spec_round_trips() {
+        let spec = "kill:1@5000;kill:3@2000;seed:42";
+        let plan = FleetChaosPlan::parse(spec).unwrap();
+        assert_eq!(
+            plan.kills,
+            vec![
+                FleetKill { pop: 1, after_records: 5000 },
+                FleetKill { pop: 3, after_records: 2000 }
+            ]
+        );
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.to_string(), spec);
+        assert_eq!(FleetChaosPlan::parse(&plan.to_string()).unwrap(), plan);
+        assert_eq!(
+            plan.kills_sorted(),
+            vec![
+                FleetKill { pop: 3, after_records: 2000 },
+                FleetKill { pop: 1, after_records: 5000 }
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        for bad in ["kill", "kill:1", "kill:x@5", "kill:1@y", "kill:99999@1", "bogus:1", "seed:x"] {
+            let err = FleetChaosPlan::parse(bad).unwrap_err();
+            assert!(err.to_string().starts_with("invalid fleet chaos plan: "), "{err}");
+        }
+    }
+}

@@ -11,7 +11,8 @@
 use crate::chaos::{WireChaos, WireFault};
 use crate::frame::{encode_frame, hello_block, preamble, preamble_with_hello};
 use crate::protocol::{
-    parse_acked, parse_cells_header, CellQuery, ProtocolError, Request, PROTOCOL_VERSION,
+    parse_acked, parse_cells_header, parse_digest_header, CellQuery, DigestHeader, ProtocolError,
+    Request, PROTOCOL_VERSION,
 };
 use crate::record::LiveRecord;
 use crate::server::{CellLine, LiveSnapshot};
@@ -109,6 +110,44 @@ impl LiveClient {
             out.push(cell);
         }
         Ok(out)
+    }
+
+    /// Fetch a raw-cells digest: the matching cells (always in
+    /// canonical order) plus the accepted-record counter observed under
+    /// the same sync barrier. This is the fleet coordinator's fan-out
+    /// primitive — one round-trip yields a self-consistent
+    /// (cells, accepted) pair per node. The request carries this
+    /// client's [`PROTOCOL_VERSION`]; a server that speaks another
+    /// version refuses with a typed error instead of replying in a
+    /// layout this client would mis-parse.
+    pub fn digest_query(&mut self, query: &CellQuery) -> io::Result<(u64, Vec<CellLine>)> {
+        let header =
+            self.round_trip(&Request::Digest { proto: PROTOCOL_VERSION, query: *query })?;
+        let DigestHeader { cells: count, protocol, accepted } = parse_digest_header(&header)
+            .map_err(|err| match err {
+                // Surface a server-side error reply as-is instead of
+                // wrapping it in "malformed header" noise.
+                ProtocolError::MalformedReply { ref got, .. } if got.starts_with("{\"error\"") => {
+                    io::Error::other(got.clone())
+                }
+                err => err.into(),
+            })?;
+        if protocol != PROTOCOL_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "digest rendered under protocol {protocol}, client speaks {PROTOCOL_VERSION}"
+                ),
+            ));
+        }
+        let mut out = Vec::with_capacity(count.min(MAX_PREALLOC_CELLS));
+        for _ in 0..count {
+            let line = self.read_reply()?;
+            let cell: CellLine = serde_json::from_str(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            out.push(cell);
+        }
+        Ok((accepted, out))
     }
 
     /// Fetch the tiered window-store statistics. Errors with the

@@ -75,13 +75,14 @@ pub use frame::{
     HELLO_LEN, HELLO_MAGIC, PREAMBLE_FLAG_HELLO, PREAMBLE_LEN,
 };
 pub use protocol::{
-    parse_acked, parse_cells_header, CellQuery, GroupFilter, ProtocolError, Request, Response,
-    WorkerStatsLine, PROTOCOL_VERSION,
+    parse_acked, parse_cells_header, parse_digest_header, CellQuery, DigestHeader, GroupFilter,
+    ProtocolError, Request, Response, WorkerStatsLine, PROTOCOL_VERSION,
 };
 pub use queue::{spsc, Consumer, Producer, Waiter};
 pub use record::{relationship_from_label, LineParser, LiveRecord};
 pub use server::{
-    shard_of, CellLine, ClassCount, LiveServer, LiveSnapshot, ReasonCount, ServerHandle,
+    cell_line_sort_key, shard_of, CellLine, ClassCount, LiveServer, LiveSnapshot, ReasonCount,
+    ServerHandle,
 };
 pub use store::{CrashPoint, SegmentMeta, SegmentStore, SpillOutcome, StoreStats};
 pub use window::{

@@ -83,7 +83,9 @@ use crate::detect::OnlineDetector;
 use crate::frame::{
     parse_hello, parse_preamble, FrameDecoder, FRAME_MAGIC, HELLO_LEN, PREAMBLE_LEN,
 };
-use crate::protocol::{CellQuery, Request, Response, WorkerStatsLine};
+use crate::protocol::{
+    CellQuery, ProtocolError, Request, Response, WorkerStatsLine, PROTOCOL_VERSION,
+};
 use crate::queue::{spsc, Consumer, Producer, Waiter};
 use crate::record::{LineParser, LiveRecord};
 use crate::store::{cell_line, SegmentStore, SpillOutcome};
@@ -1282,6 +1284,18 @@ fn line_reader_loop<R: Read>(
                         None => Response::Draining.render(),
                     },
                     Request::Cells(query) => serve_cells(shared, &query).render(),
+                    Request::Digest { proto, query } => {
+                        if proto != PROTOCOL_VERSION {
+                            Response::Error(ProtocolError::BadArgument {
+                                command: "digest",
+                                argument: format!("proto={proto}"),
+                                message: format!("server speaks protocol {PROTOCOL_VERSION}"),
+                            })
+                            .render()
+                        } else {
+                            serve_digest(shared, &query).render()
+                        }
+                    }
                     Request::Metrics => Response::Metrics(
                         serde_json::to_string(&shared.metrics.snapshot())
                             .expect("metrics serialize"),
@@ -1332,7 +1346,9 @@ fn query_workers(
 /// Canonical cell ordering for merged/filtered replies — the same
 /// (window, group, rank) key [`edgeperf_analysis::cell_sort_key`] gives
 /// segment rows, so disk- and RAM-sourced cells interleave one way.
-fn cell_line_sort_key(c: &CellLine) -> (u32, u16, u32, u8, u16, u8, u8) {
+/// Public because the fleet tier's global merge sorts (and checks
+/// cross-node disjointness) on the very same key.
+pub fn cell_line_sort_key(c: &CellLine) -> (u32, u16, u32, u8, u16, u8, u8) {
     (c.window, c.pop, c.prefix_base, c.prefix_len, c.country, c.continent, c.rank)
 }
 
@@ -1378,6 +1394,21 @@ fn serve_cells(shared: &Shared, query: &CellQuery) -> Response {
             Response::Cells(all)
         }
         Err(err) => Response::StoreError(err.to_string()),
+    }
+}
+
+/// Serve a `digest` query: the matching cells plus the accepted-record
+/// counter, both observed under the caller's sync barrier so the pair
+/// is consistent in a quiesced stream. Unlike the legacy bare `cells`,
+/// a digest always sorts canonically — it exists for cross-node
+/// merging, where deterministic order is part of the contract.
+fn serve_digest(shared: &Shared, query: &CellQuery) -> Response {
+    match serve_cells(shared, query) {
+        Response::Cells(mut cells) => {
+            cells.sort_by_key(cell_line_sort_key);
+            Response::Digest { accepted: shared.stat_totals().accepted, cells }
+        }
+        other => other,
     }
 }
 

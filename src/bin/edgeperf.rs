@@ -12,6 +12,10 @@
 //!                [--spill-fail-threshold N] [--chaos PLAN]
 //!                [--target-mbps F] [--metrics]
 //!                                              live session-ingest server
+//! edgeperf fleet [--addr A] [--pops N] [--workers N] [--window-ms F]
+//!                [--lateness-ms F] [--retention N] [--seed S]
+//!                [--target-mbps F] [--metrics]
+//!                                              multi-PoP fleet coordinator
 //! ```
 //!
 //! `serve` starts the `edgeperf-live` TCP server: JSONL `WireSession`
@@ -42,6 +46,20 @@
 //! deterministic server-side faults of an `edgeperf_live::ChaosPlan`
 //! (worker panics, spill/compaction failures) — testing only.
 //!
+//! `fleet` hosts `--pops` in-process `serve` instances (each a full
+//! live server on its own loopback port) behind a coordinator speaking
+//! the `fleet *` line protocol (`ping`, `pops`, `home`, `snapshot`,
+//! `cells`, `stats`, `metrics`, `kill`, `shutdown`). The coordinator
+//! owns a deterministic seeded anycast catchment: clients ask
+//! `fleet home BASE/LEN COUNTRY CONTINENT` for their PoP and send
+//! records to that PoP directly; fleet queries fan out over the typed
+//! protocol and merge per-PoP cells into a global view bit-identical
+//! to a single-node run (see `edgeperf_fleet`). `fleet kill P` removes
+//! a PoP mid-run and re-homes its catchment onto survivors. The
+//! coordinator prints `coordinator listening on ADDR` plus one
+//! `pop N listening on ADDR` line per PoP, and on `fleet shutdown`
+//! drains every PoP and prints the merged final snapshot.
+//!
 //! `--metrics` prints an ingest accounting table (lines evaluated, rejects
 //! by reason) to stderr after the run.
 //!
@@ -57,6 +75,7 @@
 //! skipped.
 
 use edgeperf::core::HD_GOODPUT_BPS;
+use edgeperf::fleet::{Fleet, FleetConfig};
 use edgeperf::ingest::{evaluate_jsonl_observed, quarantine_jsonl, sample_line};
 use edgeperf::live::{ChaosPlan, ServeBuilder};
 use edgeperf::obs::{render_table, Metrics};
@@ -217,9 +236,52 @@ fn main() {
                 eprint!("{}", render_table(&metrics.snapshot()));
             }
         }
+        Some("fleet") => {
+            let mut config =
+                FleetConfig { addr: "127.0.0.1:4630".to_string(), ..Default::default() };
+            let mut target = HD_GOODPUT_BPS;
+            let mut metrics = Metrics::disabled();
+            fn num(it: &mut dyn Iterator<Item = &String>, flag: &str) -> f64 {
+                it.next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+            }
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => {
+                        config.addr =
+                            it.next().cloned().unwrap_or_else(|| die("--addr needs an address"));
+                    }
+                    "--pops" => config.pops = num(&mut it, "--pops") as u16,
+                    "--workers" => config.workers = num(&mut it, "--workers") as usize,
+                    "--window-ms" => config.window_ms = num(&mut it, "--window-ms"),
+                    "--lateness-ms" => config.lateness_ms = num(&mut it, "--lateness-ms"),
+                    "--retention" => {
+                        config.retention_windows = num(&mut it, "--retention") as usize;
+                    }
+                    "--seed" => config.seed = num(&mut it, "--seed") as u64,
+                    "--target-mbps" => target = num(&mut it, "--target-mbps") * 1e6,
+                    "--metrics" => metrics = Metrics::enabled(),
+                    other => die(&format!("unknown argument {other}")),
+                }
+            }
+            let parser = Arc::new(WireParser::new(target));
+            let handle = Fleet::start(&config, parser, &metrics)
+                .unwrap_or_else(|e| die(&format!("fleet: {e}")));
+            println!("coordinator listening on {}", handle.addr());
+            for (pop, addr) in handle.pop_addrs().iter().enumerate() {
+                println!("pop {pop} listening on {addr}");
+            }
+            let snapshot = handle.join();
+            println!("{}", serde_json::to_string(&snapshot).unwrap());
+            if metrics.is_enabled() {
+                eprint!("{}", render_table(&metrics.snapshot()));
+            }
+        }
         _ => {
             eprintln!(
-                "usage: edgeperf estimate [--target-mbps F] [--metrics] [--quarantine-file PATH] [FILE] | edgeperf serve [--addr A] [--workers N] [--spill-dir DIR] | edgeperf demo"
+                "usage: edgeperf estimate [--target-mbps F] [--metrics] [--quarantine-file PATH] [FILE] | edgeperf serve [--addr A] [--workers N] [--spill-dir DIR] | edgeperf fleet [--addr A] [--pops N] | edgeperf demo"
             );
             std::process::exit(2);
         }

@@ -29,6 +29,9 @@
 //!   sliding event-time windows over the same estimator and statistics,
 //!   with online degradation detection. The wire format lives in
 //!   [`serve`].
+//! - [`fleet`] — the multi-PoP tier (`edgeperf fleet`): N live servers
+//!   behind an anycast catchment coordinator, with bit-faithful global
+//!   merge and mid-run PoP failover.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@ pub mod serve;
 
 pub use edgeperf_analysis as analysis;
 pub use edgeperf_core as core;
+pub use edgeperf_fleet as fleet;
 pub use edgeperf_live as live;
 pub use edgeperf_netsim as netsim;
 pub use edgeperf_obs as obs;
